@@ -1,0 +1,84 @@
+//! Benchmarks of the Section 5 / Appendix B filter structures: build cost,
+//! (α, β)-NN query cost and α-NNIS sampling cost on planted inner-product
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairnn_core::{FilterConfig, FilterNnis, NeighborSampler, TensorFilter};
+use fairnn_data::{PlantedInstance, PlantedInstanceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(background: usize) -> PlantedInstance {
+    PlantedInstance::generate(
+        PlantedInstanceConfig {
+            dim: 32,
+            background,
+            near: 15,
+            mid: 60,
+            alpha: 0.8,
+            beta: 0.5,
+        },
+        7,
+    )
+}
+
+fn config() -> FilterConfig {
+    FilterConfig::new(0.8, 0.5).with_epsilon(0.05).with_repetitions(8)
+}
+
+fn bench_tensor_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_filter");
+    group.sample_size(20);
+    for background in [500usize, 2000] {
+        let inst = instance(background);
+        group.bench_with_input(BenchmarkId::new("build", background), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(TensorFilter::build(config(), &inst.dataset, &mut rng))
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let filter = TensorFilter::build(config(), &inst.dataset, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ann_query", background), &inst, |b, inst| {
+            b.iter(|| black_box(filter.solve_ann(&inst.dataset, &inst.query)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("candidate_enumeration", background),
+            &inst,
+            |b, inst| b.iter(|| black_box(filter.query_candidates(&inst.query).len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_filter_nnis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_nnis");
+    group.sample_size(20);
+    for background in [500usize, 2000] {
+        let inst = instance(background);
+        group.bench_with_input(BenchmarkId::new("build", background), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(FilterNnis::build(config(), &inst.dataset, &mut rng))
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sample", background), &inst, |b, inst| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(sampler.sample(&inst.query, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_tensor_filter, bench_filter_nnis
+}
+criterion_main!(benches);

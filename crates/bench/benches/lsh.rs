@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the LSH substrate: MinHash evaluation, index
+//! construction and collision queries (the `n^ρ` part of every query bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairnn_bench::{SetWorkload, WorkloadKind};
+use fairnn_lsh::{LshHasher, LshIndex, MinHasher, OneBitMinHash, OneBitMinHasher, ParamsBuilder};
+use std::hint::black_box;
+
+fn bench_minhash_eval(c: &mut Criterion) {
+    let workload = SetWorkload::generate(WorkloadKind::LastFm, 0.1, 2, 1);
+    let set = workload.dataset.point(fairnn_space::PointId(0)).clone();
+    let hasher = MinHasher::from_seed(3);
+    let one_bit = OneBitMinHasher::from_seed(3);
+    let mut group = c.benchmark_group("minhash_eval");
+    group.bench_function("full_minhash", |b| b.iter(|| black_box(hasher.hash(black_box(&set)))));
+    group.bench_function("one_bit_minhash", |b| b.iter(|| black_box(one_bit.hash(black_box(&set)))));
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_index_build");
+    group.sample_size(10);
+    for scale in [0.05f64, 0.1] {
+        let workload = SetWorkload::generate(WorkloadKind::LastFm, scale, 2, 1);
+        let n = workload.dataset.len();
+        // Moderate-recall parameters keep the bench affordable while still
+        // exercising the K x L structure.
+        let params = ParamsBuilder::new(n, 0.3, 0.1)
+            .with_recall(0.9)
+            .empirical(&OneBitMinHash);
+        group.bench_with_input(BenchmarkId::new("one_bit_minhash", n), &workload, |b, w| {
+            b.iter(|| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                black_box(LshIndex::build(&OneBitMinHash, params, w.dataset.points(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collision_query(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let workload = SetWorkload::generate(WorkloadKind::LastFm, 0.1, 5, 1);
+    let n = workload.dataset.len();
+    let params = ParamsBuilder::new(n, 0.3, 0.1)
+        .with_recall(0.95)
+        .empirical(&OneBitMinHash);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let index = LshIndex::build(&OneBitMinHash, params, workload.dataset.points(), &mut rng);
+    let queries = workload.query_points();
+    let mut group = c.benchmark_group("lsh_collision_query");
+    group.bench_function("colliding_ids", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(index.colliding_ids(q))
+        })
+    });
+    group.bench_function("query_buckets", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(index.query_buckets(q).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_minhash_eval, bench_index_build, bench_collision_query
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Per-query cost of the fair samplers and baselines (the quantities behind
+//! the paper's running-time theorems and the Section 6.3 discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairnn_bench::figures::paper_lsh_params;
+use fairnn_bench::{SetWorkload, WorkloadKind};
+use fairnn_core::{
+    ExactSampler, FairNnis, FairNns, NaiveFairLsh, NeighborSampler, RankSwapSampler,
+    SimilarityAtLeast, StandardLsh,
+};
+use fairnn_lsh::OneBitMinHash;
+use fairnn_space::Jaccard;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const R: f64 = 0.2;
+
+fn workload() -> SetWorkload {
+    SetWorkload::generate(WorkloadKind::LastFm, 0.1, 5, 1)
+}
+
+fn bench_sampler_queries(c: &mut Criterion) {
+    let w = workload();
+    let n = w.dataset.len();
+    let params = paper_lsh_params(n, R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let queries = w.query_points();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut exact = ExactSampler::new(&w.dataset, near);
+    let mut standard = StandardLsh::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+    let mut naive = NaiveFairLsh::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+    let mut nns = FairNns::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+    let mut rank_swap = RankSwapSampler::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+    let mut nnis = FairNnis::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+
+    let mut group = c.benchmark_group("sampler_query");
+    group.sample_size(30);
+
+    macro_rules! bench_one {
+        ($name:literal, $sampler:expr) => {
+            group.bench_function($name, |b| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box($sampler.sample(q, &mut rng))
+                })
+            });
+        };
+    }
+
+    bench_one!("exact_scan", exact);
+    bench_one!("standard_lsh", standard);
+    bench_one!("naive_fair_lsh", naive);
+    bench_one!("fair_nns_section3", nns);
+    bench_one!("rank_swap_appendix_a", rank_swap);
+    bench_one!("fair_nnis_section4", nnis);
+    group.finish();
+}
+
+fn bench_structure_build(c: &mut Criterion) {
+    let w = workload();
+    let n = w.dataset.len();
+    let params = paper_lsh_params(n, R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut group = c.benchmark_group("sampler_build");
+    group.sample_size(10);
+    group.bench_function("fair_nns_section3", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(FairNns::build(&OneBitMinHash, params, &w.dataset, near, &mut rng))
+        })
+    });
+    group.bench_function("fair_nnis_section4", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(FairNnis::build(&OneBitMinHash, params, &w.dataset, near, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_sampler_queries, bench_structure_build
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Scaling ablation: how the query cost of the fair samplers grows with the
+//! dataset size `n` — the empirical counterpart of the
+//! `O((n^ρ + b_cr/b_r) polylog n)` bounds of Theorems 1 and 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairnn_bench::figures::paper_lsh_params;
+use fairnn_bench::{SetWorkload, WorkloadKind};
+use fairnn_core::{FairNnis, FairNns, NeighborSampler, SimilarityAtLeast};
+use fairnn_lsh::OneBitMinHash;
+use fairnn_space::Jaccard;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const R: f64 = 0.2;
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_scaling");
+    group.sample_size(20);
+    for scale in [0.05f64, 0.1, 0.2] {
+        let w = SetWorkload::generate(WorkloadKind::LastFm, scale, 4, 1);
+        if w.queries.is_empty() {
+            continue;
+        }
+        let n = w.dataset.len();
+        let params = paper_lsh_params(n, R);
+        let near = SimilarityAtLeast::new(Jaccard, R);
+        let queries = w.query_points();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut nns = FairNns::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+        let mut nnis = FairNnis::build(&OneBitMinHash, params, &w.dataset, near, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("fair_nns", n), &queries, |b, queries| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(nns.sample(q, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fair_nnis", n), &queries, |b, queries| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(nnis.sample(q, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_query_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the count-distinct sketches (Section 2.3 / Section 4
+//! substrate) and of the alternative estimators used in the ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairnn_sketch::{
+    BottomKSketch, CardinalityEstimator, DistinctSketch, DistinctSketchParams, HyperLogLog,
+};
+use std::hint::black_box;
+
+fn params() -> DistinctSketchParams {
+    DistinctSketchParams {
+        epsilon: 0.5,
+        delta: 1e-4,
+        universe: 1 << 20,
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_insert_10k");
+    group.bench_function("distinct_sketch", |b| {
+        b.iter(|| {
+            let mut s = DistinctSketch::new(1, params());
+            for x in 0..10_000u64 {
+                s.insert(black_box(x));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("bottom_k", |b| {
+        b.iter(|| {
+            let mut s = BottomKSketch::new(1, 256);
+            for x in 0..10_000u64 {
+                s.insert(black_box(x));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.bench_function("hyperloglog", |b| {
+        b.iter(|| {
+            let mut s = HyperLogLog::new(1, 12);
+            for x in 0..10_000u64 {
+                s.insert(black_box(x));
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Merging L bucket sketches is the first step of every Section 4 query.
+    let mut group = c.benchmark_group("sketch_merge");
+    for num_sketches in [8usize, 32, 128] {
+        let sketches: Vec<DistinctSketch> = (0..num_sketches)
+            .map(|i| {
+                DistinctSketch::from_elements(
+                    7,
+                    params(),
+                    (0..500u64).map(|x| x + 313 * i as u64),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("distinct_sketch", num_sketches),
+            &sketches,
+            |b, sketches| {
+                b.iter(|| {
+                    let mut merged = DistinctSketch::new(7, params());
+                    for s in sketches {
+                        merged.merge(s);
+                    }
+                    black_box(merged.estimate())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_insert, bench_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! The *approximate neighbourhood* sampler examined in Section 6.2.
+//!
+//! Har-Peled and Mahabadi's relaxed fairness notion samples uniformly from a
+//! set `S'` that contains every r-near point but may also contain points up
+//! to the far threshold `cr`. The natural LSH implementation — and the one
+//! the paper evaluates — takes `S' = S(q, cr) ∩ (∪_i S_{i, ℓ_i(q)})`, i.e.
+//! the colliding points that are not far, and samples uniformly from it.
+//!
+//! Section 6.2 constructs a dataset (see
+//! [`fairnn_data::adversarial`](https://docs.rs)) on which this notion is
+//! badly unfair: a point whose neighbourhood is a tight cluster is sampled
+//! with probability `O(1/n)` while an isolated point at the same distance is
+//! sampled with constant probability. This type exists to reproduce that
+//! experiment (Figure 2).
+
+use crate::predicate::Nearness;
+use crate::sampler::{NeighborSampler, QueryStats};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_space::{Dataset, PointId};
+use rand::Rng;
+
+/// Samples uniformly from the colliding points that pass the *far*
+/// threshold (similarity ≥ cr / distance ≤ cr), i.e. the approximate
+/// neighbourhood `S'`.
+#[derive(Debug, Clone)]
+pub struct ApproximateNeighborhoodSampler<P, H, N> {
+    points: Vec<P>,
+    index: LshIndex<H>,
+    /// Membership in `S'` is decided against the *far* threshold.
+    within_far: N,
+    stats: QueryStats,
+}
+
+impl<P: Clone, BH, N> ApproximateNeighborhoodSampler<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+{
+    /// Builds the sampler. `within_far` must encode the far threshold `cr`
+    /// (e.g. `SimilarityAtLeast::new(Jaccard, 0.5)` for the Section 6.2
+    /// instance where `cr = 0.5`).
+    pub fn build<F, R>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        within_far: N,
+        rng: &mut R,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        R: Rng + ?Sized,
+    {
+        let index = LshIndex::build(family, params, dataset.points(), rng);
+        Self {
+            points: dataset.points().to_vec(),
+            index,
+            within_far,
+            stats: QueryStats::default(),
+        }
+    }
+}
+
+impl<P, H, N> ApproximateNeighborhoodSampler<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// The approximate neighbourhood `S'` of a query under the current
+    /// build: colliding, deduplicated, and within the far threshold.
+    pub fn approximate_neighborhood(&mut self, query: &P) -> Vec<PointId> {
+        let mut stats = QueryStats::default();
+        let mut seen = vec![false; self.points.len()];
+        let mut result = Vec::new();
+        for bucket in self.index.query_buckets(query) {
+            stats.buckets_inspected += 1;
+            for &id in bucket {
+                stats.entries_scanned += 1;
+                if seen[id.index()] {
+                    continue;
+                }
+                seen[id.index()] = true;
+                stats.distance_computations += 1;
+                if self.within_far.is_near(query, &self.points[id.index()]) {
+                    result.push(id);
+                }
+            }
+        }
+        self.stats = stats;
+        result
+    }
+
+    /// The underlying LSH index.
+    pub fn index(&self) -> &LshIndex<H> {
+        &self.index
+    }
+}
+
+impl<P, H, N> NeighborSampler<P> for ApproximateNeighborhoodSampler<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
+        let candidates = self.approximate_neighborhood(query);
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        }
+    }
+
+    fn last_query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "approximate-neighborhood"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::SimilarityAtLeast;
+    use fairnn_lsh::{OneBitMinHash, ParamsBuilder};
+    use fairnn_space::{Jaccard, Similarity, SparseSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance() -> Dataset<SparseSet> {
+        let mut sets = Vec::new();
+        // A point with an isolated neighbourhood at similarity 0.5.
+        sets.push(SparseSet::from_items((16..=30).collect()));
+        // A tight cluster of near-identical points at similarity ~0.5-0.6.
+        for drop in 0..10u32 {
+            let items: Vec<u32> = (1..=18).filter(|&x| x != drop + 1).collect();
+            sets.push(SparseSet::from_items(items));
+        }
+        Dataset::new(sets)
+    }
+
+    #[test]
+    fn neighborhood_only_contains_points_within_far_threshold() {
+        let data = small_instance();
+        let query = SparseSet::from_items((1..=30).collect());
+        let params = ParamsBuilder::new(data.len(), 0.9, 0.45).empirical(&OneBitMinHash);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = ApproximateNeighborhoodSampler::build(
+            &OneBitMinHash,
+            params,
+            &data,
+            SimilarityAtLeast::new(Jaccard, 0.45),
+            &mut rng,
+        );
+        let neighborhood = sampler.approximate_neighborhood(&query);
+        for id in &neighborhood {
+            let sim = Jaccard.similarity(&query, data.point(*id));
+            assert!(sim >= 0.45, "similarity {sim} below the far threshold");
+        }
+        assert!(sampler.index().num_tables() >= 1);
+        assert!(sampler.last_query_stats().entries_scanned > 0);
+    }
+
+    #[test]
+    fn sample_returns_members_of_the_approximate_neighborhood_or_none() {
+        let data = small_instance();
+        let query = SparseSet::from_items((1..=30).collect());
+        let params = ParamsBuilder::new(data.len(), 0.9, 0.45).empirical(&OneBitMinHash);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sampler = ApproximateNeighborhoodSampler::build(
+            &OneBitMinHash,
+            params,
+            &data,
+            SimilarityAtLeast::new(Jaccard, 0.45),
+            &mut rng,
+        );
+        let allowed = sampler.approximate_neighborhood(&query);
+        for _ in 0..200 {
+            match sampler.sample(&query, &mut rng) {
+                Some(id) => assert!(allowed.contains(&id)),
+                None => assert!(allowed.is_empty()),
+            }
+        }
+        assert_eq!(sampler.name(), "approximate-neighborhood");
+    }
+
+    #[test]
+    fn far_query_returns_none() {
+        let data = small_instance();
+        let params = ParamsBuilder::new(data.len(), 0.9, 0.45).empirical(&OneBitMinHash);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = ApproximateNeighborhoodSampler::build(
+            &OneBitMinHash,
+            params,
+            &data,
+            SimilarityAtLeast::new(Jaccard, 0.45),
+            &mut rng,
+        );
+        let query = SparseSet::from_items(vec![500, 501, 502]);
+        assert!(sampler.sample(&query, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! The Section 5 / Appendix B nearly-linear space data structures.
+//!
+//! Instead of `L = Θ(n^ρ)` LSH tables, the locality-sensitive *filter*
+//! approach stores every data point exactly once per repetition: a point is
+//! mapped to the bucket identified by the indices of the Gaussian filter
+//! vectors it has the largest inner product with (a "concomitant order
+//! statistics" scheme). A query evaluates all filters and inspects every
+//! bucket whose filters score above the threshold `α·Δ_q − f(α, ε)`.
+//!
+//! * [`TensorFilter`] — a single data structure (Appendix B.4): `t`
+//!   independent blocks of `m^{1/t}` Gaussian vectors; the bucket key of a
+//!   point is the tuple of per-block arg-max indices. Solves the
+//!   `(α, β)`-NN problem in linear space and `n^{ρ+o(1)}` expected time with
+//!   `ρ = (1−α²)(1−β²)/(1−αβ)²` (Theorems 3, 6, 7).
+//! * [`FilterNnis`] — `L = Θ(log n)` independent [`TensorFilter`]s plus the
+//!   multiplicity-corrected rejection sampler of Section 5.2, solving the
+//!   α-NNIS problem (Theorem 4): every point with inner product ≥ α is
+//!   returned with equal probability, independently across queries.
+
+mod nnis;
+mod tensor;
+
+pub use nnis::FilterNnis;
+pub use tensor::TensorFilter;
+
+/// Configuration of the filter data structures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Near inner-product threshold α (points with `⟨q, p⟩ ≥ α` form the
+    /// neighbourhood to sample from).
+    pub alpha: f64,
+    /// Far inner-product threshold β < α (points below β are "far" and are
+    /// discarded by the Section 5.2 query loop).
+    pub beta: f64,
+    /// Query success parameter ε of `f(α, ε) = sqrt(2 (1 − α²) ln(1/ε))`.
+    pub epsilon: f64,
+    /// Override for the number of blocks `t` (default `⌈1/(1 − α²)⌉`).
+    pub num_blocks: Option<usize>,
+    /// Override for the number of Gaussian vectors per block
+    /// (default `⌈m^{1/t}⌉` with `m = n^{(1−β²)/(1−αβ)²}`, clamped).
+    pub vectors_per_block: Option<usize>,
+    /// Override for the number of independent repetitions used by
+    /// [`FilterNnis`] (default `max(4, ⌈log₂ n⌉)`).
+    pub repetitions: Option<usize>,
+}
+
+impl FilterConfig {
+    /// Creates a configuration with the given thresholds and default
+    /// derived parameters.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            -1.0 < beta && beta < alpha && alpha < 1.0,
+            "thresholds must satisfy -1 < beta < alpha < 1"
+        );
+        Self {
+            alpha,
+            beta,
+            epsilon: 0.1,
+            num_blocks: None,
+            vectors_per_block: None,
+            repetitions: None,
+        }
+    }
+
+    /// Sets the query success parameter ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the number of blocks `t`.
+    pub fn with_num_blocks(mut self, t: usize) -> Self {
+        assert!(t >= 1, "need at least one block");
+        self.num_blocks = Some(t);
+        self
+    }
+
+    /// Overrides the number of vectors per block.
+    pub fn with_vectors_per_block(mut self, m: usize) -> Self {
+        assert!(m >= 2, "need at least two vectors per block");
+        self.vectors_per_block = Some(m);
+        self
+    }
+
+    /// Overrides the number of repetitions of [`FilterNnis`].
+    pub fn with_repetitions(mut self, l: usize) -> Self {
+        assert!(l >= 1, "need at least one repetition");
+        self.repetitions = Some(l);
+        self
+    }
+
+    /// The exponent `ρ = (1−α²)(1−β²)/(1−αβ)²` of Theorem 3.
+    pub fn rho(&self) -> f64 {
+        let a2 = 1.0 - self.alpha * self.alpha;
+        let b2 = 1.0 - self.beta * self.beta;
+        let ab = 1.0 - self.alpha * self.beta;
+        a2 * b2 / (ab * ab)
+    }
+
+    /// Number of blocks `t = ⌈1/(1 − α²)⌉` (or the override).
+    pub fn blocks(&self) -> usize {
+        self.num_blocks
+            .unwrap_or_else(|| (1.0 / (1.0 - self.alpha * self.alpha)).ceil() as usize)
+            .max(1)
+    }
+
+    /// Number of Gaussian vectors per block for a dataset of `n` points.
+    pub fn block_vectors(&self, n: usize) -> usize {
+        if let Some(m) = self.vectors_per_block {
+            return m.max(2);
+        }
+        let n = n.max(2) as f64;
+        let exponent = (1.0 - self.beta * self.beta) / ((1.0 - self.alpha * self.beta).powi(2));
+        let m = n.powf(exponent);
+        let per_block = m.powf(1.0 / self.blocks() as f64).ceil() as usize;
+        per_block.clamp(2, 256)
+    }
+
+    /// Number of independent repetitions for [`FilterNnis`] over `n` points.
+    pub fn filter_repetitions(&self, n: usize) -> usize {
+        self.repetitions
+            .unwrap_or_else(|| ((n.max(2) as f64).log2().ceil() as usize).max(4))
+    }
+
+    /// The query threshold offset `f(α, ε) = sqrt(2 (1 − α²) ln(1/ε))`.
+    pub fn threshold_offset(&self) -> f64 {
+        (2.0 * (1.0 - self.alpha * self.alpha) * (1.0 / self.epsilon).ln()).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_parameters_match_formulas() {
+        let cfg = FilterConfig::new(0.8, 0.5);
+        // t = ceil(1 / (1 - 0.64)) = ceil(2.78) = 3.
+        assert_eq!(cfg.blocks(), 3);
+        // rho = (0.36)(0.75)/(0.6)^2 = 0.75.
+        assert!((cfg.rho() - 0.75).abs() < 1e-12);
+        assert!(cfg.threshold_offset() > 0.0);
+        assert!(cfg.block_vectors(1000) >= 2);
+        assert!(cfg.filter_repetitions(1024) >= 10);
+    }
+
+    #[test]
+    fn overrides_are_respected() {
+        let cfg = FilterConfig::new(0.9, 0.3)
+            .with_epsilon(0.05)
+            .with_num_blocks(4)
+            .with_vectors_per_block(32)
+            .with_repetitions(7);
+        assert_eq!(cfg.blocks(), 4);
+        assert_eq!(cfg.block_vectors(100_000), 32);
+        assert_eq!(cfg.filter_repetitions(100_000), 7);
+        assert_eq!(cfg.epsilon, 0.05);
+    }
+
+    #[test]
+    fn rho_decreases_when_the_gap_widens() {
+        let narrow = FilterConfig::new(0.8, 0.7);
+        let wide = FilterConfig::new(0.8, 0.2);
+        assert!(wide.rho() < narrow.rho());
+        assert!(narrow.rho() < 1.0);
+        assert!(wide.rho() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must satisfy")]
+    fn invalid_thresholds_rejected() {
+        let _ = FilterConfig::new(0.5, 0.8);
+    }
+}

@@ -1,0 +1,329 @@
+//! The Section 5.2 α-NNIS sampler built on `L` independent tensor filters.
+//!
+//! Query algorithm (Theorem 4): enumerate the above-threshold buckets of all
+//! `L` repetitions; check that a near point exists at all; then repeat
+//!
+//! * pick a bucket with probability proportional to its current size,
+//! * pick a uniform point `p` inside it,
+//! * compute `c_p`, the number of enumerated buckets containing `p`
+//!   (a point is stored once per repetition, so `c_p ≤ L`),
+//! * if `p` is near (inner product ≥ α) report it with probability `1/c_p`,
+//! * if `p` is far (inner product < β) remove it from the working copy,
+//!
+//! until success. The multiplicity correction `1/c_p` makes every near point
+//! equally likely in every round, giving uniformity; fresh query randomness
+//! gives independence across queries.
+
+use super::tensor::TensorFilter;
+use super::FilterConfig;
+use crate::sampler::{NeighborSampler, QueryStats};
+use fairnn_space::{Dataset, DenseVector, PointId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// The nearly-linear space α-NNIS data structure (Section 5.2).
+#[derive(Debug, Clone)]
+pub struct FilterNnis {
+    config: FilterConfig,
+    points: Vec<DenseVector>,
+    filters: Vec<TensorFilter>,
+    stats: QueryStats,
+    /// Safety valve for the rejection loop (multiples of the total bucket
+    /// size); the theoretical expectation is `O(b_β log n / b_α)` rounds.
+    max_round_factor: usize,
+}
+
+impl FilterNnis {
+    /// Builds `L` independent tensor filters over the dataset.
+    pub fn build<R: Rng + ?Sized>(
+        config: FilterConfig,
+        dataset: &Dataset<DenseVector>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cannot build a filter over an empty dataset");
+        let repetitions = config.filter_repetitions(dataset.len());
+        let filters = (0..repetitions)
+            .map(|_| TensorFilter::build(config, dataset, rng))
+            .collect();
+        Self {
+            config,
+            points: dataset.points().to_vec(),
+            filters,
+            stats: QueryStats::default(),
+            max_round_factor: 64,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> FilterConfig {
+        self.config
+    }
+
+    /// Number of repetitions `L`.
+    pub fn num_repetitions(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Number of indexed points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Total number of stored point references (`n · L` — the nearly-linear
+    /// space bound of Theorem 4).
+    pub fn total_entries(&self) -> usize {
+        self.points.len() * self.filters.len()
+    }
+
+    /// Every distinct near point present in the enumerated buckets of any
+    /// repetition (the candidate support of the sampler).
+    pub fn near_candidates(&mut self, query: &DenseVector) -> Vec<PointId> {
+        let mut stats = QueryStats::default();
+        let mut seen = vec![false; self.points.len()];
+        let mut out = Vec::new();
+        for filter in &self.filters {
+            for id in filter.query_candidates(query) {
+                stats.entries_scanned += 1;
+                if seen[id.index()] {
+                    continue;
+                }
+                seen[id.index()] = true;
+                stats.distance_computations += 1;
+                if self.points[id.index()].dot(query) >= self.config.alpha {
+                    out.push(id);
+                }
+            }
+        }
+        self.stats = stats;
+        out
+    }
+}
+
+impl NeighborSampler<DenseVector> for FilterNnis {
+    fn sample<R: Rng + ?Sized>(&mut self, query: &DenseVector, rng: &mut R) -> Option<PointId> {
+        let mut stats = QueryStats::default();
+        let alpha = self.config.alpha;
+        let beta = self.config.beta;
+
+        // Enumerate the above-threshold buckets of every repetition and take
+        // a working copy of their contents (removals below only touch the
+        // copy, so there is nothing to restore afterwards).
+        let mut enumerated_keys: Vec<HashSet<u64>> = Vec::with_capacity(self.filters.len());
+        let mut buckets: Vec<Vec<PointId>> = Vec::new();
+        for filter in &self.filters {
+            let (keys, enumerated) = filter.query_keys(query);
+            stats.buckets_inspected += enumerated;
+            let key_set: HashSet<u64> = keys.iter().copied().collect();
+            for key in &keys {
+                let bucket = filter.bucket(*key);
+                if !bucket.is_empty() {
+                    stats.entries_scanned += bucket.len();
+                    buckets.push(bucket.to_vec());
+                }
+            }
+            enumerated_keys.push(key_set);
+        }
+
+        // Existence check (the standard (α, β)-NN query over each
+        // repetition): if no near point is present, answer ⊥.
+        let mut exists_near = false;
+        'outer: for bucket in &buckets {
+            for &id in bucket {
+                stats.distance_computations += 1;
+                if self.points[id.index()].dot(query) >= alpha {
+                    exists_near = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !exists_near {
+            self.stats = stats;
+            return None;
+        }
+
+        // Rejection loop with multiplicity correction.
+        let mut total: usize = buckets.iter().map(Vec::len).sum();
+        let max_rounds = self.max_round_factor * total.max(1);
+        for _ in 0..max_rounds {
+            if total == 0 {
+                break;
+            }
+            stats.rounds += 1;
+            // Pick a bucket with probability proportional to its size, then
+            // a uniform point inside it — equivalently a uniform entry among
+            // all remaining bucket entries.
+            let mut target = rng.random_range(0..total);
+            let mut chosen_bucket = usize::MAX;
+            for (bi, bucket) in buckets.iter().enumerate() {
+                if target < bucket.len() {
+                    chosen_bucket = bi;
+                    break;
+                }
+                target -= bucket.len();
+            }
+            debug_assert!(chosen_bucket != usize::MAX);
+            let bucket = &mut buckets[chosen_bucket];
+            let within = rng.random_range(0..bucket.len());
+            let p = bucket[within];
+
+            // Multiplicity of p among the enumerated buckets: p is stored in
+            // exactly one bucket per repetition, so count the repetitions
+            // whose enumerated key set contains p's bucket key.
+            let cp = self
+                .filters
+                .iter()
+                .zip(enumerated_keys.iter())
+                .filter(|(filter, keys)| keys.contains(&filter.key_of(p)))
+                .count()
+                .max(1);
+
+            stats.distance_computations += 1;
+            let sim = self.points[p.index()].dot(query);
+            if sim >= alpha {
+                if rng.random::<f64>() < 1.0 / cp as f64 {
+                    self.stats = stats;
+                    return Some(p);
+                }
+            } else if sim < beta {
+                // Far point: remove it from the working copy so it is never
+                // drawn again.
+                bucket.swap_remove(within);
+                total -= 1;
+            }
+            // Points with β ≤ sim < α stay: they are never reported but the
+            // analysis charges their retries to the b_S(q, β) term.
+        }
+
+        // Extremely unlikely: the loop ran out of rounds. Fall back to a
+        // uniform choice over the near candidates, which preserves both
+        // uniformity and independence.
+        let fallback = self.near_candidates(query);
+        let previous = self.stats;
+        stats.accumulate(&previous);
+        self.stats = stats;
+        if fallback.is_empty() {
+            None
+        } else {
+            Some(fallback[rng.random_range(0..fallback.len())])
+        }
+    }
+
+    fn last_query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "filter-nnis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairnn_data::{PlantedInstance, PlantedInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn planted(near: usize) -> PlantedInstance {
+        PlantedInstance::generate(
+            PlantedInstanceConfig {
+                dim: 24,
+                background: 300,
+                near,
+                mid: 40,
+                alpha: 0.8,
+                beta: 0.5,
+            },
+            7,
+        )
+    }
+
+    fn config() -> FilterConfig {
+        FilterConfig::new(0.8, 0.5).with_epsilon(0.02).with_repetitions(12)
+    }
+
+    #[test]
+    fn structure_accounting() {
+        let inst = planted(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+        assert_eq!(sampler.num_points(), inst.dataset.len());
+        assert_eq!(sampler.num_repetitions(), 12);
+        assert_eq!(sampler.total_entries(), 12 * inst.dataset.len());
+        assert_eq!(sampler.config().alpha, 0.8);
+    }
+
+    #[test]
+    fn sample_returns_only_near_points() {
+        let inst = planted(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+        for _ in 0..100 {
+            if let Some(id) = sampler.sample(&inst.query, &mut rng) {
+                let sim = inst.dataset.point(id).dot(&inst.query);
+                assert!(sim >= 0.8 - 1e-9, "returned point at inner product {sim}");
+            }
+        }
+        assert_eq!(sampler.name(), "filter-nnis");
+    }
+
+    #[test]
+    fn near_candidates_cover_most_of_the_neighborhood() {
+        let inst = planted(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+        let candidates = sampler.near_candidates(&inst.query);
+        let covered = inst
+            .near_ids
+            .iter()
+            .filter(|id| candidates.contains(id))
+            .count();
+        assert!(
+            covered * 10 >= inst.near_ids.len() * 8,
+            "only {covered} of {} near points covered",
+            inst.near_ids.len()
+        );
+        assert!(sampler.last_query_stats().entries_scanned > 0);
+    }
+
+    #[test]
+    fn repeated_queries_are_roughly_uniform() {
+        let inst = planted(6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+        // Sample repeatedly; restrict attention to the near points that the
+        // structure can actually reach (its candidate support).
+        let support = sampler.near_candidates(&inst.query);
+        assert!(support.len() >= 4, "support too small: {}", support.len());
+        let trials = 4000;
+        let mut counts = std::collections::HashMap::new();
+        let mut successes = 0usize;
+        for _ in 0..trials {
+            if let Some(id) = sampler.sample(&inst.query, &mut rng) {
+                *counts.entry(id).or_insert(0usize) += 1;
+                successes += 1;
+            }
+        }
+        assert!(successes * 10 >= trials * 9, "too many ⊥ answers");
+        let expected = successes as f64 / support.len() as f64;
+        for id in &support {
+            let c = counts.get(id).copied().unwrap_or(0) as f64;
+            assert!(
+                (c - expected).abs() < 0.35 * expected + 30.0,
+                "point {id:?} sampled {c} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_with_empty_neighborhood_returns_none() {
+        let inst = planted(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+        // A query orthogonal-ish to everything: flip the query far away.
+        let far_query = DenseVector::new(
+            inst.query.values().iter().map(|v| -v).collect::<Vec<f64>>(),
+        );
+        assert!(sampler.sample(&far_query, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,588 @@
+//! The Section 4 data structure: r-near neighbor *independent* sampling.
+//!
+//! The Section 3 structure is fair but deterministic per build; Section 4
+//! makes repeated and interleaved queries independent (Definition 2,
+//! Theorem 2). Construction: the `K × L` LSH index, a random rank
+//! permutation, and for every bucket (i) a rank-sorted array supporting
+//! rank-range queries (the paper uses a balanced tree; a sorted array plus
+//! binary search gives the same `O(log n + output)` bound for a static
+//! bucket) and (ii) a mergeable count-distinct sketch.
+//!
+//! Query `q`:
+//!
+//! 1. merge the sketches of the `L` colliding buckets to get a
+//!    `1/2`-approximation `ŝ_q` of the number of distinct colliding points;
+//! 2. set `k` to the smallest power of two ≥ `2 ŝ_q`, split the rank space
+//!    into `k` equal segments, set `λ = Θ(log n)` and `Σ = Θ(log² n)`;
+//! 3. repeatedly pick a uniform segment `h`, pull the near points of that
+//!    rank range out of the colliding buckets (deduplicating), and accept
+//!    the segment with probability `λ_{q,h} / λ`, where `λ_{q,h}` is the
+//!    number of near points found; after `Σ` consecutive failures halve `k`;
+//! 4. on acceptance return a uniform point among the near points of the
+//!    segment.
+//!
+//! Every point of `B_S(q, r)` is returned with probability `1/(kλ)` per
+//! round, independent of everything else, which yields both uniformity and
+//! independence. The expected query time is
+//! `O((n^ρ + b_S(q, cr)/(b_S(q, r)+1)) · polylog n)`.
+
+use crate::predicate::Nearness;
+use crate::rank::RankPermutation;
+use crate::sampler::{NeighborSampler, QueryStats};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_sketch::{CardinalityEstimator, DistinctSketch, DistinctSketchParams};
+use fairnn_space::{Dataset, PointId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tuning knobs of the Section 4 query algorithm. The defaults follow the
+/// paper's asymptotic choices with explicit constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairNnisConfig {
+    /// Per-segment cap `λ = Θ(log n)`: a segment is accepted with
+    /// probability `λ_{q,h}/λ`.
+    pub lambda: usize,
+    /// Number of consecutive failed segments `Σ = Θ(log² n)` before `k` is
+    /// halved.
+    pub sigma: usize,
+    /// Buckets with at least this many points pre-compute their
+    /// count-distinct sketch; smaller buckets are sketched on the fly at
+    /// query time (the space-saving rule of Section 4).
+    pub sketch_threshold: usize,
+    /// When the rejection loop exhausts all values of `k` without success
+    /// (a low-probability failure event), fall back to collecting all
+    /// colliding near points and sampling uniformly among them instead of
+    /// returning `⊥`. The fallback preserves uniformity and independence
+    /// (it uses fresh randomness and the same candidate set) and makes the
+    /// structure robust at small `n`, where the asymptotic constants are
+    /// loose.
+    pub exhaustive_fallback: bool,
+}
+
+impl FairNnisConfig {
+    /// Default configuration for a dataset of `n` points.
+    pub fn for_dataset_size(n: usize) -> Self {
+        let log_n = (n.max(2) as f64).log2().ceil() as usize;
+        Self {
+            lambda: (2 * log_n).max(8),
+            sigma: (log_n * log_n).max(16),
+            sketch_threshold: (4 * log_n).max(16),
+            exhaustive_fallback: true,
+        }
+    }
+}
+
+/// One LSH bucket: rank-sorted entries plus (for large buckets) a
+/// pre-computed count-distinct sketch.
+#[derive(Debug, Clone)]
+struct RankedBucket {
+    /// `(rank, id)` pairs sorted by rank; supports rank-range retrieval via
+    /// binary search.
+    entries: Vec<(u32, PointId)>,
+    /// Pre-computed sketch of the point ids (only for buckets with at least
+    /// `sketch_threshold` entries).
+    sketch: Option<DistinctSketch>,
+}
+
+impl RankedBucket {
+    /// All entries with rank in `[lo, hi)`.
+    fn rank_range(&self, lo: u32, hi: u32) -> &[(u32, PointId)] {
+        let start = self.entries.partition_point(|(r, _)| *r < lo);
+        let end = self.entries.partition_point(|(r, _)| *r < hi);
+        &self.entries[start..end]
+    }
+}
+
+/// The Section 4 fair independent sampler.
+#[derive(Debug, Clone)]
+pub struct FairNnis<P, H, N> {
+    points: Vec<P>,
+    hashers: Vec<H>,
+    buckets: Vec<HashMap<u64, RankedBucket>>,
+    ranks: RankPermutation,
+    near: N,
+    params: LshParams,
+    config: FairNnisConfig,
+    sketch_seed: u64,
+    sketch_params: DistinctSketchParams,
+    stats: QueryStats,
+}
+
+impl<P: Clone, BH, N> FairNnis<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+{
+    /// Builds the data structure with default configuration.
+    pub fn build<F, R>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        rng: &mut R,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        R: Rng + ?Sized,
+    {
+        let config = FairNnisConfig::for_dataset_size(dataset.len());
+        Self::build_with_config(family, params, dataset, near, config, rng)
+    }
+
+    /// Builds the data structure with an explicit configuration.
+    pub fn build_with_config<F, R>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        config: FairNnisConfig,
+        rng: &mut R,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        R: Rng + ?Sized,
+    {
+        let index = LshIndex::build(family, params, dataset.points(), rng);
+        let ranks = RankPermutation::random(dataset.len(), rng);
+        let sketch_seed: u64 = rng.random();
+        Self::from_index(index, dataset, ranks, near, config, sketch_seed)
+    }
+}
+
+impl<P: Clone, H, N> FairNnis<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Builds the structure from an existing index, permutation and sketch
+    /// seed (full control for tests).
+    pub fn from_index(
+        index: LshIndex<H>,
+        dataset: &Dataset<P>,
+        ranks: RankPermutation,
+        near: N,
+        config: FairNnisConfig,
+        sketch_seed: u64,
+    ) -> Self {
+        assert_eq!(
+            ranks.len(),
+            dataset.len(),
+            "rank permutation size must match the dataset"
+        );
+        let params = index.params();
+        let sketch_params = DistinctSketchParams::paper_defaults(dataset.len());
+        let (hashers, tables) = index.into_parts();
+        let mut buckets = Vec::with_capacity(tables.len());
+        for table in &tables {
+            let mut map: HashMap<u64, RankedBucket> = HashMap::with_capacity(table.num_buckets());
+            for (key, ids) in table.buckets() {
+                let mut entries: Vec<(u32, PointId)> =
+                    ids.iter().map(|&id| (ranks.rank(id), id)).collect();
+                entries.sort_unstable();
+                let sketch = if entries.len() >= config.sketch_threshold {
+                    let mut s = DistinctSketch::new(sketch_seed, sketch_params);
+                    for (_, id) in &entries {
+                        s.insert(id.0 as u64);
+                    }
+                    Some(s)
+                } else {
+                    None
+                };
+                map.insert(key, RankedBucket { entries, sketch });
+            }
+            buckets.push(map);
+        }
+        Self {
+            points: dataset.points().to_vec(),
+            hashers,
+            buckets,
+            ranks,
+            near,
+            params,
+            config,
+            sketch_seed,
+            sketch_params,
+            stats: QueryStats::default(),
+        }
+    }
+}
+
+impl<P, H, N> FairNnis<P, H, N> {
+    /// Number of indexed points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of LSH tables `L`.
+    pub fn num_tables(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The LSH parameters.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The query-algorithm configuration.
+    pub fn config(&self) -> FairNnisConfig {
+        self.config
+    }
+
+    /// The rank permutation the segment structure is defined over.
+    pub fn ranks(&self) -> &RankPermutation {
+        &self.ranks
+    }
+
+    /// Number of buckets that carry a pre-computed sketch (space
+    /// accounting / ablation).
+    pub fn sketched_buckets(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|m| m.values().filter(|b| b.sketch.is_some()).count())
+            .sum()
+    }
+}
+
+impl<P, H, N> FairNnis<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// Estimates the number of distinct points colliding with the query by
+    /// merging the per-bucket count-distinct sketches (step 1 of the query
+    /// algorithm). Exposed for tests and the experiment harness.
+    pub fn estimate_colliding(&self, query: &P) -> f64 {
+        let mut merged = DistinctSketch::new(self.sketch_seed, self.sketch_params);
+        for (hasher, table) in self.hashers.iter().zip(self.buckets.iter()) {
+            let key = hasher.hash(query);
+            let Some(bucket) = table.get(&key) else {
+                continue;
+            };
+            match &bucket.sketch {
+                Some(sketch) => merged.merge(sketch),
+                None => {
+                    for (_, id) in &bucket.entries {
+                        merged.insert(id.0 as u64);
+                    }
+                }
+            }
+        }
+        merged.estimate()
+    }
+
+    /// Collects the distinct near points of `query` whose rank lies in
+    /// `[lo, hi)` (step 3.b of the query algorithm).
+    fn near_points_in_rank_range(
+        &self,
+        keys: &[u64],
+        query: &P,
+        lo: u32,
+        hi: u32,
+        stats: &mut QueryStats,
+    ) -> Vec<PointId> {
+        let mut found: Vec<PointId> = Vec::new();
+        for (table, &key) in self.buckets.iter().zip(keys.iter()) {
+            stats.buckets_inspected += 1;
+            let Some(bucket) = table.get(&key) else {
+                continue;
+            };
+            for &(_, id) in bucket.rank_range(lo, hi) {
+                stats.entries_scanned += 1;
+                if found.contains(&id) {
+                    continue; // duplicate across tables
+                }
+                stats.distance_computations += 1;
+                if self.near.is_near(query, &self.points[id.index()]) {
+                    found.push(id);
+                }
+            }
+        }
+        found
+    }
+
+    /// Collects all distinct colliding near points (used by the exhaustive
+    /// fallback and by tests).
+    pub fn all_colliding_near_points(&mut self, query: &P) -> Vec<PointId> {
+        let keys: Vec<u64> = self.hashers.iter().map(|h| h.hash(query)).collect();
+        let mut stats = QueryStats::default();
+        let n = self.points.len() as u32;
+        let result = self.near_points_in_rank_range(&keys, query, 0, n, &mut stats);
+        self.stats = stats;
+        result
+    }
+}
+
+impl<P, H, N> NeighborSampler<P> for FairNnis<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
+        let mut stats = QueryStats::default();
+        let n = self.points.len();
+        if n == 0 {
+            self.stats = stats;
+            return None;
+        }
+        let keys: Vec<u64> = self.hashers.iter().map(|h| h.hash(query)).collect();
+
+        // Step 1: estimate the number of distinct colliding points.
+        let estimate = self.estimate_colliding(query);
+        let colliding_is_empty = keys
+            .iter()
+            .zip(self.buckets.iter())
+            .all(|(key, table)| table.get(key).map_or(true, |b| b.entries.is_empty()));
+        if colliding_is_empty {
+            self.stats = stats;
+            return None;
+        }
+
+        // Step 2: initial number of segments k = smallest power of two >= 2 ŝ_q.
+        let max_k = (n as u64).next_power_of_two().max(1);
+        let mut k: u64 = ((2.0 * estimate).ceil().max(1.0) as u64)
+            .next_power_of_two()
+            .clamp(1, max_k);
+        let lambda = self.config.lambda.max(1) as f64;
+        let sigma = self.config.sigma.max(1);
+
+        // Step 3: segment sampling with geometric acceptance and k-halving.
+        let mut failures = 0usize;
+        // Generous overall bound: Σ failures per value of k, log2(max_k)+1
+        // values of k, plus the accepted round.
+        let max_rounds = sigma * ((max_k as f64).log2() as usize + 2) + 1;
+        for _ in 0..max_rounds {
+            if k < 1 {
+                break;
+            }
+            stats.rounds += 1;
+            let segment_len = (n as u64).div_ceil(k).max(1);
+            let h = rng.random_range(0..k);
+            let lo = (h * segment_len).min(n as u64) as u32;
+            let hi = ((h + 1) * segment_len).min(n as u64) as u32;
+            let near_points = if lo < hi {
+                self.near_points_in_rank_range(&keys, query, lo, hi, &mut stats)
+            } else {
+                Vec::new()
+            };
+            let lambda_qh = near_points.len() as f64;
+            if lambda_qh > 0.0 && rng.random::<f64>() < (lambda_qh / lambda).min(1.0) {
+                // Step 4: uniform point among the near points of the segment.
+                let pick = rng.random_range(0..near_points.len());
+                self.stats = stats;
+                return Some(near_points[pick]);
+            }
+            failures += 1;
+            if failures >= sigma {
+                failures = 0;
+                if k == 1 {
+                    k = 0; // exhausted every scale
+                } else {
+                    k /= 2;
+                }
+            }
+        }
+
+        // Failure event (probability O(1/n²) with the paper's constants):
+        // optionally fall back to exhaustive collection, which keeps the
+        // output uniform over the colliding near points.
+        if self.config.exhaustive_fallback {
+            let all = self.near_points_in_rank_range(&keys, query, 0, n as u32, &mut stats);
+            self.stats = stats;
+            if all.is_empty() {
+                return None;
+            }
+            let pick = rng.random_range(0..all.len());
+            return Some(all[pick]);
+        }
+        self.stats = stats;
+        None
+    }
+
+    fn last_query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fair-nnis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ExactSampler;
+    use crate::predicate::SimilarityAtLeast;
+    use fairnn_lsh::{MinHash, ParamsBuilder};
+    use fairnn_space::{Jaccard, SparseSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_dataset() -> Dataset<SparseSet> {
+        let mut sets = Vec::new();
+        for j in 0..10u32 {
+            let mut items: Vec<u32> = (0..25).collect();
+            items.push(100 + j);
+            items.push(200 + j);
+            sets.push(SparseSet::from_items(items));
+        }
+        for j in 0..20u32 {
+            sets.push(SparseSet::from_items((1000 + j * 40..1000 + j * 40 + 15).collect()));
+        }
+        Dataset::new(sets)
+    }
+
+    type Sampler =
+        FairNnis<SparseSet, ConcatenatedHasher<fairnn_lsh::MinHasher>, SimilarityAtLeast<Jaccard>>;
+
+    fn build(seed: u64) -> (Dataset<SparseSet>, Sampler) {
+        let data = clustered_dataset();
+        let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = FairNnis::build(
+            &MinHash,
+            params,
+            &data,
+            SimilarityAtLeast::new(Jaccard, 0.5),
+            &mut rng,
+        );
+        (data, sampler)
+    }
+
+    #[test]
+    fn config_defaults_scale_with_n() {
+        let small = FairNnisConfig::for_dataset_size(10);
+        let large = FairNnisConfig::for_dataset_size(1_000_000);
+        assert!(large.lambda > small.lambda || small.lambda == 8);
+        assert!(large.sigma >= small.sigma);
+        assert!(small.exhaustive_fallback);
+    }
+
+    #[test]
+    fn returns_only_near_points() {
+        let (data, mut sampler) = build(1);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let mut rng = StdRng::seed_from_u64(7);
+        for qi in 0..10u32 {
+            let query = data.point(PointId(qi)).clone();
+            let neighborhood = exact.neighborhood(&query);
+            for _ in 0..20 {
+                let id = sampler.sample(&query, &mut rng).expect("cluster is non-empty");
+                assert!(neighborhood.contains(&id), "returned non-neighbour {id:?}");
+            }
+        }
+        assert_eq!(sampler.name(), "fair-nnis");
+        assert!(sampler.last_query_stats().rounds >= 1);
+    }
+
+    #[test]
+    fn returns_none_for_isolated_query() {
+        let (_, mut sampler) = build(2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let query = SparseSet::from_items(vec![77_000, 77_001]);
+        assert!(sampler.sample(&query, &mut rng).is_none());
+    }
+
+    #[test]
+    fn repeated_queries_are_uniform_for_a_single_build() {
+        // The defining property of r-NNIS: one build, repeated queries, the
+        // empirical distribution over the 10-member cluster must be uniform.
+        let (data, mut sampler) = build(3);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(0)).clone();
+        let neighborhood = exact.neighborhood(&query);
+        assert_eq!(neighborhood.len(), 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 12_000;
+        let mut counts = vec![0usize; data.len()];
+        for _ in 0..trials {
+            let id = sampler.sample(&query, &mut rng).expect("non-empty");
+            counts[id.index()] += 1;
+        }
+        for &id in &neighborhood {
+            let rate = counts[id.index()] as f64 / trials as f64;
+            assert!(
+                (rate - 0.1).abs() < 0.02,
+                "member {id:?} sampled at rate {rate}, expected ~0.1"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_queries_remain_uniform() {
+        // Interleave two different queries; each must stay uniform over its
+        // own neighbourhood (this is what the rank-swap structure cannot do).
+        let (data, mut sampler) = build(4);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let qa = data.point(PointId(0)).clone();
+        let qb = data.point(PointId(15)).clone(); // isolated point: neighbourhood = itself
+        let na = exact.neighborhood(&qa);
+        let nb = exact.neighborhood(&qb);
+        assert_eq!(nb.len(), 1);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts_a = vec![0usize; data.len()];
+        let trials = 6000;
+        for _ in 0..trials {
+            let ida = sampler.sample(&qa, &mut rng).unwrap();
+            counts_a[ida.index()] += 1;
+            let idb = sampler.sample(&qb, &mut rng).unwrap();
+            assert_eq!(idb, nb[0]);
+        }
+        for &id in &na {
+            let rate = counts_a[id.index()] as f64 / trials as f64;
+            assert!((rate - 0.1).abs() < 0.025, "rate {rate} for {id:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_colliding_is_within_factor_two() {
+        let (data, sampler) = build(5);
+        let query = data.point(PointId(0)).clone();
+        let estimate = sampler.estimate_colliding(&query);
+        // The true number of distinct colliding points is at least the
+        // 10-member cluster (99% recall) and at most the whole dataset.
+        assert!(estimate >= 5.0, "estimate {estimate}");
+        assert!(estimate <= 2.0 * data.len() as f64, "estimate {estimate}");
+    }
+
+    #[test]
+    fn all_colliding_near_points_matches_exact_neighborhood() {
+        let (data, mut sampler) = build(6);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(2)).clone();
+        let mut got = sampler.all_colliding_near_points(&query);
+        got.sort();
+        assert_eq!(got, exact.neighborhood(&query));
+    }
+
+    #[test]
+    fn rank_range_retrieval_is_correct() {
+        let bucket = RankedBucket {
+            entries: vec![
+                (2, PointId(10)),
+                (5, PointId(11)),
+                (5, PointId(12)),
+                (9, PointId(13)),
+            ],
+            sketch: None,
+        };
+        assert_eq!(bucket.rank_range(0, 3).len(), 1);
+        assert_eq!(bucket.rank_range(2, 6).len(), 3);
+        assert_eq!(bucket.rank_range(6, 9).len(), 0);
+        assert_eq!(bucket.rank_range(0, 100).len(), 4);
+        assert_eq!(bucket.rank_range(9, 9).len(), 0);
+    }
+
+    #[test]
+    fn structure_accounting() {
+        let (data, sampler) = build(7);
+        assert_eq!(sampler.num_points(), data.len());
+        assert!(sampler.num_tables() >= 1);
+        assert!(sampler.config().lambda >= 8);
+        // Some buckets (the cluster buckets) are large enough to be sketched
+        // only if they exceed the threshold; the count must be well-defined.
+        let _ = sampler.sketched_buckets();
+        assert_eq!(sampler.params().near, 0.5);
+    }
+}

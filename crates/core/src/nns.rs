@@ -1,0 +1,422 @@
+//! The Section 3 data structure: r-near neighbor sampling (r-NNS).
+//!
+//! Construction (Theorem 1): build the standard `K × L` LSH index and assign
+//! every point a rank from a uniformly random permutation; store each bucket
+//! sorted by increasing rank. A query scans each of the `L` colliding
+//! buckets *until the first near point* (which, by the sort order, is the
+//! minimum-rank near point of that bucket) and returns the minimum-rank near
+//! point over all buckets.
+//!
+//! Because the permutation is independent of the LSH randomness, each member
+//! of `B_S(q, r)` is equally likely to hold the minimum rank, so the output
+//! is uniform over the neighbourhood — the r-NNS guarantee. The query time
+//! is `O((n^ρ + b_S(q, cr)/(b_S(q, r)+1)) log n)` in expectation: the random
+//! permutation breaks long runs of (c, r)-near points, which is also why
+//! this structure is *faster* than the standard LSH query on worst-case
+//! inputs (end of Section 3).
+//!
+//! The same structure supports sampling `k` points **without replacement**
+//! (Section 3.1): return the `k` near points of smallest rank.
+
+use crate::predicate::Nearness;
+use crate::rank::RankPermutation;
+use crate::sampler::{NeighborSampler, QueryStats};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_space::{Dataset, PointId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The Section 3 fair r-NNS data structure.
+#[derive(Debug, Clone)]
+pub struct FairNns<P, H, N> {
+    points: Vec<P>,
+    hashers: Vec<H>,
+    /// For every table, bucket key → point ids sorted by increasing rank.
+    buckets: Vec<HashMap<u64, Vec<PointId>>>,
+    ranks: RankPermutation,
+    near: N,
+    params: LshParams,
+    stats: QueryStats,
+}
+
+impl<P: Clone, BH, N> FairNns<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+{
+    /// Builds the data structure: LSH index plus random rank permutation.
+    pub fn build<F, R>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        rng: &mut R,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        R: Rng + ?Sized,
+    {
+        let index = LshIndex::build(family, params, dataset.points(), rng);
+        let ranks = RankPermutation::random(dataset.len(), rng);
+        Self::from_index(index, dataset, ranks, near)
+    }
+}
+
+impl<P: Clone, H, N> FairNns<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Builds the structure from an existing LSH index and rank permutation
+    /// (used by tests that need to control the randomness and by the
+    /// Appendix A rank-swap sampler, which shares the layout).
+    pub fn from_index(
+        index: LshIndex<H>,
+        dataset: &Dataset<P>,
+        ranks: RankPermutation,
+        near: N,
+    ) -> Self {
+        assert_eq!(
+            ranks.len(),
+            dataset.len(),
+            "rank permutation size must match the dataset"
+        );
+        let params = index.params();
+        let (hashers, tables) = index.into_parts();
+        let mut buckets = Vec::with_capacity(tables.len());
+        for table in &tables {
+            let mut map: HashMap<u64, Vec<PointId>> = HashMap::with_capacity(table.num_buckets());
+            for (key, ids) in table.buckets() {
+                let mut sorted: Vec<PointId> = ids.to_vec();
+                sorted.sort_by_key(|id| ranks.rank(*id));
+                map.insert(key, sorted);
+            }
+            buckets.push(map);
+        }
+        Self {
+            points: dataset.points().to_vec(),
+            hashers,
+            buckets,
+            ranks,
+            near,
+            params,
+            stats: QueryStats::default(),
+        }
+    }
+}
+
+impl<P, H, N> FairNns<P, H, N> {
+    /// Number of indexed points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of LSH tables `L`.
+    pub fn num_tables(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The LSH parameters the structure was built with.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The rank permutation (exposed for the rank-swap sampler and tests).
+    pub fn ranks(&self) -> &RankPermutation {
+        &self.ranks
+    }
+
+    /// Total number of bucket entries over all tables (the `Θ(nL)` space
+    /// term of Theorem 1).
+    pub fn total_entries(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|m| m.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+impl<P, H, N> FairNns<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// The minimum-rank near neighbour of `query`, together with its rank.
+    ///
+    /// This is the deterministic core of the Theorem 1 query; `sample`
+    /// simply forwards to it (the "randomness" of the output lives entirely
+    /// in the rank permutation drawn at construction time).
+    pub fn min_rank_near_neighbor(&mut self, query: &P) -> Option<(u32, PointId)> {
+        let mut stats = QueryStats::default();
+        let mut best: Option<(u32, PointId)> = None;
+        for (hasher, table) in self.hashers.iter().zip(self.buckets.iter()) {
+            stats.buckets_inspected += 1;
+            let key = hasher.hash(query);
+            let Some(bucket) = table.get(&key) else {
+                continue;
+            };
+            for &id in bucket {
+                stats.entries_scanned += 1;
+                // Skip points that cannot improve the current minimum: the
+                // bucket is rank-sorted, so once we pass the current best we
+                // can stop scanning this bucket.
+                if let Some((best_rank, _)) = best {
+                    if self.ranks.rank(id) >= best_rank {
+                        break;
+                    }
+                }
+                stats.distance_computations += 1;
+                if self.near.is_near(query, &self.points[id.index()]) {
+                    best = Some((self.ranks.rank(id), id));
+                    break; // first near point in this bucket has its minimum rank
+                }
+            }
+        }
+        self.stats = stats;
+        best
+    }
+
+    /// Returns up to `k` points sampled **without replacement** from the
+    /// neighbourhood of `query`: the `k` near points of smallest rank
+    /// (Section 3.1). Returns fewer than `k` points when the neighbourhood
+    /// (restricted to colliding points) is smaller than `k`.
+    pub fn sample_without_replacement(&mut self, query: &P, k: usize) -> Vec<PointId> {
+        let mut stats = QueryStats::default();
+        // Collect the k smallest-rank near points of each bucket, then merge.
+        let mut candidates: Vec<(u32, PointId)> = Vec::new();
+        for (hasher, table) in self.hashers.iter().zip(self.buckets.iter()) {
+            stats.buckets_inspected += 1;
+            let key = hasher.hash(query);
+            let Some(bucket) = table.get(&key) else {
+                continue;
+            };
+            let mut found = 0usize;
+            for &id in bucket {
+                stats.entries_scanned += 1;
+                stats.distance_computations += 1;
+                if self.near.is_near(query, &self.points[id.index()]) {
+                    candidates.push((self.ranks.rank(id), id));
+                    found += 1;
+                    if found >= k {
+                        break;
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.truncate(k);
+        self.stats = stats;
+        candidates.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+impl<P, H, N> FairNns<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Appendix A rank re-randomisation: swap the rank of `x` with the rank
+    /// of a uniformly random point holding a rank in `[rank(x), n)` and
+    /// restore the rank-sorted order of every bucket containing either point.
+    /// Returns the point `x` was swapped with.
+    pub(crate) fn reshuffle_rank_of<R: Rng + ?Sized>(&mut self, x: PointId, rng: &mut R) -> PointId {
+        let Self {
+            points,
+            hashers,
+            buckets,
+            ranks,
+            ..
+        } = self;
+        let y = ranks.reshuffle_upwards(x, rng);
+        if y == x {
+            return y;
+        }
+        for (hasher, table) in hashers.iter().zip(buckets.iter_mut()) {
+            for p in [x, y] {
+                let key = hasher.hash(&points[p.index()]);
+                if let Some(bucket) = table.get_mut(&key) {
+                    bucket.sort_by_key(|id| ranks.rank(*id));
+                }
+            }
+        }
+        y
+    }
+}
+
+impl<P, H, N> NeighborSampler<P> for FairNns<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// Returns the minimum-rank near neighbour. Note that for a fixed build
+    /// this is deterministic — uniformity holds over the randomness of the
+    /// construction, which is exactly the r-NNS guarantee (Definition 1).
+    /// Use [`crate::RankSwapSampler`] or [`crate::FairNnis`] when repeated
+    /// queries must produce independent samples.
+    fn sample<R: Rng + ?Sized>(&mut self, query: &P, _rng: &mut R) -> Option<PointId> {
+        self.min_rank_near_neighbor(query).map(|(_, id)| id)
+    }
+
+    fn last_query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fair-nns"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ExactSampler;
+    use crate::predicate::SimilarityAtLeast;
+    use fairnn_lsh::{MinHash, ParamsBuilder};
+    use fairnn_space::{Jaccard, SparseSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_dataset() -> Dataset<SparseSet> {
+        let mut sets = Vec::new();
+        for j in 0..8u32 {
+            let mut items: Vec<u32> = (0..24).collect();
+            items.push(100 + j);
+            items.push(200 + j);
+            sets.push(SparseSet::from_items(items));
+        }
+        for j in 0..8u32 {
+            sets.push(SparseSet::from_items((1000 + j * 40..1000 + j * 40 + 15).collect()));
+        }
+        Dataset::new(sets)
+    }
+
+    fn build(seed: u64) -> (Dataset<SparseSet>, FairNns<SparseSet, ConcatenatedHasher<fairnn_lsh::MinHasher>, SimilarityAtLeast<Jaccard>>) {
+        let data = clustered_dataset();
+        let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = FairNns::build(
+            &MinHash,
+            params,
+            &data,
+            SimilarityAtLeast::new(Jaccard, 0.5),
+            &mut rng,
+        );
+        (data, sampler)
+    }
+
+    #[test]
+    fn returns_a_near_point_for_clustered_queries() {
+        let (data, mut sampler) = build(1);
+        let mut rng = StdRng::seed_from_u64(10);
+        for qi in 0..8u32 {
+            let query = data.point(PointId(qi)).clone();
+            let id = sampler.sample(&query, &mut rng).expect("cluster member expected");
+            assert!(id.index() < 8, "returned far point {id:?} for query {qi}");
+        }
+        assert!(sampler.last_query_stats().distance_computations > 0);
+        assert_eq!(sampler.name(), "fair-nns");
+    }
+
+    #[test]
+    fn returns_none_for_isolated_query() {
+        let (_, mut sampler) = build(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let query = SparseSet::from_items(vec![70_000, 70_001, 70_002]);
+        assert!(sampler.sample(&query, &mut rng).is_none());
+    }
+
+    #[test]
+    fn output_matches_minimum_rank_of_exact_neighborhood() {
+        // With 99%-recall parameters the structure finds every neighbour, so
+        // the returned point must be exactly the min-rank member of the true
+        // neighbourhood.
+        let (data, mut sampler) = build(3);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        for qi in 0..8u32 {
+            let query = data.point(PointId(qi)).clone();
+            let expected = exact
+                .neighborhood(&query)
+                .into_iter()
+                .min_by_key(|id| sampler.ranks().rank(*id))
+                .unwrap();
+            let (_, got) = sampler.min_rank_near_neighbor(&query).unwrap();
+            assert_eq!(got, expected, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_return_the_same_point() {
+        let (data, mut sampler) = build(4);
+        let mut rng = StdRng::seed_from_u64(12);
+        let query = data.point(PointId(0)).clone();
+        let first = sampler.sample(&query, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(sampler.sample(&query, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn output_is_uniform_over_rebuilds() {
+        // The r-NNS guarantee: over the construction randomness, each of the
+        // 8 cluster members is returned with probability ~1/8.
+        let data = clustered_dataset();
+        let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let query = data.point(PointId(0)).clone();
+        let mut counts = vec![0usize; data.len()];
+        let rebuilds = 1200;
+        for seed in 0..rebuilds {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut sampler = FairNns::build(&MinHash, params, &data, near, &mut rng);
+            let id = sampler.sample(&query, &mut rng).expect("non-empty");
+            counts[id.index()] += 1;
+        }
+        for member in 0..8usize {
+            let rate = counts[member] as f64 / rebuilds as f64;
+            assert!(
+                (rate - 1.0 / 8.0).abs() < 0.05,
+                "member {member} returned with rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_replacement_returns_smallest_ranks_without_duplicates() {
+        let (data, mut sampler) = build(5);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(3)).clone();
+        let neighborhood = exact.neighborhood(&query);
+        let k = 4;
+        let sample = sampler.sample_without_replacement(&query, k);
+        assert_eq!(sample.len(), k);
+        // No duplicates.
+        let mut dedup = sample.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), k);
+        // They are exactly the k smallest-rank members of the neighbourhood.
+        let mut expected: Vec<PointId> = neighborhood.clone();
+        expected.sort_by_key(|id| sampler.ranks().rank(*id));
+        expected.truncate(k);
+        let mut got = sample.clone();
+        got.sort_by_key(|id| sampler.ranks().rank(*id));
+        assert_eq!(got, expected);
+        // Asking for more than the neighbourhood returns the whole
+        // neighbourhood.
+        let all = sampler.sample_without_replacement(&query, 100);
+        assert_eq!(all.len(), neighborhood.len());
+    }
+
+    #[test]
+    fn structure_accounting() {
+        let (data, sampler) = build(6);
+        assert_eq!(sampler.num_points(), data.len());
+        assert!(sampler.num_tables() >= 1);
+        assert_eq!(
+            sampler.total_entries(),
+            data.len() * sampler.num_tables(),
+            "every point appears once per table"
+        );
+        assert_eq!(sampler.params().near, 0.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Random rank permutations.
+//!
+//! The key device of the Section 3 construction is a uniformly random
+//! permutation of the dataset: each point receives a *rank* in `0..n`, and
+//! the query returns the near neighbour of minimum rank. Because the
+//! permutation is independent of the LSH randomness, every member of
+//! `B_S(q, r)` is equally likely to carry the minimum rank, which is exactly
+//! the fairness guarantee of Theorem 1.
+//!
+//! [`RankPermutation`] maintains the bijection in both directions
+//! (`point → rank` and `rank → point`) and supports the rank *swap*
+//! operation of Appendix A, which re-randomises the position of the returned
+//! point so that repeating the same query yields independent samples.
+
+use fairnn_space::PointId;
+use rand::Rng;
+
+/// A bijection between the `n` dataset points and the ranks `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPermutation {
+    /// `rank_of[p]` is the rank of point `p`.
+    rank_of: Vec<u32>,
+    /// `point_at[r]` is the point holding rank `r`.
+    point_at: Vec<u32>,
+}
+
+impl RankPermutation {
+    /// Draws a uniformly random permutation of `n` points (Fisher–Yates).
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n <= u32::MAX as usize, "too many points for u32 ranks");
+        let mut point_at: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            point_at.swap(i, j);
+        }
+        let mut rank_of = vec![0u32; n];
+        for (rank, &point) in point_at.iter().enumerate() {
+            rank_of[point as usize] = rank as u32;
+        }
+        Self { rank_of, point_at }
+    }
+
+    /// The identity permutation (rank = point index); useful for tests that
+    /// need a deterministic baseline.
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "too many points for u32 ranks");
+        Self {
+            rank_of: (0..n as u32).collect(),
+            point_at: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// Returns `true` when the permutation is over zero points.
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+
+    /// Rank of a point.
+    #[inline]
+    pub fn rank(&self, point: PointId) -> u32 {
+        self.rank_of[point.index()]
+    }
+
+    /// Point holding a given rank.
+    #[inline]
+    pub fn point_with_rank(&self, rank: u32) -> PointId {
+        PointId(self.point_at[rank as usize])
+    }
+
+    /// Swaps the ranks of two points, updating both directions of the
+    /// bijection. Swapping a point with itself is a no-op.
+    pub fn swap_points(&mut self, a: PointId, b: PointId) {
+        let ra = self.rank_of[a.index()];
+        let rb = self.rank_of[b.index()];
+        self.rank_of.swap(a.index(), b.index());
+        self.point_at.swap(ra as usize, rb as usize);
+    }
+
+    /// Performs the Appendix A re-randomisation step for point `x`: choose a
+    /// uniformly random rank in `[rank(x), n)` and swap `x` with the point
+    /// currently holding that rank. Returns the other point involved in the
+    /// swap (which may be `x` itself).
+    pub fn reshuffle_upwards<R: Rng + ?Sized>(&mut self, x: PointId, rng: &mut R) -> PointId {
+        let n = self.len() as u32;
+        let rx = self.rank(x);
+        let target_rank = rng.random_range(rx..n);
+        let y = self.point_with_rank(target_rank);
+        self.swap_points(x, y);
+        y
+    }
+
+    /// Iterates over points in rank order.
+    pub fn points_in_rank_order(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.point_at.iter().map(|&p| PointId(p))
+    }
+
+    /// Checks the internal bijection invariant (used by tests and debug
+    /// assertions).
+    pub fn is_consistent(&self) -> bool {
+        self.rank_of.len() == self.point_at.len()
+            && self
+                .point_at
+                .iter()
+                .enumerate()
+                .all(|(rank, &p)| self.rank_of[p as usize] == rank as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_permutation_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let perm = RankPermutation::random(100, &mut rng);
+        assert_eq!(perm.len(), 100);
+        assert!(perm.is_consistent());
+        let mut seen = vec![false; 100];
+        for p in 0..100u32 {
+            let r = perm.rank(PointId(p));
+            assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+            assert_eq!(perm.point_with_rank(r), PointId(p));
+        }
+    }
+
+    #[test]
+    fn identity_permutation() {
+        let perm = RankPermutation::identity(5);
+        for i in 0..5u32 {
+            assert_eq!(perm.rank(PointId(i)), i);
+            assert_eq!(perm.point_with_rank(i), PointId(i));
+        }
+        assert!(perm.is_consistent());
+        assert!(!perm.is_empty());
+        assert!(RankPermutation::identity(0).is_empty());
+    }
+
+    #[test]
+    fn swap_points_updates_both_directions() {
+        let mut perm = RankPermutation::identity(6);
+        perm.swap_points(PointId(1), PointId(4));
+        assert_eq!(perm.rank(PointId(1)), 4);
+        assert_eq!(perm.rank(PointId(4)), 1);
+        assert_eq!(perm.point_with_rank(4), PointId(1));
+        assert_eq!(perm.point_with_rank(1), PointId(4));
+        assert!(perm.is_consistent());
+        // Self-swap is a no-op.
+        perm.swap_points(PointId(2), PointId(2));
+        assert_eq!(perm.rank(PointId(2)), 2);
+        assert!(perm.is_consistent());
+    }
+
+    #[test]
+    fn reshuffle_moves_rank_upwards_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let mut perm = RankPermutation::random(20, &mut rng);
+            let x = PointId(7);
+            let before = perm.rank(x);
+            let other = perm.reshuffle_upwards(x, &mut rng);
+            assert!(perm.rank(x) >= before, "rank moved downwards");
+            assert!(perm.is_consistent());
+            // The swapped partner now holds x's old rank.
+            if other != x {
+                assert_eq!(perm.rank(other), before);
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutations_are_roughly_uniform() {
+        // Each point should hold rank 0 about 1/n of the time.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10;
+        let trials = 20_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            let perm = RankPermutation::random(n, &mut rng);
+            counts[perm.point_with_rank(0).index()] += 1;
+        }
+        for &c in &counts {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn points_in_rank_order_iterates_every_point_once() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let perm = RankPermutation::random(50, &mut rng);
+        let mut ids: Vec<u32> = perm.points_in_rank_order().map(|p| p.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn single_point_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut perm = RankPermutation::random(1, &mut rng);
+        assert_eq!(perm.rank(PointId(0)), 0);
+        let other = perm.reshuffle_upwards(PointId(0), &mut rng);
+        assert_eq!(other, PointId(0));
+        assert!(perm.is_consistent());
+    }
+}

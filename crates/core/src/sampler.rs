@@ -1,0 +1,134 @@
+//! The common sampling interface and per-query work accounting.
+
+use fairnn_space::PointId;
+use rand::Rng;
+
+/// Work performed by the most recent query — the quantities the paper's
+/// running-time analysis counts (hash evaluations, distance computations,
+/// bucket entries read) plus the retry rounds of the rejection-sampling
+/// loops of Sections 4 and 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Bucket entries read (including duplicates across tables).
+    pub entries_scanned: usize,
+    /// Distance / similarity evaluations performed.
+    pub distance_computations: usize,
+    /// Buckets (or filters) inspected.
+    pub buckets_inspected: usize,
+    /// Rejection-sampling rounds (Sections 4 and 5 query loops).
+    pub rounds: usize,
+}
+
+impl QueryStats {
+    /// Adds another stats record to this one (used when a logical query is
+    /// made of several internal passes).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.entries_scanned += other.entries_scanned;
+        self.distance_computations += other.distance_computations;
+        self.buckets_inspected += other.buckets_inspected;
+        self.rounds += other.rounds;
+    }
+}
+
+/// A data structure answering *fair near-neighbor sampling* queries: each
+/// call to [`NeighborSampler::sample`] returns a point of the query's
+/// neighbourhood, and for the fair implementations every neighbourhood
+/// member is equally likely (Definition 1 of the paper); the independent
+/// variants additionally make successive outputs independent
+/// (Definition 2).
+pub trait NeighborSampler<P> {
+    /// Draws one sample from the neighbourhood of `query`, or `None` (the
+    /// paper's `⊥`) when the neighbourhood is empty or the data structure
+    /// fails to find a near point.
+    fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId>;
+
+    /// Draws `k` samples **with replacement** by repeated calls to
+    /// [`NeighborSampler::sample`]. For samplers that solve the independent
+    /// sampling problem (r-NNIS) the draws are independent; for plain r-NNS
+    /// structures they are not (see Section 3.1 of the paper).
+    fn sample_with_replacement<R: Rng + ?Sized>(
+        &mut self,
+        query: &P,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<PointId> {
+        (0..k).filter_map(|_| self.sample(query, rng)).collect()
+    }
+
+    /// Work statistics of the most recent [`NeighborSampler::sample`] call.
+    fn last_query_stats(&self) -> QueryStats {
+        QueryStats::default()
+    }
+
+    /// A short human-readable name used by the experiment harness.
+    fn name(&self) -> &'static str {
+        "sampler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedSampler {
+        value: Option<PointId>,
+        stats: QueryStats,
+    }
+
+    impl NeighborSampler<u32> for FixedSampler {
+        fn sample<R: Rng + ?Sized>(&mut self, _query: &u32, _rng: &mut R) -> Option<PointId> {
+            self.stats.rounds += 1;
+            self.value
+        }
+
+        fn last_query_stats(&self) -> QueryStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn default_sample_with_replacement_repeats_sample() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut s = FixedSampler {
+            value: Some(PointId(7)),
+            stats: QueryStats::default(),
+        };
+        let out = s.sample_with_replacement(&0, 5, &mut rng);
+        assert_eq!(out, vec![PointId(7); 5]);
+        assert_eq!(s.last_query_stats().rounds, 5);
+        assert_eq!(s.name(), "sampler");
+    }
+
+    #[test]
+    fn none_results_are_skipped_in_with_replacement() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut s = FixedSampler {
+            value: None,
+            stats: QueryStats::default(),
+        };
+        assert!(s.sample_with_replacement(&0, 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = QueryStats {
+            entries_scanned: 1,
+            distance_computations: 2,
+            buckets_inspected: 3,
+            rounds: 4,
+        };
+        let b = QueryStats {
+            entries_scanned: 10,
+            distance_computations: 20,
+            buckets_inspected: 30,
+            rounds: 40,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.entries_scanned, 11);
+        assert_eq!(a.distance_computations, 22);
+        assert_eq!(a.buckets_inspected, 33);
+        assert_eq!(a.rounds, 44);
+    }
+}

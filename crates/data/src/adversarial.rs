@@ -1,0 +1,216 @@
+//! The Section 6.2 adversarial instance ("clustered neighbourhood").
+//!
+//! The paper constructs a tiny dataset showing that the *approximate
+//! neighbourhood* notion of fairness (sampling uniformly from a set `S'`
+//! that may include (c, r)-near points) can be extremely unfair:
+//!
+//! * universe `U = {1, ..., 30}`;
+//! * `X = {16, ..., 30}`   (Jaccard similarity 0.5 with the query),
+//! * `Y = {1, ..., 18}`    (similarity 0.6),
+//! * `Z = {1, ..., 27}`    (similarity 0.9 — the nearest neighbour),
+//! * `M` = all subsets of `Y` with at least 15 elements, excluding `Y`
+//!   itself (987 sets with similarities between 0.5 and ~0.57);
+//! * query `Q = {1, ..., 30}`, thresholds `r = 0.9`, `cr = 0.5`.
+//!
+//! Because every member of `M` is almost identical to `Y`, the buckets that
+//! contain `Y` are crowded: conditioned on `Y` being retrieved, the sample
+//! space is large and `Y` is rarely the point returned. `X`, by contrast,
+//! has an empty neighbourhood and is returned with constant probability —
+//! the paper reports a factor of more than 50 between the two, despite `Y`
+//! being more similar to the query (Figure 2).
+
+use fairnn_space::{Dataset, PointId, SparseSet};
+
+/// The constructed instance together with the ids of its named sets.
+#[derive(Debug, Clone)]
+pub struct AdversarialInstance {
+    /// The dataset: `X`, `Y`, `Z`, followed by all members of `M`.
+    pub dataset: Dataset<SparseSet>,
+    /// The query `Q = {1, ..., 30}`.
+    pub query: SparseSet,
+    /// Id of the set `X` (similarity 0.5, isolated neighbourhood).
+    pub x: PointId,
+    /// Id of the set `Y` (similarity 0.6, crowded neighbourhood).
+    pub y: PointId,
+    /// Id of the set `Z` (similarity 0.9, the nearest neighbour).
+    pub z: PointId,
+    /// Ids of the members of `M` (subsets of `Y` with ≥ 15 elements).
+    pub m: Vec<PointId>,
+    /// Near threshold used by the paper: r = 0.9 (Jaccard similarity).
+    pub near_threshold: f64,
+    /// Far threshold used by the paper: cr = 0.5.
+    pub far_threshold: f64,
+}
+
+impl AdversarialInstance {
+    /// Builds the instance exactly as described in Section 6.2.
+    pub fn build() -> Self {
+        let x = SparseSet::from_items((16..=30).collect());
+        let y_items: Vec<u32> = (1..=18).collect();
+        let y = SparseSet::from_items(y_items.clone());
+        let z = SparseSet::from_items((1..=27).collect());
+        let query = SparseSet::from_items((1..=30).collect());
+
+        let mut sets = vec![x.clone(), y.clone(), z.clone()];
+        let mut m_ids = Vec::new();
+
+        // M = all subsets of Y with at least 15 of its 18 elements,
+        // excluding Y itself: sizes 15, 16 and 17.
+        for size in 15..=17usize {
+            for subset in combinations(&y_items, size) {
+                m_ids.push(PointId::from_index(sets.len()));
+                sets.push(SparseSet::from_items(subset));
+            }
+        }
+
+        let dataset = Dataset::new(sets);
+        Self {
+            dataset,
+            query,
+            x: PointId(0),
+            y: PointId(1),
+            z: PointId(2),
+            m: m_ids,
+            near_threshold: 0.9,
+            far_threshold: 0.5,
+        }
+    }
+
+    /// Number of points in the instance (3 named sets + |M|).
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Returns `true` if the instance is empty (it never is; provided for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+}
+
+impl Default for AdversarialInstance {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+/// All size-`k` subsets of `items` (items are returned in their original
+/// order inside each subset).
+fn combinations(items: &[u32], k: usize) -> Vec<Vec<u32>> {
+    let mut result = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    combine_rec(items, k, 0, &mut current, &mut result);
+    result
+}
+
+fn combine_rec(
+    items: &[u32],
+    k: usize,
+    start: usize,
+    current: &mut Vec<u32>,
+    result: &mut Vec<Vec<u32>>,
+) {
+    if current.len() == k {
+        result.push(current.clone());
+        return;
+    }
+    let needed = k - current.len();
+    // Prune: not enough items left.
+    for i in start..=items.len().saturating_sub(needed) {
+        current.push(items[i]);
+        combine_rec(items, k, i + 1, current, result);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairnn_space::{Jaccard, Similarity};
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        let k = k.min(n - k);
+        let mut num = 1u64;
+        let mut den = 1u64;
+        for i in 0..k {
+            num *= n - i;
+            den *= i + 1;
+        }
+        num / den
+    }
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        let items: Vec<u32> = (0..8).collect();
+        assert_eq!(combinations(&items, 3).len() as u64, binomial(8, 3));
+        assert_eq!(combinations(&items, 0).len(), 1);
+        assert_eq!(combinations(&items, 8).len(), 1);
+        for c in combinations(&items, 3) {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn instance_has_expected_size() {
+        let inst = AdversarialInstance::build();
+        // |M| = C(18,15) + C(18,16) + C(18,17) = 816 + 153 + 18 = 987.
+        assert_eq!(inst.m.len(), 987);
+        assert_eq!(inst.len(), 990);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn named_sets_have_paper_similarities() {
+        let inst = AdversarialInstance::build();
+        let q = &inst.query;
+        let x = inst.dataset.point(inst.x);
+        let y = inst.dataset.point(inst.y);
+        let z = inst.dataset.point(inst.z);
+        assert!((Jaccard.similarity(q, x) - 0.5).abs() < 1e-12);
+        assert!((Jaccard.similarity(q, y) - 0.6).abs() < 1e-12);
+        assert!((Jaccard.similarity(q, z) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m_sets_sit_between_half_and_057_similarity() {
+        let inst = AdversarialInstance::build();
+        for &id in &inst.m {
+            let s = Jaccard.similarity(&inst.query, inst.dataset.point(id));
+            assert!(s >= 0.5 - 1e-12, "similarity {s} below 0.5");
+            assert!(s <= 17.0 / 30.0 + 1e-12, "similarity {s} above 17/30");
+        }
+    }
+
+    #[test]
+    fn only_z_is_within_the_near_threshold() {
+        let inst = AdversarialInstance::build();
+        let near = inst
+            .dataset
+            .similar_indices(&Jaccard, &inst.query, inst.near_threshold);
+        assert_eq!(near, vec![inst.z]);
+        // Everything in the dataset is within the far (cr = 0.5) threshold.
+        let far_count = inst
+            .dataset
+            .similar_count(&Jaccard, &inst.query, inst.far_threshold);
+        assert_eq!(far_count, inst.len());
+    }
+
+    #[test]
+    fn m_members_are_subsets_of_y() {
+        let inst = AdversarialInstance::build();
+        let y = inst.dataset.point(inst.y);
+        for &id in &inst.m {
+            let s = inst.dataset.point(id);
+            assert!(s.len() >= 15 && s.len() <= 17);
+            assert_eq!(s.intersection_size(y), s.len(), "member of M not a subset of Y");
+        }
+    }
+
+    #[test]
+    fn default_builds_the_same_instance() {
+        let a = AdversarialInstance::default();
+        let b = AdversarialInstance::build();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.x, b.x);
+    }
+}

@@ -1,0 +1,146 @@
+//! Query selection.
+//!
+//! Section 6 of the paper selects, for each dataset, 50 queries uniformly at
+//! random from the set of "interesting" users — users with at least 40 other
+//! users at Jaccard similarity at least 0.2. The same procedure is
+//! implemented here (the thresholds are parameters so tests and scaled-down
+//! experiments can adapt them).
+
+use fairnn_space::{Dataset, PointId, Similarity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Selects up to `count` query points uniformly at random among the points
+/// that have at least `min_neighbors` *other* points with similarity at
+/// least `threshold`.
+///
+/// Returns fewer than `count` ids when the dataset does not contain enough
+/// interesting points. The selection is deterministic in `seed`.
+pub fn select_interesting_queries<P, S>(
+    dataset: &Dataset<P>,
+    measure: &S,
+    threshold: f64,
+    min_neighbors: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<PointId>
+where
+    S: Similarity<P>,
+{
+    let mut interesting: Vec<PointId> = dataset
+        .iter()
+        .filter(|(id, p)| {
+            let neighbors = dataset
+                .iter()
+                .filter(|(other_id, other)| {
+                    other_id != id && measure.similarity(p, other) >= threshold
+                })
+                .count();
+            neighbors >= min_neighbors
+        })
+        .map(|(id, _)| id)
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates shuffle to draw `count` without replacement.
+    let take = count.min(interesting.len());
+    for i in 0..take {
+        let j = rng.random_range(i..interesting.len());
+        interesting.swap(i, j);
+    }
+    interesting.truncate(take);
+    interesting
+}
+
+/// Counts, for every point, how many other points have similarity at least
+/// `threshold`; useful for inspecting dataset structure in the experiment
+/// harness.
+pub fn neighborhood_sizes<P, S>(dataset: &Dataset<P>, measure: &S, threshold: f64) -> Vec<usize>
+where
+    S: Similarity<P>,
+{
+    dataset
+        .iter()
+        .map(|(id, p)| {
+            dataset
+                .iter()
+                .filter(|(other_id, other)| *other_id != id && measure.similarity(p, other) >= threshold)
+                .count()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setdata::small_test_config;
+    use fairnn_space::{Jaccard, SparseSet};
+
+    #[test]
+    fn selects_only_points_with_enough_neighbors() {
+        let data = small_test_config().generate(11);
+        let queries = select_interesting_queries(&data, &Jaccard, 0.2, 20, 10, 1);
+        assert!(!queries.is_empty(), "no interesting queries found");
+        assert!(queries.len() <= 10);
+        for q in &queries {
+            let p = data.point(*q);
+            let neighbors = data
+                .iter()
+                .filter(|(id, other)| id != q && Jaccard.similarity(p, other) >= 0.2)
+                .count();
+            assert!(neighbors >= 20, "query {q:?} has only {neighbors} neighbours");
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_in_seed() {
+        let data = small_test_config().generate(12);
+        let a = select_interesting_queries(&data, &Jaccard, 0.2, 20, 5, 7);
+        let b = select_interesting_queries(&data, &Jaccard, 0.2, 20, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let data = small_test_config().generate(13);
+        let a = select_interesting_queries(&data, &Jaccard, 0.2, 10, 20, 1);
+        let b = select_interesting_queries(&data, &Jaccard, 0.2, 10, 20, 2);
+        // With many candidates, two seeds almost surely pick different sets.
+        assert!(a.len() == b.len());
+        if a.len() >= 5 {
+            assert_ne!(a, b, "different seeds produced identical selections");
+        }
+    }
+
+    #[test]
+    fn returns_empty_when_no_point_qualifies() {
+        // Pairwise disjoint sets: nobody has neighbours.
+        let data: fairnn_space::Dataset<SparseSet> = (0..20u32)
+            .map(|i| SparseSet::from_items((i * 100..i * 100 + 10).collect()))
+            .collect();
+        let queries = select_interesting_queries(&data, &Jaccard, 0.2, 1, 5, 3);
+        assert!(queries.is_empty());
+    }
+
+    #[test]
+    fn neighborhood_sizes_match_manual_count() {
+        let data: fairnn_space::Dataset<SparseSet> = vec![
+            SparseSet::from_items(vec![1, 2, 3, 4]),
+            SparseSet::from_items(vec![1, 2, 3, 5]),
+            SparseSet::from_items(vec![1, 2, 3, 6]),
+            SparseSet::from_items(vec![100, 200]),
+        ]
+        .into_iter()
+        .collect();
+        let sizes = neighborhood_sizes(&data, &Jaccard, 0.5);
+        assert_eq!(sizes, vec![2, 2, 2, 0]);
+    }
+
+    #[test]
+    fn requesting_more_queries_than_candidates_returns_all() {
+        let data = small_test_config().generate(14);
+        let all = select_interesting_queries(&data, &Jaccard, 0.2, 20, usize::MAX, 5);
+        let some = select_interesting_queries(&data, &Jaccard, 0.2, 20, 5, 5);
+        assert!(all.len() >= some.len());
+    }
+}

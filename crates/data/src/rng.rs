@@ -1,0 +1,152 @@
+//! Random-variate helpers (normal, log-normal, sampling without
+//! replacement).
+//!
+//! Implemented locally so that the workspace only depends on `rand` itself
+//! and not on `rand_distr`; the generators only need a handful of standard
+//! transforms.
+
+use rand::Rng;
+
+/// Draws one standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a log-normal variate parameterised by the **mean and standard
+/// deviation of the resulting distribution** (not of the underlying
+/// normal). This matches how the paper reports set-size statistics
+/// (mean 178.1, σ = 187.5 for MovieLens).
+pub fn lognormal_with_moments<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(mean > 0.0, "log-normal mean must be positive");
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    let variance_ratio = (std_dev / mean).powi(2);
+    let sigma2 = (1.0 + variance_ratio).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+}
+
+/// Samples `k` distinct values uniformly from `0..universe` (Floyd's
+/// algorithm). Returns fewer than `k` values only if `k > universe`.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, universe: u32, k: usize) -> Vec<u32> {
+    let k = k.min(universe as usize);
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    // Floyd's algorithm: for j in (universe - k)..universe, pick t in 0..=j.
+    for j in (universe as usize - k)..universe as usize {
+        let t = rng.random_range(0..=j as u32);
+        let value = if chosen.contains(&t) { j as u32 } else { t };
+        chosen.insert(value);
+        out.push(value);
+    }
+    out
+}
+
+/// Chooses `k` distinct indices from `0..n` by partial Fisher–Yates shuffle.
+pub fn choose_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        indices.swap(i, j);
+    }
+    indices.truncate(k);
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_matches_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let (target_mean, target_std) = (178.1, 187.5);
+        let samples: Vec<f64> = (0..n)
+            .map(|_| lognormal_with_moments(&mut rng, target_mean, target_std))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - target_mean).abs() / target_mean < 0.05, "mean {mean}");
+        assert!((var.sqrt() - target_std).abs() / target_std < 0.1, "std {}", var.sqrt());
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_degenerate_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(lognormal_with_moments(&mut rng, 20.0, 0.0), 20.0);
+    }
+
+    #[test]
+    fn sample_distinct_produces_distinct_values_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let sample = sample_distinct(&mut rng, 1000, 100);
+            assert_eq!(sample.len(), 100);
+            let set: HashSet<u32> = sample.iter().copied().collect();
+            assert_eq!(set.len(), 100, "duplicates in sample");
+            assert!(sample.iter().all(|&v| v < 1000));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_universe() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = sample_distinct(&mut rng, 10, 50);
+        let set: HashSet<u32> = sample.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn choose_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let picked = choose_indices(&mut rng, 30, 10);
+        assert_eq!(picked.len(), 10);
+        let set: HashSet<usize> = picked.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+        assert!(picked.iter().all(|&i| i < 30));
+        assert_eq!(choose_indices(&mut rng, 5, 100).len(), 5);
+    }
+
+    #[test]
+    fn choose_indices_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            for &i in &choose_indices(&mut rng, 10, 3) {
+                counts[i] += 1;
+            }
+        }
+        // Each index should be picked about 3/10 of the time.
+        for &c in &counts {
+            let rate = c as f64 / 20_000.0;
+            assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+        }
+    }
+}

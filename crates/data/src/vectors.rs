@@ -1,0 +1,244 @@
+//! Dense unit-vector workloads for the Section 5 filter structure.
+//!
+//! The filter data structure is analysed for inner-product similarity over
+//! unit vectors. To exercise it we need workloads where a query has a known
+//! neighbourhood at inner product ≥ α and a controllable number of
+//! "(α, β)-near" points in the annulus between β and α. The planted-instance
+//! generator produces exactly that: background points drawn uniformly from
+//! the sphere (inner product concentrated around 0), plus points planted at
+//! prescribed inner products with the query.
+
+use crate::rng::standard_normal;
+use fairnn_space::{Dataset, DenseVector, PointId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `count` uniformly random unit vectors in `dim` dimensions.
+pub fn random_unit_vectors(count: usize, dim: usize, seed: u64) -> Dataset<DenseVector> {
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..count).map(|_| random_unit(&mut rng, dim)).collect();
+    Dataset::new(points)
+}
+
+fn random_unit<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> DenseVector {
+    loop {
+        let v = DenseVector::new((0..dim).map(|_| standard_normal(rng)).collect());
+        if v.norm() > 1e-9 {
+            return v.normalized();
+        }
+    }
+}
+
+/// Returns a unit vector with inner product exactly `target` with `query`
+/// (up to floating-point error), random in the orthogonal complement.
+pub fn planted_at_inner_product<R: Rng + ?Sized>(
+    rng: &mut R,
+    query: &DenseVector,
+    target: f64,
+) -> DenseVector {
+    assert!(
+        (-1.0..=1.0).contains(&target),
+        "inner product target must be in [-1, 1]"
+    );
+    let dim = query.dim();
+    assert!(dim >= 2, "planting requires dimension at least 2");
+    // Draw a random direction orthogonal to the query.
+    let ortho = loop {
+        let raw = random_unit(rng, dim);
+        // Gram–Schmidt step against the query.
+        let proj = raw.dot(query);
+        let values: Vec<f64> = raw
+            .values()
+            .iter()
+            .zip(query.values().iter())
+            .map(|(r, q)| r - proj * q)
+            .collect();
+        let candidate = DenseVector::new(values);
+        if candidate.norm() > 1e-9 {
+            break candidate.normalized();
+        }
+    };
+    let ortho_scale = (1.0 - target * target).max(0.0).sqrt();
+    let values: Vec<f64> = query
+        .values()
+        .iter()
+        .zip(ortho.values().iter())
+        .map(|(q, o)| target * q + ortho_scale * o)
+        .collect();
+    DenseVector::new(values).normalized()
+}
+
+/// Configuration of a planted inner-product instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedInstanceConfig {
+    /// Dimensionality of the vectors.
+    pub dim: usize,
+    /// Number of background points (uniform on the sphere).
+    pub background: usize,
+    /// Number of points planted at inner product ≥ `alpha` with the query.
+    pub near: usize,
+    /// Number of points planted in the annulus `[beta, alpha)`.
+    pub mid: usize,
+    /// Near inner-product threshold α.
+    pub alpha: f64,
+    /// Far inner-product threshold β < α.
+    pub beta: f64,
+}
+
+impl Default for PlantedInstanceConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            background: 1000,
+            near: 20,
+            mid: 100,
+            alpha: 0.8,
+            beta: 0.5,
+        }
+    }
+}
+
+/// A planted instance: a dataset, a query and the ids of the planted groups.
+#[derive(Debug, Clone)]
+pub struct PlantedInstance {
+    /// The dataset (near points first, then mid points, then background).
+    pub dataset: Dataset<DenseVector>,
+    /// The query vector (unit length).
+    pub query: DenseVector,
+    /// Ids of the points planted at inner product ≥ α.
+    pub near_ids: Vec<PointId>,
+    /// Ids of the points planted in `[β, α)`.
+    pub mid_ids: Vec<PointId>,
+    /// The configuration used to build the instance.
+    pub config: PlantedInstanceConfig,
+}
+
+impl PlantedInstance {
+    /// Generates an instance deterministically from a seed.
+    pub fn generate(config: PlantedInstanceConfig, seed: u64) -> Self {
+        assert!(config.dim >= 2, "dimension must be at least 2");
+        assert!(
+            -1.0 < config.beta && config.beta < config.alpha && config.alpha < 1.0,
+            "thresholds must satisfy -1 < beta < alpha < 1"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let query = random_unit(&mut rng, config.dim);
+
+        let mut points = Vec::with_capacity(config.background + config.near + config.mid);
+        let mut near_ids = Vec::with_capacity(config.near);
+        let mut mid_ids = Vec::with_capacity(config.mid);
+
+        for _ in 0..config.near {
+            // Spread the near points in [alpha, (alpha + 1)/2].
+            let target = config.alpha + rng.random::<f64>() * (1.0 - config.alpha) * 0.5;
+            near_ids.push(PointId::from_index(points.len()));
+            points.push(planted_at_inner_product(&mut rng, &query, target));
+        }
+        for _ in 0..config.mid {
+            let span = config.alpha - config.beta;
+            let target = config.beta + rng.random::<f64>() * span * 0.95;
+            mid_ids.push(PointId::from_index(points.len()));
+            points.push(planted_at_inner_product(&mut rng, &query, target));
+        }
+        for _ in 0..config.background {
+            points.push(random_unit(&mut rng, config.dim));
+        }
+
+        Self {
+            dataset: Dataset::new(points),
+            query,
+            near_ids,
+            mid_ids,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairnn_space::{InnerProduct, Similarity};
+
+    #[test]
+    fn random_unit_vectors_are_unit_and_deterministic() {
+        let a = random_unit_vectors(50, 16, 3);
+        let b = random_unit_vectors(50, 16, 3);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.points().iter().zip(b.points().iter()) {
+            assert_eq!(x, y);
+            assert!(x.is_unit(1e-9));
+        }
+    }
+
+    #[test]
+    fn planted_vector_hits_target_inner_product() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = random_unit(&mut rng, 24);
+        for &target in &[0.9, 0.5, 0.0, -0.4] {
+            let p = planted_at_inner_product(&mut rng, &q, target);
+            assert!(p.is_unit(1e-9));
+            assert!(
+                (p.dot(&q) - target).abs() < 1e-9,
+                "inner product {} for target {target}",
+                p.dot(&q)
+            );
+        }
+    }
+
+    #[test]
+    fn planted_instance_group_membership_is_correct() {
+        let config = PlantedInstanceConfig {
+            dim: 16,
+            background: 200,
+            near: 10,
+            mid: 30,
+            alpha: 0.8,
+            beta: 0.5,
+        };
+        let inst = PlantedInstance::generate(config, 9);
+        assert_eq!(inst.dataset.len(), 240);
+        assert_eq!(inst.near_ids.len(), 10);
+        assert_eq!(inst.mid_ids.len(), 30);
+        for &id in &inst.near_ids {
+            let s = InnerProduct.similarity(&inst.query, inst.dataset.point(id));
+            assert!(s >= config.alpha - 1e-9, "near point at inner product {s}");
+        }
+        for &id in &inst.mid_ids {
+            let s = InnerProduct.similarity(&inst.query, inst.dataset.point(id));
+            assert!(s >= config.beta - 1e-9 && s < config.alpha, "mid point at {s}");
+        }
+    }
+
+    #[test]
+    fn background_points_rarely_reach_alpha() {
+        let config = PlantedInstanceConfig {
+            dim: 64,
+            background: 500,
+            near: 5,
+            mid: 5,
+            alpha: 0.8,
+            beta: 0.5,
+        };
+        let inst = PlantedInstance::generate(config, 10);
+        let accidental_near = inst
+            .dataset
+            .points()
+            .iter()
+            .skip(10)
+            .filter(|p| InnerProduct.similarity(&inst.query, p) >= config.alpha)
+            .count();
+        assert_eq!(accidental_near, 0, "background points crossed alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta < alpha")]
+    fn invalid_thresholds_rejected() {
+        let config = PlantedInstanceConfig {
+            alpha: 0.4,
+            beta: 0.6,
+            ..Default::default()
+        };
+        let _ = PlantedInstance::generate(config, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! AND-concatenation of LSH functions.
+//!
+//! Section 2.2 of the paper assumes `p2 ≤ 1/n` and notes that this can
+//! always be achieved by concatenating `K = Θ(log_{1/p2}(n))` independent
+//! functions: the concatenated family is `(r, cr, p1^K, p2^K)`-sensitive and
+//! `ρ` is unchanged. [`ConcatenatedHasher`] performs that concatenation and
+//! folds the `K` tokens into a single 64-bit bucket key with a polynomial
+//! hash (collisions of the fold are astronomically unlikely and only ever
+//! *merge* buckets, which the query algorithms tolerate because they always
+//! re-check distances).
+
+use crate::family::{CollisionModel, LshFamily, LshHasher};
+use rand::Rng;
+
+/// A hasher formed by concatenating `K` independent hashers from a base
+/// family.
+#[derive(Debug, Clone)]
+pub struct ConcatenatedHasher<H> {
+    rows: Vec<H>,
+}
+
+impl<H> ConcatenatedHasher<H> {
+    /// Combines `rows` hashers into one. `rows` must be non-empty.
+    pub fn new(rows: Vec<H>) -> Self {
+        assert!(!rows.is_empty(), "concatenation needs at least one hasher");
+        Self { rows }
+    }
+
+    /// Number of concatenated rows `K`.
+    pub fn arity(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The individual row hashers.
+    pub fn rows(&self) -> &[H] {
+        &self.rows
+    }
+}
+
+impl<P, H: LshHasher<P>> LshHasher<P> for ConcatenatedHasher<H> {
+    fn hash(&self, point: &P) -> u64 {
+        // Fold the row tokens with a 64-bit polynomial in a fixed odd base.
+        // Equal row-token vectors always produce equal keys; distinct
+        // vectors collide only if the fold collides.
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for row in &self.rows {
+            let token = row.hash(point);
+            acc = acc
+                .wrapping_mul(0x0000_0100_0000_01B3)
+                .wrapping_add(token.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+                .wrapping_add(1);
+        }
+        acc
+    }
+}
+
+/// A family whose samples are concatenations of `K` draws from a base
+/// family.
+#[derive(Debug, Clone)]
+pub struct ConcatenatedFamily<F> {
+    base: F,
+    arity: usize,
+}
+
+impl<F> ConcatenatedFamily<F> {
+    /// Creates a family concatenating `arity >= 1` draws from `base`.
+    pub fn new(base: F, arity: usize) -> Self {
+        assert!(arity >= 1, "concatenation arity must be at least 1");
+        Self { base, arity }
+    }
+
+    /// The concatenation arity `K`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The underlying base family.
+    pub fn base(&self) -> &F {
+        &self.base
+    }
+}
+
+impl<F: CollisionModel> CollisionModel for ConcatenatedFamily<F> {
+    /// The concatenation collides only if every row collides:
+    /// `p(x)^K` for base collision probability `p(x)`.
+    fn collision_probability(&self, x: f64) -> f64 {
+        self.base.collision_probability(x).powi(self.arity as i32)
+    }
+}
+
+impl<P, F: LshFamily<P>> LshFamily<P> for ConcatenatedFamily<F> {
+    type Hasher = ConcatenatedHasher<F::Hasher>;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Hasher {
+        ConcatenatedHasher::new(self.base.sample_many(rng, self.arity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::{MinHash, OneBitMinHash};
+    use fairnn_space::SparseSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn concatenation_preserves_equality_of_identical_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let family = ConcatenatedFamily::new(OneBitMinHash, 8);
+        let set = SparseSet::from_items(vec![1, 2, 3, 4, 5]);
+        for _ in 0..20 {
+            let h = family.sample(&mut rng);
+            assert_eq!(h.arity(), 8);
+            assert_eq!(h.hash(&set), h.hash(&set));
+        }
+    }
+
+    #[test]
+    fn concatenation_separates_dissimilar_points_more_strongly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = SparseSet::from_items((0..40).collect());
+        let b = SparseSet::from_items((20..60).collect()); // Jaccard 1/3
+        let single = MinHash;
+        let concat = ConcatenatedFamily::new(MinHash, 4);
+        let trials = 2000;
+        let mut single_coll = 0;
+        let mut concat_coll = 0;
+        for _ in 0..trials {
+            let h1 = single.sample(&mut rng);
+            if h1.hash(&a) == h1.hash(&b) {
+                single_coll += 1;
+            }
+            let h4 = concat.sample(&mut rng);
+            if h4.hash(&a) == h4.hash(&b) {
+                concat_coll += 1;
+            }
+        }
+        assert!(
+            concat_coll < single_coll,
+            "concatenation should collide less: single {single_coll}, concat {concat_coll}"
+        );
+    }
+
+    #[test]
+    fn collision_model_is_power_of_base() {
+        let base = OneBitMinHash;
+        let fam = ConcatenatedFamily::new(base, 10);
+        assert_eq!(fam.arity(), 10);
+        let s = 0.4;
+        let expected = base.collision_probability(s).powi(10);
+        assert!((fam.collision_probability(s) - expected).abs() < 1e-12);
+        // Base accessor exposes the original family.
+        assert_eq!(fam.base().collision_probability(s), base.collision_probability(s));
+    }
+
+    #[test]
+    fn concatenation_reduces_p2_below_target() {
+        // With K bits of 1-bit MinHash, far points (J = 0.1) collide with
+        // probability 0.55^K; choose K so this is below 1/n for n = 1000.
+        let n = 1000f64;
+        let base = OneBitMinHash;
+        let p2 = base.collision_probability(0.1);
+        let k = ((1.0 / n).ln() / p2.ln()).ceil() as usize;
+        let fam = ConcatenatedFamily::new(base, k);
+        assert!(fam.collision_probability(0.1) <= 1.0 / n * 1.0001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hasher")]
+    fn empty_concatenation_rejected() {
+        let _: ConcatenatedHasher<crate::minhash::MinHasher> = ConcatenatedHasher::new(vec![]);
+    }
+
+    #[test]
+    fn empirical_concatenated_collision_rate_matches_model() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = SparseSet::from_items((0..30).collect());
+        let b = SparseSet::from_items((10..40).collect()); // Jaccard 0.5
+        let fam = ConcatenatedFamily::new(OneBitMinHash, 3);
+        let expected = fam.collision_probability(0.5); // 0.75^3
+        let trials = 4000;
+        let mut coll = 0;
+        for _ in 0..trials {
+            let h = fam.sample(&mut rng);
+            if h.hash(&a) == h.hash(&b) {
+                coll += 1;
+            }
+        }
+        let rate = coll as f64 / trials as f64;
+        assert!((rate - expected).abs() < 0.04, "rate {rate}, expected {expected}");
+    }
+}

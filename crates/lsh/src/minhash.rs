@@ -1,0 +1,235 @@
+//! MinHash and 1-bit ("b-bit") MinHash for Jaccard similarity.
+//!
+//! MinHash (Broder \[12\]) hashes a set to the minimum value of a random
+//! permutation of the item universe restricted to the set; two sets collide
+//! with probability exactly equal to their Jaccard similarity. The paper's
+//! experiments (Section 6) use the 1-bit variant of Li and König \[29\],
+//! which keeps only the least-significant bit of the MinHash value; a single
+//! bit collides with probability `(1 + J) / 2` for Jaccard similarity `J`,
+//! and concatenating `K` bits gives a compact `K`-bit bucket key.
+//!
+//! Random permutations are approximated by multiply-shift hash functions
+//! over the item universe, the standard practice for MinHash
+//! implementations.
+
+use crate::family::{CollisionModel, LshFamily, LshHasher};
+use fairnn_sketch::hashing::{splitmix64, MultiplyShift};
+use fairnn_space::SparseSet;
+use rand::Rng;
+
+/// The classic MinHash family: one random "permutation" per hasher.
+///
+/// Collision probability of a single hasher equals the Jaccard similarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinHash;
+
+/// A single MinHash function.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    perm: MultiplyShift,
+}
+
+impl MinHasher {
+    /// Creates a MinHash function from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            perm: MultiplyShift::new(splitmix64(seed), 64),
+        }
+    }
+
+    /// Returns the full 64-bit MinHash value (minimum hashed item).
+    /// The empty set maps to `u64::MAX`.
+    ///
+    /// The multiply-shift value is passed through the SplitMix64 finalizer so
+    /// that *all* output bits are well mixed; the 1-bit variant keeps only
+    /// the least-significant bit, which would otherwise be badly distributed
+    /// for multiply-shift.
+    pub fn min_value(&self, set: &SparseSet) -> u64 {
+        set.items()
+            .iter()
+            .map(|&item| splitmix64(self.perm.hash(item as u64)))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+impl LshHasher<SparseSet> for MinHasher {
+    fn hash(&self, point: &SparseSet) -> u64 {
+        self.min_value(point)
+    }
+}
+
+impl CollisionModel for MinHash {
+    /// `Pr[h(A) = h(B)] = J(A, B)`.
+    fn collision_probability(&self, similarity: f64) -> f64 {
+        similarity.clamp(0.0, 1.0)
+    }
+}
+
+impl LshFamily<SparseSet> for MinHash {
+    type Hasher = MinHasher;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MinHasher {
+        MinHasher::from_seed(rng.random())
+    }
+}
+
+/// The 1-bit MinHash family of Li and König, used by the paper's
+/// experimental evaluation.
+///
+/// Keeps the least-significant bit of the MinHash value; the collision
+/// probability of a single bit is `(1 + J) / 2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneBitMinHash;
+
+/// A single 1-bit MinHash function.
+#[derive(Debug, Clone)]
+pub struct OneBitMinHasher {
+    inner: MinHasher,
+}
+
+impl OneBitMinHasher {
+    /// Creates a 1-bit MinHash function from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: MinHasher::from_seed(seed),
+        }
+    }
+}
+
+impl LshHasher<SparseSet> for OneBitMinHasher {
+    fn hash(&self, point: &SparseSet) -> u64 {
+        self.inner.min_value(point) & 1
+    }
+}
+
+impl CollisionModel for OneBitMinHash {
+    /// `Pr[bit(A) = bit(B)] = (1 + J) / 2`.
+    fn collision_probability(&self, similarity: f64) -> f64 {
+        (1.0 + similarity.clamp(0.0, 1.0)) / 2.0
+    }
+}
+
+impl LshFamily<SparseSet> for OneBitMinHash {
+    type Hasher = OneBitMinHasher;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> OneBitMinHasher {
+        OneBitMinHasher::from_seed(rng.random())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn collision_rate<H, F>(family: &F, a: &SparseSet, b: &SparseSet, trials: usize) -> f64
+    where
+        F: LshFamily<SparseSet, Hasher = H>,
+        H: LshHasher<SparseSet>,
+    {
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let mut collisions = 0usize;
+        for _ in 0..trials {
+            let h = family.sample(&mut rng);
+            if h.hash(a) == h.hash(b) {
+                collisions += 1;
+            }
+        }
+        collisions as f64 / trials as f64
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let a = SparseSet::from_items(vec![1, 5, 9, 42]);
+        assert_eq!(collision_rate(&MinHash, &a, &a, 200), 1.0);
+        assert_eq!(collision_rate(&OneBitMinHash, &a, &a, 200), 1.0);
+    }
+
+    #[test]
+    fn minhash_collision_rate_tracks_jaccard() {
+        // J = 1/3: A = {1..4}, B = {3..8} -> |A ∩ B| = 2, |A ∪ B| = 8... pick clean sets.
+        let a = SparseSet::from_items((0..30).collect());
+        let b = SparseSet::from_items((15..45).collect());
+        let j = a.jaccard(&b); // 15 / 45 = 1/3
+        assert!((j - 1.0 / 3.0).abs() < 1e-12);
+        let rate = collision_rate(&MinHash, &a, &b, 4000);
+        assert!(
+            (rate - j).abs() < 0.05,
+            "empirical collision rate {rate} far from Jaccard {j}"
+        );
+    }
+
+    #[test]
+    fn one_bit_minhash_collision_rate_is_half_plus_half_jaccard() {
+        let a = SparseSet::from_items((0..30).collect());
+        let b = SparseSet::from_items((15..45).collect());
+        let expected = (1.0 + a.jaccard(&b)) / 2.0;
+        let rate = collision_rate(&OneBitMinHash, &a, &b, 4000);
+        assert!(
+            (rate - expected).abs() < 0.05,
+            "empirical rate {rate}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide_under_full_minhash() {
+        let a = SparseSet::from_items((0..50).collect());
+        let b = SparseSet::from_items((100..150).collect());
+        let rate = collision_rate(&MinHash, &a, &b, 2000);
+        assert!(rate < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn collision_model_values() {
+        assert_eq!(MinHash.collision_probability(0.25), 0.25);
+        assert_eq!(MinHash.collision_probability(2.0), 1.0);
+        assert_eq!(OneBitMinHash.collision_probability(0.0), 0.5);
+        assert_eq!(OneBitMinHash.collision_probability(1.0), 1.0);
+        assert_eq!(OneBitMinHash.collision_probability(0.2), 0.6);
+    }
+
+    #[test]
+    fn rho_is_less_than_one_for_separated_thresholds() {
+        let rho = MinHash.rho(0.5, 0.1);
+        assert!(rho > 0.0 && rho < 1.0, "rho = {rho}");
+        let rho_bit = OneBitMinHash.rho(0.5, 0.1);
+        assert!(rho_bit > 0.0 && rho_bit < 1.0, "rho = {rho_bit}");
+    }
+
+    #[test]
+    fn empty_set_hashes_consistently() {
+        let h = MinHasher::from_seed(7);
+        let empty = SparseSet::new();
+        assert_eq!(h.min_value(&empty), u64::MAX);
+        assert_eq!(h.hash(&empty), u64::MAX);
+        let hb = OneBitMinHasher::from_seed(7);
+        assert_eq!(hb.hash(&empty), 1); // LSB of u64::MAX
+    }
+
+    #[test]
+    fn one_bit_output_is_a_single_bit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = SparseSet::from_items(vec![2, 4, 8, 16]);
+        for _ in 0..50 {
+            let h = OneBitMinHash.sample(&mut rng);
+            assert!(h.hash(&set) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = SparseSet::from_items(vec![3, 14, 15, 92]);
+        let h1 = MinHasher::from_seed(99);
+        let h2 = MinHasher::from_seed(99);
+        assert_eq!(h1.hash(&a), h2.hash(&a));
+        let d = MinHasher::from_seed(100);
+        // Different seeds need not differ on one input, but the min values
+        // should differ on at least one of a few sets.
+        let sets: Vec<SparseSet> = (0..10)
+            .map(|i| SparseSet::from_items((i..i + 20).collect()))
+            .collect();
+        assert!(sets.iter().any(|s| h1.hash(s) != d.hash(s)));
+    }
+}

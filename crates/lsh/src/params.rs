@@ -1,0 +1,263 @@
+//! LSH parameter selection.
+//!
+//! Two selection strategies are provided:
+//!
+//! * [`ParamsBuilder::theory`] follows the asymptotic recipe of Section 2.2:
+//!   concatenate `K` rows so that the far-collision probability drops below
+//!   `1/n`, then use `L = Θ(p1^{-K} log n)` repetitions so that every near
+//!   point collides with the query at least once with high probability.
+//! * [`ParamsBuilder::empirical`] follows the concrete choices of the
+//!   experimental evaluation (Section 6): pick `K` so that the *expected
+//!   number* of colliding far points (similarity at most `far`) is at most a
+//!   small budget (5 in the paper), and pick `L` so that a single near point
+//!   (similarity at least `near`) is retrieved with probability at least the
+//!   target recall (99 % in the paper).
+//!
+//! Both produce an [`LshParams`] value consumed by
+//! [`crate::table::LshIndex::build`] and by the fair samplers in
+//! `fairnn-core`.
+
+use crate::family::CollisionModel;
+
+/// Concrete LSH index parameters: `K` rows per table, `L` tables, and the
+/// similarity/distance thresholds they were derived for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshParams {
+    /// Number of concatenated hash functions per table (AND-construction).
+    pub k: usize,
+    /// Number of tables / repetitions (OR-construction).
+    pub l: usize,
+    /// Near threshold `r` (similarity ≥ r, or distance ≤ r).
+    pub near: f64,
+    /// Far threshold `cr`.
+    pub far: f64,
+}
+
+impl LshParams {
+    /// Creates parameters directly (mainly for tests and ablations).
+    pub fn explicit(k: usize, l: usize, near: f64, far: f64) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        assert!(l >= 1, "L must be at least 1");
+        Self { k, l, near, far }
+    }
+
+    /// Probability that a point at similarity/distance `x` collides with the
+    /// query in at least one of the `L` tables, under the given collision
+    /// model. This is the "recall" curve of the index.
+    pub fn retrieval_probability<M: CollisionModel>(&self, model: &M, x: f64) -> f64 {
+        let p_single = model.collision_probability(x).clamp(0.0, 1.0);
+        let p_table = p_single.powi(self.k as i32);
+        1.0 - (1.0 - p_table).powi(self.l as i32)
+    }
+
+    /// Expected number of colliding points at similarity/distance `x` when
+    /// `count` dataset points sit at that value, summed over all `L` tables
+    /// (i.e. counting duplicates, as the query algorithms do).
+    pub fn expected_collisions<M: CollisionModel>(&self, model: &M, x: f64, count: usize) -> f64 {
+        let p_single = model.collision_probability(x).clamp(0.0, 1.0);
+        let p_table = p_single.powi(self.k as i32);
+        p_table * self.l as f64 * count as f64
+    }
+}
+
+/// Builder computing [`LshParams`] from a collision model and workload
+/// description.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamsBuilder {
+    /// Dataset size `n`.
+    pub n: usize,
+    /// Near threshold `r`.
+    pub near: f64,
+    /// Far threshold `cr`.
+    pub far: f64,
+    /// Target probability of retrieving a given near point (paper: 0.99).
+    pub recall: f64,
+    /// Budget for the expected number of far points colliding per table
+    /// (paper: 5).
+    pub far_collision_budget: f64,
+    /// Upper bound on `L` as a safety net against degenerate models.
+    pub max_tables: usize,
+    /// Upper bound on `K`.
+    pub max_rows: usize,
+}
+
+impl ParamsBuilder {
+    /// Creates a builder with the paper's Section 6 defaults
+    /// (`recall = 0.99`, far-collision budget 5).
+    pub fn new(n: usize, near: f64, far: f64) -> Self {
+        Self {
+            n,
+            near,
+            far,
+            recall: 0.99,
+            far_collision_budget: 5.0,
+            max_tables: 100_000,
+            max_rows: 512,
+        }
+    }
+
+    /// Overrides the recall target.
+    pub fn with_recall(mut self, recall: f64) -> Self {
+        assert!(recall > 0.0 && recall < 1.0, "recall must be in (0, 1)");
+        self.recall = recall;
+        self
+    }
+
+    /// Overrides the far-collision budget.
+    pub fn with_far_collision_budget(mut self, budget: f64) -> Self {
+        assert!(budget > 0.0, "budget must be positive");
+        self.far_collision_budget = budget;
+        self
+    }
+
+    /// Section 6-style parameters: `K` bounds the expected number of far
+    /// collisions per table; `L` achieves the recall target at the near
+    /// threshold.
+    pub fn empirical<M: CollisionModel>(&self, model: &M) -> LshParams {
+        let p_far = model.collision_probability(self.far).clamp(1e-12, 1.0 - 1e-12);
+        let p_near = model.collision_probability(self.near).clamp(1e-12, 1.0 - 1e-12);
+        assert!(
+            p_near > p_far,
+            "collision model must separate near ({p_near}) from far ({p_far})"
+        );
+
+        // n * p_far^K <= budget  =>  K >= ln(n / budget) / ln(1 / p_far).
+        let k = if (self.n as f64) <= self.far_collision_budget {
+            1
+        } else {
+            ((self.n as f64 / self.far_collision_budget).ln() / (1.0 / p_far).ln()).ceil() as usize
+        };
+        let k = k.clamp(1, self.max_rows);
+
+        // 1 - (1 - p_near^K)^L >= recall  =>  L >= ln(1 - recall) / ln(1 - p_near^K).
+        let p_table = p_near.powi(k as i32).max(1e-300);
+        let l = if p_table >= 1.0 {
+            1
+        } else {
+            ((1.0 - self.recall).ln() / (1.0 - p_table).ln()).ceil() as usize
+        };
+        let l = l.clamp(1, self.max_tables);
+
+        LshParams {
+            k,
+            l,
+            near: self.near,
+            far: self.far,
+        }
+    }
+
+    /// Section 2.2-style asymptotic parameters: `K` drives `p2^K` below
+    /// `1/n`, `L = ⌈ln(n/δ is fixed at 1/n) / p1^K⌉ = ⌈p1^{-K} ln n⌉`.
+    pub fn theory<M: CollisionModel>(&self, model: &M) -> LshParams {
+        let p_far = model.collision_probability(self.far).clamp(1e-12, 1.0 - 1e-12);
+        let p_near = model.collision_probability(self.near).clamp(1e-12, 1.0 - 1e-12);
+        assert!(
+            p_near > p_far,
+            "collision model must separate near ({p_near}) from far ({p_far})"
+        );
+        let n = self.n.max(2) as f64;
+
+        // p_far^K <= 1/n  =>  K >= ln(n) / ln(1/p_far).
+        let k = (n.ln() / (1.0 / p_far).ln()).ceil() as usize;
+        let k = k.clamp(1, self.max_rows);
+
+        let p_table = p_near.powi(k as i32).max(1e-300);
+        let l = ((n.ln() / p_table).ceil() as usize).clamp(1, self.max_tables);
+
+        LshParams {
+            k,
+            l,
+            near: self.near,
+            far: self.far,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::{MinHash, OneBitMinHash};
+
+    #[test]
+    fn empirical_params_meet_both_targets() {
+        let builder = ParamsBuilder::new(2112, 0.2, 0.1);
+        let params = builder.empirical(&OneBitMinHash);
+        // Far collisions per table within budget.
+        assert!(
+            params.expected_collisions(&OneBitMinHash, 0.1, 2112) / params.l as f64
+                <= builder.far_collision_budget * 1.001,
+            "far collisions per table exceed budget"
+        );
+        // Recall at the near threshold at least 99 %.
+        assert!(
+            params.retrieval_probability(&OneBitMinHash, 0.2) >= 0.99,
+            "recall too low: {}",
+            params.retrieval_probability(&OneBitMinHash, 0.2)
+        );
+    }
+
+    #[test]
+    fn empirical_params_scale_with_threshold() {
+        let b = ParamsBuilder::new(10_000, 0.3, 0.1);
+        let loose = b.empirical(&MinHash);
+        let tight = ParamsBuilder::new(10_000, 0.15, 0.1).empirical(&MinHash);
+        // Searching at a lower similarity threshold needs more repetitions.
+        assert!(tight.l >= loose.l, "tight {tight:?} loose {loose:?}");
+    }
+
+    #[test]
+    fn theory_params_drive_p2_below_one_over_n() {
+        let n = 5_000;
+        let b = ParamsBuilder::new(n, 0.4, 0.1);
+        let params = b.theory(&MinHash);
+        let p2_k = MinHash.collision_probability(0.1).powi(params.k as i32);
+        assert!(p2_k <= 1.0 / n as f64 * 1.0001);
+        assert!(params.retrieval_probability(&MinHash, 0.4) > 0.9);
+    }
+
+    #[test]
+    fn retrieval_probability_is_monotone_in_similarity() {
+        let params = LshParams::explicit(8, 50, 0.2, 0.1);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let s = i as f64 / 10.0;
+            let p = params.retrieval_probability(&OneBitMinHash, s);
+            assert!(p >= prev - 1e-12, "not monotone at s = {s}");
+            prev = p;
+        }
+        assert!(prev > 0.999); // identical points are always retrieved
+    }
+
+    #[test]
+    fn expected_collisions_scales_linearly_with_count_and_tables() {
+        let params = LshParams::explicit(4, 10, 0.2, 0.1);
+        let one = params.expected_collisions(&OneBitMinHash, 0.1, 1);
+        let hundred = params.expected_collisions(&OneBitMinHash, 0.1, 100);
+        assert!((hundred - 100.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "separate near")]
+    fn builder_rejects_inverted_thresholds() {
+        // Near similarity below far similarity => model cannot separate them.
+        let b = ParamsBuilder::new(100, 0.1, 0.5);
+        let _ = b.empirical(&MinHash);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let b = ParamsBuilder::new(1000, 0.3, 0.1)
+            .with_recall(0.999)
+            .with_far_collision_budget(1.0);
+        let strict = b.empirical(&OneBitMinHash);
+        let lax = ParamsBuilder::new(1000, 0.3, 0.1).empirical(&OneBitMinHash);
+        assert!(strict.k >= lax.k);
+        assert!(strict.l >= lax.l);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be at least 1")]
+    fn explicit_rejects_zero_k() {
+        let _ = LshParams::explicit(0, 1, 0.2, 0.1);
+    }
+}

@@ -1,0 +1,188 @@
+//! p-stable LSH (Datar–Immorlica–Indyk–Mirrokni) for Euclidean distance.
+//!
+//! A hasher projects the point onto a random Gaussian direction, adds a
+//! uniform offset and quantises into buckets of width `w`:
+//! `h(x) = ⌊(⟨a, x⟩ + b) / w⌋`. The collision probability of two points at
+//! Euclidean distance `d` is
+//! `p(d) = 1 − 2Φ(−w/d) − (2d / (√(2π) w)) (1 − e^{−w²/(2d²)})`,
+//! a decreasing function of `d` — making the family `(r, cr, p1, p2)`-
+//! sensitive for any `r < cr`.
+//!
+//! The paper's experiments use MinHash, but the black-box constructions of
+//! Sections 3 and 4 work with any LSH family; this family is what plugging
+//! the data structures into Euclidean workloads looks like, and it is used
+//! by the benchmark suite's Euclidean scenarios.
+
+use crate::family::{CollisionModel, LshFamily, LshHasher};
+use crate::gaussian::{gaussian_vector, normal_cdf};
+use fairnn_space::DenseVector;
+use rand::Rng;
+
+/// The Gaussian (2-stable) projection family with bucket width `w`.
+#[derive(Debug, Clone, Copy)]
+pub struct PStableLsh {
+    dim: usize,
+    width: f64,
+}
+
+impl PStableLsh {
+    /// Creates the family for `dim`-dimensional vectors with bucket width
+    /// `width > 0`.
+    pub fn new(dim: usize, width: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(width > 0.0, "bucket width must be positive");
+        Self { dim, width }
+    }
+
+    /// Bucket width `w`.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Dimensionality of the vectors this family hashes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// A single p-stable hash function.
+#[derive(Debug, Clone)]
+pub struct PStableHasher {
+    direction: DenseVector,
+    offset: f64,
+    width: f64,
+}
+
+impl PStableHasher {
+    /// Creates a hasher with an explicit projection direction and offset
+    /// (mainly for tests).
+    pub fn with_parts(direction: DenseVector, offset: f64, width: f64) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        Self {
+            direction,
+            offset,
+            width,
+        }
+    }
+
+    /// The raw (un-quantised) projection value.
+    pub fn projection(&self, point: &DenseVector) -> f64 {
+        self.direction.dot(point) + self.offset
+    }
+}
+
+impl LshHasher<DenseVector> for PStableHasher {
+    fn hash(&self, point: &DenseVector) -> u64 {
+        let bucket = (self.projection(point) / self.width).floor() as i64;
+        // Map the signed bucket index to u64 preserving equality.
+        bucket as u64
+    }
+}
+
+impl CollisionModel for PStableLsh {
+    /// Collision probability as a function of the **Euclidean distance** `d`.
+    fn collision_probability(&self, distance: f64) -> f64 {
+        if distance <= 0.0 {
+            return 1.0;
+        }
+        let ratio = self.width / distance;
+        let term1 = 1.0 - 2.0 * normal_cdf(-ratio);
+        let term2 = (2.0 / ((2.0 * std::f64::consts::PI).sqrt() * ratio))
+            * (1.0 - (-ratio * ratio / 2.0).exp());
+        (term1 - term2).clamp(0.0, 1.0)
+    }
+}
+
+impl LshFamily<DenseVector> for PStableLsh {
+    type Hasher = PStableHasher;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PStableHasher {
+        PStableHasher {
+            direction: gaussian_vector(rng, self.dim),
+            offset: rng.random::<f64>() * self.width,
+            width: self.width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_points_always_collide() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let family = PStableLsh::new(4, 2.0);
+        let p = DenseVector::new(vec![0.1, -0.4, 2.0, 0.0]);
+        for _ in 0..50 {
+            let h = family.sample(&mut rng);
+            assert_eq!(h.hash(&p), h.hash(&p));
+        }
+        assert_eq!(family.collision_probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn collision_probability_is_decreasing_in_distance() {
+        let family = PStableLsh::new(8, 4.0);
+        let distances = [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+        for w in distances.windows(2) {
+            assert!(
+                family.collision_probability(w[0]) >= family.collision_probability(w[1]),
+                "not decreasing between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_model() {
+        let family = PStableLsh::new(3, 4.0);
+        let p = DenseVector::new(vec![0.0, 0.0, 0.0]);
+        let q = DenseVector::new(vec![2.0, 0.0, 0.0]); // distance 2
+        let expected = family.collision_probability(2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 8000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = family.sample(&mut rng);
+            if h.hash(&p) == h.hash(&q) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!((rate - expected).abs() < 0.03, "rate {rate}, expected {expected}");
+    }
+
+    #[test]
+    fn hasher_with_explicit_parts_buckets_correctly() {
+        let h = PStableHasher::with_parts(DenseVector::new(vec![1.0, 0.0]), 0.5, 1.0);
+        assert_eq!(h.hash(&DenseVector::new(vec![0.0, 3.0])), 0); // 0.5 -> bucket 0
+        assert_eq!(h.hash(&DenseVector::new(vec![0.6, 3.0])), 1); // 1.1 -> bucket 1
+        let below = h.hash(&DenseVector::new(vec![-1.0, 0.0])); // -0.5 -> bucket -1
+        assert_eq!(below, (-1i64) as u64);
+        assert!((h.projection(&DenseVector::new(vec![0.0, 0.0])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_in_unit_interval() {
+        let family = PStableLsh::new(16, 4.0);
+        let rho = family.rho(1.0, 2.0);
+        assert!(rho > 0.0 && rho < 1.0, "rho = {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_width_rejected() {
+        let _ = PStableLsh::new(4, 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let family = PStableLsh::new(7, 3.5);
+        assert_eq!(family.dim(), 7);
+        assert_eq!(family.width(), 3.5);
+    }
+}

@@ -1,0 +1,161 @@
+//! SimHash (random hyperplane) LSH for angular / inner-product similarity.
+//!
+//! Charikar's random hyperplane scheme \[13\]: draw a Gaussian vector `a`
+//! and hash a point to the sign of `⟨a, x⟩`. Two unit vectors with angle `θ`
+//! collide with probability `1 − θ/π`. For unit vectors with inner product
+//! `s`, `θ = arccos(s)`, so the collision probability is a monotone
+//! increasing function of the inner product — the property the fair samplers
+//! need when run over the inner-product space of Section 5.
+
+use crate::family::{CollisionModel, LshFamily, LshHasher};
+use crate::gaussian::gaussian_vector;
+use fairnn_space::DenseVector;
+use rand::Rng;
+
+/// The random-hyperplane family for `dim`-dimensional vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct SimHash {
+    dim: usize,
+}
+
+impl SimHash {
+    /// Creates the family for vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim }
+    }
+
+    /// Dimensionality of the vectors this family hashes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// A single random-hyperplane hash function.
+#[derive(Debug, Clone)]
+pub struct SimHasher {
+    normal: DenseVector,
+}
+
+impl SimHasher {
+    /// Creates a hasher from an explicit hyperplane normal (mainly for
+    /// tests).
+    pub fn with_normal(normal: DenseVector) -> Self {
+        Self { normal }
+    }
+}
+
+impl LshHasher<DenseVector> for SimHasher {
+    fn hash(&self, point: &DenseVector) -> u64 {
+        u64::from(self.normal.dot(point) >= 0.0)
+    }
+}
+
+impl CollisionModel for SimHash {
+    /// Collision probability as a function of the **cosine/inner-product
+    /// similarity** `s` of two unit vectors: `1 − arccos(s)/π`.
+    fn collision_probability(&self, similarity: f64) -> f64 {
+        let s = similarity.clamp(-1.0, 1.0);
+        1.0 - s.acos() / std::f64::consts::PI
+    }
+}
+
+impl LshFamily<DenseVector> for SimHash {
+    type Hasher = SimHasher;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimHasher {
+        SimHasher {
+            normal: gaussian_vector(rng, self.dim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hash_is_zero_or_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let family = SimHash::new(8);
+        assert_eq!(family.dim(), 8);
+        let p = DenseVector::new(vec![1.0; 8]);
+        for _ in 0..20 {
+            let h = family.sample(&mut rng);
+            assert!(h.hash(&p) <= 1);
+        }
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let family = SimHash::new(5);
+        let p = DenseVector::new(vec![0.3, -0.2, 0.9, 0.0, 0.1]);
+        for _ in 0..100 {
+            let h = family.sample(&mut rng);
+            assert_eq!(h.hash(&p), h.hash(&p));
+        }
+    }
+
+    #[test]
+    fn opposite_vectors_never_collide() {
+        let p = DenseVector::new(vec![1.0, 2.0, -1.0]);
+        let q = DenseVector::new(vec![-1.0, -2.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let family = SimHash::new(3);
+        let mut collisions = 0;
+        for _ in 0..500 {
+            let h = family.sample(&mut rng);
+            if h.hash(&p) == h.hash(&q) {
+                collisions += 1;
+            }
+        }
+        // The hyperplane through the origin separates antipodal points except
+        // in the measure-zero event that both dot products are exactly zero;
+        // the sign convention (>= 0) can create rare boundary agreements.
+        assert!(collisions <= 2, "collisions = {collisions}");
+    }
+
+    #[test]
+    fn collision_rate_matches_angular_model() {
+        let family = SimHash::new(2);
+        // Unit vectors at 60 degrees: inner product 0.5.
+        let p = DenseVector::new(vec![1.0, 0.0]);
+        let q = DenseVector::new(vec![0.5, 3f64.sqrt() / 2.0]);
+        let expected = family.collision_probability(0.5); // 1 - 60/180 = 2/3
+        assert!((expected - 2.0 / 3.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 6000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = family.sample(&mut rng);
+            if h.hash(&p) == h.hash(&q) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!((rate - expected).abs() < 0.03, "rate {rate}, expected {expected}");
+    }
+
+    #[test]
+    fn explicit_normal_hasher() {
+        let h = SimHasher::with_normal(DenseVector::new(vec![1.0, 0.0]));
+        assert_eq!(h.hash(&DenseVector::new(vec![0.5, 9.0])), 1);
+        assert_eq!(h.hash(&DenseVector::new(vec![-0.5, 9.0])), 0);
+    }
+
+    #[test]
+    fn rho_reasonable_for_inner_product_thresholds() {
+        let family = SimHash::new(16);
+        let rho = family.rho(0.9, 0.1);
+        assert!(rho > 0.0 && rho < 1.0, "rho = {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = SimHash::new(0);
+    }
+}

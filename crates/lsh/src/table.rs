@@ -1,0 +1,362 @@
+//! LSH hash tables and the multi-table index.
+//!
+//! The standard LSH data structure of Section 2.2 keeps `L` hash tables;
+//! table `i` partitions the dataset into buckets by the value of the `i`-th
+//! (concatenated) hash function. A query retrieves, for each table, the
+//! bucket its own hash value falls into, and inspects the points inside.
+//!
+//! [`LshIndex`] is that structure. The fair samplers of `fairnn-core` build
+//! on top of it: Section 3 re-sorts each bucket by rank, Section 4
+//! additionally attaches a count-distinct sketch and a rank index to each
+//! bucket. To support this, the index exposes its tables, buckets and
+//! per-table query keys rather than only a flat "candidates" list.
+
+use crate::concat::ConcatenatedHasher;
+use crate::family::{LshFamily, LshHasher};
+use crate::params::LshParams;
+use fairnn_space::PointId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A single hash table: bucket key → ids of the points in the bucket.
+#[derive(Debug, Clone, Default)]
+pub struct LshTable {
+    buckets: HashMap<u64, Vec<PointId>>,
+}
+
+impl LshTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a point with the given bucket key.
+    pub fn insert(&mut self, key: u64, id: PointId) {
+        self.buckets.entry(key).or_default().push(id);
+    }
+
+    /// Returns the bucket for `key` (empty slice if the bucket does not
+    /// exist).
+    pub fn bucket(&self, key: u64) -> &[PointId] {
+        self.buckets.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of non-empty buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total number of stored point references.
+    pub fn num_entries(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Size of the largest bucket (0 for an empty table).
+    pub fn max_bucket_size(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(key, bucket)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, &[PointId])> {
+        self.buckets.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+/// The `L`-table LSH index.
+///
+/// Generic over the hasher type `H`; the usual instantiation is
+/// `LshIndex<ConcatenatedHasher<F::Hasher>>` produced by [`LshIndex::build`].
+#[derive(Debug, Clone)]
+pub struct LshIndex<H> {
+    hashers: Vec<H>,
+    tables: Vec<LshTable>,
+    num_points: usize,
+    params: LshParams,
+}
+
+impl<H> LshIndex<H> {
+    /// Number of tables `L`.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of indexed points `n`.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The per-table hashers.
+    pub fn hashers(&self) -> &[H] {
+        &self.hashers
+    }
+
+    /// The tables themselves (index `i` corresponds to hasher `i`).
+    pub fn tables(&self) -> &[LshTable] {
+        &self.tables
+    }
+
+    /// One table.
+    pub fn table(&self, i: usize) -> &LshTable {
+        &self.tables[i]
+    }
+
+    /// Total number of point references stored across all tables — the
+    /// `Θ(n L)` space term of Theorem 1.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(LshTable::num_entries).sum()
+    }
+
+    /// Decomposes the index into its hashers and tables. Used by the fair
+    /// samplers in `fairnn-core`, which re-organise the bucket contents
+    /// (e.g. sort them by rank) while keeping the same hash functions.
+    pub fn into_parts(self) -> (Vec<H>, Vec<LshTable>) {
+        (self.hashers, self.tables)
+    }
+}
+
+impl<H> LshIndex<H> {
+    /// Builds an index from pre-sampled hashers (used by the filter-style
+    /// structures and by tests that need full control over the hashers).
+    pub fn from_hashers<P>(hashers: Vec<H>, points: &[P], params: LshParams) -> Self
+    where
+        H: LshHasher<P>,
+    {
+        assert!(!hashers.is_empty(), "index needs at least one hasher");
+        let mut tables: Vec<LshTable> = (0..hashers.len()).map(|_| LshTable::new()).collect();
+        for (table, hasher) in tables.iter_mut().zip(hashers.iter()) {
+            for (i, p) in points.iter().enumerate() {
+                table.insert(hasher.hash(p), PointId::from_index(i));
+            }
+        }
+        Self {
+            hashers,
+            tables,
+            num_points: points.len(),
+            params,
+        }
+    }
+
+    /// Per-table bucket keys of a query point.
+    pub fn query_keys<P>(&self, query: &P) -> Vec<u64>
+    where
+        H: LshHasher<P>,
+    {
+        self.hashers.iter().map(|h| h.hash(query)).collect()
+    }
+
+    /// The buckets a query collides with, one (possibly empty) slice per
+    /// table, in table order.
+    pub fn query_buckets<P>(&self, query: &P) -> Vec<&[PointId]>
+    where
+        H: LshHasher<P>,
+    {
+        self.hashers
+            .iter()
+            .zip(self.tables.iter())
+            .map(|(h, t)| t.bucket(h.hash(query)))
+            .collect()
+    }
+
+    /// All ids colliding with the query in at least one table, deduplicated
+    /// (the set `S_q = ∪_i S_{i, ℓ_i(q)}` of the paper).
+    pub fn colliding_ids<P>(&self, query: &P) -> Vec<PointId>
+    where
+        H: LshHasher<P>,
+    {
+        let mut seen = vec![false; self.num_points];
+        let mut out = Vec::new();
+        for bucket in self.query_buckets(query) {
+            for &id in bucket {
+                if !seen[id.index()] {
+                    seen[id.index()] = true;
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of colliding entries including duplicates — the number
+    /// of bucket entries a standard LSH query would inspect.
+    pub fn collision_count<P>(&self, query: &P) -> usize
+    where
+        H: LshHasher<P>,
+    {
+        self.query_buckets(query).iter().map(|b| b.len()).sum()
+    }
+}
+
+impl<BH> LshIndex<ConcatenatedHasher<BH>> {
+    /// Builds the standard `K × L` index: `L` tables, each keyed by a
+    /// concatenation of `K` draws from `family`.
+    pub fn build<P, F, R>(
+        family: &F,
+        params: LshParams,
+        points: &[P],
+        rng: &mut R,
+    ) -> LshIndex<ConcatenatedHasher<F::Hasher>>
+    where
+        F: LshFamily<P, Hasher = BH>,
+        BH: LshHasher<P>,
+        R: Rng + ?Sized,
+    {
+        let hashers: Vec<ConcatenatedHasher<F::Hasher>> = (0..params.l)
+            .map(|_| ConcatenatedHasher::new(family.sample_many(rng, params.k)))
+            .collect();
+        LshIndex::from_hashers(hashers, points, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::OneBitMinHash;
+    use crate::params::ParamsBuilder;
+    use fairnn_space::{Dataset, Jaccard, SparseSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_sets() -> Vec<SparseSet> {
+        // Three clusters of mutually similar sets plus isolated points.
+        let mut sets = Vec::new();
+        for c in 0..3u32 {
+            let base: Vec<u32> = (c * 100..c * 100 + 30).collect();
+            for j in 0..8u32 {
+                let mut items = base.clone();
+                items.push(1000 + c * 10 + j);
+                items.push(2000 + c * 10 + j);
+                sets.push(SparseSet::from_items(items));
+            }
+        }
+        for i in 0..10u32 {
+            sets.push(SparseSet::from_items((5000 + i * 50..5000 + i * 50 + 20).collect()));
+        }
+        sets
+    }
+
+    fn build_index(sets: &[SparseSet]) -> LshIndex<ConcatenatedHasher<crate::minhash::OneBitMinHasher>> {
+        let params = ParamsBuilder::new(sets.len(), 0.5, 0.1).empirical(&OneBitMinHash);
+        let mut rng = StdRng::seed_from_u64(99);
+        LshIndex::build(&OneBitMinHash, params, sets, &mut rng)
+    }
+
+    #[test]
+    fn table_insert_and_lookup() {
+        let mut table = LshTable::new();
+        assert_eq!(table.num_buckets(), 0);
+        table.insert(7, PointId(0));
+        table.insert(7, PointId(1));
+        table.insert(9, PointId(2));
+        assert_eq!(table.bucket(7), &[PointId(0), PointId(1)]);
+        assert_eq!(table.bucket(9), &[PointId(2)]);
+        assert!(table.bucket(8).is_empty());
+        assert_eq!(table.num_buckets(), 2);
+        assert_eq!(table.num_entries(), 3);
+        assert_eq!(table.max_bucket_size(), 2);
+        assert_eq!(table.buckets().count(), 2);
+    }
+
+    #[test]
+    fn index_stores_every_point_in_every_table() {
+        let sets = toy_sets();
+        let index = build_index(&sets);
+        assert_eq!(index.num_points(), sets.len());
+        assert!(index.num_tables() >= 1);
+        for table in index.tables() {
+            assert_eq!(table.num_entries(), sets.len());
+        }
+        assert_eq!(index.total_entries(), sets.len() * index.num_tables());
+        assert_eq!(index.hashers().len(), index.num_tables());
+    }
+
+    #[test]
+    fn near_duplicates_collide_with_high_probability() {
+        let sets = toy_sets();
+        let index = build_index(&sets);
+        let data = Dataset::new(sets.clone());
+        // Query with the first cluster member: its 7 siblings have Jaccard
+        // around 0.88 and must be retrieved by the 99%-recall index.
+        let query = sets[0].clone();
+        let near = data.similar_indices(&Jaccard, &query, 0.5);
+        let colliding = index.colliding_ids(&query);
+        for id in &near {
+            assert!(
+                colliding.contains(id),
+                "near point {id:?} missing from collisions"
+            );
+        }
+    }
+
+    #[test]
+    fn colliding_ids_are_deduplicated() {
+        let sets = toy_sets();
+        let index = build_index(&sets);
+        let query = sets[0].clone();
+        let ids = index.colliding_ids(&query);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(ids.len(), sorted.len(), "duplicate ids returned");
+        // Counting duplicates across tables must be at least the dedup count.
+        assert!(index.collision_count(&query) >= ids.len());
+    }
+
+    #[test]
+    fn query_buckets_align_with_query_keys() {
+        let sets = toy_sets();
+        let index = build_index(&sets);
+        let query = sets[3].clone();
+        let keys = index.query_keys(&query);
+        let buckets = index.query_buckets(&query);
+        assert_eq!(keys.len(), index.num_tables());
+        assert_eq!(buckets.len(), index.num_tables());
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(index.table(i).bucket(*key), buckets[i]);
+        }
+    }
+
+    #[test]
+    fn from_hashers_respects_given_hashers() {
+        use crate::minhash::OneBitMinHasher;
+        let sets = toy_sets();
+        let hashers = vec![
+            ConcatenatedHasher::new(vec![OneBitMinHasher::from_seed(1), OneBitMinHasher::from_seed(2)]),
+            ConcatenatedHasher::new(vec![OneBitMinHasher::from_seed(3), OneBitMinHasher::from_seed(4)]),
+        ];
+        let params = LshParams::explicit(2, 2, 0.5, 0.1);
+        let index = LshIndex::from_hashers(hashers, &sets, params);
+        assert_eq!(index.num_tables(), 2);
+        assert_eq!(index.params().k, 2);
+        // Every point must be findable by querying with itself.
+        for (i, s) in sets.iter().enumerate() {
+            assert!(index.colliding_ids(s).contains(&PointId::from_index(i)));
+        }
+    }
+
+    #[test]
+    fn far_points_rarely_collide_under_full_minhash() {
+        use crate::minhash::MinHash;
+        let sets = toy_sets();
+        let data = Dataset::new(sets.clone());
+        // Full 64-bit MinHash: disjoint sets collide with probability ~0, so
+        // even a single row per table keeps far points out of the buckets.
+        let params = ParamsBuilder::new(sets.len(), 0.5, 0.05).empirical(&MinHash);
+        let mut rng = StdRng::seed_from_u64(11);
+        let index = LshIndex::build(&MinHash, params, &sets, &mut rng);
+        let query = sets[0].clone();
+        let colliding = index.colliding_ids(&query);
+        let far: Vec<_> = data
+            .similarities_to(&Jaccard, &query)
+            .into_iter()
+            .filter(|(_, s)| *s == 0.0)
+            .map(|(id, _)| id)
+            .collect();
+        let far_collisions = far.iter().filter(|id| colliding.contains(id)).count();
+        assert_eq!(far_collisions, 0, "disjoint sets should never share a MinHash value");
+    }
+}

@@ -1,0 +1,359 @@
+//! The count-distinct sketch of Bar-Yossef et al. used in Section 4.
+//!
+//! The sketch (Section 2.3 of the paper) keeps `Δ = Θ(log 1/δ)` independent
+//! rows. Row `w` stores the `t = Θ(1/ε²)` smallest **distinct** values of
+//! `ψ_w(x)` over the stream elements `x`, where `ψ_w` is drawn from a
+//! pairwise-independent family into `[n³]`. If `v_w` is the `t`-th smallest
+//! value in row `w`, the estimate of that row is `t · n³ / v_w`, and the
+//! final estimate is the median over rows. With the stated parameters the
+//! estimate is within a factor `1 ± ε` of the true count with probability at
+//! least `1 − δ`.
+//!
+//! The property the r-NNIS data structure exploits is that the sketch of a
+//! union of streams can be obtained by merging the per-stream sketches
+//! (unioning each row and re-truncating to the `t` smallest values).
+
+use crate::hashing::PolynomialHash;
+use crate::CardinalityEstimator;
+
+/// Parameters of a [`DistinctSketch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistinctSketchParams {
+    /// Relative error target ε ∈ (0, 1); the row width is `t = ⌈4/ε²⌉`.
+    pub epsilon: f64,
+    /// Failure probability δ ∈ (0, 1); the number of rows is
+    /// `Δ = ⌈18 ln(1/δ)⌉` (constant chosen so the median argument applies).
+    pub delta: f64,
+    /// Upper bound on the universe size `n`; hash values live in `[n³]`
+    /// (clamped to fit in 61 bits).
+    pub universe: u64,
+}
+
+impl DistinctSketchParams {
+    /// Parameters as used by the paper's Section 4 construction:
+    /// `ε = 1/2`, `δ = 1/(6 n²)`.
+    pub fn paper_defaults(n: usize) -> Self {
+        let n = n.max(2) as f64;
+        Self {
+            epsilon: 0.5,
+            delta: 1.0 / (6.0 * n * n),
+            universe: n as u64,
+        }
+    }
+
+    /// Row width `t`.
+    pub fn row_width(&self) -> usize {
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon must be in (0, 1)"
+        );
+        ((4.0 / (self.epsilon * self.epsilon)).ceil() as usize).max(2)
+    }
+
+    /// Number of rows `Δ`.
+    pub fn rows(&self) -> usize {
+        assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0, 1)");
+        ((18.0 * (1.0 / self.delta).ln()).ceil() as usize).max(1)
+    }
+
+    /// Size of the hash range `[n³]`, clamped so it fits the polynomial hash
+    /// modulus.
+    pub fn hash_range(&self) -> u64 {
+        let n = self.universe.max(2) as u128;
+        let cubed = n.saturating_mul(n).saturating_mul(n);
+        let max = (crate::hashing::MERSENNE_PRIME_61 - 1) as u128;
+        cubed.min(max) as u64
+    }
+}
+
+/// One row of the sketch: a pairwise-independent hash function plus the `t`
+/// smallest distinct hash values seen so far (kept sorted ascending).
+#[derive(Debug, Clone)]
+struct SketchRow {
+    hash: PolynomialHash,
+    smallest: Vec<u64>,
+}
+
+impl SketchRow {
+    fn new(seed: u64) -> Self {
+        Self {
+            hash: PolynomialHash::pairwise(seed),
+            smallest: Vec::new(),
+        }
+    }
+
+    fn insert_value(&mut self, value: u64, capacity: usize) {
+        match self.smallest.binary_search(&value) {
+            Ok(_) => {} // already present — distinct values only
+            Err(pos) => {
+                if pos < capacity {
+                    self.smallest.insert(pos, value);
+                    self.smallest.truncate(capacity);
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, element: u64, range: u64, capacity: usize) {
+        // Map to [1, range] so that the t-th smallest value is never zero
+        // (a zero would make the estimator divide by zero).
+        let value = self.hash.hash_range(element, range) + 1;
+        self.insert_value(value, capacity);
+    }
+
+    fn estimate(&self, range: u64, capacity: usize) -> f64 {
+        if self.smallest.len() < capacity {
+            // Fewer than t distinct values observed: the row stores them all
+            // and the exact count is the best estimate.
+            self.smallest.len() as f64
+        } else {
+            let v_t = *self.smallest.last().expect("row is non-empty") as f64;
+            capacity as f64 * range as f64 / v_t
+        }
+    }
+
+    fn merge(&mut self, other: &SketchRow, capacity: usize) {
+        assert_eq!(
+            self.hash, other.hash,
+            "cannot merge sketch rows built with different hash functions"
+        );
+        for &value in &other.smallest {
+            self.insert_value(value, capacity);
+        }
+    }
+}
+
+/// Mergeable bottom-`t` count-distinct sketch (Bar-Yossef et al. \[11\]).
+#[derive(Debug, Clone)]
+pub struct DistinctSketch {
+    params: DistinctSketchParams,
+    seed: u64,
+    rows: Vec<SketchRow>,
+    row_width: usize,
+    hash_range: u64,
+}
+
+impl DistinctSketch {
+    /// Creates an empty sketch. Two sketches can be merged only if they were
+    /// created with the same `seed` and `params`.
+    pub fn new(seed: u64, params: DistinctSketchParams) -> Self {
+        let rows = params.rows();
+        let row_width = params.row_width();
+        let hash_range = params.hash_range();
+        let rows = (0..rows)
+            .map(|w| SketchRow::new(seed.wrapping_add(0x5851_F42D_4C95_7F2D_u64.wrapping_mul(w as u64 + 1))))
+            .collect();
+        Self {
+            params,
+            seed,
+            rows,
+            row_width,
+            hash_range,
+        }
+    }
+
+    /// Creates a sketch with the paper's Section 4 parameters for a dataset
+    /// of `n` points.
+    pub fn with_paper_defaults(seed: u64, n: usize) -> Self {
+        Self::new(seed, DistinctSketchParams::paper_defaults(n))
+    }
+
+    /// Parameters this sketch was built with.
+    pub fn params(&self) -> DistinctSketchParams {
+        self.params
+    }
+
+    /// Seed this sketch was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of rows Δ.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row width t.
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Approximate memory footprint in 64-bit words (used in space
+    /// accounting tests).
+    pub fn words(&self) -> usize {
+        self.rows.iter().map(|r| r.smallest.len() + 4).sum()
+    }
+
+    /// Builds the sketch of an iterator of elements in one pass.
+    pub fn from_elements<I: IntoIterator<Item = u64>>(
+        seed: u64,
+        params: DistinctSketchParams,
+        elements: I,
+    ) -> Self {
+        let mut sketch = Self::new(seed, params);
+        for e in elements {
+            sketch.insert(e);
+        }
+        sketch
+    }
+}
+
+impl CardinalityEstimator for DistinctSketch {
+    fn insert(&mut self, element: u64) {
+        for row in &mut self.rows {
+            row.insert(element, self.hash_range, self.row_width);
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.seed, other.seed,
+            "cannot merge sketches with different seeds"
+        );
+        assert_eq!(
+            self.rows.len(),
+            other.rows.len(),
+            "cannot merge sketches with different row counts"
+        );
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            a.merge(b, self.row_width);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let mut estimates: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.estimate(self.hash_range, self.row_width))
+            .collect();
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        let mid = estimates.len() / 2;
+        if estimates.len() % 2 == 1 {
+            estimates[mid]
+        } else {
+            (estimates[mid - 1] + estimates[mid]) / 2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DistinctSketchParams {
+        DistinctSketchParams {
+            epsilon: 0.5,
+            delta: 0.01,
+            universe: 100_000,
+        }
+    }
+
+    #[test]
+    fn params_derivations() {
+        let p = params();
+        assert_eq!(p.row_width(), 16);
+        assert!(p.rows() >= 1);
+        assert!(p.hash_range() > p.universe);
+        let paper = DistinctSketchParams::paper_defaults(1000);
+        assert_eq!(paper.epsilon, 0.5);
+        assert!(paper.delta < 1e-5);
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let sketch = DistinctSketch::new(1, params());
+        assert_eq!(sketch.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_counts_are_exact() {
+        let mut sketch = DistinctSketch::new(1, params());
+        for x in 0..10u64 {
+            sketch.insert(x);
+            sketch.insert(x); // duplicates must not count
+        }
+        assert_eq!(sketch.estimate(), 10.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_change_estimate() {
+        let mut a = DistinctSketch::new(3, params());
+        let mut b = DistinctSketch::new(3, params());
+        for x in 0..5000u64 {
+            a.insert(x);
+            b.insert(x);
+            b.insert(x);
+            b.insert(x % 100);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn estimate_is_within_epsilon_for_large_streams() {
+        let true_count = 20_000u64;
+        let sketch = DistinctSketch::from_elements(42, params(), 0..true_count);
+        let est = sketch.estimate();
+        let rel_err = (est - true_count as f64).abs() / true_count as f64;
+        assert!(rel_err < 0.5, "relative error {rel_err} exceeds epsilon");
+    }
+
+    #[test]
+    fn merge_equals_sketch_of_union() {
+        let p = params();
+        let mut left = DistinctSketch::from_elements(7, p, 0..3000u64);
+        let right = DistinctSketch::from_elements(7, p, 1500..4500u64);
+        let union = DistinctSketch::from_elements(7, p, 0..4500u64);
+        left.merge(&right);
+        assert_eq!(left.estimate(), union.estimate());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let p = params();
+        let a = DistinctSketch::from_elements(9, p, 0..1000u64);
+        let b = DistinctSketch::from_elements(9, p, 500..2500u64);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.estimate(), ba.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "different seeds")]
+    fn merging_different_seeds_panics() {
+        let mut a = DistinctSketch::new(1, params());
+        let b = DistinctSketch::new(2, params());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn paper_defaults_give_half_approximation() {
+        // The r-NNIS construction relies on s_q/2 <= ŝ_q <= 1.5 s_q.
+        let n = 5_000usize;
+        let sketch = DistinctSketch::with_paper_defaults(11, n);
+        let mut sketch = sketch;
+        let true_count = 2_000u64;
+        for x in 0..true_count {
+            sketch.insert(x * 2 + 1);
+        }
+        let est = sketch.estimate();
+        assert!(
+            est >= true_count as f64 / 2.0 && est <= 1.5 * true_count as f64,
+            "estimate {est} outside [s/2, 1.5 s] for s = {true_count}"
+        );
+    }
+
+    #[test]
+    fn words_accounting_grows_then_saturates() {
+        let mut sketch = DistinctSketch::new(5, params());
+        let w0 = sketch.words();
+        for x in 0..10_000u64 {
+            sketch.insert(x);
+        }
+        let w1 = sketch.words();
+        assert!(w1 > w0);
+        // Row width bounds the growth.
+        assert!(w1 <= sketch.num_rows() * (sketch.row_width() + 4));
+    }
+}

@@ -1,0 +1,290 @@
+//! Hash families used by the sketches and by MinHash.
+//!
+//! Two classic constructions are provided:
+//!
+//! * [`MultiplyShift`] — the 2-universal multiply-shift scheme of Dietzfelbinger
+//!   et al.; a single 64-bit multiplication and shift, ideal for the
+//!   per-element work inside MinHash rows and sketches;
+//! * [`PolynomialHash`] — k-independent polynomial hashing over the Mersenne
+//!   prime `2^61 - 1`, used where pairwise (or higher) independence is needed
+//!   for the analysis (the count-distinct sketch of Section 2.3 requires a
+//!   pairwise-independent family).
+//!
+//! Both are deterministic given their seed, which keeps every experiment in
+//! the workspace reproducible.
+
+/// The Mersenne prime `2^61 - 1` used as the modulus for polynomial hashing.
+pub const MERSENNE_PRIME_61: u64 = (1u64 << 61) - 1;
+
+/// SplitMix64 mixing function.
+///
+/// A fast, well-distributed 64-bit mixer; used to derive independent seeds
+/// and as a lightweight "random oracle" for tests. This is the standard
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small deterministic generator of 64-bit values derived from a seed,
+/// used to initialise hash-function coefficients without threading a full
+/// RNG through every constructor.
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Returns the next value reduced into `[0, modulus)`.
+    pub fn next_below(&mut self, modulus: u64) -> u64 {
+        self.next_u64() % modulus
+    }
+}
+
+/// 2-universal multiply-shift hashing `h(x) = (a*x + b) >> (64 - out_bits)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShift {
+    a: u64,
+    b: u64,
+    out_bits: u32,
+}
+
+impl MultiplyShift {
+    /// Creates a hash function with `out_bits` output bits (1..=64) from a
+    /// seed.
+    pub fn new(seed: u64, out_bits: u32) -> Self {
+        assert!((1..=64).contains(&out_bits), "out_bits must be in 1..=64");
+        let mut seq = SeedSequence::new(seed);
+        // `a` must be odd for the multiply-shift analysis.
+        let a = seq.next_u64() | 1;
+        let b = seq.next_u64();
+        Self { a, b, out_bits }
+    }
+
+    /// Number of output bits.
+    pub fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+
+    /// Hashes a 64-bit key to `out_bits` bits.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let v = self.a.wrapping_mul(x).wrapping_add(self.b);
+        if self.out_bits == 64 {
+            v
+        } else {
+            v >> (64 - self.out_bits)
+        }
+    }
+}
+
+/// k-independent polynomial hashing over the Mersenne prime `2^61 - 1`.
+///
+/// `h(x) = (c_{k-1} x^{k-1} + ... + c_1 x + c_0) mod p`, evaluated with
+/// Horner's rule using 128-bit intermediate products.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolynomialHash {
+    coefficients: Vec<u64>,
+}
+
+impl PolynomialHash {
+    /// Creates a hash function with independence `k >= 1` from a seed.
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k >= 1, "independence must be at least 1");
+        let mut seq = SeedSequence::new(seed);
+        let mut coefficients: Vec<u64> = (0..k).map(|_| seq.next_below(MERSENNE_PRIME_61)).collect();
+        // The leading coefficient should be non-zero so the polynomial has
+        // true degree k-1.
+        if k > 1 && coefficients[k - 1] == 0 {
+            coefficients[k - 1] = 1;
+        }
+        Self { coefficients }
+    }
+
+    /// Creates a pairwise-independent (`k = 2`) hash function.
+    pub fn pairwise(seed: u64) -> Self {
+        Self::new(seed, 2)
+    }
+
+    /// Independence of the family this function was drawn from.
+    pub fn independence(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Hashes a key into `[0, 2^61 - 1)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = mod_mersenne(x as u128);
+        let mut acc: u64 = 0;
+        for &c in self.coefficients.iter().rev() {
+            // acc = acc * x + c  (mod p)
+            let prod = (acc as u128) * (x as u128) + c as u128;
+            acc = mod_mersenne(prod);
+        }
+        acc
+    }
+
+    /// Hashes a key into `[0, range)`.
+    #[inline]
+    pub fn hash_range(&self, x: u64, range: u64) -> u64 {
+        assert!(range > 0, "range must be positive");
+        self.hash(x) % range
+    }
+}
+
+/// Reduces a 128-bit value modulo the Mersenne prime `2^61 - 1`.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    let p = MERSENNE_PRIME_61 as u128;
+    // Fold the high bits twice; after two folds the value is < 2^62.
+    let folded = (x & p) + (x >> 61);
+    let folded = (folded & p) + (folded >> 61);
+    let mut r = folded as u64;
+    if r >= MERSENNE_PRIME_61 {
+        r -= MERSENNE_PRIME_61;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        let values: HashSet<u64> = (0..1000).map(splitmix64).collect();
+        assert_eq!(values.len(), 1000, "splitmix64 should not collide on small inputs");
+    }
+
+    #[test]
+    fn seed_sequence_is_deterministic() {
+        let mut a = SeedSequence::new(7);
+        let mut b = SeedSequence::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SeedSequence::new(8);
+        assert_ne!(SeedSequence::new(7).next_u64(), c.next_u64());
+        for _ in 0..100 {
+            assert!(a.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn multiply_shift_respects_out_bits() {
+        let h = MultiplyShift::new(3, 8);
+        assert_eq!(h.out_bits(), 8);
+        for x in 0..2000u64 {
+            assert!(h.hash(x) < 256);
+        }
+        let h64 = MultiplyShift::new(3, 64);
+        // With 64 output bits the full value is returned; just check determinism.
+        assert_eq!(h64.hash(123), h64.hash(123));
+    }
+
+    #[test]
+    fn multiply_shift_different_seeds_differ() {
+        let h1 = MultiplyShift::new(1, 32);
+        let h2 = MultiplyShift::new(2, 32);
+        let differs = (0..100u64).any(|x| h1.hash(x) != h2.hash(x));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "out_bits")]
+    fn multiply_shift_rejects_zero_bits() {
+        let _ = MultiplyShift::new(1, 0);
+    }
+
+    #[test]
+    fn multiply_shift_distributes_over_buckets() {
+        let h = MultiplyShift::new(99, 4); // 16 buckets
+        let mut counts = [0usize; 16];
+        for x in 0..16_000u64 {
+            counts[h.hash(x) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500 && c < 1500, "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn polynomial_hash_is_deterministic_and_in_range() {
+        let h = PolynomialHash::pairwise(5);
+        assert_eq!(h.independence(), 2);
+        for x in 0..1000u64 {
+            let v = h.hash(x);
+            assert!(v < MERSENNE_PRIME_61);
+            assert_eq!(v, h.hash(x));
+        }
+    }
+
+    #[test]
+    fn polynomial_hash_range_reduction() {
+        let h = PolynomialHash::new(11, 3);
+        for x in 0..500u64 {
+            assert!(h.hash_range(x, 10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn polynomial_hash_zero_range_panics() {
+        let h = PolynomialHash::pairwise(5);
+        let _ = h.hash_range(1, 0);
+    }
+
+    #[test]
+    fn polynomial_hash_distinct_seeds_disagree_somewhere() {
+        let h1 = PolynomialHash::pairwise(1);
+        let h2 = PolynomialHash::pairwise(2);
+        assert!((0..64u64).any(|x| h1.hash(x) != h2.hash(x)));
+    }
+
+    #[test]
+    fn mod_mersenne_agrees_with_naive_modulo() {
+        let p = MERSENNE_PRIME_61 as u128;
+        for &x in &[0u128, 1, p - 1, p, p + 1, 2 * p + 5, u128::from(u64::MAX), (p * p) - 1] {
+            assert_eq!(mod_mersenne(x) as u128, x % p, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate_is_low() {
+        // Empirical sanity check of 2-universality: collision rate of a
+        // pairwise family into m buckets should be close to 1/m.
+        let h = PolynomialHash::pairwise(123);
+        let m = 1024u64;
+        let n = 2000u64;
+        let mut collisions = 0u64;
+        let hashed: Vec<u64> = (0..n).map(|x| h.hash_range(x, m)).collect();
+        for i in 0..n as usize {
+            for j in (i + 1)..n as usize {
+                if hashed[i] == hashed[j] {
+                    collisions += 1;
+                }
+            }
+        }
+        let pairs = n * (n - 1) / 2;
+        let rate = collisions as f64 / pairs as f64;
+        assert!(rate < 3.0 / m as f64, "collision rate {rate} too high");
+    }
+}

@@ -1,0 +1,163 @@
+//! HyperLogLog cardinality estimator.
+//!
+//! Included as a second ablation baseline next to the bottom-k sketch: the
+//! paper's Section 4 construction needs a *mergeable* distinct-count
+//! estimator with a `1/2`-approximation guarantee, and HyperLogLog is the
+//! estimator most practitioners would reach for. The ablation benchmarks
+//! compare its accuracy/space against the BJKST-style [`crate::DistinctSketch`]
+//! the paper analyses.
+
+use crate::hashing::splitmix64;
+use crate::CardinalityEstimator;
+
+/// HyperLogLog sketch with `2^precision` registers.
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    /// Seed-derived mask XOR-ed into every element before mixing, so that
+    /// different seeds define independent hash functions.
+    mask: u64,
+    seed: u64,
+    precision: u32,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Creates an empty sketch. `precision` must be in `4..=16`.
+    pub fn new(seed: u64, precision: u32) -> Self {
+        assert!((4..=16).contains(&precision), "precision must be in 4..=16");
+        Self {
+            mask: splitmix64(seed ^ 0xABCD_EF01),
+            seed,
+            precision,
+            registers: vec![0u8; 1usize << precision],
+        }
+    }
+
+    /// Number of registers `m = 2^precision`.
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    fn alpha(m: usize) -> f64 {
+        match m {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            m => 0.7213 / (1.0 + 1.079 / m as f64),
+        }
+    }
+}
+
+impl CardinalityEstimator for HyperLogLog {
+    fn insert(&mut self, element: u64) {
+        let h = splitmix64(element ^ self.mask);
+        let index = (h >> (64 - self.precision)) as usize;
+        let rest = h << self.precision;
+        // Rank = position of the leftmost 1-bit in the remaining bits.
+        let rank = if rest == 0 {
+            (64 - self.precision + 1) as u8
+        } else {
+            (rest.leading_zeros() + 1) as u8
+        };
+        if rank > self.registers[index] {
+            self.registers[index] = rank;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "cannot merge HLLs with different seeds");
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge HLLs with different precision"
+        );
+        for (a, &b) in self.registers.iter_mut().zip(other.registers.iter()) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(r as i32)))
+            .sum();
+        let raw = Self::alpha(self.registers.len()) * m * m / sum;
+
+        // Small-range correction (linear counting).
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimate_is_zero() {
+        let hll = HyperLogLog::new(1, 10);
+        assert_eq!(hll.estimate(), 0.0);
+        assert_eq!(hll.num_registers(), 1024);
+    }
+
+    #[test]
+    fn small_counts_are_accurate() {
+        let mut hll = HyperLogLog::new(2, 12);
+        for x in 0..100u64 {
+            hll.insert(x);
+            hll.insert(x);
+        }
+        let est = hll.estimate();
+        assert!((est - 100.0).abs() < 15.0, "estimate {est}");
+    }
+
+    #[test]
+    fn large_counts_within_relative_error() {
+        let mut hll = HyperLogLog::new(3, 12);
+        let n = 100_000u64;
+        for x in 0..n {
+            hll.insert(x);
+        }
+        let est = hll.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.1, "relative error {rel} (estimate {est})");
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = HyperLogLog::new(4, 11);
+        let mut b = HyperLogLog::new(4, 11);
+        let mut union = HyperLogLog::new(4, 11);
+        for x in 0..20_000u64 {
+            a.insert(x);
+            union.insert(x);
+        }
+        for x in 10_000..30_000u64 {
+            b.insert(x);
+            union.insert(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), union.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_precision_mismatch() {
+        let mut a = HyperLogLog::new(4, 10);
+        let b = HyperLogLog::new(4, 11);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be in 4..=16")]
+    fn rejects_bad_precision() {
+        let _ = HyperLogLog::new(0, 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the cardinality estimators.
+
+use fairnn_sketch::{
+    BottomKSketch, CardinalityEstimator, DistinctSketch, DistinctSketchParams, HyperLogLog,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn params() -> DistinctSketchParams {
+    DistinctSketchParams {
+        epsilon: 0.5,
+        delta: 0.01,
+        universe: 1 << 20,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distinct_sketch_is_exact_below_row_width(elements in proptest::collection::hash_set(0u64..1_000_000, 0..14)) {
+        let mut sketch = DistinctSketch::new(17, params());
+        for &e in &elements {
+            sketch.insert(e);
+            sketch.insert(e);
+        }
+        prop_assert_eq!(sketch.estimate(), elements.len() as f64);
+    }
+
+    #[test]
+    fn distinct_sketch_insertion_order_does_not_matter(mut elements in proptest::collection::vec(0u64..100_000, 0..200)) {
+        let forward = DistinctSketch::from_elements(3, params(), elements.iter().copied());
+        elements.reverse();
+        let backward = DistinctSketch::from_elements(3, params(), elements.iter().copied());
+        prop_assert_eq!(forward.estimate(), backward.estimate());
+    }
+
+    #[test]
+    fn distinct_sketch_merge_is_idempotent(elements in proptest::collection::vec(0u64..100_000, 0..300)) {
+        let sketch = DistinctSketch::from_elements(5, params(), elements.iter().copied());
+        let mut merged = sketch.clone();
+        merged.merge(&sketch);
+        prop_assert_eq!(merged.estimate(), sketch.estimate());
+    }
+
+    #[test]
+    fn distinct_sketch_merge_matches_union(
+        left in proptest::collection::vec(0u64..50_000, 0..400),
+        right in proptest::collection::vec(0u64..50_000, 0..400),
+    ) {
+        let p = params();
+        let mut merged = DistinctSketch::from_elements(9, p, left.iter().copied());
+        merged.merge(&DistinctSketch::from_elements(9, p, right.iter().copied()));
+        let union = DistinctSketch::from_elements(
+            9,
+            p,
+            left.iter().copied().chain(right.iter().copied()),
+        );
+        prop_assert_eq!(merged.estimate(), union.estimate());
+    }
+
+    #[test]
+    fn distinct_sketch_estimate_within_factor_two(step in 1u64..50, count in 100u64..4000) {
+        // Structured streams (arithmetic progressions) should still be
+        // estimated within the 1/2-approximation the r-NNIS proof needs.
+        let sketch = DistinctSketch::from_elements(
+            29,
+            params(),
+            (0..count).map(|i| i * step + 7),
+        );
+        let est = sketch.estimate();
+        let truth = count as f64;
+        prop_assert!(est >= truth / 2.0, "estimate {} for true count {}", est, truth);
+        prop_assert!(est <= 2.0 * truth, "estimate {} for true count {}", est, truth);
+    }
+
+    #[test]
+    fn bottomk_merge_matches_union(
+        left in proptest::collection::vec(0u64..80_000, 0..300),
+        right in proptest::collection::vec(0u64..80_000, 0..300),
+    ) {
+        let mut merged = BottomKSketch::new(13, 64);
+        let mut other = BottomKSketch::new(13, 64);
+        let mut union = BottomKSketch::new(13, 64);
+        for &e in &left { merged.insert(e); union.insert(e); }
+        for &e in &right { other.insert(e); union.insert(e); }
+        merged.merge(&other);
+        prop_assert_eq!(merged.estimate(), union.estimate());
+    }
+
+    #[test]
+    fn hll_estimate_never_negative_and_zero_iff_empty(elements in proptest::collection::vec(0u64..10_000, 0..100)) {
+        let mut hll = HyperLogLog::new(21, 10);
+        for &e in &elements { hll.insert(e); }
+        let est = hll.estimate();
+        prop_assert!(est >= 0.0);
+        let distinct: HashSet<u64> = elements.iter().copied().collect();
+        if distinct.is_empty() {
+            prop_assert_eq!(est, 0.0);
+        } else {
+            prop_assert!(est > 0.0);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Dataset container with exact (linear-scan) neighbourhood queries.
+//!
+//! The exact queries serve two roles in the reproduction:
+//!
+//! 1. **Ground truth** for every fair sampler — the target distribution of
+//!    the r-NNS / r-NNIS problem is uniform over the exact neighbourhood
+//!    `B_S(q, r)`, which a linear scan computes trivially (at a cost the
+//!    paper wants to avoid, but which is fine at test scale).
+//! 2. The **Figure 3 experiment**, which reports the ratio
+//!    `b_S(q, cr) / b_S(q, r)` of exact neighbourhood sizes at two
+//!    thresholds.
+
+use crate::metric::{Distance, Similarity};
+use crate::point::PointId;
+
+/// An immutable collection of points with dense [`PointId`]s `0..n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset<P> {
+    points: Vec<P>,
+}
+
+impl<P> Dataset<P> {
+    /// Wraps a vector of points; point `i` gets id `PointId(i)`.
+    pub fn new(points: Vec<P>) -> Self {
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "dataset too large for u32 point ids"
+        );
+        Self { points }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the dataset has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the point with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &P {
+        &self.points[id.index()]
+    }
+
+    /// Returns the point with the given id, or `None` if out of range.
+    pub fn get(&self, id: PointId) -> Option<&P> {
+        self.points.get(id.index())
+    }
+
+    /// Slice of all points, indexable by `PointId::index`.
+    #[inline]
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Iterator over `(PointId, &P)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &P)> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PointId::from_index(i), p))
+    }
+
+    /// Iterator over all point ids.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> + '_ {
+        (0..self.points.len()).map(PointId::from_index)
+    }
+
+    /// Exact neighbourhood under a distance: ids of all points within
+    /// distance `r` of `query` (the set `B_S(q, r)` of the paper).
+    pub fn ball_indices<D, Q>(&self, metric: &D, query: &Q, r: f64) -> Vec<PointId>
+    where
+        D: Distance<P>,
+        Q: AsPoint<P>,
+    {
+        let q = query.as_point();
+        self.iter()
+            .filter(|(_, p)| metric.distance(q, p) <= r)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Exact neighbourhood size under a distance, `b_S(q, r)`.
+    pub fn ball_size<D, Q>(&self, metric: &D, query: &Q, r: f64) -> usize
+    where
+        D: Distance<P>,
+        Q: AsPoint<P>,
+    {
+        let q = query.as_point();
+        self.points
+            .iter()
+            .filter(|p| metric.distance(q, p) <= r)
+            .count()
+    }
+
+    /// Exact neighbourhood under a similarity: ids of all points with
+    /// similarity at least `threshold` to `query`.
+    pub fn similar_indices<S, Q>(&self, measure: &S, query: &Q, threshold: f64) -> Vec<PointId>
+    where
+        S: Similarity<P>,
+        Q: AsPoint<P>,
+    {
+        let q = query.as_point();
+        self.iter()
+            .filter(|(_, p)| measure.similarity(q, p) >= threshold)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Exact neighbourhood size under a similarity.
+    pub fn similar_count<S, Q>(&self, measure: &S, query: &Q, threshold: f64) -> usize
+    where
+        S: Similarity<P>,
+        Q: AsPoint<P>,
+    {
+        let q = query.as_point();
+        self.points
+            .iter()
+            .filter(|p| measure.similarity(q, p) >= threshold)
+            .count()
+    }
+
+    /// All pairwise similarities between a query and every dataset point,
+    /// as `(id, similarity)` pairs. Used by the experiment harness to group
+    /// output frequencies by similarity level (Figure 1).
+    pub fn similarities_to<S, Q>(&self, measure: &S, query: &Q) -> Vec<(PointId, f64)>
+    where
+        S: Similarity<P>,
+        Q: AsPoint<P>,
+    {
+        let q = query.as_point();
+        self.iter()
+            .map(|(id, p)| (id, measure.similarity(q, p)))
+            .collect()
+    }
+}
+
+impl<P> std::ops::Index<PointId> for Dataset<P> {
+    type Output = P;
+
+    fn index(&self, id: PointId) -> &P {
+        self.point(id)
+    }
+}
+
+impl<P> FromIterator<P> for Dataset<P> {
+    fn from_iter<T: IntoIterator<Item = P>>(iter: T) -> Self {
+        Dataset::new(iter.into_iter().collect())
+    }
+}
+
+/// Helper trait allowing queries to be passed either as a point value or as
+/// a reference; keeps the `Dataset` query methods ergonomic for both owned
+/// query points and points borrowed from another dataset.
+pub trait AsPoint<P> {
+    /// Borrows the underlying point.
+    fn as_point(&self) -> &P;
+}
+
+impl<P> AsPoint<P> for P {
+    fn as_point(&self) -> &P {
+        self
+    }
+}
+
+impl<P> AsPoint<P> for &P {
+    fn as_point(&self) -> &P {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Euclidean, Jaccard};
+    use crate::point::{DenseVector, SparseSet};
+
+    fn small_vector_dataset() -> Dataset<DenseVector> {
+        Dataset::new(vec![
+            DenseVector::new(vec![0.0, 0.0]),
+            DenseVector::new(vec![1.0, 0.0]),
+            DenseVector::new(vec![0.0, 2.0]),
+            DenseVector::new(vec![5.0, 5.0]),
+        ])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let data = small_vector_dataset();
+        assert_eq!(data.len(), 4);
+        assert!(!data.is_empty());
+        assert_eq!(data.point(PointId(1)).values(), &[1.0, 0.0]);
+        assert_eq!(data[PointId(1)].values(), &[1.0, 0.0]);
+        assert!(data.get(PointId(10)).is_none());
+        assert_eq!(data.ids().count(), 4);
+        assert_eq!(data.iter().count(), 4);
+    }
+
+    #[test]
+    fn ball_queries_match_manual_count() {
+        let data = small_vector_dataset();
+        let q = DenseVector::new(vec![0.0, 0.0]);
+        let near = data.ball_indices(&Euclidean, &q, 1.5);
+        assert_eq!(near, vec![PointId(0), PointId(1)]);
+        assert_eq!(data.ball_size(&Euclidean, &q, 1.5), 2);
+        assert_eq!(data.ball_size(&Euclidean, &q, 2.0), 3);
+        assert_eq!(data.ball_size(&Euclidean, &q, 0.0), 1);
+    }
+
+    #[test]
+    fn similarity_queries() {
+        let data: Dataset<SparseSet> = vec![
+            SparseSet::from_items(vec![1, 2, 3, 4]),
+            SparseSet::from_items(vec![1, 2, 3, 9]),
+            SparseSet::from_items(vec![7, 8]),
+        ]
+        .into_iter()
+        .collect();
+        let q = SparseSet::from_items(vec![1, 2, 3, 4]);
+        let near = data.similar_indices(&Jaccard, &q, 0.5);
+        assert_eq!(near, vec![PointId(0), PointId(1)]);
+        assert_eq!(data.similar_count(&Jaccard, &q, 0.99), 1);
+        let sims = data.similarities_to(&Jaccard, &q);
+        assert_eq!(sims.len(), 3);
+        assert_eq!(sims[0].1, 1.0);
+        assert_eq!(sims[2].1, 0.0);
+    }
+
+    #[test]
+    fn query_by_reference_to_dataset_point() {
+        let data = small_vector_dataset();
+        let q = data.point(PointId(0)).clone();
+        // Query point itself is inside its own ball.
+        assert!(data.ball_indices(&Euclidean, &q, 0.1).contains(&PointId(0)));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data: Dataset<DenseVector> = Dataset::new(vec![]);
+        assert!(data.is_empty());
+        let q = DenseVector::new(vec![]);
+        assert!(data.ball_indices(&Euclidean, &q, 1.0).is_empty());
+    }
+}

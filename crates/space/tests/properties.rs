@@ -1,0 +1,112 @@
+//! Property-based tests for the point types and similarity measures.
+
+use fairnn_space::{
+    Dataset, DenseVector, Euclidean, InnerProduct, Jaccard, PointId, Similarity, SparseSet,
+};
+use proptest::prelude::*;
+
+fn arb_set() -> impl Strategy<Value = SparseSet> {
+    proptest::collection::vec(0u32..200, 0..40).prop_map(SparseSet::from_items)
+}
+
+fn arb_vector(dim: usize) -> impl Strategy<Value = DenseVector> {
+    proptest::collection::vec(-10.0f64..10.0, dim).prop_map(DenseVector::new)
+}
+
+proptest! {
+    #[test]
+    fn jaccard_is_symmetric(a in arb_set(), b in arb_set()) {
+        prop_assert!((a.jaccard(&b) - b.jaccard(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_is_bounded(a in arb_set(), b in arb_set()) {
+        let j = a.jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn jaccard_self_similarity_is_one(a in arb_set()) {
+        prop_assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn intersection_never_exceeds_smaller_set(a in arb_set(), b in arb_set()) {
+        let inter = a.intersection_size(&b);
+        prop_assert!(inter <= a.len().min(b.len()));
+        prop_assert!(a.union_size(&b) >= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(a in arb_vector(6), b in arb_vector(6), c in arb_vector(6)) {
+        let ab = a.distance(&b);
+        let bc = b.distance(&c);
+        let ac = a.distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn normalized_vectors_are_unit_or_zero(v in arb_vector(8)) {
+        let n = v.normalized();
+        prop_assert!(n.is_unit(1e-9) || v.norm() == 0.0);
+    }
+
+    #[test]
+    fn unit_vector_distance_inner_product_relation(a in arb_vector(5), b in arb_vector(5)) {
+        prop_assume!(a.norm() > 1e-6 && b.norm() > 1e-6);
+        let (u, w) = (a.normalized(), b.normalized());
+        let lhs = u.squared_distance(&w);
+        let rhs = 2.0 - 2.0 * InnerProduct.similarity(&u, &w);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ball_size_is_monotone_in_radius(
+        points in proptest::collection::vec(arb_vector(3), 1..30),
+        r1 in 0.0f64..5.0,
+        r2 in 0.0f64..5.0,
+    ) {
+        let data = Dataset::new(points.clone());
+        let q = points[0].clone();
+        let (small, large) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(data.ball_size(&Euclidean, &q, small) <= data.ball_size(&Euclidean, &q, large));
+    }
+
+    #[test]
+    fn similar_count_is_antitone_in_threshold(
+        sets in proptest::collection::vec(arb_set(), 1..30),
+        t1 in 0.0f64..1.0,
+        t2 in 0.0f64..1.0,
+    ) {
+        let data = Dataset::new(sets.clone());
+        let q = sets[0].clone();
+        let (low, high) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(data.similar_count(&Jaccard, &q, high) <= data.similar_count(&Jaccard, &q, low));
+    }
+
+    #[test]
+    fn ball_indices_agree_with_ball_size(
+        points in proptest::collection::vec(arb_vector(3), 1..25),
+        r in 0.0f64..5.0,
+    ) {
+        let data = Dataset::new(points.clone());
+        let q = points[points.len() / 2].clone();
+        let ids = data.ball_indices(&Euclidean, &q, r);
+        prop_assert_eq!(ids.len(), data.ball_size(&Euclidean, &q, r));
+        for id in ids {
+            prop_assert!(id.index() < data.len());
+            prop_assert!(data.point(id).distance(&q) <= r);
+        }
+    }
+
+    #[test]
+    fn point_ids_are_dense_and_sorted(
+        sets in proptest::collection::vec(arb_set(), 0..20),
+    ) {
+        let data = Dataset::new(sets);
+        let ids: Vec<PointId> = data.ids().collect();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(id.index(), i);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Output-frequency histograms.
+//!
+//! [`FrequencyHistogram`] counts how often each point id was returned by a
+//! sampler over repeated queries. [`SimilarityProfile`] aggregates those
+//! counts by similarity level — the quantity plotted in Figure 1 of the
+//! paper, where each marker is "the average relative frequency among all
+//! points having this similarity for a fixed query point".
+
+use fairnn_space::PointId;
+use std::collections::BTreeMap;
+
+/// Frequency counts of returned point ids (plus the count of `⊥`/no-result
+/// outcomes), typically accumulated over many repetitions of one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrequencyHistogram {
+    counts: BTreeMap<u32, u64>,
+    none_count: u64,
+    total: u64,
+}
+
+impl FrequencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sampler outcome (`Some(id)` or `None` for `⊥`).
+    pub fn record(&mut self, outcome: Option<PointId>) {
+        self.total += 1;
+        match outcome {
+            Some(id) => *self.counts.entry(id.0).or_insert(0) += 1,
+            None => self.none_count += 1,
+        }
+    }
+
+    /// Records an id directly.
+    pub fn record_id(&mut self, id: PointId) {
+        self.record(Some(id));
+    }
+
+    /// Total number of recorded outcomes (including `⊥`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of `⊥` outcomes.
+    pub fn none_count(&self) -> u64 {
+        self.none_count
+    }
+
+    /// Number of distinct ids that were returned at least once.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of a specific id.
+    pub fn count(&self, id: PointId) -> u64 {
+        self.counts.get(&id.0).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency of a specific id (0 when nothing was recorded).
+    pub fn relative_frequency(&self, id: PointId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(id) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over `(id, count)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, u64)> + '_ {
+        self.counts.iter().map(|(&id, &c)| (PointId(id), c))
+    }
+
+    /// The empirical probability vector over a given support (ids not in the
+    /// support are ignored; callers that want strict checking should compare
+    /// [`FrequencyHistogram::support_size`] with the expected support first).
+    pub fn empirical_distribution(&self, support: &[PointId]) -> Vec<f64> {
+        let denom = self.total.max(1) as f64;
+        support
+            .iter()
+            .map(|id| self.count(*id) as f64 / denom)
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &FrequencyHistogram) {
+        for (id, c) in other.counts.iter() {
+            *self.counts.entry(*id).or_insert(0) += c;
+        }
+        self.none_count += other.none_count;
+        self.total += other.total;
+    }
+}
+
+/// One point of a Figure 1-style scatter: all neighbourhood members at (or
+/// near) the same similarity to the query, averaged together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityBucket {
+    /// Representative similarity of the bucket (the rounded value shared by
+    /// its members).
+    pub similarity: f64,
+    /// Number of neighbourhood points at this similarity.
+    pub num_points: usize,
+    /// Average relative frequency with which these points were reported.
+    pub mean_relative_frequency: f64,
+    /// Smallest relative frequency among the points in the bucket.
+    pub min_relative_frequency: f64,
+    /// Largest relative frequency among the points in the bucket.
+    pub max_relative_frequency: f64,
+}
+
+/// Aggregation of an output histogram by the similarity of each returned
+/// point to the query (Figure 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimilarityProfile {
+    buckets: Vec<SimilarityBucket>,
+}
+
+impl SimilarityProfile {
+    /// Builds the profile from an output histogram and the similarities of
+    /// the neighbourhood points.
+    ///
+    /// `members` lists every point of the true neighbourhood together with
+    /// its similarity to the query; points that were never reported
+    /// contribute zero frequency (this is essential — a biased sampler is
+    /// detected precisely because some members are under-reported).
+    /// Similarities are grouped after rounding to `decimals` decimal places.
+    pub fn from_histogram(
+        histogram: &FrequencyHistogram,
+        members: &[(PointId, f64)],
+        decimals: u32,
+    ) -> Self {
+        let scale = 10f64.powi(decimals as i32);
+        let mut groups: BTreeMap<i64, Vec<(PointId, f64)>> = BTreeMap::new();
+        for (id, sim) in members {
+            let key = (sim * scale).round() as i64;
+            groups.entry(key).or_default().push((*id, *sim));
+        }
+        let buckets = groups
+            .into_iter()
+            .map(|(key, ids)| {
+                let freqs: Vec<f64> = ids
+                    .iter()
+                    .map(|(id, _)| histogram.relative_frequency(*id))
+                    .collect();
+                let sum: f64 = freqs.iter().sum();
+                let min = freqs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = freqs.iter().cloned().fold(0.0, f64::max);
+                SimilarityBucket {
+                    similarity: key as f64 / scale,
+                    num_points: ids.len(),
+                    mean_relative_frequency: sum / ids.len() as f64,
+                    min_relative_frequency: if min.is_finite() { min } else { 0.0 },
+                    max_relative_frequency: max,
+                }
+            })
+            .collect();
+        Self { buckets }
+    }
+
+    /// The aggregated buckets, ordered by increasing similarity.
+    pub fn buckets(&self) -> &[SimilarityBucket] {
+        &self.buckets
+    }
+
+    /// Returns `true` when there are no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Pearson correlation between similarity and mean relative frequency
+    /// across buckets. A fair sampler should have correlation near zero;
+    /// the standard LSH baseline has a clearly positive correlation (bias
+    /// towards the most similar points), which is the qualitative finding of
+    /// Figure 1.
+    pub fn similarity_frequency_correlation(&self) -> f64 {
+        let n = self.buckets.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.buckets.iter().map(|b| b.similarity).collect();
+        let ys: Vec<f64> = self
+            .buckets
+            .iter()
+            .map(|b| b.mean_relative_frequency)
+            .collect();
+        correlation(&xs, &ys)
+    }
+}
+
+/// Pearson correlation of two equal-length slices; 0 when either side has no
+/// variance.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs equal-length inputs");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_frequencies() {
+        let mut h = FrequencyHistogram::new();
+        h.record_id(PointId(1));
+        h.record_id(PointId(1));
+        h.record_id(PointId(2));
+        h.record(None);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.none_count(), 1);
+        assert_eq!(h.count(PointId(1)), 2);
+        assert_eq!(h.count(PointId(3)), 0);
+        assert_eq!(h.support_size(), 2);
+        assert!((h.relative_frequency(PointId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(h.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = FrequencyHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.relative_frequency(PointId(0)), 0.0);
+        assert_eq!(h.empirical_distribution(&[PointId(0), PointId(1)]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = FrequencyHistogram::new();
+        a.record_id(PointId(1));
+        let mut b = FrequencyHistogram::new();
+        b.record_id(PointId(1));
+        b.record_id(PointId(2));
+        b.record(None);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(PointId(1)), 2);
+        assert_eq!(a.count(PointId(2)), 1);
+        assert_eq!(a.none_count(), 1);
+    }
+
+    #[test]
+    fn empirical_distribution_over_support() {
+        let mut h = FrequencyHistogram::new();
+        for _ in 0..6 {
+            h.record_id(PointId(0));
+        }
+        for _ in 0..4 {
+            h.record_id(PointId(5));
+        }
+        let dist = h.empirical_distribution(&[PointId(0), PointId(5), PointId(9)]);
+        assert_eq!(dist, vec![0.6, 0.4, 0.0]);
+    }
+
+    #[test]
+    fn similarity_profile_groups_by_rounded_similarity() {
+        let mut h = FrequencyHistogram::new();
+        for _ in 0..8 {
+            h.record_id(PointId(0));
+        }
+        for _ in 0..2 {
+            h.record_id(PointId(1));
+        }
+        // Point 2 was never reported.
+        let members = vec![
+            (PointId(0), 0.601),
+            (PointId(1), 0.599),
+            (PointId(2), 0.30),
+        ];
+        let profile = SimilarityProfile::from_histogram(&h, &members, 1);
+        assert_eq!(profile.buckets().len(), 2);
+        let low = &profile.buckets()[0];
+        assert_eq!(low.similarity, 0.3);
+        assert_eq!(low.num_points, 1);
+        assert_eq!(low.mean_relative_frequency, 0.0);
+        let high = &profile.buckets()[1];
+        assert_eq!(high.similarity, 0.6);
+        assert_eq!(high.num_points, 2);
+        assert!((high.mean_relative_frequency - 0.5).abs() < 1e-12);
+        assert!((high.max_relative_frequency - 0.8).abs() < 1e-12);
+        assert!((high.min_relative_frequency - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_output_has_positive_similarity_correlation() {
+        // Frequencies increasing with similarity => positive correlation.
+        let mut h = FrequencyHistogram::new();
+        let members: Vec<(PointId, f64)> = (0..10)
+            .map(|i| (PointId(i), 0.1 + 0.05 * i as f64))
+            .collect();
+        for (i, (id, _)) in members.iter().enumerate() {
+            for _ in 0..=(i * 3) {
+                h.record_id(*id);
+            }
+        }
+        let profile = SimilarityProfile::from_histogram(&h, &members, 2);
+        assert!(profile.similarity_frequency_correlation() > 0.8);
+    }
+
+    #[test]
+    fn uniform_output_has_near_zero_similarity_correlation() {
+        let mut h = FrequencyHistogram::new();
+        let members: Vec<(PointId, f64)> = (0..10)
+            .map(|i| (PointId(i), 0.1 + 0.05 * i as f64))
+            .collect();
+        for (id, _) in &members {
+            for _ in 0..50 {
+                h.record_id(*id);
+            }
+        }
+        let profile = SimilarityProfile::from_histogram(&h, &members, 2);
+        assert!(profile.similarity_frequency_correlation().abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_edge_cases() {
+        assert_eq!(correlation(&[], &[]), 0.0);
+        assert_eq!(correlation(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert!((correlation(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((correlation(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn correlation_rejects_mismatched_lengths() {
+        let _ = correlation(&[1.0], &[1.0, 2.0]);
+    }
+}

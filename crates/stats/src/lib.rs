@@ -1,0 +1,30 @@
+//! Fairness and uniformity statistics for sampled near-neighbor outputs.
+//!
+//! The paper's evaluation (Section 6) measures *unfairness* of a near
+//! neighbor data structure by repeatedly querying it and comparing the
+//! empirical distribution of returned points against the uniform
+//! distribution over the true neighbourhood `B_S(q, r)`. This crate provides
+//! the measurement machinery:
+//!
+//! * [`histogram`] — frequency counting of sampled point ids, and the
+//!   per-similarity aggregation plotted in Figure 1 (average relative
+//!   frequency of all points at the same similarity level);
+//! * [`uniformity`] — divergence measures between the empirical and uniform
+//!   distributions (total variation distance, KL divergence, chi-square
+//!   statistic, min/max frequency ratio);
+//! * [`summary`] — simple summaries (mean, standard deviation, quartiles)
+//!   used e.g. for the error bars of Figure 2;
+//! * [`table`] — plain-text table rendering for the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod summary;
+pub mod table;
+pub mod uniformity;
+
+pub use histogram::{FrequencyHistogram, SimilarityProfile};
+pub use summary::Summary;
+pub use table::TextTable;
+pub use uniformity::UniformityReport;

@@ -1,0 +1,140 @@
+//! Plain-text table rendering.
+//!
+//! The experiment binaries print their results as aligned text tables (one
+//! per figure/table of the paper). Keeping the renderer here lets the
+//! binaries stay focused on the experimental logic and gives the integration
+//! tests something cheap to assert against.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. The number of cells must match the number of headers.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.add_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_line = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", render_line(&self.headers, &widths));
+        let total_width: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total_width.max(4)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_line(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper shared by the
+/// experiment binaries).
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    if value.is_infinite() {
+        return "inf".to_string();
+    }
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_headers_and_rows() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_display_row(&[123, 456]);
+        assert_eq!(t.num_rows(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("name"));
+        assert!(rendered.contains("alpha"));
+        assert!(rendered.contains("456"));
+        assert_eq!(rendered, format!("{t}"));
+    }
+
+    #[test]
+    fn columns_are_aligned() {
+        let mut t = TextTable::new("", &["a", "bbbb"]);
+        t.add_row(vec!["xxxxxx".into(), "1".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Header line and row line should place the second column at the
+        // same offset.
+        let header = lines[0];
+        let row = lines[2];
+        let header_pos = header.find("bbbb").unwrap();
+        let row_pos = row.find('1').unwrap();
+        assert_eq!(header_pos, row_pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_length_panics() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_handles_infinity() {
+        assert_eq!(fmt_f64(f64::INFINITY, 2), "inf");
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(1.0, 0), "1");
+    }
+}

@@ -1,0 +1,269 @@
+//! Divergence of an empirical output distribution from uniform.
+//!
+//! The fairness guarantee of Definitions 1 and 2 is that every point of the
+//! true neighbourhood is returned with probability `1/|B_S(q, r)|`. Given an
+//! output histogram over repeated queries, [`UniformityReport`] quantifies
+//! the deviation from that target with several standard measures; the
+//! integration tests and experiment binaries use it to assert that the fair
+//! samplers are (statistically) uniform while the standard LSH baseline is
+//! not.
+
+use crate::histogram::FrequencyHistogram;
+use fairnn_space::PointId;
+
+/// Deviation measures of an empirical distribution from the uniform
+/// distribution over a fixed support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformityReport {
+    /// Size of the support (the true neighbourhood size `b_S(q, r)`).
+    pub support_size: usize,
+    /// Number of samples the report is based on.
+    pub samples: u64,
+    /// Total variation distance `½ Σ |p̂_i − 1/n|` ∈ [0, 1].
+    pub total_variation: f64,
+    /// KL divergence `Σ p̂_i ln(p̂_i n)` (natural log, 0 ln 0 = 0).
+    pub kl_divergence: f64,
+    /// Pearson chi-square statistic `Σ (o_i − e)² / e` with `e = samples/n`.
+    pub chi_square: f64,
+    /// Degrees of freedom of the chi-square statistic (`n − 1`).
+    pub degrees_of_freedom: usize,
+    /// Ratio of the largest to the smallest empirical frequency
+    /// (`+∞` when some support point was never returned).
+    pub max_min_ratio: f64,
+    /// Fraction of samples that fell outside the support (should be 0 for a
+    /// correct sampler; positive values indicate the sampler returned
+    /// non-neighbours or `⊥`).
+    pub out_of_support: f64,
+}
+
+impl UniformityReport {
+    /// Builds the report from a histogram and the true neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `support` is empty.
+    pub fn from_histogram(histogram: &FrequencyHistogram, support: &[PointId]) -> Self {
+        assert!(!support.is_empty(), "support must not be empty");
+        let n = support.len() as f64;
+        let samples = histogram.total();
+        let in_support: u64 = support.iter().map(|id| histogram.count(*id)).sum();
+        let out_of_support = if samples == 0 {
+            0.0
+        } else {
+            (samples - in_support) as f64 / samples as f64
+        };
+
+        let denom = samples.max(1) as f64;
+        let freqs: Vec<f64> = support
+            .iter()
+            .map(|id| histogram.count(*id) as f64 / denom)
+            .collect();
+        let uniform = 1.0 / n;
+
+        let total_variation = 0.5 * freqs.iter().map(|p| (p - uniform).abs()).sum::<f64>()
+            + 0.5 * out_of_support;
+
+        let kl_divergence = freqs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * (p * n).ln())
+            .sum::<f64>();
+
+        let expected = denom / n;
+        let chi_square = support
+            .iter()
+            .map(|id| {
+                let observed = histogram.count(*id) as f64;
+                (observed - expected) * (observed - expected) / expected
+            })
+            .sum::<f64>();
+
+        let max = freqs.iter().cloned().fold(0.0, f64::max);
+        let min = freqs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_min_ratio = if min > 0.0 { max / min } else { f64::INFINITY };
+
+        Self {
+            support_size: support.len(),
+            samples,
+            total_variation,
+            kl_divergence,
+            chi_square,
+            degrees_of_freedom: support.len().saturating_sub(1),
+            max_min_ratio,
+            out_of_support,
+        }
+    }
+
+    /// Approximate upper tail probability of the chi-square statistic under
+    /// the uniform null hypothesis (Wilson–Hilferty normal approximation).
+    /// Small values (< 0.01, say) indicate a significant departure from
+    /// uniformity.
+    pub fn chi_square_p_value(&self) -> f64 {
+        let k = self.degrees_of_freedom as f64;
+        if k == 0.0 {
+            return 1.0;
+        }
+        let x = self.chi_square;
+        // Wilson–Hilferty: (X/k)^(1/3) is approximately normal with mean
+        // 1 − 2/(9k) and variance 2/(9k).
+        let z = ((x / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
+        1.0 - standard_normal_cdf(z)
+    }
+
+    /// A conventional yes/no verdict: the empirical distribution is
+    /// "consistent with uniform" when the chi-square test does not reject at
+    /// the given significance level and no sample fell outside the support.
+    pub fn is_consistent_with_uniform(&self, significance: f64) -> bool {
+        self.out_of_support == 0.0 && self.chi_square_p_value() >= significance
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erfc approximation.
+fn standard_normal_cdf(x: f64) -> f64 {
+    let z = x.abs() / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let erfc = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    let upper_half = 0.5 * erfc;
+    if x >= 0.0 {
+        1.0 - upper_half
+    } else {
+        upper_half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_histogram(n: u32, per_point: u64) -> (FrequencyHistogram, Vec<PointId>) {
+        let mut h = FrequencyHistogram::new();
+        let support: Vec<PointId> = (0..n).map(PointId).collect();
+        for id in &support {
+            for _ in 0..per_point {
+                h.record_id(*id);
+            }
+        }
+        (h, support)
+    }
+
+    #[test]
+    fn perfectly_uniform_distribution_scores_zero() {
+        let (h, support) = uniform_histogram(10, 100);
+        let report = UniformityReport::from_histogram(&h, &support);
+        assert_eq!(report.support_size, 10);
+        assert_eq!(report.samples, 1000);
+        assert!(report.total_variation < 1e-12);
+        assert!(report.kl_divergence.abs() < 1e-12);
+        assert!(report.chi_square < 1e-12);
+        assert!((report.max_min_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(report.out_of_support, 0.0);
+        assert!(report.is_consistent_with_uniform(0.01));
+    }
+
+    #[test]
+    fn degenerate_distribution_scores_high() {
+        let mut h = FrequencyHistogram::new();
+        let support: Vec<PointId> = (0..10).map(PointId).collect();
+        for _ in 0..1000 {
+            h.record_id(PointId(0));
+        }
+        let report = UniformityReport::from_histogram(&h, &support);
+        assert!((report.total_variation - 0.9).abs() < 1e-12);
+        assert!((report.kl_divergence - (10f64).ln()).abs() < 1e-9);
+        assert!(report.chi_square > 1000.0);
+        assert_eq!(report.max_min_ratio, f64::INFINITY);
+        assert!(!report.is_consistent_with_uniform(0.01));
+        assert!(report.chi_square_p_value() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_support_samples_are_flagged() {
+        let mut h = FrequencyHistogram::new();
+        let support = vec![PointId(0), PointId(1)];
+        for _ in 0..50 {
+            h.record_id(PointId(0));
+            h.record_id(PointId(1));
+        }
+        for _ in 0..100 {
+            h.record_id(PointId(99)); // non-neighbour
+        }
+        let report = UniformityReport::from_histogram(&h, &support);
+        assert!((report.out_of_support - 0.5).abs() < 1e-12);
+        assert!(!report.is_consistent_with_uniform(0.01));
+    }
+
+    #[test]
+    fn sampling_noise_is_tolerated_by_the_chi_square_test() {
+        // Simulate genuine uniform sampling with a simple LCG so the test is
+        // deterministic, and check the verdict is "consistent".
+        let support: Vec<PointId> = (0..20).map(PointId).collect();
+        let mut h = FrequencyHistogram::new();
+        let mut state = 0x12345678u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (state >> 33) % 20;
+            h.record_id(PointId(pick as u32));
+        }
+        let report = UniformityReport::from_histogram(&h, &support);
+        assert!(report.total_variation < 0.05);
+        assert!(
+            report.is_consistent_with_uniform(0.001),
+            "chi2 = {}, p = {}",
+            report.chi_square,
+            report.chi_square_p_value()
+        );
+    }
+
+    #[test]
+    fn mild_bias_is_detected_with_enough_samples() {
+        // Point 0 gets double the probability of everyone else.
+        let support: Vec<PointId> = (0..10).map(PointId).collect();
+        let mut h = FrequencyHistogram::new();
+        for _round in 0..2000u64 {
+            for id in &support {
+                h.record_id(*id);
+            }
+            h.record_id(PointId(0)); // extra mass on point 0
+        }
+        let report = UniformityReport::from_histogram(&h, &support);
+        assert!(report.max_min_ratio > 1.5);
+        assert!(!report.is_consistent_with_uniform(0.01));
+    }
+
+    #[test]
+    fn p_value_is_in_unit_interval() {
+        let (h, support) = uniform_histogram(5, 17);
+        let report = UniformityReport::from_histogram(&h, &support);
+        let p = report.chi_square_p_value();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "support must not be empty")]
+    fn empty_support_rejected() {
+        let h = FrequencyHistogram::new();
+        let _ = UniformityReport::from_histogram(&h, &[]);
+    }
+
+    #[test]
+    fn single_point_support() {
+        let mut h = FrequencyHistogram::new();
+        for _ in 0..10 {
+            h.record_id(PointId(3));
+        }
+        let report = UniformityReport::from_histogram(&h, &[PointId(3)]);
+        assert_eq!(report.degrees_of_freedom, 0);
+        assert_eq!(report.chi_square_p_value(), 1.0);
+        assert!(report.is_consistent_with_uniform(0.05));
+    }
+}

@@ -1,0 +1,80 @@
+//! Fairness audit: measure how (un)fair different near-neighbor structures
+//! are on the same query — a miniature, self-contained version of the
+//! paper's Figure 1 experiment.
+//!
+//! Run with: `cargo run -p fairnn-examples --release --bin fairness_audit`
+
+use fairnn_core::{
+    FairNnis, NaiveFairLsh, NeighborSampler, RankSwapSampler, SimilarityAtLeast, StandardLsh,
+};
+use fairnn_data::{select_interesting_queries, setdata::small_test_config};
+use fairnn_lsh::{OneBitMinHash, ParamsBuilder};
+use fairnn_space::Jaccard;
+use fairnn_stats::{FrequencyHistogram, UniformityReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = small_test_config().generate(99);
+    let r = 0.25;
+    let repetitions = 4000;
+
+    let queries = select_interesting_queries(&dataset, &Jaccard, r, 15, 1, 3);
+    let Some(&qid) = queries.first() else {
+        eprintln!("no suitable query user found");
+        return;
+    };
+    let query = dataset.point(qid).clone();
+    let neighborhood = dataset.similar_indices(&Jaccard, &query, r);
+    println!(
+        "auditing query user {qid}: true neighbourhood size b_S(q, r) = {}\n",
+        neighborhood.len()
+    );
+
+    let params = ParamsBuilder::new(dataset.len(), r, 0.1).empirical(&OneBitMinHash);
+    let near = SimilarityAtLeast::new(Jaccard, r);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut standard = StandardLsh::build(&OneBitMinHash, params, &dataset, near, &mut rng);
+    let mut naive = NaiveFairLsh::build(&OneBitMinHash, params, &dataset, near, &mut rng);
+    let mut rank_swap = RankSwapSampler::build(&OneBitMinHash, params, &dataset, near, &mut rng);
+    let mut nnis = FairNnis::build(&OneBitMinHash, params, &dataset, near, &mut rng);
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>14} {:>10}",
+        "sampler", "TV dist", "max/min", "chi2 p-value", "uniform?"
+    );
+    audit("standard LSH (biased)", &mut standard, &query, &neighborhood, repetitions, 10);
+    audit("naive fair LSH", &mut naive, &query, &neighborhood, repetitions, 11);
+    audit("rank-swap (Appendix A)", &mut rank_swap, &query, &neighborhood, repetitions, 12);
+    audit("fair r-NNIS (Section 4)", &mut nnis, &query, &neighborhood, repetitions, 13);
+
+    println!(
+        "\nA fair sampler has small total-variation distance, a max/min frequency ratio close to 1 \
+         and a chi-square p-value that does not reject uniformity."
+    );
+}
+
+fn audit<S: NeighborSampler<fairnn_space::SparseSet>>(
+    label: &str,
+    sampler: &mut S,
+    query: &fairnn_space::SparseSet,
+    neighborhood: &[fairnn_space::PointId],
+    repetitions: usize,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = FrequencyHistogram::new();
+    for _ in 0..repetitions {
+        hist.record(sampler.sample(query, &mut rng));
+    }
+    let report = UniformityReport::from_histogram(&hist, neighborhood);
+    println!(
+        "{:<26} {:>10.3} {:>12.2} {:>14.4} {:>10}",
+        label,
+        report.total_variation,
+        report.max_min_ratio,
+        report.chi_square_p_value(),
+        if report.is_consistent_with_uniform(0.001) { "yes" } else { "no" }
+    );
+}

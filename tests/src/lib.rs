@@ -1,0 +1,48 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this small library holds the
+//! fixtures they share (a common scaled-down workload and the LSH parameter
+//! recipe of the paper's evaluation).
+
+use fairnn_data::setdata::SetDataConfig;
+use fairnn_lsh::{LshParams, OneBitMinHash, ParamsBuilder};
+use fairnn_space::{Dataset, SparseSet};
+
+/// A compact clustered set-dataset used by most integration tests: the same
+/// qualitative structure as the paper's datasets (interest clusters plus
+/// background users) at a size where exact ground truth is cheap.
+pub fn test_dataset(seed: u64) -> Dataset<SparseSet> {
+    SetDataConfig {
+        num_users: 220,
+        universe_size: 1500,
+        mean_set_size: 24.0,
+        std_set_size: 4.0,
+        popularity_exponent: 1.0,
+        num_clusters: 4,
+        clustered_fraction: 0.8,
+        core_fraction: 0.75,
+        core_pool_factor: 1.2,
+    }
+    .generate(seed)
+}
+
+/// The Section 6 parameter recipe (1-bit MinHash, far threshold 0.1,
+/// ≥ 99 % recall at `r`).
+pub fn test_params(n: usize, r: f64) -> LshParams {
+    ParamsBuilder::new(n, r, 0.1).empirical(&OneBitMinHash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = test_dataset(1);
+        let b = test_dataset(1);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.points()[0], b.points()[0]);
+        let p = test_params(a.len(), 0.3);
+        assert!(p.k >= 1 && p.l >= 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end fairness: generate a workload, build every sampler, measure
+//! the output distribution against the exact neighbourhood, and assert the
+//! paper's qualitative findings (standard LSH is biased towards similar
+//! points, the fair structures are statistically uniform).
+
+use fairnn_core::{
+    ExactSampler, FairNnis, FairNns, NaiveFairLsh, NeighborSampler, RankSwapSampler,
+    SimilarityAtLeast, StandardLsh,
+};
+use fairnn_integration_tests::{test_dataset, test_params};
+use fairnn_lsh::OneBitMinHash;
+use fairnn_space::{Dataset, Jaccard, PointId, Similarity, SparseSet};
+use fairnn_stats::{FrequencyHistogram, SimilarityProfile, UniformityReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const R: f64 = 0.25;
+
+fn pick_query(dataset: &Dataset<SparseSet>) -> (SparseSet, Vec<PointId>) {
+    // The first clustered user always has a non-trivial neighbourhood.
+    let query = dataset.point(PointId(0)).clone();
+    let neighborhood = dataset.similar_indices(&Jaccard, &query, R);
+    assert!(
+        neighborhood.len() >= 10,
+        "fixture query has only {} neighbours",
+        neighborhood.len()
+    );
+    (query, neighborhood)
+}
+
+fn run<S: NeighborSampler<SparseSet>>(
+    sampler: &mut S,
+    query: &SparseSet,
+    repetitions: usize,
+    seed: u64,
+) -> FrequencyHistogram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = FrequencyHistogram::new();
+    for _ in 0..repetitions {
+        hist.record(sampler.sample(query, &mut rng));
+    }
+    hist
+}
+
+#[test]
+fn fair_nnis_output_is_statistically_uniform() {
+    let data = test_dataset(1);
+    let (query, neighborhood) = pick_query(&data);
+    let params = test_params(data.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sampler = FairNnis::build(&OneBitMinHash, params, &data, near, &mut rng);
+    let hist = run(&mut sampler, &query, 6000, 3);
+    let report = UniformityReport::from_histogram(&hist, &neighborhood);
+    assert_eq!(report.out_of_support, 0.0, "returned a non-neighbour");
+    assert!(
+        report.total_variation < 0.12,
+        "total variation {} too high",
+        report.total_variation
+    );
+    assert!(
+        report.is_consistent_with_uniform(1e-4),
+        "chi-square rejects uniformity: chi2 = {}, p = {}",
+        report.chi_square,
+        report.chi_square_p_value()
+    );
+}
+
+#[test]
+fn rank_swap_sampler_is_uniform_for_a_repeated_query() {
+    let data = test_dataset(2);
+    let (query, neighborhood) = pick_query(&data);
+    let params = test_params(data.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut sampler = RankSwapSampler::build(&OneBitMinHash, params, &data, near, &mut rng);
+    let hist = run(&mut sampler, &query, 6000, 5);
+    let report = UniformityReport::from_histogram(&hist, &neighborhood);
+    assert_eq!(report.out_of_support, 0.0);
+    assert!(report.total_variation < 0.12, "TV = {}", report.total_variation);
+}
+
+#[test]
+fn naive_fair_lsh_matches_the_exact_sampler_distribution() {
+    let data = test_dataset(3);
+    let (query, neighborhood) = pick_query(&data);
+    let params = test_params(data.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut naive = NaiveFairLsh::build(&OneBitMinHash, params, &data, near, &mut rng);
+    let mut exact = ExactSampler::new(&data, near);
+    let hist_naive = run(&mut naive, &query, 5000, 7);
+    let hist_exact = run(&mut exact, &query, 5000, 8);
+    let report_naive = UniformityReport::from_histogram(&hist_naive, &neighborhood);
+    let report_exact = UniformityReport::from_histogram(&hist_exact, &neighborhood);
+    assert!(report_naive.total_variation < 0.12);
+    assert!(report_exact.total_variation < 0.12);
+    assert_eq!(report_naive.out_of_support, 0.0);
+}
+
+#[test]
+fn standard_lsh_is_biased_towards_similar_points() {
+    let data = test_dataset(4);
+    let (query, neighborhood) = pick_query(&data);
+    let params = test_params(data.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut standard = StandardLsh::build(&OneBitMinHash, params, &data, near, &mut rng);
+    let mut fair = FairNnis::build(&OneBitMinHash, params, &data, near, &mut rng);
+
+    let hist_standard = run(&mut standard, &query, 6000, 10);
+    let hist_fair = run(&mut fair, &query, 6000, 11);
+
+    let members: Vec<(PointId, f64)> = neighborhood
+        .iter()
+        .map(|id| (*id, Jaccard.similarity(&query, data.point(*id))))
+        .collect();
+    let profile_standard = SimilarityProfile::from_histogram(&hist_standard, &members, 2);
+    let profile_fair = SimilarityProfile::from_histogram(&hist_fair, &members, 2);
+
+    let report_standard = UniformityReport::from_histogram(&hist_standard, &neighborhood);
+    let report_fair = UniformityReport::from_histogram(&hist_fair, &neighborhood);
+
+    // Figure 1's qualitative message, as assertions:
+    // 1. the fair structure is closer to uniform than the standard query;
+    assert!(
+        report_fair.total_variation < report_standard.total_variation,
+        "fair TV {} not smaller than standard TV {}",
+        report_fair.total_variation,
+        report_standard.total_variation
+    );
+    // 2. the standard query correlates output frequency with similarity
+    //    more strongly than the fair one.
+    assert!(
+        profile_standard.similarity_frequency_correlation()
+            > profile_fair.similarity_frequency_correlation() - 0.05,
+        "standard corr {} vs fair corr {}",
+        profile_standard.similarity_frequency_correlation(),
+        profile_fair.similarity_frequency_correlation()
+    );
+    // 3. the standard query never returns a non-neighbour either (it is
+    //    unfair, not incorrect).
+    assert_eq!(report_standard.out_of_support, 0.0);
+}
+
+#[test]
+fn fair_nns_is_uniform_over_reconstructions() {
+    // Definition 1 (r-NNS): uniformity holds over the randomness of the
+    // construction. Rebuild the structure many times with the same data and
+    // count which neighbour is reported.
+    let data = test_dataset(5);
+    let (query, neighborhood) = pick_query(&data);
+    let params = test_params(data.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut hist = FrequencyHistogram::new();
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(10_000 + seed);
+        let mut sampler = FairNns::build(&OneBitMinHash, params, &data, near, &mut rng);
+        hist.record(sampler.sample(&query, &mut rng));
+    }
+    let report = UniformityReport::from_histogram(&hist, &neighborhood);
+    assert_eq!(report.out_of_support, 0.0);
+    // 400 rebuilds over ~15+ neighbours is noisy; just require that no single
+    // point dominates and that nothing outside the neighbourhood shows up.
+    assert!(
+        report.total_variation < 0.35,
+        "TV over rebuilds = {}",
+        report.total_variation
+    );
+}

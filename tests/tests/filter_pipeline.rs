@@ -1,0 +1,95 @@
+//! Cross-crate pipeline for the Section 5 filter structures: planted
+//! inner-product workload → tensor filter / α-NNIS sampler → fairness
+//! statistics.
+
+use fairnn_core::{FilterConfig, FilterNnis, NeighborSampler, TensorFilter};
+use fairnn_data::{PlantedInstance, PlantedInstanceConfig};
+use fairnn_space::PointId;
+use fairnn_stats::{FrequencyHistogram, UniformityReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn planted() -> PlantedInstance {
+    PlantedInstance::generate(
+        PlantedInstanceConfig {
+            dim: 32,
+            background: 500,
+            near: 8,
+            mid: 60,
+            alpha: 0.8,
+            beta: 0.5,
+        },
+        2024,
+    )
+}
+
+fn config() -> FilterConfig {
+    FilterConfig::new(0.8, 0.5)
+        .with_epsilon(0.02)
+        .with_repetitions(14)
+}
+
+#[test]
+fn tensor_filter_solves_alpha_beta_nn_with_good_probability() {
+    let inst = planted();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut successes = 0usize;
+    let builds = 10;
+    for _ in 0..builds {
+        let filter = TensorFilter::build(config(), &inst.dataset, &mut rng);
+        if let Some(id) = filter.solve_ann(&inst.dataset, &inst.query) {
+            assert!(
+                inst.dataset.point(id).dot(&inst.query) >= 0.5,
+                "ANN answer below the beta threshold"
+            );
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= builds * 7 / 10,
+        "ANN query succeeded only {successes}/{builds} times"
+    );
+}
+
+#[test]
+fn filter_nnis_is_uniform_over_its_candidate_support() {
+    let inst = planted();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+
+    let support: Vec<PointId> = sampler.near_candidates(&inst.query);
+    assert!(
+        support.len() >= 6,
+        "candidate support too small ({}) to test uniformity",
+        support.len()
+    );
+
+    let mut hist = FrequencyHistogram::new();
+    for _ in 0..5000 {
+        hist.record(sampler.sample(&inst.query, &mut rng));
+    }
+    // Restrict to successful answers: the failure event is rare but allowed.
+    assert!(hist.none_count() * 10 < hist.total(), "too many ⊥ answers");
+    let report = UniformityReport::from_histogram(&hist, &support);
+    assert!(
+        report.out_of_support < 0.02,
+        "samples outside the near candidate set: {}",
+        report.out_of_support
+    );
+    assert!(
+        report.total_variation < 0.15,
+        "total variation {} too high for a fair sampler",
+        report.total_variation
+    );
+}
+
+#[test]
+fn filter_nnis_space_is_linear_in_points_times_repetitions() {
+    let inst = planted();
+    let mut rng = StdRng::seed_from_u64(3);
+    let sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
+    assert_eq!(sampler.total_entries(), inst.dataset.len() * sampler.num_repetitions());
+    // Theorem 4's "nearly linear": the number of repetitions is logarithmic,
+    // not polynomial, in n.
+    assert!(sampler.num_repetitions() <= 2 * (inst.dataset.len() as f64).log2().ceil() as usize);
+}
