@@ -24,7 +24,9 @@ fn instance(background: usize) -> PlantedInstance {
 }
 
 fn config() -> FilterConfig {
-    FilterConfig::new(0.8, 0.5).with_epsilon(0.05).with_repetitions(8)
+    FilterConfig::new(0.8, 0.5)
+        .with_epsilon(0.05)
+        .with_repetitions(8)
 }
 
 fn bench_tensor_filter(c: &mut Criterion) {
@@ -40,9 +42,11 @@ fn bench_tensor_filter(c: &mut Criterion) {
         });
         let mut rng = StdRng::seed_from_u64(2);
         let filter = TensorFilter::build(config(), &inst.dataset, &mut rng);
-        group.bench_with_input(BenchmarkId::new("ann_query", background), &inst, |b, inst| {
-            b.iter(|| black_box(filter.solve_ann(&inst.dataset, &inst.query)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ann_query", background),
+            &inst,
+            |b, inst| b.iter(|| black_box(filter.solve_ann(&inst.dataset, &inst.query))),
+        );
         group.bench_with_input(
             BenchmarkId::new("candidate_enumeration", background),
             &inst,

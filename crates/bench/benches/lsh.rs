@@ -12,8 +12,12 @@ fn bench_minhash_eval(c: &mut Criterion) {
     let hasher = MinHasher::from_seed(3);
     let one_bit = OneBitMinHasher::from_seed(3);
     let mut group = c.benchmark_group("minhash_eval");
-    group.bench_function("full_minhash", |b| b.iter(|| black_box(hasher.hash(black_box(&set)))));
-    group.bench_function("one_bit_minhash", |b| b.iter(|| black_box(one_bit.hash(black_box(&set)))));
+    group.bench_function("full_minhash", |b| {
+        b.iter(|| black_box(hasher.hash(black_box(&set))))
+    });
+    group.bench_function("one_bit_minhash", |b| {
+        b.iter(|| black_box(one_bit.hash(black_box(&set))))
+    });
     group.finish();
 }
 
@@ -32,7 +36,12 @@ fn bench_index_build(c: &mut Criterion) {
             b.iter(|| {
                 use rand::SeedableRng;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-                black_box(LshIndex::build(&OneBitMinHash, params, w.dataset.points(), &mut rng))
+                black_box(LshIndex::build(
+                    &OneBitMinHash,
+                    params,
+                    w.dataset.points(),
+                    &mut rng,
+                ))
             })
         });
     }

@@ -71,13 +71,25 @@ fn bench_structure_build(c: &mut Criterion) {
     group.bench_function("fair_nns_section3", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            black_box(FairNns::build(&OneBitMinHash, params, &w.dataset, near, &mut rng))
+            black_box(FairNns::build(
+                &OneBitMinHash,
+                params,
+                &w.dataset,
+                near,
+                &mut rng,
+            ))
         })
     });
     group.bench_function("fair_nnis_section4", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            black_box(FairNnis::build(&OneBitMinHash, params, &w.dataset, near, &mut rng))
+            black_box(FairNnis::build(
+                &OneBitMinHash,
+                params,
+                &w.dataset,
+                near,
+                &mut rng,
+            ))
         })
     });
     group.finish();

@@ -53,11 +53,7 @@ fn bench_merge(c: &mut Criterion) {
     for num_sketches in [8usize, 32, 128] {
         let sketches: Vec<DistinctSketch> = (0..num_sketches)
             .map(|i| {
-                DistinctSketch::from_elements(
-                    7,
-                    params(),
-                    (0..500u64).map(|x| x + 313 * i as u64),
-                )
+                DistinctSketch::from_elements(7, params(), (0..500u64).map(|x| x + 313 * i as u64))
             })
             .collect();
         group.bench_with_input(

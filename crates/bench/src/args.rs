@@ -64,7 +64,10 @@ impl CommonArgs {
                 _ => {}
             }
         }
-        assert!(out.scale > 0.0 && out.scale <= 1.0, "--scale must be in (0, 1]");
+        assert!(
+            out.scale > 0.0 && out.scale <= 1.0,
+            "--scale must be in (0, 1]"
+        );
         assert!(out.repetitions > 0, "--repetitions must be positive");
         assert!(out.queries > 0, "--queries must be positive");
         out

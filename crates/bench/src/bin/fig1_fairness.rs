@@ -39,7 +39,10 @@ fn main() {
         let result = run_output_distribution(&workload, r, args.repetitions, args.seed + 1);
 
         let mut per_query = TextTable::new(
-            format!("{} (r = {r}): per-query deviation from uniform", kind.name()),
+            format!(
+                "{} (r = {r}): per-query deviation from uniform",
+                kind.name()
+            ),
             &[
                 "query",
                 "b_r",
@@ -64,7 +67,10 @@ fn main() {
         // The Figure 1 scatter itself: average relative frequency per
         // similarity level, for the first few queries.
         let mut scatter = TextTable::new(
-            format!("{} (r = {r}): relative frequency by similarity (first 3 queries)", kind.name()),
+            format!(
+                "{} (r = {r}): relative frequency by similarity (first 3 queries)",
+                kind.name()
+            ),
             &["query", "similarity", "points", "standard LSH", "fair LSH"],
         );
         for q in result.per_query.iter().take(3) {

@@ -16,7 +16,10 @@ use fairnn_stats::{table::fmt_f64, TextTable};
 fn main() {
     let args = CommonArgs::from_env();
     println!("Figure 3 — cost ratio b_S(q, cr) / b_S(q, r)");
-    println!("scale = {}, queries = {}, seed = {}\n", args.scale, args.queries, args.seed);
+    println!(
+        "scale = {}, queries = {}, seed = {}\n",
+        args.scale, args.queries, args.seed
+    );
 
     let rs = [0.15, 0.2, 0.25];
     let cs = [0.2, 0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0];
@@ -31,7 +34,10 @@ fn main() {
         );
         let rows = run_cost_ratio(&workload.dataset, &workload.queries, &rs, &cs);
         let mut table = TextTable::new(
-            format!("{}: ratio of |similarity >= c*r| to |similarity >= r|", kind.name()),
+            format!(
+                "{}: ratio of |similarity >= c*r| to |similarity >= r|",
+                kind.name()
+            ),
             &["r", "c", "mean ratio", "median", "max"],
         );
         for row in rows {

@@ -37,7 +37,13 @@ fn main() {
         let costs = run_query_cost(&workload, r, args.repetitions, args.seed + 7);
         let mut table = TextTable::new(
             format!("{}: mean per-query work", kind.name()),
-            &["sampler", "entries", "similarity evals", "time (us)", "bottom rate"],
+            &[
+                "sampler",
+                "entries",
+                "similarity evals",
+                "time (us)",
+                "bottom rate",
+            ],
         );
         for c in costs {
             table.add_row(vec![

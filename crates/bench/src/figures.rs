@@ -6,8 +6,8 @@
 
 use crate::workload::SetWorkload;
 use fairnn_core::{
-    ApproximateNeighborhoodSampler, ExactSampler, FairNnis, FairNns, NaiveFairLsh,
-    NeighborSampler, SimilarityAtLeast, StandardLsh,
+    ApproximateNeighborhoodSampler, ExactSampler, FairNnis, FairNns, NaiveFairLsh, NeighborSampler,
+    SimilarityAtLeast, StandardLsh,
 };
 use fairnn_data::AdversarialInstance;
 use fairnn_lsh::{LshParams, OneBitMinHash, ParamsBuilder};
@@ -68,7 +68,11 @@ impl OutputDistributionResult {
     /// Mean total-variation distance from uniform of the standard LSH
     /// output across queries.
     pub fn mean_standard_tv(&self) -> f64 {
-        mean(self.per_query.iter().map(|q| q.standard.report.total_variation))
+        mean(
+            self.per_query
+                .iter()
+                .map(|q| q.standard.report.total_variation),
+        )
     }
 
     /// Mean total-variation distance from uniform of the fair LSH output.
@@ -212,7 +216,11 @@ pub fn run_adversarial_experiment(
     let x = Summary::of(&x_probs);
     let y = Summary::of(&y_probs);
     let z = Summary::of(&z_probs);
-    let x_over_y = if y.mean > 0.0 { x.mean / y.mean } else { f64::INFINITY };
+    let x_over_y = if y.mean > 0.0 {
+        x.mean / y.mean
+    } else {
+        f64::INFINITY
+    };
     AdversarialResult {
         x_probability: x,
         y_probability: y,
@@ -375,7 +383,10 @@ mod tests {
     fn output_distribution_standard_is_more_biased_than_fair() {
         let w = small_workload();
         let result = run_output_distribution(&w, 0.2, 400, 7);
-        assert!(!result.per_query.is_empty(), "no query had a usable neighbourhood");
+        assert!(
+            !result.per_query.is_empty(),
+            "no query had a usable neighbourhood"
+        );
         // The qualitative Figure 1 finding: fair LSH is closer to uniform
         // than standard LSH, and standard LSH has a positive
         // similarity/frequency correlation.
@@ -427,7 +438,12 @@ mod tests {
         let exact = costs.iter().find(|c| c.name == "exact").unwrap();
         assert!(exact.mean_entries >= w.dataset.len() as f64 - 1e-9);
         for c in &costs {
-            assert!(c.failure_rate <= 0.2, "{} failed too often: {}", c.name, c.failure_rate);
+            assert!(
+                c.failure_rate <= 0.2,
+                "{} failed too often: {}",
+                c.name,
+                c.failure_rate
+            );
         }
     }
 }

@@ -323,7 +323,9 @@ mod tests {
         }
         // Far away singletons.
         for j in 0..6u32 {
-            sets.push(SparseSet::from_items((1000 + j * 50..1000 + j * 50 + 20).collect()));
+            sets.push(SparseSet::from_items(
+                (1000 + j * 50..1000 + j * 50 + 20).collect(),
+            ));
         }
         Dataset::new(sets)
     }
@@ -343,7 +345,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut counts = vec![0usize; data.len()];
         for _ in 0..6000 {
-            let id = sampler.sample(&query, &mut rng).expect("neighbourhood non-empty");
+            let id = sampler
+                .sample(&query, &mut rng)
+                .expect("neighbourhood non-empty");
             assert!(neighborhood.contains(&id));
             counts[id.index()] += 1;
         }
@@ -376,7 +380,9 @@ mod tests {
             &mut rng,
         );
         let query = data.point(PointId(0)).clone();
-        let result = sampler.sample(&query, &mut rng).expect("cluster should be found");
+        let result = sampler
+            .sample(&query, &mut rng)
+            .expect("cluster should be found");
         assert!(result.index() < 6, "returned a far point {result:?}");
         assert!(sampler.last_query_stats().entries_scanned >= 1);
         assert_eq!(sampler.name(), "standard-lsh");
@@ -413,7 +419,8 @@ mod tests {
         let data = toy_dataset();
         let near = SimilarityAtLeast::new(Jaccard, 0.5);
         let mut rng = StdRng::seed_from_u64(5);
-        let mut naive = NaiveFairLsh::build(&MinHash, toy_params(data.len()), &data, near, &mut rng);
+        let mut naive =
+            NaiveFairLsh::build(&MinHash, toy_params(data.len()), &data, near, &mut rng);
         let exact = ExactSampler::new(&data, near);
         let query = data.point(PointId(1)).clone();
         let mut candidates = naive.near_candidates(&query);
@@ -431,7 +438,8 @@ mod tests {
         let data = toy_dataset();
         let near = SimilarityAtLeast::new(Jaccard, 0.5);
         let mut rng = StdRng::seed_from_u64(6);
-        let mut naive = NaiveFairLsh::build(&MinHash, toy_params(data.len()), &data, near, &mut rng);
+        let mut naive =
+            NaiveFairLsh::build(&MinHash, toy_params(data.len()), &data, near, &mut rng);
         let query = data.point(PointId(0)).clone();
         let mut counts = vec![0usize; data.len()];
         let trials = 6000;
@@ -439,8 +447,8 @@ mod tests {
             let id = naive.sample(&query, &mut rng).expect("non-empty");
             counts[id.index()] += 1;
         }
-        for id in 0..6usize {
-            let rate = counts[id] as f64 / trials as f64;
+        for (id, &count) in counts.iter().enumerate().take(6) {
+            let rate = count as f64 / trials as f64;
             assert!((rate - 1.0 / 6.0).abs() < 0.05, "rate {rate} for {id}");
         }
     }

@@ -40,7 +40,10 @@ impl FilterNnis {
         dataset: &Dataset<DenseVector>,
         rng: &mut R,
     ) -> Self {
-        assert!(!dataset.is_empty(), "cannot build a filter over an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot build a filter over an empty dataset"
+        );
         let repetitions = config.filter_repetitions(dataset.len());
         let filters = (0..repetitions)
             .map(|_| TensorFilter::build(config, dataset, rng))
@@ -239,7 +242,9 @@ mod tests {
     }
 
     fn config() -> FilterConfig {
-        FilterConfig::new(0.8, 0.5).with_epsilon(0.02).with_repetitions(12)
+        FilterConfig::new(0.8, 0.5)
+            .with_epsilon(0.02)
+            .with_repetitions(12)
     }
 
     #[test]
@@ -321,9 +326,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
         // A query orthogonal-ish to everything: flip the query far away.
-        let far_query = DenseVector::new(
-            inst.query.values().iter().map(|v| -v).collect::<Vec<f64>>(),
-        );
+        let far_query =
+            DenseVector::new(inst.query.values().iter().map(|v| -v).collect::<Vec<f64>>());
         assert!(sampler.sample(&far_query, &mut rng).is_none());
     }
 }

@@ -93,7 +93,10 @@ impl TensorFilter {
         dataset: &Dataset<DenseVector>,
         rng: &mut R,
     ) -> Self {
-        assert!(!dataset.is_empty(), "cannot build a filter over an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot build a filter over an empty dataset"
+        );
         let dim = dataset.point(PointId(0)).dim();
         assert!(dim > 0, "points must have positive dimension");
         let t = config.blocks();
@@ -204,7 +207,11 @@ impl TensorFilter {
     /// least β with the query if the inspected buckets contain one
     /// (Theorem 3 guarantees this succeeds with probability ≥ 1 − ε whenever
     /// a point with inner product ≥ α exists).
-    pub fn solve_ann(&self, dataset: &Dataset<DenseVector>, query: &DenseVector) -> Option<PointId> {
+    pub fn solve_ann(
+        &self,
+        dataset: &Dataset<DenseVector>,
+        query: &DenseVector,
+    ) -> Option<PointId> {
         self.query_candidates(query)
             .into_iter()
             .find(|id| dataset.point(*id).dot(query) >= self.config.beta)
@@ -260,8 +267,7 @@ mod tests {
         // Summing bucket sizes over per-point keys counts each bucket once
         // per member, so the identity below holds iff every point appears in
         // exactly one bucket and `key_of` agrees with the bucket content.
-        let direct: usize = filter
-            .num_points();
+        let direct: usize = filter.num_points();
         let stored: usize = {
             let mut count = 0;
             for i in 0..filter.num_points() {

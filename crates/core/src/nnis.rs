@@ -329,7 +329,7 @@ where
         let colliding_is_empty = keys
             .iter()
             .zip(self.buckets.iter())
-            .all(|(key, table)| table.get(key).map_or(true, |b| b.entries.is_empty()));
+            .all(|(key, table)| table.get(key).is_none_or(|b| b.entries.is_empty()));
         if colliding_is_empty {
             self.stats = stats;
             return None;
@@ -424,7 +424,9 @@ mod tests {
             sets.push(SparseSet::from_items(items));
         }
         for j in 0..20u32 {
-            sets.push(SparseSet::from_items((1000 + j * 40..1000 + j * 40 + 15).collect()));
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 15).collect(),
+            ));
         }
         Dataset::new(sets)
     }
@@ -465,7 +467,9 @@ mod tests {
             let query = data.point(PointId(qi)).clone();
             let neighborhood = exact.neighborhood(&query);
             for _ in 0..20 {
-                let id = sampler.sample(&query, &mut rng).expect("cluster is non-empty");
+                let id = sampler
+                    .sample(&query, &mut rng)
+                    .expect("cluster is non-empty");
                 assert!(neighborhood.contains(&id), "returned non-neighbour {id:?}");
             }
         }

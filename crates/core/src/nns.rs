@@ -217,7 +217,11 @@ where
     /// of a uniformly random point holding a rank in `[rank(x), n)` and
     /// restore the rank-sorted order of every bucket containing either point.
     /// Returns the point `x` was swapped with.
-    pub(crate) fn reshuffle_rank_of<R: Rng + ?Sized>(&mut self, x: PointId, rng: &mut R) -> PointId {
+    pub(crate) fn reshuffle_rank_of<R: Rng + ?Sized>(
+        &mut self,
+        x: PointId,
+        rng: &mut R,
+    ) -> PointId {
         let Self {
             points,
             hashers,
@@ -283,12 +287,19 @@ mod tests {
             sets.push(SparseSet::from_items(items));
         }
         for j in 0..8u32 {
-            sets.push(SparseSet::from_items((1000 + j * 40..1000 + j * 40 + 15).collect()));
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 15).collect(),
+            ));
         }
         Dataset::new(sets)
     }
 
-    fn build(seed: u64) -> (Dataset<SparseSet>, FairNns<SparseSet, ConcatenatedHasher<fairnn_lsh::MinHasher>, SimilarityAtLeast<Jaccard>>) {
+    fn build(
+        seed: u64,
+    ) -> (
+        Dataset<SparseSet>,
+        FairNns<SparseSet, ConcatenatedHasher<fairnn_lsh::MinHasher>, SimilarityAtLeast<Jaccard>>,
+    ) {
         let data = clustered_dataset();
         let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -308,7 +319,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         for qi in 0..8u32 {
             let query = data.point(PointId(qi)).clone();
-            let id = sampler.sample(&query, &mut rng).expect("cluster member expected");
+            let id = sampler
+                .sample(&query, &mut rng)
+                .expect("cluster member expected");
             assert!(id.index() < 8, "returned far point {id:?} for query {qi}");
         }
         assert!(sampler.last_query_stats().distance_computations > 0);
@@ -370,8 +383,8 @@ mod tests {
             let id = sampler.sample(&query, &mut rng).expect("non-empty");
             counts[id.index()] += 1;
         }
-        for member in 0..8usize {
-            let rate = counts[member] as f64 / rebuilds as f64;
+        for (member, &count) in counts.iter().enumerate().take(8) {
+            let rate = count as f64 / rebuilds as f64;
             assert!(
                 (rate - 1.0 / 8.0).abs() < 0.05,
                 "member {member} returned with rate {rate}"

@@ -124,7 +124,7 @@ mod tests {
         let perm = RankPermutation::random(100, &mut rng);
         assert_eq!(perm.len(), 100);
         assert!(perm.is_consistent());
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for p in 0..100u32 {
             let r = perm.rank(PointId(p));
             assert!(!seen[r as usize]);

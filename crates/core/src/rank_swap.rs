@@ -123,7 +123,9 @@ mod tests {
             sets.push(SparseSet::from_items(items));
         }
         for j in 0..10u32 {
-            sets.push(SparseSet::from_items((1000 + j * 40..1000 + j * 40 + 12).collect()));
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 12).collect(),
+            ));
         }
         Dataset::new(sets)
     }
@@ -143,7 +145,9 @@ mod tests {
         let trials = 9000;
         let mut counts = vec![0usize; data.len()];
         for _ in 0..trials {
-            let id = sampler.sample(&query, &mut rng).expect("neighbourhood non-empty");
+            let id = sampler
+                .sample(&query, &mut rng)
+                .expect("neighbourhood non-empty");
             assert!(neighborhood.contains(&id), "non-neighbour returned");
             counts[id.index()] += 1;
         }
@@ -186,7 +190,10 @@ mod tests {
         for _ in 0..500 {
             let _ = sampler.sample(&query, &mut rng);
         }
-        assert!(sampler.ranks().is_consistent(), "rank permutation corrupted");
+        assert!(
+            sampler.ranks().is_consistent(),
+            "rank permutation corrupted"
+        );
     }
 
     #[test]

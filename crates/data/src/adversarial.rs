@@ -202,7 +202,11 @@ mod tests {
         for &id in &inst.m {
             let s = inst.dataset.point(id);
             assert!(s.len() >= 15 && s.len() <= 17);
-            assert_eq!(s.intersection_size(y), s.len(), "member of M not a subset of Y");
+            assert_eq!(
+                s.intersection_size(y),
+                s.len(),
+                "member of M not a subset of Y"
+            );
         }
     }
 

@@ -64,7 +64,9 @@ where
         .map(|(id, p)| {
             dataset
                 .iter()
-                .filter(|(other_id, other)| *other_id != id && measure.similarity(p, other) >= threshold)
+                .filter(|(other_id, other)| {
+                    *other_id != id && measure.similarity(p, other) >= threshold
+                })
                 .count()
         })
         .collect()
@@ -88,7 +90,10 @@ mod tests {
                 .iter()
                 .filter(|(id, other)| id != q && Jaccard.similarity(p, other) >= 0.2)
                 .count();
-            assert!(neighbors >= 20, "query {q:?} has only {neighbors} neighbours");
+            assert!(
+                neighbors >= 20,
+                "query {q:?} has only {neighbors} neighbours"
+            );
         }
     }
 

@@ -92,8 +92,15 @@ mod tests {
             .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-        assert!((mean - target_mean).abs() / target_mean < 0.05, "mean {mean}");
-        assert!((var.sqrt() - target_std).abs() / target_std < 0.1, "std {}", var.sqrt());
+        assert!(
+            (mean - target_mean).abs() / target_mean < 0.05,
+            "mean {mean}"
+        );
+        assert!(
+            (var.sqrt() - target_std).abs() / target_std < 0.1,
+            "std {}",
+            var.sqrt()
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

@@ -51,7 +51,10 @@ impl SetDataConfig {
     fn validate(&self) {
         assert!(self.num_users > 0, "num_users must be positive");
         assert!(self.universe_size > 0, "universe_size must be positive");
-        assert!(self.mean_set_size >= 1.0, "mean_set_size must be at least 1");
+        assert!(
+            self.mean_set_size >= 1.0,
+            "mean_set_size must be at least 1"
+        );
         assert!(
             (0.0..=1.0).contains(&self.clustered_fraction),
             "clustered_fraction must be in [0, 1]"
@@ -61,7 +64,10 @@ impl SetDataConfig {
             "core_fraction must be in [0, 1]"
         );
         assert!(self.num_clusters > 0, "num_clusters must be positive");
-        assert!(self.core_pool_factor >= 1.0, "core_pool_factor must be at least 1");
+        assert!(
+            self.core_pool_factor >= 1.0,
+            "core_pool_factor must be at least 1"
+        );
     }
 
     /// Generates the dataset deterministically from a seed.
@@ -72,8 +78,8 @@ impl SetDataConfig {
 
         // Build the cluster core pools from the popular half of the universe
         // so clusters overlap the "realistic" items, not only the tail.
-        let core_pool_size =
-            ((self.mean_set_size * self.core_pool_factor).ceil() as usize).min(self.universe_size as usize);
+        let core_pool_size = ((self.mean_set_size * self.core_pool_factor).ceil() as usize)
+            .min(self.universe_size as usize);
         let cluster_pools: Vec<Vec<u32>> = (0..self.num_clusters)
             .map(|_| {
                 popularity
@@ -228,7 +234,11 @@ mod tests {
             assert_eq!(x, y);
         }
         let c = cfg.generate(8);
-        assert!(a.points().iter().zip(c.points().iter()).any(|(x, y)| x != y));
+        assert!(a
+            .points()
+            .iter()
+            .zip(c.points().iter())
+            .any(|(x, y)| x != y));
     }
 
     #[test]
@@ -286,7 +296,10 @@ mod tests {
             .iter()
             .filter(|p| Jaccard.similarity(query, p) >= 0.2)
             .count();
-        assert!(neighbors <= 10, "background user has {neighbors} near neighbours");
+        assert!(
+            neighbors <= 10,
+            "background user has {neighbors} near neighbours"
+        );
     }
 
     #[test]
@@ -310,7 +323,10 @@ mod tests {
         let sizes: Vec<usize> = data.points().iter().map(|s| s.len()).collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         assert!((mean - 19.8).abs() < 3.0, "mean {mean}");
-        assert!(sizes.iter().all(|&s| (10..=40).contains(&s)), "sizes out of range");
+        assert!(
+            sizes.iter().all(|&s| (10..=40).contains(&s)),
+            "sizes out of range"
+        );
     }
 
     #[test]

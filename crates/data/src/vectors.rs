@@ -206,7 +206,10 @@ mod tests {
         }
         for &id in &inst.mid_ids {
             let s = InnerProduct.similarity(&inst.query, inst.dataset.point(id));
-            assert!(s >= config.beta - 1e-9 && s < config.alpha, "mid point at {s}");
+            assert!(
+                s >= config.beta - 1e-9 && s < config.alpha,
+                "mid point at {s}"
+            );
         }
     }
 

@@ -150,7 +150,11 @@ mod tests {
             }
         }
         // The top-10 items should receive far more than the uniform 1% share.
-        assert!(head as f64 / n as f64 > 0.2, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.2,
+            "head share {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]
@@ -160,7 +164,11 @@ mod tests {
         let n = 100_000;
         let count = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
         let rate = count as f64 / n as f64;
-        assert!((rate - z.probability(0)).abs() < 0.01, "rate {rate}, prob {}", z.probability(0));
+        assert!(
+            (rate - z.probability(0)).abs() < 0.01,
+            "rate {rate}, prob {}",
+            z.probability(0)
+        );
     }
 
     #[test]

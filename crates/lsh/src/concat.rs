@@ -151,7 +151,10 @@ mod tests {
         let expected = base.collision_probability(s).powi(10);
         assert!((fam.collision_probability(s) - expected).abs() < 1e-12);
         // Base accessor exposes the original family.
-        assert_eq!(fam.base().collision_probability(s), base.collision_probability(s));
+        assert_eq!(
+            fam.base().collision_probability(s),
+            base.collision_probability(s)
+        );
     }
 
     #[test]
@@ -188,6 +191,9 @@ mod tests {
             }
         }
         let rate = coll as f64 / trials as f64;
-        assert!((rate - expected).abs() < 0.04, "rate {rate}, expected {expected}");
+        assert!(
+            (rate - expected).abs() < 0.04,
+            "rate {rate}, expected {expected}"
+        );
     }
 }

@@ -41,8 +41,12 @@ pub trait CollisionModel {
     /// `ρ = log(1/p1) / log(1/p2)` for the given near/far thresholds —
     /// the exponent in the `n^ρ` query-time bound.
     fn rho(&self, near: f64, far: f64) -> f64 {
-        let p1 = self.collision_probability(near).clamp(f64::MIN_POSITIVE, 1.0);
-        let p2 = self.collision_probability(far).clamp(f64::MIN_POSITIVE, 1.0);
+        let p1 = self
+            .collision_probability(near)
+            .clamp(f64::MIN_POSITIVE, 1.0);
+        let p2 = self
+            .collision_probability(far)
+            .clamp(f64::MIN_POSITIVE, 1.0);
         if p1 >= 1.0 {
             return 0.0;
         }

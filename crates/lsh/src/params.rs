@@ -114,8 +114,12 @@ impl ParamsBuilder {
     /// collisions per table; `L` achieves the recall target at the near
     /// threshold.
     pub fn empirical<M: CollisionModel>(&self, model: &M) -> LshParams {
-        let p_far = model.collision_probability(self.far).clamp(1e-12, 1.0 - 1e-12);
-        let p_near = model.collision_probability(self.near).clamp(1e-12, 1.0 - 1e-12);
+        let p_far = model
+            .collision_probability(self.far)
+            .clamp(1e-12, 1.0 - 1e-12);
+        let p_near = model
+            .collision_probability(self.near)
+            .clamp(1e-12, 1.0 - 1e-12);
         assert!(
             p_near > p_far,
             "collision model must separate near ({p_near}) from far ({p_far})"
@@ -149,8 +153,12 @@ impl ParamsBuilder {
     /// Section 2.2-style asymptotic parameters: `K` drives `p2^K` below
     /// `1/n`, `L = ⌈ln(n/δ is fixed at 1/n) / p1^K⌉ = ⌈p1^{-K} ln n⌉`.
     pub fn theory<M: CollisionModel>(&self, model: &M) -> LshParams {
-        let p_far = model.collision_probability(self.far).clamp(1e-12, 1.0 - 1e-12);
-        let p_near = model.collision_probability(self.near).clamp(1e-12, 1.0 - 1e-12);
+        let p_far = model
+            .collision_probability(self.far)
+            .clamp(1e-12, 1.0 - 1e-12);
+        let p_near = model
+            .collision_probability(self.near)
+            .clamp(1e-12, 1.0 - 1e-12);
         assert!(
             p_near > p_far,
             "collision model must separate near ({p_near}) from far ({p_far})"

@@ -136,7 +136,10 @@ mod tests {
             }
         }
         let rate = collisions as f64 / trials as f64;
-        assert!((rate - expected).abs() < 0.03, "rate {rate}, expected {expected}");
+        assert!(
+            (rate - expected).abs() < 0.03,
+            "rate {rate}, expected {expected}"
+        );
     }
 
     #[test]

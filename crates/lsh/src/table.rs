@@ -234,12 +234,16 @@ mod tests {
             }
         }
         for i in 0..10u32 {
-            sets.push(SparseSet::from_items((5000 + i * 50..5000 + i * 50 + 20).collect()));
+            sets.push(SparseSet::from_items(
+                (5000 + i * 50..5000 + i * 50 + 20).collect(),
+            ));
         }
         sets
     }
 
-    fn build_index(sets: &[SparseSet]) -> LshIndex<ConcatenatedHasher<crate::minhash::OneBitMinHasher>> {
+    fn build_index(
+        sets: &[SparseSet],
+    ) -> LshIndex<ConcatenatedHasher<crate::minhash::OneBitMinHasher>> {
         let params = ParamsBuilder::new(sets.len(), 0.5, 0.1).empirical(&OneBitMinHash);
         let mut rng = StdRng::seed_from_u64(99);
         LshIndex::build(&OneBitMinHash, params, sets, &mut rng)
@@ -325,8 +329,14 @@ mod tests {
         use crate::minhash::OneBitMinHasher;
         let sets = toy_sets();
         let hashers = vec![
-            ConcatenatedHasher::new(vec![OneBitMinHasher::from_seed(1), OneBitMinHasher::from_seed(2)]),
-            ConcatenatedHasher::new(vec![OneBitMinHasher::from_seed(3), OneBitMinHasher::from_seed(4)]),
+            ConcatenatedHasher::new(vec![
+                OneBitMinHasher::from_seed(1),
+                OneBitMinHasher::from_seed(2),
+            ]),
+            ConcatenatedHasher::new(vec![
+                OneBitMinHasher::from_seed(3),
+                OneBitMinHasher::from_seed(4),
+            ]),
         ];
         let params = LshParams::explicit(2, 2, 0.5, 0.1);
         let index = LshIndex::from_hashers(hashers, &sets, params);
@@ -357,6 +367,9 @@ mod tests {
             .map(|(id, _)| id)
             .collect();
         let far_collisions = far.iter().filter(|id| colliding.contains(id)).count();
-        assert_eq!(far_collisions, 0, "disjoint sets should never share a MinHash value");
+        assert_eq!(
+            far_collisions, 0,
+            "disjoint sets should never share a MinHash value"
+        );
     }
 }

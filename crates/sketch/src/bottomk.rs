@@ -63,8 +63,14 @@ impl CardinalityEstimator for BottomKSketch {
     }
 
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "cannot merge bottom-k sketches with different seeds");
-        assert_eq!(self.k, other.k, "cannot merge bottom-k sketches with different k");
+        assert_eq!(
+            self.seed, other.seed,
+            "cannot merge bottom-k sketches with different seeds"
+        );
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge bottom-k sketches with different k"
+        );
         for &v in &other.smallest {
             self.insert_value(v);
         }

@@ -52,7 +52,10 @@ impl DistinctSketchParams {
 
     /// Number of rows `Δ`.
     pub fn rows(&self) -> usize {
-        assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0, 1)");
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0, 1)"
+        );
         ((18.0 * (1.0 / self.delta).ln()).ceil() as usize).max(1)
     }
 
@@ -141,7 +144,11 @@ impl DistinctSketch {
         let row_width = params.row_width();
         let hash_range = params.hash_range();
         let rows = (0..rows)
-            .map(|w| SketchRow::new(seed.wrapping_add(0x5851_F42D_4C95_7F2D_u64.wrapping_mul(w as u64 + 1))))
+            .map(|w| {
+                SketchRow::new(
+                    seed.wrapping_add(0x5851_F42D_4C95_7F2D_u64.wrapping_mul(w as u64 + 1)),
+                )
+            })
             .collect();
         Self {
             params,

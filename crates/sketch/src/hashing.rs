@@ -107,7 +107,8 @@ impl PolynomialHash {
     pub fn new(seed: u64, k: usize) -> Self {
         assert!(k >= 1, "independence must be at least 1");
         let mut seq = SeedSequence::new(seed);
-        let mut coefficients: Vec<u64> = (0..k).map(|_| seq.next_below(MERSENNE_PRIME_61)).collect();
+        let mut coefficients: Vec<u64> =
+            (0..k).map(|_| seq.next_below(MERSENNE_PRIME_61)).collect();
         // The leading coefficient should be non-zero so the polynomial has
         // true degree k-1.
         if k > 1 && coefficients[k - 1] == 0 {
@@ -171,7 +172,11 @@ mod tests {
         assert_eq!(splitmix64(1), splitmix64(1));
         assert_ne!(splitmix64(1), splitmix64(2));
         let values: HashSet<u64> = (0..1000).map(splitmix64).collect();
-        assert_eq!(values.len(), 1000, "splitmix64 should not collide on small inputs");
+        assert_eq!(
+            values.len(),
+            1000,
+            "splitmix64 should not collide on small inputs"
+        );
     }
 
     #[test]
@@ -262,7 +267,16 @@ mod tests {
     #[test]
     fn mod_mersenne_agrees_with_naive_modulo() {
         let p = MERSENNE_PRIME_61 as u128;
-        for &x in &[0u128, 1, p - 1, p, p + 1, 2 * p + 5, u128::from(u64::MAX), (p * p) - 1] {
+        for &x in &[
+            0u128,
+            1,
+            p - 1,
+            p,
+            p + 1,
+            2 * p + 5,
+            u128::from(u64::MAX),
+            (p * p) - 1,
+        ] {
             assert_eq!(mod_mersenne(x) as u128, x % p, "x = {x}");
         }
     }

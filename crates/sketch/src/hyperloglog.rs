@@ -65,7 +65,10 @@ impl CardinalityEstimator for HyperLogLog {
     }
 
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "cannot merge HLLs with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "cannot merge HLLs with different seeds"
+        );
         assert_eq!(
             self.precision, other.precision,
             "cannot merge HLLs with different precision"
@@ -79,11 +82,7 @@ impl CardinalityEstimator for HyperLogLog {
 
     fn estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = Self::alpha(self.registers.len()) * m * m / sum;
 
         // Small-range correction (linear counting).

@@ -83,7 +83,10 @@ impl SparseSet {
     ///
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted(items: Vec<u32>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly increasing"
+        );
         Self { items }
     }
 

@@ -239,7 +239,10 @@ mod tests {
         let h = FrequencyHistogram::new();
         assert_eq!(h.total(), 0);
         assert_eq!(h.relative_frequency(PointId(0)), 0.0);
-        assert_eq!(h.empirical_distribution(&[PointId(0), PointId(1)]), vec![0.0, 0.0]);
+        assert_eq!(
+            h.empirical_distribution(&[PointId(0), PointId(1)]),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]
@@ -280,11 +283,7 @@ mod tests {
             h.record_id(PointId(1));
         }
         // Point 2 was never reported.
-        let members = vec![
-            (PointId(0), 0.601),
-            (PointId(1), 0.599),
-            (PointId(2), 0.30),
-        ];
+        let members = vec![(PointId(0), 0.601), (PointId(1), 0.599), (PointId(2), 0.30)];
         let profile = SimilarityProfile::from_histogram(&h, &members, 1);
         assert_eq!(profile.buckets().len(), 2);
         let low = &profile.buckets()[0];

@@ -60,8 +60,8 @@ impl UniformityReport {
             .collect();
         let uniform = 1.0 / n;
 
-        let total_variation = 0.5 * freqs.iter().map(|p| (p - uniform).abs()).sum::<f64>()
-            + 0.5 * out_of_support;
+        let total_variation =
+            0.5 * freqs.iter().map(|p| (p - uniform).abs()).sum::<f64>() + 0.5 * out_of_support;
 
         let kl_divergence = freqs
             .iter()
@@ -210,7 +210,9 @@ mod tests {
         let mut h = FrequencyHistogram::new();
         let mut state = 0x12345678u64;
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let pick = (state >> 33) % 20;
             h.record_id(PointId(pick as u32));
         }

@@ -49,7 +49,10 @@ fn main() {
     let mut standard = StandardLsh::build(&OneBitMinHash, params, &dataset, near, &mut rng);
 
     println!("fraction of protected group A among the r-neighbours of each audited user\n");
-    println!("{:<10} {:>12} {:>14} {:>16}", "user", "exact", "fair r-NNIS", "standard LSH");
+    println!(
+        "{:<10} {:>12} {:>14} {:>16}",
+        "user", "exact", "fair r-NNIS", "standard LSH"
+    );
     for &qid in &queries {
         let query = dataset.point(qid).clone();
         let neighborhood = dataset.similar_indices(&Jaccard, &query, r);

@@ -44,10 +44,38 @@ fn main() {
         "{:<26} {:>10} {:>12} {:>14} {:>10}",
         "sampler", "TV dist", "max/min", "chi2 p-value", "uniform?"
     );
-    audit("standard LSH (biased)", &mut standard, &query, &neighborhood, repetitions, 10);
-    audit("naive fair LSH", &mut naive, &query, &neighborhood, repetitions, 11);
-    audit("rank-swap (Appendix A)", &mut rank_swap, &query, &neighborhood, repetitions, 12);
-    audit("fair r-NNIS (Section 4)", &mut nnis, &query, &neighborhood, repetitions, 13);
+    audit(
+        "standard LSH (biased)",
+        &mut standard,
+        &query,
+        &neighborhood,
+        repetitions,
+        10,
+    );
+    audit(
+        "naive fair LSH",
+        &mut naive,
+        &query,
+        &neighborhood,
+        repetitions,
+        11,
+    );
+    audit(
+        "rank-swap (Appendix A)",
+        &mut rank_swap,
+        &query,
+        &neighborhood,
+        repetitions,
+        12,
+    );
+    audit(
+        "fair r-NNIS (Section 4)",
+        &mut nnis,
+        &query,
+        &neighborhood,
+        repetitions,
+        13,
+    );
 
     println!(
         "\nA fair sampler has small total-variation distance, a max/min frequency ratio close to 1 \
@@ -75,6 +103,10 @@ fn audit<S: NeighborSampler<fairnn_space::SparseSet>>(
         report.total_variation,
         report.max_min_ratio,
         report.chi_square_p_value(),
-        if report.is_consistent_with_uniform(0.001) { "yes" } else { "no" }
+        if report.is_consistent_with_uniform(0.001) {
+            "yes"
+        } else {
+            "no"
+        }
     );
 }

@@ -66,8 +66,8 @@ fn main() {
     }
 
     // Quantify the difference in exposure: mean similarity of the two lists.
-    let top_mean: f64 =
-        by_similarity.iter().take(k).map(|(_, s)| *s).sum::<f64>() / k.min(by_similarity.len()) as f64;
+    let top_mean: f64 = by_similarity.iter().take(k).map(|(_, s)| *s).sum::<f64>()
+        / k.min(by_similarity.len()) as f64;
     println!(
         "\nmean similarity of top-{k} list: {top_mean:.3}; the fair sample typically sits lower, \
          spreading exposure over the whole neighbourhood instead of the same few closest users."

@@ -1,0 +1,27 @@
+//! Umbrella crate for the fair near-neighbor search workspace.
+//!
+//! Re-exports every sub-crate of the reproduction of *Aumüller, Pagh,
+//! Silvestri — "Fair Near Neighbor Search: Independent Range Sampling in High
+//! Dimensions" (PODS 2020)* under one roof, so the runnable examples in
+//! `examples/` (and downstream consumers that want everything) can depend on
+//! a single crate:
+//!
+//! * [`core`] — the paper's fair samplers (r-NNS, r-NNIS, rank-swap, filter);
+//! * [`lsh`] — the locality-sensitive hashing substrate;
+//! * [`space`] — point types, similarities, exact-neighbourhood datasets;
+//! * [`data`] — synthetic workloads calibrated to the paper's evaluation;
+//! * [`sketch`] — mergeable count-distinct sketches;
+//! * [`stats`] — fairness/uniformity measurement machinery.
+//!
+//! See the crate-level docs of [`fairnn_core`] for the theorem-by-theorem map
+//! of the paper, and the workspace `README.md` for build/run instructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fairnn_core as core;
+pub use fairnn_data as data;
+pub use fairnn_lsh as lsh;
+pub use fairnn_sketch as sketch;
+pub use fairnn_space as space;
+pub use fairnn_stats as stats;

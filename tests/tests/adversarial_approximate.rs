@@ -4,9 +4,7 @@
 //! more similar to the query — while the exact-neighbourhood fair samplers
 //! return the single true near neighbour `Z` every time.
 
-use fairnn_core::{
-    ApproximateNeighborhoodSampler, FairNnis, NeighborSampler, SimilarityAtLeast,
-};
+use fairnn_core::{ApproximateNeighborhoodSampler, FairNnis, NeighborSampler, SimilarityAtLeast};
 use fairnn_data::AdversarialInstance;
 use fairnn_lsh::{OneBitMinHash, ParamsBuilder};
 use fairnn_space::Jaccard;
@@ -17,8 +15,12 @@ use rand::SeedableRng;
 #[test]
 fn approximate_neighborhood_sampling_is_unfair_on_the_adversarial_instance() {
     let instance = AdversarialInstance::build();
-    let params = ParamsBuilder::new(instance.dataset.len(), instance.near_threshold, instance.far_threshold)
-        .empirical(&OneBitMinHash);
+    let params = ParamsBuilder::new(
+        instance.dataset.len(),
+        instance.near_threshold,
+        instance.far_threshold,
+    )
+    .empirical(&OneBitMinHash);
     let within_far = SimilarityAtLeast::new(Jaccard, instance.far_threshold);
 
     // Aggregate over several independent builds, as the Figure 2 error bars do.
@@ -65,8 +67,12 @@ fn approximate_neighborhood_sampling_is_unfair_on_the_adversarial_instance() {
 #[test]
 fn exact_neighborhood_samplers_always_return_the_true_near_neighbor() {
     let instance = AdversarialInstance::build();
-    let params = ParamsBuilder::new(instance.dataset.len(), instance.near_threshold, instance.far_threshold)
-        .empirical(&OneBitMinHash);
+    let params = ParamsBuilder::new(
+        instance.dataset.len(),
+        instance.near_threshold,
+        instance.far_threshold,
+    )
+    .empirical(&OneBitMinHash);
     // The exact-neighbourhood notion: only points with similarity >= r = 0.9
     // qualify, and Z is the only such point.
     let near = SimilarityAtLeast::new(Jaccard, instance.near_threshold);

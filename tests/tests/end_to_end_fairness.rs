@@ -77,7 +77,11 @@ fn rank_swap_sampler_is_uniform_for_a_repeated_query() {
     let hist = run(&mut sampler, &query, 6000, 5);
     let report = UniformityReport::from_histogram(&hist, &neighborhood);
     assert_eq!(report.out_of_support, 0.0);
-    assert!(report.total_variation < 0.12, "TV = {}", report.total_variation);
+    assert!(
+        report.total_variation < 0.12,
+        "TV = {}",
+        report.total_variation
+    );
 }
 
 #[test]

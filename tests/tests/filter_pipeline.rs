@@ -88,7 +88,10 @@ fn filter_nnis_space_is_linear_in_points_times_repetitions() {
     let inst = planted();
     let mut rng = StdRng::seed_from_u64(3);
     let sampler = FilterNnis::build(config(), &inst.dataset, &mut rng);
-    assert_eq!(sampler.total_entries(), inst.dataset.len() * sampler.num_repetitions());
+    assert_eq!(
+        sampler.total_entries(),
+        inst.dataset.len() * sampler.num_repetitions()
+    );
     // Theorem 4's "nearly linear": the number of repetitions is logarithmic,
     // not polynomial, in n.
     assert!(sampler.num_repetitions() <= 2 * (inst.dataset.len() as f64).log2().ceil() as usize);

@@ -2,7 +2,9 @@
 //! datasets, thresholds and seeds, tying the LSH substrate, the rank
 //! permutation and the fair samplers together.
 
-use fairnn_core::{ExactSampler, FairNnis, FairNns, NeighborSampler, RankPermutation, SimilarityAtLeast};
+use fairnn_core::{
+    ExactSampler, FairNnis, FairNns, NeighborSampler, RankPermutation, SimilarityAtLeast,
+};
 use fairnn_lsh::{LshIndex, LshParams, MinHash, OneBitMinHash, ParamsBuilder};
 use fairnn_space::{Dataset, Jaccard, PointId, SparseSet};
 use proptest::prelude::*;

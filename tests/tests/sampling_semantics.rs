@@ -28,7 +28,11 @@ fn without_replacement_samples_are_distinct_near_neighbors() {
         assert!(sample.len() <= k);
         assert!(sample.len() <= neighborhood.len());
         let distinct: HashSet<PointId> = sample.iter().copied().collect();
-        assert_eq!(distinct.len(), sample.len(), "duplicates in a without-replacement sample");
+        assert_eq!(
+            distinct.len(),
+            sample.len(),
+            "duplicates in a without-replacement sample"
+        );
         for id in &sample {
             assert!(neighborhood.contains(id), "sampled a non-neighbour {id:?}");
         }
@@ -95,7 +99,10 @@ fn cost_ratio_is_monotone_and_at_least_one() {
         let b_cr = data.similar_count(&Jaccard, &query, c * R) as f64;
         let ratio = b_cr / b_r;
         assert!(ratio >= 1.0 - 1e-9);
-        assert!(ratio >= previous - 1e-9, "ratio not monotone as c decreases");
+        assert!(
+            ratio >= previous - 1e-9,
+            "ratio not monotone as c decreases"
+        );
         previous = ratio;
     }
 }

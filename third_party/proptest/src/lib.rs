@@ -1,0 +1,458 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   integer/float ranges and tuples;
+//! * [`collection::vec`] and [`collection::hash_set`];
+//! * the [`proptest!`] macro (with the optional
+//!   `#![proptest_config(...)]` header), plus [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from the real crate, deliberate for an offline environment:
+//! inputs are generated from a **fixed per-test deterministic seed stream**
+//! (so CI is reproducible), there is **no shrinking** (a failing case prints
+//! its case number and RNG seed to stderr before the panic propagates, and
+//! the same seed always regenerates the same inputs locally), and
+//! `prop_assert*` panic immediately instead of routing a `TestCaseError`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of type `Self::Value`.
+    ///
+    /// Mirrors proptest's `Strategy`, minus shrinking: a strategy only needs
+    /// to produce a value from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_unsigned_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+    impl_unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let offset = rng.random_range(0u64..span);
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )+};
+    }
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+    /// Strategy that always yields a clone of one value (proptest's `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`] and [`hash_set`].
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Number-of-elements specification accepted by the collection
+    /// strategies: a fixed size or a half-open/inclusive range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+    ///
+    /// As in real proptest, the set may come out smaller than requested when
+    /// the element strategy produces duplicates; generation attempts are
+    /// bounded so a narrow element domain cannot loop forever.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 10 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case configuration.
+
+    /// Controls how many cases each property runs (proptest's
+    /// `ProptestConfig`, reduced to the field the workspace uses).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// FNV-1a hash of a string; used to give every property its own
+/// deterministic seed stream.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Declares property tests.
+///
+/// Supports the same surface syntax as proptest's macro:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(0u64..10, 1..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut __ran = 0u32;
+                let mut __attempt = 0u32;
+                // Run `cases` cases; prop_assume! rejections are retried with
+                // the next seed, with a bounded number of total attempts.
+                while __ran < __config.cases && __attempt < __config.cases.saturating_mul(20) {
+                    let __seed =
+                        __base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(__attempt as u64 + 1));
+                    let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                    __attempt += 1;
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                            $body
+                            ::core::option::Option::Some(())
+                        }),
+                    );
+                    match __outcome {
+                        ::core::result::Result::Ok(::core::option::Option::Some(())) => {
+                            __ran += 1;
+                        }
+                        // prop_assume! rejected the inputs: retry with the
+                        // next seed.
+                        ::core::result::Result::Ok(::core::option::Option::None) => {}
+                        ::core::result::Result::Err(__payload) => {
+                            eprintln!(
+                                "proptest: property {} failed on case {} (rng seed {:#x})",
+                                stringify!($name),
+                                __ran + 1,
+                                __seed,
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
+                }
+                assert!(
+                    __ran == __config.cases,
+                    "prop_assume! rejected too many inputs ({} of {} cases ran)",
+                    __ran,
+                    __config.cases,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current case (and draws a fresh one) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::option::Option::None;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::option::Option::None;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_map_generate_in_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+        let f = -5.0f64..5.0;
+        for _ in 0..100 {
+            let v = f.generate(&mut rng);
+            assert!((-5.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collection_sizes_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = crate::collection::vec(0u64..100, 3..7);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let hs = crate::collection::hash_set(0u64..1_000_000, 0..14);
+        for _ in 0..50 {
+            let v = hs.generate(&mut rng);
+            assert!(v.len() < 14);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(x in 0u32..50, mut v in crate::collection::vec(0u64..9, 1..4)) {
+            prop_assume!(x != 13);
+            v.push(8);
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.last().copied(), Some(8));
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}
