@@ -14,6 +14,12 @@ pub struct CommonArgs {
     pub queries: usize,
     /// Base random seed.
     pub seed: u64,
+    /// Worker threads for the serving-engine paths (1 = the historical
+    /// single-threaded behaviour).
+    pub threads: usize,
+    /// Shards for the serving-engine paths (1 = the historical monolithic
+    /// index).
+    pub shards: usize,
 }
 
 impl Default for CommonArgs {
@@ -23,6 +29,8 @@ impl Default for CommonArgs {
             repetitions: 2000,
             queries: 10,
             seed: 42,
+            threads: 1,
+            shards: 1,
         }
     }
 }
@@ -56,6 +64,16 @@ impl CommonArgs {
                         out.seed = v;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        out.threads = v;
+                    }
+                }
+                "--shards" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        out.shards = v;
+                    }
+                }
                 "--paper-scale" => {
                     out.scale = 1.0;
                     out.repetitions = 26_000;
@@ -70,7 +88,20 @@ impl CommonArgs {
         );
         assert!(out.repetitions > 0, "--repetitions must be positive");
         assert!(out.queries > 0, "--queries must be positive");
+        assert!(out.threads > 0, "--threads must be positive");
+        assert!(out.shards > 0, "--shards must be positive");
         out
+    }
+
+    /// A suffix like `", threads = 2, shards = 4"` for the binaries'
+    /// parameter headers — empty at the defaults so the historical output
+    /// is preserved byte for byte.
+    pub fn engine_suffix(&self) -> String {
+        if self.threads == 1 && self.shards == 1 {
+            String::new()
+        } else {
+            format!(", threads = {}, shards = {}", self.threads, self.shards)
+        }
     }
 
     /// Parses the process arguments (skipping the binary name).
@@ -106,11 +137,33 @@ mod tests {
             "7",
             "--seed",
             "99",
+            "--threads",
+            "8",
+            "--shards",
+            "4",
         ]));
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.repetitions, 123);
         assert_eq!(a.queries, 7);
         assert_eq!(a.seed, 99);
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.shards, 4);
+    }
+
+    #[test]
+    fn engine_defaults_preserve_historical_behaviour() {
+        let a = CommonArgs::default();
+        assert_eq!(a.threads, 1);
+        assert_eq!(a.shards, 1);
+        assert_eq!(a.engine_suffix(), "");
+        let b = CommonArgs::parse(to_args(&["--shards", "4"]));
+        assert_eq!(b.engine_suffix(), ", threads = 1, shards = 4");
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be positive")]
+    fn rejects_zero_threads() {
+        let _ = CommonArgs::parse(to_args(&["--threads", "0"]));
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Serving throughput of the sharded, concurrent query engine.
+//!
+//! Three measurements on the Last.FM-like workload:
+//!
+//! 1. **Baselines** — single-thread queries/sec of the unsharded fair
+//!    samplers and the sharded sampler, all driven through the object-safe
+//!    `FairSampler` trait (the interface the engine dispatches over);
+//! 2. **Pipeline scaling** — batch throughput of the engine at 1 thread vs
+//!    `--threads` threads with the result cache disabled (every query runs
+//!    the full two-level pipeline), including a bit-for-bit determinism
+//!    check: identical seeds must yield identical answers across thread
+//!    counts;
+//! 3. **Rank-swap fast path** — batch throughput on a repeated-query
+//!    workload with the cache enabled (Theorem 5 path).
+//!
+//! Usage: `cargo run -p fairnn-bench --release --bin engine_throughput --
+//!         [--scale 0.25] [--repetitions 2000] [--seed 42]
+//!         [--threads 8] [--shards 4]`
+//! (`--repetitions` is reused as the batch size.)
+
+use fairnn_bench::figures::{paper_lsh_params, SetShardedSampler};
+use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
+use fairnn_core::{FairNnis, FairNns, FairSampler, NaiveFairLsh, SimilarityAtLeast};
+use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndexConfig};
+use fairnn_lsh::OneBitMinHash;
+use fairnn_space::{Jaccard, SparseSet};
+use fairnn_stats::{table::fmt_f64, TextTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const R: f64 = 0.2;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let batch_size = args.repetitions;
+    println!("Engine throughput — sharded, concurrent, batched fair sampling");
+    println!(
+        "scale = {}, batch = {batch_size}, seed = {}, threads = {}, shards = {}\n",
+        args.scale, args.seed, args.threads, args.shards
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < args.threads {
+        println!(
+            "note: only {cores} hardware thread(s) available; speedup at {} threads will be bounded by the hardware\n",
+            args.threads
+        );
+    }
+
+    let workload = SetWorkload::generate(WorkloadKind::LastFm, args.scale, args.queries, args.seed);
+    let dataset = &workload.dataset;
+    let params = paper_lsh_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    println!(
+        "Last.FM-like: {} users, r = {R}, K = {}, L = {}",
+        dataset.len(),
+        params.k,
+        params.l
+    );
+
+    // A distinct-work batch: cycle the dataset points as queries.
+    let batch: Vec<SparseSet> = (0..batch_size)
+        .map(|i| dataset.points()[i % dataset.len()].clone())
+        .collect();
+
+    // 1. Single-thread baselines through the object-safe FairSampler trait.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut baselines: Vec<Box<dyn FairSampler<SparseSet>>> = vec![
+        Box::new(NaiveFairLsh::build(
+            &OneBitMinHash,
+            params,
+            dataset,
+            near,
+            &mut rng,
+        )),
+        Box::new(FairNns::build(
+            &OneBitMinHash,
+            params,
+            dataset,
+            near,
+            &mut rng,
+        )),
+        Box::new(FairNnis::build(
+            &OneBitMinHash,
+            params,
+            dataset,
+            near,
+            &mut rng,
+        )),
+        Box::new(SetShardedSampler::build(
+            &OneBitMinHash,
+            params,
+            dataset,
+            near,
+            ShardedIndexConfig::with_shards(args.shards).seeded(args.seed),
+        )),
+    ];
+    let mut table = TextTable::new(
+        "single-thread baselines (dyn FairSampler dispatch)",
+        &["sampler", "queries/sec"],
+    );
+    for sampler in &mut baselines {
+        let mut rng = StdRng::seed_from_u64(args.seed + 1);
+        let start = Instant::now();
+        for query in &batch {
+            let _ = sampler.sample_dyn(query, &mut rng);
+        }
+        let qps = batch.len() as f64 / start.elapsed().as_secs_f64();
+        table.add_row(vec![sampler.sampler_name().to_string(), fmt_f64(qps, 0)]);
+    }
+    println!("{table}");
+
+    // 2. Engine pipeline scaling, cache disabled, determinism check.
+    let engine_config = |threads: usize| {
+        EngineConfig::default()
+            .with_threads(threads)
+            .with_shards(args.shards)
+            .with_seed(args.seed)
+            .with_cache_capacity(0)
+    };
+    let mut serial = QueryEngine::build(&OneBitMinHash, params, dataset, near, engine_config(1));
+    let mut threaded = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        engine_config(args.threads),
+    );
+
+    // Warm both engines (allocator, page faults, pool spin-up) off the clock.
+    let warmup: Vec<SparseSet> = batch.iter().take(64).cloned().collect();
+    let _ = serial.run_batch(&warmup);
+    let _ = threaded.run_batch(&warmup);
+
+    let start = Instant::now();
+    let serial_answers = serial.run_batch(&batch);
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let threaded_answers = threaded.run_batch(&batch);
+    let threaded_secs = start.elapsed().as_secs_f64();
+    let serial_qps = batch.len() as f64 / serial_secs;
+    let threaded_qps = batch.len() as f64 / threaded_secs;
+
+    let mut table = TextTable::new(
+        "engine pipeline (cache disabled)",
+        &["threads", "queries/sec", "speedup"],
+    );
+    table.add_row(vec![
+        "1".to_string(),
+        fmt_f64(serial_qps, 0),
+        "1.0".to_string(),
+    ]);
+    table.add_row(vec![
+        args.threads.to_string(),
+        fmt_f64(threaded_qps, 0),
+        fmt_f64(threaded_qps / serial_qps, 2),
+    ]);
+    println!("{table}");
+    assert_eq!(
+        serial_answers, threaded_answers,
+        "determinism violated: identical seeds must yield identical answers across thread counts"
+    );
+    println!(
+        "determinism check: {} answers identical across thread counts (seed {})\n",
+        serial_answers.len(),
+        args.seed
+    );
+
+    // 3. The rank-swap fast path on a repeated-query workload.
+    let mut cached = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        EngineConfig::default()
+            .with_threads(args.threads)
+            .with_shards(args.shards)
+            .with_seed(args.seed),
+    );
+    let hot: Vec<SparseSet> = (0..batch_size)
+        .map(|i| dataset.points()[i % 4].clone())
+        .collect();
+    let _ = cached.run_batch(&hot); // warm the cache
+    let start = Instant::now();
+    let answers = cached.run_batch(&hot);
+    let hot_secs = start.elapsed().as_secs_f64();
+    let (hits, misses) = cached.cache_stats();
+    println!(
+        "rank-swap fast path: {} queries/sec on a 4-hot-query batch ({} cache hits, {} misses, {} via cache)",
+        fmt_f64(hot.len() as f64 / hot_secs, 0),
+        hits,
+        misses,
+        answers.iter().filter(|a| a.via_cache).count()
+    );
+}

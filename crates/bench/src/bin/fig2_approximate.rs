@@ -8,10 +8,11 @@
 //! more similar to the query — the paper reports a factor above 50.
 //!
 //! Usage: `cargo run -p fairnn-bench --release --bin fig2_approximate --
-//!         [--repetitions 2000] [--queries 20] [--seed 42]`
-//! (`--queries` is reused as the number of independent builds.)
+//!         [--repetitions 2000] [--queries 20] [--seed 42] [--threads 1]`
+//! (`--queries` is reused as the number of independent builds; `--threads`
+//! distributes the builds over workers without changing the result.)
 
-use fairnn_bench::figures::run_adversarial_experiment;
+use fairnn_bench::figures::run_adversarial_experiment_threaded;
 use fairnn_bench::CommonArgs;
 use fairnn_stats::{table::fmt_f64, Summary, TextTable};
 
@@ -20,11 +21,14 @@ fn main() {
     let builds = args.queries.max(100);
     println!("Figure 2 — approximate neighbourhood sampling on the adversarial instance");
     println!(
-        "builds = {builds}, repetitions per build = {}, seed = {}\n",
-        args.repetitions, args.seed
+        "builds = {builds}, repetitions per build = {}, seed = {}{}\n",
+        args.repetitions,
+        args.seed,
+        args.engine_suffix()
     );
 
-    let result = run_adversarial_experiment(builds, args.repetitions, args.seed);
+    let result =
+        run_adversarial_experiment_threaded(builds, args.repetitions, args.seed, args.threads);
 
     let mut table = TextTable::new(
         "Empirical sampling probabilities (quartiles over builds)",

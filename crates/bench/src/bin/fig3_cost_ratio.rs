@@ -7,9 +7,11 @@
 //! grid of the paper's Figure 3.
 //!
 //! Usage: `cargo run -p fairnn-bench --release --bin fig3_cost_ratio --
-//!         [--scale 0.25] [--queries 10] [--seed 42]`
+//!         [--scale 0.25] [--queries 10] [--seed 42] [--threads 1]`
+//! (`--threads` distributes the exact `(r, c)` grid over workers without
+//! changing the result.)
 
-use fairnn_bench::figures::run_cost_ratio;
+use fairnn_bench::figures::run_cost_ratio_threaded;
 use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
 use fairnn_stats::{table::fmt_f64, TextTable};
 
@@ -17,8 +19,11 @@ fn main() {
     let args = CommonArgs::from_env();
     println!("Figure 3 — cost ratio b_S(q, cr) / b_S(q, r)");
     println!(
-        "scale = {}, queries = {}, seed = {}\n",
-        args.scale, args.queries, args.seed
+        "scale = {}, queries = {}, seed = {}{}\n",
+        args.scale,
+        args.queries,
+        args.seed,
+        args.engine_suffix()
     );
 
     let rs = [0.15, 0.2, 0.25];
@@ -32,7 +37,8 @@ fn main() {
             workload.dataset.len(),
             workload.queries.len()
         );
-        let rows = run_cost_ratio(&workload.dataset, &workload.queries, &rs, &cs);
+        let rows =
+            run_cost_ratio_threaded(&workload.dataset, &workload.queries, &rs, &cs, args.threads);
         let mut table = TextTable::new(
             format!(
                 "{}: ratio of |similarity >= c*r| to |similarity >= r|",

@@ -7,8 +7,11 @@
 //! rate of: the exact scan, standard LSH, naive fair LSH, the Section 3
 //! r-NNS structure and the Section 4 r-NNIS structure.
 //!
+//! With `--shards N` (N > 1) the sharded two-level engine is measured as an
+//! additional row.
+//!
 //! Usage: `cargo run -p fairnn-bench --release --bin table_query_cost --
-//!         [--scale 0.25] [--repetitions 20] [--queries 10]`
+//!         [--scale 0.25] [--repetitions 20] [--queries 10] [--shards 1]`
 
 use fairnn_bench::figures::run_query_cost;
 use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
@@ -22,8 +25,12 @@ fn main() {
     }
     println!("Query-cost comparison (Section 6.3 companion)");
     println!(
-        "scale = {}, repetitions per query = {}, queries = {}, seed = {}\n",
-        args.scale, args.repetitions, args.queries, args.seed
+        "scale = {}, repetitions per query = {}, queries = {}, seed = {}{}\n",
+        args.scale,
+        args.repetitions,
+        args.queries,
+        args.seed,
+        args.engine_suffix()
     );
 
     for (kind, r) in [(WorkloadKind::LastFm, 0.2), (WorkloadKind::MovieLens, 0.2)] {
@@ -34,7 +41,7 @@ fn main() {
             workload.dataset.len(),
             workload.queries.len()
         );
-        let costs = run_query_cost(&workload, r, args.repetitions, args.seed + 7);
+        let costs = run_query_cost(&workload, r, args.repetitions, args.seed + 7, args.shards);
         let mut table = TextTable::new(
             format!("{}: mean per-query work", kind.name()),
             &[

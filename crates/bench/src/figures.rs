@@ -10,7 +10,8 @@ use fairnn_core::{
     SimilarityAtLeast, StandardLsh,
 };
 use fairnn_data::AdversarialInstance;
-use fairnn_lsh::{LshParams, OneBitMinHash, ParamsBuilder};
+use fairnn_engine::{ShardedIndex, ShardedIndexConfig, ShardedSampler};
+use fairnn_lsh::{ConcatenatedHasher, LshParams, OneBitMinHash, OneBitMinHasher, ParamsBuilder};
 use fairnn_space::{Dataset, Jaccard, PointId, Similarity, SparseSet};
 use fairnn_stats::{FrequencyHistogram, SimilarityProfile, Summary, UniformityReport};
 use rand::rngs::StdRng;
@@ -100,6 +101,33 @@ fn mean<I: Iterator<Item = f64>>(iter: I) -> f64 {
     }
 }
 
+/// Maps `f` over `items`, chunked across `threads` scoped workers, with the
+/// output in input order. `f` must be a pure function of its item for the
+/// result to be thread-count independent — which is how every threaded
+/// experiment here stays deterministic.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+}
+
 /// Runs the Figure 1 experiment: repeatedly query the standard and the fair
 /// LSH structures and record which neighbour is reported.
 pub fn run_output_distribution(
@@ -157,6 +185,119 @@ pub fn run_output_distribution(
 }
 
 // ---------------------------------------------------------------------------
+// Figure 1 extension: the sharded engine against the uniformity battery
+// ---------------------------------------------------------------------------
+
+/// The sharded-index type every set-similarity engine experiment uses.
+pub type SetShardedIndex =
+    ShardedIndex<SparseSet, ConcatenatedHasher<OneBitMinHasher>, SimilarityAtLeast<Jaccard>>;
+
+/// The matching sampler adapter.
+pub type SetShardedSampler =
+    ShardedSampler<SparseSet, ConcatenatedHasher<OneBitMinHasher>, SimilarityAtLeast<Jaccard>>;
+
+/// Builds the sharded index over a workload with the paper's LSH recipe.
+pub fn build_sharded_index(
+    workload: &SetWorkload,
+    r: f64,
+    shards: usize,
+    seed: u64,
+) -> SetShardedIndex {
+    let dataset = &workload.dataset;
+    let params = paper_lsh_params(dataset.len(), r);
+    let near = SimilarityAtLeast::new(Jaccard, r);
+    ShardedIndex::build(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        ShardedIndexConfig::with_shards(shards).seeded(seed),
+    )
+}
+
+/// Per-query outcome of the engine uniformity experiment.
+#[derive(Debug, Clone)]
+pub struct EngineQueryReport {
+    /// The query id within the workload dataset.
+    pub query: PointId,
+    /// True neighbourhood size `b_S(q, r)`.
+    pub neighborhood_size: usize,
+    /// Deviation of the sharded engine's output distribution from uniform
+    /// over the true neighbourhood.
+    pub report: UniformityReport,
+}
+
+/// Result of running the sharded two-level sampler through the same
+/// uniformity battery Figure 1 applies to the unsharded samplers.
+#[derive(Debug, Clone)]
+pub struct EngineDistributionResult {
+    /// Shard count the index was built with.
+    pub shards: usize,
+    /// Per-query reports.
+    pub per_query: Vec<EngineQueryReport>,
+}
+
+impl EngineDistributionResult {
+    /// Mean total-variation distance from uniform across queries.
+    pub fn mean_tv(&self) -> f64 {
+        mean(self.per_query.iter().map(|q| q.report.total_variation))
+    }
+
+    /// Whether every query passed the chi-square consistency check at the
+    /// given significance level.
+    pub fn all_consistent(&self, significance: f64) -> bool {
+        self.per_query
+            .iter()
+            .all(|q| q.report.is_consistent_with_uniform(significance))
+    }
+}
+
+/// Runs the sharded engine over the Figure 1 workload: repeated independent
+/// queries against one build, measured with [`UniformityReport`]. Queries
+/// are distributed over `threads` workers; each query samples from its own
+/// seed-derived RNG stream, so the result is identical for every thread
+/// count.
+pub fn run_engine_distribution(
+    workload: &SetWorkload,
+    r: f64,
+    shards: usize,
+    threads: usize,
+    repetitions: usize,
+    seed: u64,
+) -> EngineDistributionResult {
+    assert!(threads >= 1, "need at least one thread");
+    let dataset = &workload.dataset;
+    let index = build_sharded_index(workload, r, shards, seed);
+
+    let usable: Vec<PointId> = workload
+        .queries
+        .iter()
+        .copied()
+        .filter(|id| dataset.similar_count(&Jaccard, dataset.point(*id), r) >= 2)
+        .collect();
+
+    let measure_one = |query_id: PointId| -> EngineQueryReport {
+        let query = dataset.point(query_id).clone();
+        let neighborhood = dataset.similar_indices(&Jaccard, &query, r);
+        let mut rng = StdRng::seed_from_u64(seed ^ (0xE1A0 + u64::from(query_id.0) * 0x9E37));
+        let mut prepared = index.prepare(&query);
+        let mut hist = FrequencyHistogram::new();
+        for _ in 0..repetitions {
+            hist.record(prepared.sample(&mut rng));
+        }
+        EngineQueryReport {
+            query: query_id,
+            neighborhood_size: neighborhood.len(),
+            report: UniformityReport::from_histogram(&hist, &neighborhood),
+        }
+    };
+
+    let per_query = parallel_map(&usable, threads, |&id| measure_one(id));
+
+    EngineDistributionResult { shards, per_query }
+}
+
+// ---------------------------------------------------------------------------
 // Figure 2: unfairness of the approximate-neighbourhood notion
 // ---------------------------------------------------------------------------
 
@@ -184,6 +325,20 @@ pub fn run_adversarial_experiment(
     repetitions_per_build: usize,
     seed: u64,
 ) -> AdversarialResult {
+    run_adversarial_experiment_threaded(builds, repetitions_per_build, seed, 1)
+}
+
+/// The Figure 2 experiment with the independent builds distributed over
+/// `threads` workers. Every build is seeded from its own index, so the
+/// result is identical for every thread count (and to the sequential
+/// [`run_adversarial_experiment`]).
+pub fn run_adversarial_experiment_threaded(
+    builds: usize,
+    repetitions_per_build: usize,
+    seed: u64,
+    threads: usize,
+) -> AdversarialResult {
+    assert!(threads >= 1, "need at least one thread");
     let instance = AdversarialInstance::build();
     let n = instance.dataset.len();
     // r = 0.9, cr = 0.5 as in the paper; the far threshold drives both the
@@ -192,10 +347,7 @@ pub fn run_adversarial_experiment(
         .empirical(&OneBitMinHash);
     let within_far = SimilarityAtLeast::new(Jaccard, instance.far_threshold);
 
-    let mut x_probs = Vec::with_capacity(builds);
-    let mut y_probs = Vec::with_capacity(builds);
-    let mut z_probs = Vec::with_capacity(builds);
-    for b in 0..builds {
+    let run_build = |b: usize| -> (f64, f64, f64) {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(b as u64));
         let mut sampler = ApproximateNeighborhoodSampler::build(
             &OneBitMinHash,
@@ -208,10 +360,19 @@ pub fn run_adversarial_experiment(
         for _ in 0..repetitions_per_build {
             hist.record(sampler.sample(&instance.query, &mut rng));
         }
-        x_probs.push(hist.relative_frequency(instance.x));
-        y_probs.push(hist.relative_frequency(instance.y));
-        z_probs.push(hist.relative_frequency(instance.z));
-    }
+        (
+            hist.relative_frequency(instance.x),
+            hist.relative_frequency(instance.y),
+            hist.relative_frequency(instance.z),
+        )
+    };
+
+    let ids: Vec<usize> = (0..builds).collect();
+    let per_build = parallel_map(&ids, threads, |&b| run_build(b));
+
+    let x_probs: Vec<f64> = per_build.iter().map(|p| p.0).collect();
+    let y_probs: Vec<f64> = per_build.iter().map(|p| p.1).collect();
+    let z_probs: Vec<f64> = per_build.iter().map(|p| p.2).collect();
 
     let x = Summary::of(&x_probs);
     let y = Summary::of(&y_probs);
@@ -252,27 +413,44 @@ pub fn run_cost_ratio(
     rs: &[f64],
     cs: &[f64],
 ) -> Vec<CostRatioRow> {
-    let mut rows = Vec::new();
-    for &r in rs {
-        for &c in cs {
-            let cr = c * r;
-            let mut ratios = Vec::new();
-            for &qid in queries {
-                let q = dataset.point(qid);
-                let b_r = dataset.similar_count(&Jaccard, q, r);
-                let b_cr = dataset.similar_count(&Jaccard, q, cr);
-                if b_r > 0 {
-                    ratios.push(b_cr as f64 / b_r as f64);
-                }
+    run_cost_ratio_threaded(dataset, queries, rs, cs, 1)
+}
+
+/// The Figure 3 experiment with the `(r, c)` grid cells distributed over
+/// `threads` workers. The computation is exact (no randomness), so the
+/// result is identical for every thread count.
+pub fn run_cost_ratio_threaded(
+    dataset: &Dataset<SparseSet>,
+    queries: &[PointId],
+    rs: &[f64],
+    cs: &[f64],
+    threads: usize,
+) -> Vec<CostRatioRow> {
+    assert!(threads >= 1, "need at least one thread");
+    let grid: Vec<(f64, f64)> = rs
+        .iter()
+        .flat_map(|&r| cs.iter().map(move |&c| (r, c)))
+        .collect();
+
+    let compute = |&(r, c): &(f64, f64)| -> CostRatioRow {
+        let cr = c * r;
+        let mut ratios = Vec::new();
+        for &qid in queries {
+            let q = dataset.point(qid);
+            let b_r = dataset.similar_count(&Jaccard, q, r);
+            let b_cr = dataset.similar_count(&Jaccard, q, cr);
+            if b_r > 0 {
+                ratios.push(b_cr as f64 / b_r as f64);
             }
-            rows.push(CostRatioRow {
-                r,
-                c,
-                ratio: Summary::of(&ratios),
-            });
         }
-    }
-    rows
+        CostRatioRow {
+            r,
+            c,
+            ratio: Summary::of(&ratios),
+        }
+    };
+
+    parallel_map(&grid, threads, compute)
 }
 
 // ---------------------------------------------------------------------------
@@ -295,12 +473,15 @@ pub struct SamplerCost {
 }
 
 /// Runs the query-cost comparison: every fair variant plus the baselines on
-/// the same workload and threshold.
+/// the same workload and threshold. When `shards >= 2` the sharded
+/// two-level engine is measured as an additional row (with `shards = 1` the
+/// historical table is reproduced unchanged).
 pub fn run_query_cost(
     workload: &SetWorkload,
     r: f64,
     repetitions: usize,
     seed: u64,
+    shards: usize,
 ) -> Vec<SamplerCost> {
     let dataset = &workload.dataset;
     let params = paper_lsh_params(dataset.len(), r);
@@ -324,6 +505,17 @@ pub fn run_query_cost(
 
     let mut nnis = FairNnis::build(&OneBitMinHash, params, dataset, near, &mut rng);
     results.push(measure(&mut nnis, &queries, repetitions, seed + 5));
+
+    if shards >= 2 {
+        let mut sharded = SetShardedSampler::build(
+            &OneBitMinHash,
+            params,
+            dataset,
+            near,
+            ShardedIndexConfig::with_shards(shards).seeded(seed),
+        );
+        results.push(measure(&mut sharded, &queries, repetitions, seed + 6));
+    }
 
     results
 }
@@ -426,9 +618,56 @@ mod tests {
     }
 
     #[test]
+    fn engine_distribution_is_deterministic_across_threads_and_uniformish() {
+        let w = small_workload();
+        let serial = run_engine_distribution(&w, 0.2, 4, 1, 600, 13);
+        let threaded = run_engine_distribution(&w, 0.2, 4, 3, 600, 13);
+        assert!(!serial.per_query.is_empty());
+        assert_eq!(serial.per_query.len(), threaded.per_query.len());
+        for (a, b) in serial.per_query.iter().zip(&threaded.per_query) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.report.total_variation, b.report.total_variation);
+        }
+        // The sharded sampler must put no mass outside the true
+        // neighbourhood and stay near uniform.
+        for q in &serial.per_query {
+            assert_eq!(q.report.out_of_support, 0.0, "query {}", q.query);
+        }
+        assert!(serial.mean_tv() < 0.35, "mean TV {}", serial.mean_tv());
+    }
+
+    #[test]
+    fn threaded_fig2_and_fig3_match_their_sequential_results() {
+        let seq = run_adversarial_experiment(12, 80, 3);
+        let par = run_adversarial_experiment_threaded(12, 80, 3, 4);
+        assert_eq!(seq.x_probability.mean, par.x_probability.mean);
+        assert_eq!(seq.y_probability.mean, par.y_probability.mean);
+        assert_eq!(seq.z_probability.mean, par.z_probability.mean);
+
+        let w = small_workload();
+        let seq_rows = run_cost_ratio(&w.dataset, &w.queries, &[0.2, 0.3], &[0.25, 0.5]);
+        let par_rows =
+            run_cost_ratio_threaded(&w.dataset, &w.queries, &[0.2, 0.3], &[0.25, 0.5], 3);
+        assert_eq!(seq_rows.len(), par_rows.len());
+        for (a, b) in seq_rows.iter().zip(&par_rows) {
+            assert_eq!((a.r, a.c, a.ratio.mean), (b.r, b.c, b.ratio.mean));
+        }
+    }
+
+    #[test]
+    fn query_cost_with_shards_appends_the_engine_row() {
+        let w = small_workload();
+        let costs = run_query_cost(&w, 0.2, 3, 5, 4);
+        assert_eq!(costs.len(), 6);
+        let sharded = costs.iter().find(|c| c.name == "sharded-engine").unwrap();
+        assert!(sharded.failure_rate <= 0.2);
+        assert!(sharded.mean_distance_computations > 0.0);
+    }
+
+    #[test]
     fn query_cost_reports_all_samplers() {
         let w = small_workload();
-        let costs = run_query_cost(&w, 0.2, 3, 5);
+        let costs = run_query_cost(&w, 0.2, 3, 5, 1);
         assert_eq!(costs.len(), 5);
         let names: Vec<&str> = costs.iter().map(|c| c.name).collect();
         assert!(names.contains(&"exact"));

@@ -70,4 +70,4 @@ pub use nns::FairNns;
 pub use predicate::{DistanceAtMost, Nearness, SimilarityAtLeast};
 pub use rank::RankPermutation;
 pub use rank_swap::RankSwapSampler;
-pub use sampler::{NeighborSampler, QueryStats};
+pub use sampler::{FairSampler, NeighborSampler, QueryStats};

@@ -1,7 +1,7 @@
 //! The common sampling interface and per-query work accounting.
 
 use fairnn_space::PointId;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// Work performed by the most recent query — the quantities the paper's
 /// running-time analysis counts (hash evaluations, distance computations,
@@ -66,6 +66,41 @@ pub trait NeighborSampler<P> {
     }
 }
 
+/// Object-safe companion of [`NeighborSampler`].
+///
+/// [`NeighborSampler::sample`] is generic over the RNG, which rules out trait
+/// objects; serving layers (the `fairnn-engine` query engine, comparison
+/// harnesses) want to hold heterogeneous samplers behind one pointer type and
+/// dispatch dynamically. `FairSampler` erases the RNG parameter to
+/// `&mut dyn RngCore` and is blanket-implemented for every
+/// [`NeighborSampler`], so `Box<dyn FairSampler<P>>` works for every sampler
+/// in this crate without further ceremony.
+pub trait FairSampler<P> {
+    /// Draws one sample from the neighbourhood of `query` (see
+    /// [`NeighborSampler::sample`]).
+    fn sample_dyn(&mut self, query: &P, rng: &mut dyn RngCore) -> Option<PointId>;
+
+    /// Work statistics of the most recent [`FairSampler::sample_dyn`] call.
+    fn last_stats(&self) -> QueryStats;
+
+    /// A short human-readable name used by harnesses.
+    fn sampler_name(&self) -> &'static str;
+}
+
+impl<P, S: NeighborSampler<P>> FairSampler<P> for S {
+    fn sample_dyn(&mut self, query: &P, rng: &mut dyn RngCore) -> Option<PointId> {
+        self.sample(query, rng)
+    }
+
+    fn last_stats(&self) -> QueryStats {
+        self.last_query_stats()
+    }
+
+    fn sampler_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +144,19 @@ mod tests {
             stats: QueryStats::default(),
         };
         assert!(s.sample_with_replacement(&0, 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn fair_sampler_is_object_safe_and_forwards() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut boxed: Box<dyn FairSampler<u32>> = Box::new(FixedSampler {
+            value: Some(PointId(3)),
+            stats: QueryStats::default(),
+        });
+        assert_eq!(boxed.sample_dyn(&0, &mut rng), Some(PointId(3)));
+        assert_eq!(boxed.last_stats().rounds, 1);
+        assert_eq!(boxed.sampler_name(), "sampler");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Result cache: the Theorem 5 (rank-swap) fast path for repeated queries.
+//!
+//! The first time the engine sees a query it runs the full two-level
+//! pipeline and — as a by-product — knows the query's colliding near points.
+//! Repeats of the *identical* query do not need the pipeline again: over a
+//! fixed member list, `RankSwapSampler`'s Appendix A mechanism produces
+//! uniform independent samples with one swap per draw. A [`CacheEntry`]
+//! stores the members as a uniformly random permutation ("ranks" 0..m); a
+//! draw returns the minimum-rank member (position 0) and then swaps its rank
+//! with a uniformly random rank in `[0, m)` — the exact single Fisher–Yates
+//! step of [`fairnn_core::RankSwapSampler`], restricted to the cached
+//! neighborhood (where every rank range collapses to `[rank(x), m) = [0, m)`
+//! because the returned member always holds rank 0). The paper's caveat
+//! about interleaving different queries does not apply: each entry owns its
+//! own permutation, so entries are independent of each other.
+//!
+//! The cache is exact-match only (the key is the query point itself) and is
+//! invalidated wholesale on insert/delete, since an update may change any
+//! neighborhood.
+
+use fairnn_space::PointId;
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// The cached neighborhood of one query, stored as a uniformly random
+/// permutation that is re-randomized rank-swap style after every draw.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    members: Vec<PointId>,
+}
+
+impl CacheEntry {
+    /// Creates an entry over `members`, shuffling them into a uniform
+    /// permutation (Fisher–Yates) so the first draw is already uniform.
+    pub fn new<R: Rng + ?Sized>(mut members: Vec<PointId>, rng: &mut R) -> Self {
+        for i in (1..members.len()).rev() {
+            let j = rng.random_range(0..=i);
+            members.swap(i, j);
+        }
+        Self { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the neighborhood is empty (the cached answer is `⊥`).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Draws one uniform independent sample: return the minimum-rank member,
+    /// then swap its rank with a uniform rank (the Theorem 5 step).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PointId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let out = self.members[0];
+        let j = rng.random_range(0..self.members.len());
+        self.members.swap(0, j);
+        Some(out)
+    }
+}
+
+/// A bounded exact-match query → neighborhood cache with FIFO eviction.
+#[derive(Debug)]
+pub struct ResultCache<P> {
+    capacity: usize,
+    map: HashMap<P, CacheEntry>,
+    order: VecDeque<P>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<P: Hash + Eq + Clone> ResultCache<P> {
+    /// Creates a cache holding at most `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction or the last [`clear`].
+    ///
+    /// [`clear`]: ResultCache::clear
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up the entry for `query`, counting a hit or miss.
+    pub fn entry_mut(&mut self, query: &P) -> Option<&mut CacheEntry> {
+        let entry = self.map.get_mut(query);
+        match entry {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        entry
+    }
+
+    /// Removes and returns the entry for `query` (counting a hit or miss)
+    /// so it can be mutated *outside* the cache lock — the engine's workers
+    /// draw from taken entries concurrently instead of serializing on one
+    /// mutex. The key keeps its place in the eviction order; pair every
+    /// successful `take` with a [`ResultCache::restore`] before the next
+    /// insert/evict cycle.
+    pub fn take(&mut self, query: &P) -> Option<CacheEntry> {
+        let entry = self.map.remove(query);
+        match entry {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        entry
+    }
+
+    /// Puts back an entry removed with [`ResultCache::take`]. The key is
+    /// still tracked in the eviction order, so restoring does not re-age or
+    /// duplicate it.
+    pub fn restore(&mut self, query: P, entry: CacheEntry) {
+        self.map.insert(query, entry);
+    }
+
+    /// Inserts (or replaces) the entry for `query`, evicting the oldest
+    /// entries beyond capacity. No-op when the cache is disabled.
+    pub fn insert(&mut self, query: P, entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(query.clone(), entry).is_none() {
+            self.order.push_back(query);
+        }
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&oldest);
+        }
+    }
+
+    /// Drops every entry (called on index updates). Hit/miss counters reset
+    /// too, so rates are per cache generation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids(n: u32) -> Vec<PointId> {
+        (0..n).map(PointId).collect()
+    }
+
+    #[test]
+    fn entry_samples_are_uniform_over_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut entry = CacheEntry::new(ids(8), &mut rng);
+        assert_eq!(entry.len(), 8);
+        let trials = 16_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..trials {
+            counts[entry.sample(&mut rng).unwrap().index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!(
+                (rate - 1.0 / 8.0).abs() < 0.02,
+                "member {i} rate {rate}, expected ~1/8"
+            );
+        }
+    }
+
+    #[test]
+    fn first_draw_is_uniform_over_fresh_entries() {
+        // The construction-time shuffle matters: without it the first draw
+        // would always be the first member.
+        let trials = 12_000;
+        let mut counts = [0usize; 6];
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut entry = CacheEntry::new(ids(6), &mut rng);
+            counts[entry.sample(&mut rng).unwrap().index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!(
+                (rate - 1.0 / 6.0).abs() < 0.02,
+                "member {i} first-draw rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_entry_answers_bottom() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut entry = CacheEntry::new(Vec::new(), &mut rng);
+        assert!(entry.is_empty());
+        assert_eq!(entry.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn cache_hits_misses_and_eviction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cache: ResultCache<u32> = ResultCache::new(2);
+        assert!(cache.enabled());
+        assert!(cache.entry_mut(&1).is_none());
+        cache.insert(1, CacheEntry::new(ids(3), &mut rng));
+        cache.insert(2, CacheEntry::new(ids(3), &mut rng));
+        assert!(cache.entry_mut(&1).is_some());
+        cache.insert(3, CacheEntry::new(ids(3), &mut rng)); // evicts 1 (FIFO)
+        assert_eq!(cache.len(), 2);
+        assert!(cache.entry_mut(&1).is_none());
+        assert!(cache.entry_mut(&3).is_some());
+        assert_eq!(cache.stats(), (2, 2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn take_and_restore_preserve_eviction_order_and_count_hits() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cache: ResultCache<u32> = ResultCache::new(2);
+        cache.insert(1, CacheEntry::new(ids(3), &mut rng));
+        cache.insert(2, CacheEntry::new(ids(3), &mut rng));
+        let taken = cache.take(&1).expect("present");
+        assert!(cache.take(&1).is_none(), "taken entry is out of the map");
+        cache.restore(1, taken);
+        assert_eq!(cache.stats(), (1, 1));
+        // Key 1 kept its (oldest) slot in the FIFO order across take/restore.
+        cache.insert(3, CacheEntry::new(ids(3), &mut rng));
+        assert!(cache.entry_mut(&1).is_none(), "1 must still evict first");
+        assert!(cache.entry_mut(&2).is_some());
+        assert!(cache.entry_mut(&3).is_some());
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cache: ResultCache<u32> = ResultCache::new(0);
+        assert!(!cache.enabled());
+        cache.insert(1, CacheEntry::new(ids(3), &mut rng));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_duplicate_eviction_order() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cache: ResultCache<u32> = ResultCache::new(2);
+        cache.insert(1, CacheEntry::new(ids(1), &mut rng));
+        cache.insert(1, CacheEntry::new(ids(2), &mut rng));
+        cache.insert(2, CacheEntry::new(ids(1), &mut rng));
+        cache.insert(3, CacheEntry::new(ids(1), &mut rng)); // must evict 1, then fit
+        assert_eq!(cache.len(), 2);
+        assert!(cache.entry_mut(&1).is_none());
+        assert!(cache.entry_mut(&2).is_some());
+        assert!(cache.entry_mut(&3).is_some());
+    }
+}

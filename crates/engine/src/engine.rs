@@ -1,0 +1,720 @@
+//! The batched, concurrent query engine.
+//!
+//! [`QueryEngine`] wraps a [`ShardedIndex`] behind a fixed worker pool and a
+//! rank-swap [`ResultCache`]. A batch submitted through
+//! [`QueryEngine::run_batch`] is answered as follows:
+//!
+//! 1. queries are grouped by identity (exact match) in batch order;
+//! 2. each group is one unit of work: the first occurrence runs the full
+//!    two-level pipeline, further occurrences are served from the group's
+//!    neighborhood by the Theorem 5 rank-swap step (see [`crate::cache`]);
+//! 3. groups are dispatched to the pool; each answer draws from its own RNG
+//!    stream split off the root seed by `(batch, position)`, so the result
+//!    of a batch is a pure function of the seed, the index contents and the
+//!    batch — **identical across thread counts and scheduling orders**;
+//! 4. freshly computed neighborhoods are committed to the cache after the
+//!    batch, in group order, keeping the cache state (and therefore future
+//!    hit/miss patterns and evictions) deterministic too.
+//!
+//! Updates ([`QueryEngine::insert`] / [`QueryEngine::delete`]) take the
+//! write side of the index lock and invalidate the cache; they never rebuild
+//! more than the affected shard.
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::seed::{split_seed, stream_rng};
+use crate::sharded::{ShardedIndex, ShardedIndexConfig};
+use fairnn_core::predicate::Nearness;
+use fairnn_core::{NeighborSampler, QueryStats};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshParams};
+use fairnn_space::{Dataset, PointId};
+use rand::Rng;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread;
+
+/// Configuration of a [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads of the fixed pool (1 = run batches inline).
+    pub threads: usize,
+    /// Result-cache capacity in distinct queries (0 disables the cache and
+    /// with it the duplicate grouping of step 2).
+    pub cache_capacity: usize,
+    /// The sharded-index configuration (shard count, root seed, κ, …).
+    pub index: ShardedIndexConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            cache_capacity: 1024,
+            index: ShardedIndexConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.index.shards = shards;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.index.seed = seed;
+        self
+    }
+
+    /// Sets the result-cache capacity (0 disables).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    /// The sampled neighbor, or `None` (the paper's `⊥`) for an empty
+    /// neighborhood.
+    pub id: Option<PointId>,
+    /// Pipeline work performed for this answer (zero for answers served by
+    /// the rank-swap fast path, whose cost is one swap).
+    pub stats: QueryStats,
+    /// Whether the answer came from the rank-swap fast path rather than the
+    /// full two-level pipeline.
+    pub via_cache: bool,
+}
+
+/// RNG stream tag for batches (domain-separated from the index streams).
+const STREAM_BATCH_BASE: u64 = 3 << 32;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A minimal fixed-size thread pool (std-only; the workspace has no
+/// dependency budget for an executor).
+#[derive(Debug)]
+struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || loop {
+                    let job = receiver.lock().expect("pool receiver poisoned").recv();
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // pool dropped
+                    }
+                })
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    fn execute(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool is live")
+            .send(job)
+            .expect("workers alive while pool is live");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One unit of work: a distinct query and the batch positions asking it.
+struct Group<P> {
+    query: P,
+    positions: Vec<usize>,
+}
+
+/// Result of answering one group: per-position answers plus the cache commit
+/// the coordinating thread applies after the batch.
+type GroupResult<P> = (Vec<(usize, Answer)>, Option<(P, CacheEntry)>);
+
+/// The serving engine: sharded index + worker pool + result cache.
+pub struct QueryEngine<P, H, N> {
+    index: Arc<RwLock<ShardedIndex<P, H, N>>>,
+    cache: Arc<Mutex<ResultCache<P>>>,
+    pool: Option<ThreadPool>,
+    config: EngineConfig,
+    batches: u64,
+    last_stats: QueryStats,
+}
+
+impl<P: Clone, BH, N> QueryEngine<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+    P: Hash + Eq,
+{
+    /// Builds the index and the worker pool. Deterministic given
+    /// `config.index.seed`.
+    pub fn build<F>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        config: EngineConfig,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        N: Clone,
+    {
+        Self::from_index(
+            ShardedIndex::build(family, params, dataset, near, config.index),
+            config,
+        )
+    }
+}
+
+impl<P, H, N> QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone,
+{
+    /// Wraps an existing index.
+    pub fn from_index(index: ShardedIndex<P, H, N>, config: EngineConfig) -> Self {
+        assert!(config.threads >= 1, "need at least one thread");
+        let pool = (config.threads > 1).then(|| ThreadPool::new(config.threads));
+        Self {
+            index: Arc::new(RwLock::new(index)),
+            cache: Arc::new(Mutex::new(ResultCache::new(config.cache_capacity))),
+            pool,
+            config,
+            batches: 0,
+            last_stats: QueryStats::default(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.index.read().expect("index lock poisoned").len()
+    }
+
+    /// Whether no live point remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.index.read().expect("index lock poisoned").num_shards()
+    }
+
+    /// `(hits, misses)` of the result cache in its current generation.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().expect("cache lock poisoned").stats()
+    }
+}
+
+impl<P, H, N> QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone,
+    H: LshHasher<P>,
+{
+    /// Global mergeable-sketch estimate of the colliding-point count.
+    pub fn estimate_colliding(&self, query: &P) -> f64 {
+        self.index
+            .read()
+            .expect("index lock poisoned")
+            .estimate_colliding(query)
+    }
+}
+
+impl<P, H, N> QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone,
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// Inserts a point (write-locks the index, invalidates the cache).
+    /// Returns the assigned global id.
+    pub fn insert(&mut self, point: P) -> PointId {
+        let id = self
+            .index
+            .write()
+            .expect("index lock poisoned")
+            .insert(point);
+        self.cache.lock().expect("cache lock poisoned").clear();
+        id
+    }
+
+    /// Deletes a point by id (write-locks the index, invalidates the
+    /// cache). Returns `false` for unknown ids.
+    pub fn delete(&mut self, id: PointId) -> bool {
+        let deleted = self.index.write().expect("index lock poisoned").delete(id);
+        if deleted {
+            self.cache.lock().expect("cache lock poisoned").clear();
+        }
+        deleted
+    }
+}
+
+/// Answers one group: cache hit → rank-swap draws; miss → pipeline for the
+/// first position, rank-swap over the freshly collected neighborhood for the
+/// rest. Returns the per-position answers plus the cache commit (applied by
+/// the caller after the batch, in group order, for determinism).
+fn process_group<P, H, N>(
+    index: &ShardedIndex<P, H, N>,
+    cache: &Mutex<ResultCache<P>>,
+    cache_enabled: bool,
+    group: &Group<P>,
+    batch_seed: u64,
+) -> GroupResult<P>
+where
+    P: Hash + Eq + Clone,
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    let mut answers = Vec::with_capacity(group.positions.len());
+    if cache_enabled {
+        // Take the entry out under a short lock and draw outside it, so
+        // concurrent groups hitting *different* cached queries do not
+        // serialize on the one cache mutex. Groups are unique per query
+        // within a batch, so no other worker can take the same entry, and
+        // eviction only runs in the post-batch commit.
+        let taken = cache
+            .lock()
+            .expect("cache lock poisoned")
+            .take(&group.query);
+        if let Some(mut entry) = taken {
+            for &pos in &group.positions {
+                let mut rng = stream_rng(batch_seed, pos as u64);
+                let id = entry.sample(&mut rng);
+                answers.push((
+                    pos,
+                    Answer {
+                        id,
+                        stats: QueryStats::default(),
+                        via_cache: true,
+                    },
+                ));
+            }
+            cache
+                .lock()
+                .expect("cache lock poisoned")
+                .restore(group.query.clone(), entry);
+            return (answers, None);
+        }
+    }
+
+    let lead = group.positions[0];
+    let mut rng = stream_rng(batch_seed, lead as u64);
+    let (id, stats) = index.sample(&group.query, &mut rng);
+    answers.push((
+        lead,
+        Answer {
+            id,
+            stats,
+            via_cache: false,
+        },
+    ));
+    if !cache_enabled {
+        debug_assert_eq!(group.positions.len(), 1, "grouping requires the cache");
+        return (answers, None);
+    }
+
+    // Collect the neighborhood once; duplicates in this batch and repeats in
+    // future batches ride the rank-swap fast path.
+    let members = index.neighborhood(&group.query);
+    let mut entry = CacheEntry::new(members, &mut rng);
+    for &pos in &group.positions[1..] {
+        let mut rng = stream_rng(batch_seed, pos as u64);
+        let id = entry.sample(&mut rng);
+        answers.push((
+            pos,
+            Answer {
+                id,
+                stats: QueryStats::default(),
+                via_cache: true,
+            },
+        ));
+    }
+    (answers, Some((group.query.clone(), entry)))
+}
+
+impl<P, H, N> QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone + Send + Sync + 'static,
+    H: LshHasher<P> + Send + Sync + 'static,
+    N: Nearness<P> + Send + Sync + 'static,
+{
+    /// Answers a batch of queries. `answers[i]` corresponds to
+    /// `queries[i]`; for a fixed engine seed and index state the result is
+    /// identical for every thread count.
+    pub fn run_batch(&mut self, queries: &[P]) -> Vec<Answer> {
+        let batch_seed = split_seed(
+            self.config.index.seed,
+            STREAM_BATCH_BASE.wrapping_add(self.batches),
+        );
+        self.batches += 1;
+
+        let cache_enabled = self.cache.lock().expect("cache lock poisoned").enabled();
+        let groups = Self::group_queries(queries, cache_enabled);
+
+        let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
+        let mut commits: Vec<Option<(P, CacheEntry)>> = Vec::new();
+        match &self.pool {
+            None => {
+                let index = self.index.read().expect("index lock poisoned");
+                for group in &groups {
+                    let (group_answers, commit) =
+                        process_group(&index, &self.cache, cache_enabled, group, batch_seed);
+                    for (pos, answer) in group_answers {
+                        answers[pos] = Some(answer);
+                    }
+                    commits.push(commit);
+                }
+            }
+            Some(pool) => {
+                // One work item per chunk of groups (not per group): with
+                // thousands of distinct queries the channel and Arc-clone
+                // overhead would otherwise dominate the per-query pipeline
+                // cost. A few chunks per worker keep the load balanced.
+                let num_groups = groups.len();
+                let chunk_size = num_groups.div_ceil(self.config.threads * 4).max(1);
+                let (tx, rx) = mpsc::channel();
+                let mut num_chunks = 0usize;
+                let mut groups = groups.into_iter().enumerate();
+                loop {
+                    let chunk: Vec<(usize, Group<P>)> = groups.by_ref().take(chunk_size).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    num_chunks += 1;
+                    let index = Arc::clone(&self.index);
+                    let cache = Arc::clone(&self.cache);
+                    let tx = tx.clone();
+                    pool.execute(Box::new(move || {
+                        let index = index.read().expect("index lock poisoned");
+                        let results: Vec<_> = chunk
+                            .iter()
+                            .map(|(gi, group)| {
+                                (
+                                    *gi,
+                                    process_group(&index, &cache, cache_enabled, group, batch_seed),
+                                )
+                            })
+                            .collect();
+                        tx.send(results).expect("batch receiver alive");
+                    }));
+                }
+                drop(tx);
+                commits.resize_with(num_groups, || None);
+                for _ in 0..num_chunks {
+                    for (gi, (group_answers, commit)) in
+                        rx.recv().expect("all chunk jobs report back")
+                    {
+                        for (pos, answer) in group_answers {
+                            answers[pos] = Some(answer);
+                        }
+                        commits[gi] = commit;
+                    }
+                }
+            }
+        }
+
+        // Commit fresh neighborhoods in group order (deterministic cache
+        // contents and eviction order).
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        for commit in commits.into_iter().flatten() {
+            let (query, entry) = commit;
+            cache.insert(query, entry);
+        }
+        drop(cache);
+
+        answers
+            .into_iter()
+            .map(|a| a.expect("every position answered"))
+            .collect()
+    }
+
+    /// Groups batch positions by query identity (first occurrence leads).
+    /// Without the cache every position is its own group, which maximizes
+    /// parallelism for duplicate-free workloads.
+    fn group_queries(queries: &[P], cache_enabled: bool) -> Vec<Group<P>> {
+        let mut groups: Vec<Group<P>> = Vec::new();
+        if cache_enabled {
+            let mut group_of: HashMap<&P, usize> = HashMap::new();
+            for (i, query) in queries.iter().enumerate() {
+                match group_of.get(query) {
+                    Some(&g) => groups[g].positions.push(i),
+                    None => {
+                        group_of.insert(query, groups.len());
+                        groups.push(Group {
+                            query: query.clone(),
+                            positions: vec![i],
+                        });
+                    }
+                }
+            }
+        } else {
+            groups.extend(queries.iter().enumerate().map(|(i, query)| Group {
+                query: query.clone(),
+                positions: vec![i],
+            }));
+        }
+        groups
+    }
+}
+
+impl<P, H, N> NeighborSampler<P> for QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone,
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// Single-query interface: one two-level pipeline draw using the
+    /// caller's RNG (the batch determinism contract and the result cache
+    /// only apply to [`QueryEngine::run_batch`]).
+    fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
+        let (id, stats) = self
+            .index
+            .read()
+            .expect("index lock poisoned")
+            .sample(query, rng);
+        self.last_stats = stats;
+        id
+    }
+
+    fn last_query_stats(&self) -> QueryStats {
+        self.last_stats
+    }
+
+    fn name(&self) -> &'static str {
+        "query-engine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairnn_core::{ExactSampler, SimilarityAtLeast};
+    use fairnn_lsh::{MinHash, ParamsBuilder};
+    use fairnn_space::{Jaccard, SparseSet};
+
+    fn clustered_dataset() -> Dataset<SparseSet> {
+        let mut sets = Vec::new();
+        for j in 0..10u32 {
+            let mut items: Vec<u32> = (0..25).collect();
+            items.push(100 + j);
+            items.push(200 + j);
+            sets.push(SparseSet::from_items(items));
+        }
+        for j in 0..20u32 {
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 15).collect(),
+            ));
+        }
+        Dataset::new(sets)
+    }
+
+    type Engine = QueryEngine<
+        SparseSet,
+        ConcatenatedHasher<fairnn_lsh::MinHasher>,
+        SimilarityAtLeast<Jaccard>,
+    >;
+
+    fn build(config: EngineConfig) -> (Dataset<SparseSet>, Engine) {
+        let data = clustered_dataset();
+        let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let engine = QueryEngine::build(&MinHash, params, &data, near, config);
+        (data, engine)
+    }
+
+    fn mixed_batch(data: &Dataset<SparseSet>) -> Vec<SparseSet> {
+        // Distinct queries with deliberate duplicates sprinkled in.
+        let mut batch = Vec::new();
+        for round in 0..3 {
+            for qi in 0..10u32 {
+                batch.push(data.point(PointId(qi)).clone());
+                if round == 1 && qi % 3 == 0 {
+                    batch.push(data.point(PointId(0)).clone());
+                }
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn batch_answers_line_up_with_queries() {
+        let (data, mut engine) = build(EngineConfig::default().with_seed(21).with_shards(3));
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let batch = mixed_batch(&data);
+        let answers = engine.run_batch(&batch);
+        assert_eq!(answers.len(), batch.len());
+        for (query, answer) in batch.iter().zip(&answers) {
+            let neighborhood = exact.neighborhood(query);
+            let id = answer.id.expect("cluster queries have neighbors");
+            assert!(neighborhood.contains(&id));
+        }
+        // Duplicates in the batch ride the fast path.
+        assert!(answers.iter().any(|a| a.via_cache));
+        assert!(answers.iter().any(|a| !a.via_cache));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_answers_across_thread_counts() {
+        // The determinism regression: an 8-thread engine must reproduce the
+        // 1-thread engine bit for bit, across several batches (so the cache
+        // generation logic is covered too).
+        let (data, mut serial) = build(EngineConfig::default().with_seed(33).with_shards(4));
+        let (_, mut parallel) = build(
+            EngineConfig::default()
+                .with_seed(33)
+                .with_shards(4)
+                .with_threads(8),
+        );
+        for _ in 0..3 {
+            let batch = mixed_batch(&data);
+            let a = serial.run_batch(&batch);
+            let b = parallel.run_batch(&batch);
+            assert_eq!(a, b, "thread count changed the answers");
+        }
+        assert_eq!(serial.cache_stats(), parallel.cache_stats());
+    }
+
+    #[test]
+    fn second_batch_hits_the_cache() {
+        let (data, mut engine) = build(EngineConfig::default().with_seed(5));
+        let batch: Vec<SparseSet> = (0..5u32).map(|i| data.point(PointId(i)).clone()).collect();
+        let first = engine.run_batch(&batch);
+        assert!(first.iter().all(|a| !a.via_cache));
+        let second = engine.run_batch(&batch);
+        assert!(second.iter().all(|a| a.via_cache));
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!((hits, misses), (5, 5));
+        // Fast-path answers still come from the neighborhood.
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        for (query, answer) in batch.iter().zip(&second) {
+            assert!(exact.neighborhood(query).contains(&answer.id.unwrap()));
+        }
+    }
+
+    #[test]
+    fn cache_fast_path_remains_uniform() {
+        let (data, mut engine) = build(EngineConfig::default().with_seed(6));
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(0)).clone();
+        let neighborhood = exact.neighborhood(&query);
+        assert_eq!(neighborhood.len(), 10);
+        let batch = vec![query; 400];
+        let mut counts = vec![0usize; data.len()];
+        for _ in 0..30 {
+            for answer in engine.run_batch(&batch) {
+                counts[answer.id.unwrap().index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        for &id in &neighborhood {
+            let rate = counts[id.index()] as f64 / total as f64;
+            assert!(
+                (rate - 0.1).abs() < 0.02,
+                "member {id} rate {rate} off uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_the_cache_disables_grouping_but_not_answers() {
+        let (data, mut engine) = build(EngineConfig::default().with_seed(7).with_cache_capacity(0));
+        let query = data.point(PointId(0)).clone();
+        let answers = engine.run_batch(&vec![query; 10]);
+        assert_eq!(answers.len(), 10);
+        assert!(answers.iter().all(|a| !a.via_cache));
+        assert_eq!(engine.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn updates_invalidate_the_cache_and_reach_queries() {
+        let (data, mut engine) = build(EngineConfig::default().with_seed(8));
+        let query = data.point(PointId(0)).clone();
+        let _ = engine.run_batch(std::slice::from_ref(&query));
+        let (_, misses_before) = engine.cache_stats();
+        assert!(misses_before > 0);
+
+        // Insert a twin of the query; the cache must forget the old answer.
+        let mut items: Vec<u32> = (0..25).collect();
+        items.push(100);
+        items.push(200);
+        items.push(999);
+        let id = engine.insert(SparseSet::from_items(items));
+        assert_eq!(engine.cache_stats(), (0, 0), "insert must clear the cache");
+        assert_eq!(engine.len(), data.len() + 1);
+
+        let mut seen = false;
+        for _ in 0..40 {
+            let answers = engine.run_batch(&vec![query.clone(); 50]);
+            if answers.iter().any(|a| a.id == Some(id)) {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "inserted twin never sampled after invalidation");
+
+        assert!(engine.delete(id));
+        assert!(!engine.delete(id));
+        let answers = engine.run_batch(&vec![query.clone(); 50]);
+        assert!(
+            answers.iter().all(|a| a.id != Some(id)),
+            "deleted point still sampled"
+        );
+    }
+
+    #[test]
+    fn engine_is_a_neighbor_sampler_too() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (data, mut engine) = build(EngineConfig::default().with_seed(9));
+        let mut rng = StdRng::seed_from_u64(1);
+        let query = data.point(PointId(2)).clone();
+        assert!(engine.sample(&query, &mut rng).is_some());
+        assert!(engine.last_query_stats().rounds >= 1);
+        assert_eq!(engine.name(), "query-engine");
+        assert_eq!(engine.num_shards(), 4);
+        assert!(!engine.is_empty());
+        assert!(engine.estimate_colliding(&query) > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, mut engine) = build(EngineConfig::default());
+        assert!(engine.run_batch(&[]).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Sharded, concurrent, batch query-serving subsystem for fair near-neighbor
+//! sampling.
+//!
+//! The paper's samplers are single-shot data structures: one monolithic
+//! index, one query at a time, one core. This crate turns them into a
+//! serving layer. The load-bearing observation is that the Section 4
+//! construction already rests on *mergeable* count-distinct sketches, and
+//! mergeability is exactly what makes the structures shardable: per-shard
+//! estimates of `|B_S(q, r) ∩ shard|` combine into a global one, so a
+//! two-level sampler — pick a shard proportionally to its estimate, then
+//! sample fairly within it, with a rejection correction that cancels the
+//! estimation error — stays exactly uniform (up to an `exp(−Θ(k))`-
+//! probability sketch failure; see the `sharded` module docs).
+//!
+//! The pieces:
+//!
+//! * [`shard`] — one shard: shard-local LSH tables built from the shared
+//!   parameters, mergeable per-bucket KMV sketches over global point ids,
+//!   incremental insert/delete with shard-local compaction;
+//! * [`sharded`] — [`ShardedIndex`]: the partition, the rejection-corrected
+//!   two-level sampler (with its uniformity argument), and the
+//!   [`ShardedSampler`] adapter into the `fairnn-core` sampler traits;
+//! * [`engine`] — [`QueryEngine`]: a fixed thread pool, batched query
+//!   submission, per-answer RNG streams split from a root seed (identical
+//!   results for every thread count), and the Theorem 5 rank-swap result
+//!   cache for repeated identical queries;
+//! * [`cache`] — that cache;
+//! * [`seed`] — the deterministic stream-splitting helpers.
+//!
+//! # Quick example
+//!
+//! ```
+//! use fairnn_engine::{EngineConfig, QueryEngine};
+//! use fairnn_core::SimilarityAtLeast;
+//! use fairnn_lsh::{MinHash, ParamsBuilder};
+//! use fairnn_space::{Dataset, Jaccard, SparseSet};
+//!
+//! // Toy dataset: three mutually similar users plus an outlier.
+//! let data: Dataset<SparseSet> = vec![
+//!     SparseSet::from_items(vec![1, 2, 3, 4]),
+//!     SparseSet::from_items(vec![1, 2, 3, 5]),
+//!     SparseSet::from_items(vec![1, 2, 3, 6]),
+//!     SparseSet::from_items(vec![100, 200, 300]),
+//! ].into_iter().collect();
+//!
+//! let params = ParamsBuilder::new(data.len(), 0.5, 0.1).empirical(&MinHash);
+//! let mut engine = QueryEngine::build(
+//!     &MinHash,
+//!     params,
+//!     &data,
+//!     SimilarityAtLeast::new(Jaccard, 0.5),
+//!     EngineConfig::default().with_shards(2).with_threads(2),
+//! );
+//!
+//! let query = SparseSet::from_items(vec![1, 2, 3, 4]);
+//! let answers = engine.run_batch(&[query.clone(), query.clone()]);
+//! assert_eq!(answers.len(), 2);
+//! assert!(answers[0].id.is_some());
+//! assert!(answers[1].via_cache, "repeat rides the rank-swap fast path");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod seed;
+pub mod shard;
+pub mod sharded;
+
+pub use cache::{CacheEntry, ResultCache};
+pub use engine::{Answer, EngineConfig, QueryEngine};
+pub use shard::{Shard, ShardConfig};
+pub use sharded::{PreparedQuery, ShardedIndex, ShardedIndexConfig, ShardedSampler};

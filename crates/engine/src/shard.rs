@@ -1,0 +1,485 @@
+//! One shard: a slice of the dataset with its own LSH tables and mergeable
+//! per-bucket sketches.
+//!
+//! A shard owns a subset of the points, indexes them in shard-local LSH
+//! tables built from the *shared* [`LshParams`] (each shard draws its own
+//! hashers from the family, from its own deterministic RNG stream), and
+//! attaches a KMV ([`BottomKSketch`]) count-distinct sketch to every large
+//! bucket. All sketches — across buckets, tables *and shards* — share one
+//! seed and `k`, so any group of them can be merged: the per-shard colliding
+//! sketches combine into a global neighborhood-size estimate exactly as the
+//! Section 4 construction merges per-bucket sketches, which is what makes
+//! the structure shardable in the first place.
+//!
+//! Updates are incremental: inserts append to the local tables and feed the
+//! bucket sketches; deletes tombstone the point and remove it from the
+//! bucket lists. A KMV sketch cannot *unlearn* an element, so after deletes
+//! the bucket sketches over-estimate — harmless for the rejection-corrected
+//! sampler (see `sharded.rs`), and bounded by compaction: once tombstones
+//! exceed a configurable fraction of the live points the shard rebuilds
+//! itself locally (same hashers, compacted ids, fresh sketches). No update
+//! ever requires touching another shard, let alone a global rebuild.
+
+use fairnn_core::predicate::Nearness;
+use fairnn_core::QueryStats;
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_sketch::{BottomKSketch, CardinalityEstimator};
+use fairnn_space::PointId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tuning knobs of a [`Shard`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// `k` of the per-bucket KMV sketches (exact below `k` distinct ids,
+    /// ~`1/√k` relative error above).
+    pub sketch_k: usize,
+    /// Buckets with at least this many entries pre-compute their sketch;
+    /// smaller buckets are folded into estimates by direct insertion at
+    /// query time (the space-saving rule of Section 4).
+    pub sketch_threshold: usize,
+    /// The shard compacts itself when tombstones exceed this fraction of
+    /// the live point count.
+    pub rebuild_fraction: f64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            sketch_k: 64,
+            sketch_threshold: 32,
+            rebuild_fraction: 0.5,
+        }
+    }
+}
+
+/// A shard of the sharded index. Local point ids are dense `0..points.len()`
+/// (with tombstoned holes between compactions); every public method speaks
+/// global [`PointId`]s.
+#[derive(Debug, Clone)]
+pub struct Shard<P, H, N> {
+    index: LshIndex<H>,
+    points: Vec<P>,
+    global_ids: Vec<PointId>,
+    alive: Vec<bool>,
+    local_of: HashMap<PointId, u32>,
+    live: usize,
+    tombstones: usize,
+    near: N,
+    /// Per-table map from bucket key to the bucket's sketch (large buckets
+    /// only). Sketch elements are **global** point ids so sketches from
+    /// different shards merge into estimates over the whole dataset.
+    sketches: Vec<HashMap<u64, BottomKSketch>>,
+    sketch_seed: u64,
+    config: ShardConfig,
+}
+
+impl<P: Clone, BH, N> Shard<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+{
+    /// Builds a shard over `points` (with their global ids) from the shared
+    /// parameters; the hashers are drawn from `rng`, which the sharded index
+    /// derives from its root seed per shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build<F, R>(
+        family: &F,
+        params: LshParams,
+        points: Vec<P>,
+        global_ids: Vec<PointId>,
+        near: N,
+        sketch_seed: u64,
+        config: ShardConfig,
+        rng: &mut R,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        R: Rng + ?Sized,
+    {
+        assert_eq!(points.len(), global_ids.len());
+        let index = LshIndex::build(family, params, &points, rng);
+        let mut shard = Self {
+            index,
+            alive: vec![true; points.len()],
+            local_of: global_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (g, i as u32))
+                .collect(),
+            live: points.len(),
+            tombstones: 0,
+            near,
+            sketches: Vec::new(),
+            sketch_seed,
+            config,
+            points,
+            global_ids,
+        };
+        shard.rebuild_sketches();
+        shard
+    }
+}
+
+impl<P, H, N> Shard<P, H, N> {
+    /// Number of live points.
+    pub fn live_points(&self) -> usize {
+        self.live
+    }
+
+    /// Number of tombstoned points awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Number of LSH tables.
+    pub fn num_tables(&self) -> usize {
+        self.index.num_tables()
+    }
+
+    /// Number of buckets carrying a pre-computed sketch.
+    pub fn sketched_buckets(&self) -> usize {
+        self.sketches.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether this shard owns the (live) point with the given global id.
+    pub fn contains(&self, global: PointId) -> bool {
+        self.local_of.contains_key(&global)
+    }
+
+    /// An empty sketch compatible with every bucket sketch of every shard
+    /// sharing this seed and configuration (the merge accumulator).
+    pub fn empty_sketch(&self) -> BottomKSketch {
+        BottomKSketch::new(self.sketch_seed, self.config.sketch_k)
+    }
+
+    /// Rebuilds the per-bucket sketches from the current tables (called at
+    /// construction and after compaction, when buckets contain live points
+    /// only).
+    fn rebuild_sketches(&mut self) {
+        let threshold = self.config.sketch_threshold;
+        self.sketches = self
+            .index
+            .tables()
+            .iter()
+            .map(|table| {
+                table
+                    .buckets()
+                    .filter(|(_, ids)| ids.len() >= threshold)
+                    .map(|(key, ids)| {
+                        let mut sketch = BottomKSketch::new(self.sketch_seed, self.config.sketch_k);
+                        for &lid in ids {
+                            sketch.insert(self.global_ids[lid.index()].0 as u64);
+                        }
+                        (key, sketch)
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+}
+
+impl<P, H, N> Shard<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Merges the sketches of the buckets `query` collides with into `acc`.
+    /// Small (unsketched) buckets are folded in by direct insertion, which
+    /// keeps their contribution exact.
+    pub fn merge_colliding_into(&self, query: &P, acc: &mut BottomKSketch, stats: &mut QueryStats) {
+        for (i, hasher) in self.index.hashers().iter().enumerate() {
+            stats.buckets_inspected += 1;
+            let key = hasher.hash(query);
+            if let Some(sketch) = self.sketches[i].get(&key) {
+                debug_assert!(acc.mergeable_with(sketch));
+                acc.merge(sketch);
+            } else {
+                for &lid in self.index.table(i).bucket(key) {
+                    if self.alive[lid.index()] {
+                        acc.insert(self.global_ids[lid.index()].0 as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimated number of distinct points of this shard colliding with
+    /// `query` (an upper-bias estimate after deletes, see the module docs).
+    pub fn estimate_colliding(&self, query: &P, stats: &mut QueryStats) -> f64 {
+        let mut acc = self.empty_sketch();
+        self.merge_colliding_into(query, &mut acc, stats);
+        acc.estimate()
+    }
+}
+
+impl<P, H, N> Shard<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// The distinct live near points of this shard colliding with `query`,
+    /// as global ids (the set the two-level sampler samples within).
+    pub fn colliding_near_points(&self, query: &P, stats: &mut QueryStats) -> Vec<PointId> {
+        let mut seen = vec![false; self.points.len()];
+        let mut found = Vec::new();
+        for (i, hasher) in self.index.hashers().iter().enumerate() {
+            stats.buckets_inspected += 1;
+            let key = hasher.hash(query);
+            for &lid in self.index.table(i).bucket(key) {
+                stats.entries_scanned += 1;
+                let l = lid.index();
+                if seen[l] || !self.alive[l] {
+                    continue;
+                }
+                seen[l] = true;
+                stats.distance_computations += 1;
+                if self.near.is_near(query, &self.points[l]) {
+                    found.push(self.global_ids[l]);
+                }
+            }
+        }
+        found
+    }
+}
+
+impl<P: Clone, H, N> Shard<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Inserts a new point with the given global id: appends it to the
+    /// local tables and feeds every affected bucket sketch (promoting
+    /// buckets that cross the size threshold).
+    pub fn insert(&mut self, global: PointId, point: P) {
+        assert!(
+            !self.local_of.contains_key(&global),
+            "global id {global} already present in shard"
+        );
+        let lid = self.points.len() as u32;
+        self.points.push(point);
+        self.global_ids.push(global);
+        self.alive.push(true);
+        self.local_of.insert(global, lid);
+        self.live += 1;
+        let assigned = self.index.insert_point(&self.points[lid as usize]);
+        assert_eq!(assigned.index(), lid as usize, "local ids must stay dense");
+
+        let keys = self.index.query_keys(&self.points[lid as usize]);
+        for (i, key) in keys.into_iter().enumerate() {
+            if let Some(sketch) = self.sketches[i].get_mut(&key) {
+                sketch.insert(global.0 as u64);
+            } else if self.index.table(i).bucket(key).len() >= self.config.sketch_threshold {
+                // The bucket just crossed the threshold: sketch it. Bucket
+                // lists contain live points only, so the sketch is fresh.
+                let mut sketch = BottomKSketch::new(self.sketch_seed, self.config.sketch_k);
+                for &l in self.index.table(i).bucket(key) {
+                    sketch.insert(self.global_ids[l.index()].0 as u64);
+                }
+                self.sketches[i].insert(key, sketch);
+            }
+        }
+    }
+
+    /// Deletes the point with the given global id. Returns `false` when the
+    /// shard does not own it. May trigger a local compaction.
+    pub fn delete(&mut self, global: PointId) -> bool {
+        let Some(lid) = self.local_of.remove(&global) else {
+            return false;
+        };
+        let l = lid as usize;
+        self.alive[l] = false;
+        self.live -= 1;
+        self.tombstones += 1;
+        self.index.remove_point(&self.points[l], PointId(lid));
+        // Bucket sketches keep the deleted id (KMV cannot unlearn); the
+        // resulting over-estimate is corrected by rejection at query time
+        // and reclaimed below once it grows too large.
+        if self.tombstones as f64 > self.config.rebuild_fraction * self.live.max(1) as f64 {
+            self.compact();
+        }
+        true
+    }
+
+    /// Drops tombstoned points, re-densifies local ids, rebuilds the tables
+    /// (keeping the same hashers, so this is a deterministic compaction)
+    /// and refreshes every bucket sketch. Strictly shard-local.
+    fn compact(&mut self) {
+        let mut points = Vec::with_capacity(self.live);
+        let mut global_ids = Vec::with_capacity(self.live);
+        for (i, point) in self.points.drain(..).enumerate() {
+            if self.alive[i] {
+                points.push(point);
+                global_ids.push(self.global_ids[i]);
+            }
+        }
+        self.points = points;
+        self.global_ids = global_ids;
+        self.alive = vec![true; self.points.len()];
+        self.local_of = self
+            .global_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect();
+        self.tombstones = 0;
+        self.index.rebuild(&self.points);
+        self.rebuild_sketches();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairnn_core::SimilarityAtLeast;
+    use fairnn_lsh::{MinHash, ParamsBuilder};
+    use fairnn_space::{Dataset, Jaccard, SparseSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_sets() -> Vec<SparseSet> {
+        let mut sets = Vec::new();
+        for j in 0..8u32 {
+            let mut items: Vec<u32> = (0..24).collect();
+            items.push(100 + j);
+            sets.push(SparseSet::from_items(items));
+        }
+        for j in 0..8u32 {
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 15).collect(),
+            ));
+        }
+        sets
+    }
+
+    type TestShard =
+        Shard<SparseSet, ConcatenatedHasher<fairnn_lsh::MinHasher>, SimilarityAtLeast<Jaccard>>;
+
+    fn build_shard(sets: Vec<SparseSet>, first_global: u32) -> TestShard {
+        let params = ParamsBuilder::new(16, 0.5, 0.05).empirical(&MinHash);
+        let globals: Vec<PointId> = (0..sets.len() as u32)
+            .map(|i| PointId(first_global + i))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        Shard::build(
+            &MinHash,
+            params,
+            sets,
+            globals,
+            SimilarityAtLeast::new(Jaccard, 0.5),
+            77,
+            ShardConfig {
+                sketch_threshold: 2,
+                ..ShardConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn near_points_are_reported_with_global_ids() {
+        let sets = clustered_sets();
+        let shard = build_shard(sets.clone(), 1000);
+        let mut stats = QueryStats::default();
+        let near = shard.colliding_near_points(&sets[0], &mut stats);
+        assert!(near.len() >= 7, "cluster members missing: {near:?}");
+        for id in &near {
+            assert!((1000..1016).contains(&id.0), "non-global id {id}");
+        }
+        assert!(stats.distance_computations > 0);
+    }
+
+    #[test]
+    fn estimate_tracks_colliding_count_and_sketches_exist() {
+        let sets = clustered_sets();
+        let shard = build_shard(sets.clone(), 0);
+        assert!(
+            shard.sketched_buckets() > 0,
+            "threshold 2 must sketch the cluster buckets"
+        );
+        let mut stats = QueryStats::default();
+        let est = shard.estimate_colliding(&sets[0], &mut stats);
+        // The 8-member cluster collides almost surely; KMV is exact at this size.
+        assert!(est >= 7.0, "estimate {est}");
+        assert!(est <= 17.0, "estimate {est}");
+    }
+
+    #[test]
+    fn insert_extends_neighborhood_and_sketches() {
+        let sets = clustered_sets();
+        let query = sets[0].clone();
+        let mut shard = build_shard(sets, 0);
+        let mut twin_items: Vec<u32> = (0..24).collect();
+        twin_items.push(500);
+        shard.insert(PointId(90), SparseSet::from_items(twin_items));
+        assert_eq!(shard.live_points(), 17);
+        assert!(shard.contains(PointId(90)));
+        let mut stats = QueryStats::default();
+        let near = shard.colliding_near_points(&query, &mut stats);
+        assert!(near.contains(&PointId(90)), "inserted twin not found");
+        let est = shard.estimate_colliding(&query, &mut stats);
+        assert!(est >= 8.0, "sketches not updated on insert: {est}");
+    }
+
+    #[test]
+    fn delete_tombstones_then_compacts() {
+        let sets = clustered_sets();
+        let query = sets[0].clone();
+        let mut shard = build_shard(sets, 0);
+        assert!(!shard.delete(PointId(99)), "unknown id must report false");
+        // Delete the whole cluster one by one; compaction triggers on the way.
+        for j in 1..8u32 {
+            assert!(shard.delete(PointId(j)));
+            assert!(!shard.contains(PointId(j)));
+        }
+        let mut stats = QueryStats::default();
+        let near = shard.colliding_near_points(&query, &mut stats);
+        assert_eq!(near, vec![PointId(0)], "only the query's own point remains");
+        assert_eq!(shard.live_points(), 9);
+        assert!(
+            shard.tombstones() < 7,
+            "compaction never ran: {} tombstones",
+            shard.tombstones()
+        );
+        // After compaction the sketches are fresh: the estimate drops.
+        let est = shard.estimate_colliding(&query, &mut stats);
+        assert!(est <= 3.0, "stale sketches after compaction: {est}");
+    }
+
+    #[test]
+    fn sketches_from_sibling_shards_merge() {
+        let sets = clustered_sets();
+        let (a, b) = sets.split_at(8);
+        let shard_a = build_shard(a.to_vec(), 0);
+        let shard_b = build_shard(b.to_vec(), 8);
+        let query = sets[0].clone();
+        let mut stats = QueryStats::default();
+        let mut acc = shard_a.empty_sketch();
+        shard_a.merge_colliding_into(&query, &mut acc, &mut stats);
+        shard_b.merge_colliding_into(&query, &mut acc, &mut stats);
+        let global = acc.estimate();
+        let local = shard_a.estimate_colliding(&query, &mut stats);
+        assert!(global >= local, "merge lost mass: {global} < {local}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_global_id_rejected() {
+        let sets = clustered_sets();
+        let mut shard = build_shard(sets, 0);
+        shard.insert(PointId(3), SparseSet::from_items(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn dataset_roundtrip_matches_exact_neighborhood() {
+        // A one-shard "sharded" index must see exactly the exact neighborhood
+        // (99%-recall parameters).
+        let sets = clustered_sets();
+        let data = Dataset::new(sets.clone());
+        let shard = build_shard(sets.clone(), 0);
+        let mut stats = QueryStats::default();
+        for qi in 0..8u32 {
+            let query = data.point(PointId(qi)).clone();
+            let mut got = shard.colliding_near_points(&query, &mut stats);
+            got.sort();
+            assert_eq!(got, data.similar_indices(&Jaccard, &query, 0.5));
+        }
+    }
+}

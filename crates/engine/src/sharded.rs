@@ -1,0 +1,709 @@
+//! The sharded index and its rejection-corrected two-level fair sampler.
+//!
+//! [`ShardedIndex`] partitions a [`Dataset`] across `N` [`Shard`]s (round
+//! robin, so shard sizes differ by at most one). A query runs the two-level
+//! protocol:
+//!
+//! 1. ask every shard for its mergeable-sketch estimate `ŝ_i` of the number
+//!    of distinct colliding points (the per-shard restriction of the
+//!    Section 4 step-1 estimate — this is exactly where mergeability makes
+//!    the structure shardable);
+//! 2. propose shard `i` with probability `ŝ_i / Σ_j ŝ_j`;
+//! 3. collect that shard's colliding near points `A_i` and **accept** the
+//!    proposal with probability `|A_i| / (κ · ŝ_i)`;
+//! 4. on acceptance return a uniform member of `A_i`, otherwise go to 2.
+//!
+//! Every point `x` of shard `i` is returned in a given round with
+//! probability `(ŝ_i/Σŝ) · (|A_i|/(κŝ_i)) · (1/|A_i|) = 1/(κ·Σŝ)` — a
+//! constant independent of `x`, `i` *and of the accuracy of the estimates*:
+//! the proposal bias cancels against the acceptance ratio, so the output is
+//! exactly uniform over `∪_i A_i` for any positive weights, *provided every
+//! acceptance ratio is at most 1*. κ = 4 guarantees that up to a KMV
+//! failure: the ratio exceeds 1 only if the sketch under-estimates its
+//! shard's colliding count (a superset of `A_i`) by more than κ, an event of
+//! probability `exp(−Θ(k))` in the sketch size `k`. Two guard rails keep
+//! the structure total. A round-budget overrun falls back to an exhaustive
+//! uniform draw over all shards, which is *exactly* uniform: every earlier
+//! round returned each point with the same constant probability, so
+//! conditioning on "no return yet" biases nothing. A detected sketch
+//! failure (ratio > 1) takes the same exhaustive fallback; that path is the
+//! one place where exact uniformity can slip — rounds before the detection
+//! could only return points of healthy shards — but it is reachable only
+//! with the `exp(−Θ(k))`-probability KMV failure above, and the output is
+//! still always a true member of `∪_i A_i`. Fresh query randomness on every
+//! call makes repeated queries independent, so the sharded sampler solves
+//! r-NNIS over the colliding near points — the property the uniformity
+//! battery checks.
+
+use crate::seed::{split_seed, stream_rng};
+use crate::shard::{Shard, ShardConfig};
+use fairnn_core::predicate::Nearness;
+use fairnn_core::{NeighborSampler, QueryStats};
+use fairnn_data::partition;
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshParams};
+use fairnn_sketch::CardinalityEstimator;
+use fairnn_space::{Dataset, PointId};
+use rand::Rng;
+
+/// Configuration of a [`ShardedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedIndexConfig {
+    /// Number of shards `N ≥ 1`.
+    pub shards: usize,
+    /// Root seed: determines every hasher and sketch seed of the structure.
+    pub seed: u64,
+    /// Rejection margin κ: proposals are accepted with probability
+    /// `|A_i| / (κ · ŝ_i)`. Must keep the ratio ≤ 1, so κ ≥ the worst-case
+    /// over-count factor of the estimates (KMV error + deletion staleness).
+    pub kappa: f64,
+    /// Round budget before the exhaustive fallback kicks in.
+    pub max_rounds: usize,
+    /// Per-shard tuning.
+    pub shard: ShardConfig,
+}
+
+impl Default for ShardedIndexConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            seed: 0x5EED,
+            kappa: 4.0,
+            max_rounds: 64,
+            shard: ShardConfig::default(),
+        }
+    }
+}
+
+impl ShardedIndexConfig {
+    /// A config with the given shard count (other fields default).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the root seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Sentinel in the id→shard routing table for deleted / never-assigned ids.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// RNG stream tags (domain separation for [`split_seed`]).
+const STREAM_SKETCH: u64 = 1 << 32;
+const STREAM_SHARD_BASE: u64 = 2 << 32;
+
+/// A dataset partitioned across shards with a uniform two-level sampler.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex<P, H, N> {
+    shards: Vec<Shard<P, H, N>>,
+    /// Global id → owning shard (dense; [`UNASSIGNED`] for deleted ids).
+    shard_of: Vec<u32>,
+    params: LshParams,
+    config: ShardedIndexConfig,
+}
+
+impl<P: Clone, BH, N> ShardedIndex<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+{
+    /// Partitions `dataset` round-robin across `config.shards` shards and
+    /// builds each shard's tables from the shared `params`. Fully
+    /// deterministic given `config.seed`.
+    pub fn build<F>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        config: ShardedIndexConfig,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        N: Clone,
+    {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.kappa >= 1.0, "kappa must be at least 1");
+        let sketch_seed = split_seed(config.seed, STREAM_SKETCH);
+        let assignment = partition::round_robin(dataset.len(), config.shards);
+        let mut shard_of = vec![UNASSIGNED; dataset.len()];
+        let mut shards = Vec::with_capacity(config.shards);
+        for (s, indices) in assignment.iter().enumerate() {
+            for &i in indices {
+                shard_of[i] = s as u32;
+            }
+            let points: Vec<P> = indices
+                .iter()
+                .map(|&i| dataset.points()[i].clone())
+                .collect();
+            let globals: Vec<PointId> = indices.iter().map(|&i| PointId::from_index(i)).collect();
+            let mut rng = stream_rng(config.seed, STREAM_SHARD_BASE + s as u64);
+            shards.push(Shard::build(
+                family,
+                params,
+                points,
+                globals,
+                near.clone(),
+                sketch_seed,
+                config.shard,
+                &mut rng,
+            ));
+        }
+        Self {
+            shards,
+            shard_of,
+            params,
+            config,
+        }
+    }
+}
+
+impl<P, H, N> ShardedIndex<P, H, N> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of live points across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::live_points).sum()
+    }
+
+    /// Whether no live point remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared LSH parameters.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> ShardedIndexConfig {
+        self.config
+    }
+
+    /// The shards themselves (read-only; for accounting and tests).
+    pub fn shards(&self) -> &[Shard<P, H, N>] {
+        &self.shards
+    }
+
+    /// Whether the (live) point with this global id is present.
+    pub fn contains(&self, id: PointId) -> bool {
+        self.shard_of
+            .get(id.index())
+            .is_some_and(|&s| s != UNASSIGNED)
+    }
+}
+
+impl<P, H, N> ShardedIndex<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Global estimate of the number of distinct colliding points: the
+    /// per-shard sketches merged into one, demonstrating end-to-end
+    /// mergeability (shard → table → bucket).
+    pub fn estimate_colliding(&self, query: &P) -> f64 {
+        let mut stats = QueryStats::default();
+        let mut acc = self.shards[0].empty_sketch();
+        for shard in &self.shards {
+            shard.merge_colliding_into(query, &mut acc, &mut stats);
+        }
+        acc.estimate()
+    }
+}
+
+impl<P, H, N> ShardedIndex<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// The distinct colliding near points over all shards, sorted by id
+    /// (shards are disjoint, so this is a plain concatenation).
+    pub fn neighborhood(&self, query: &P) -> Vec<PointId> {
+        let mut stats = QueryStats::default();
+        let mut all = self.collect_all(query, &mut stats);
+        all.sort_unstable();
+        all
+    }
+
+    fn collect_all(&self, query: &P, stats: &mut QueryStats) -> Vec<PointId> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.colliding_near_points(query, stats));
+        }
+        all
+    }
+
+    /// Prepares a query for (repeated) sampling: computes the per-shard
+    /// estimates once and lazily caches the per-shard neighborhoods. Every
+    /// cached quantity is a *deterministic* function of the index and the
+    /// query, so drawing many samples from one [`PreparedQuery`] yields
+    /// exactly the same output distribution as calling
+    /// [`ShardedIndex::sample`] repeatedly — at a fraction of the cost,
+    /// because the sketch merges are not redone per draw.
+    pub fn prepare<'a>(&'a self, query: &'a P) -> PreparedQuery<'a, P, H, N> {
+        let mut stats = QueryStats::default();
+        let estimates: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.estimate_colliding(query, &mut stats))
+            .collect();
+        let total = estimates.iter().sum();
+        PreparedQuery {
+            index: self,
+            query,
+            estimates,
+            total,
+            cached: vec![None; self.shards.len()],
+            stats,
+        }
+    }
+
+    /// One uniform sample from the colliding near points of `query`, with
+    /// the work statistics of this call. Fresh `rng` draws make repeated
+    /// calls independent (see the module docs for the uniformity argument).
+    pub fn sample<R: Rng + ?Sized>(&self, query: &P, rng: &mut R) -> (Option<PointId>, QueryStats) {
+        let mut prepared = self.prepare(query);
+        let id = prepared.sample(rng);
+        (id, prepared.stats())
+    }
+}
+
+/// Repeated-sampling cursor over one query (see [`ShardedIndex::prepare`]).
+#[derive(Debug)]
+pub struct PreparedQuery<'a, P, H, N> {
+    index: &'a ShardedIndex<P, H, N>,
+    query: &'a P,
+    /// Per-shard mergeable-sketch estimates (step 1, computed once).
+    estimates: Vec<f64>,
+    total: f64,
+    /// Lazily collected per-shard neighborhoods `A_i`.
+    cached: Vec<Option<Vec<PointId>>>,
+    stats: QueryStats,
+}
+
+impl<P, H, N> PreparedQuery<'_, P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// Accumulated work statistics over every draw from this cursor (one
+    /// [`ShardedIndex::sample`] call equals one prepare + one draw).
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// The global colliding estimate `Σ_i ŝ_i` this cursor proposes from.
+    pub fn total_estimate(&self) -> f64 {
+        self.total
+    }
+
+    fn shard_neighborhood(&mut self, shard: usize) -> &Vec<PointId> {
+        if self.cached[shard].is_none() {
+            self.cached[shard] =
+                Some(self.index.shards[shard].colliding_near_points(self.query, &mut self.stats));
+        }
+        self.cached[shard].as_ref().expect("filled above")
+    }
+
+    /// Draws one uniform sample (steps 2–4 of the two-level protocol, with
+    /// the exhaustive fallback on round-budget overrun or sketch failure).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PointId> {
+        if self.total <= 0.0 {
+            // No shard has any colliding point (estimates are exact at 0).
+            return None;
+        }
+        let num_shards = self.index.shards.len();
+        let kappa = self.index.config.kappa;
+        for _ in 0..self.index.config.max_rounds.max(1) {
+            self.stats.rounds += 1;
+            let mut u = rng.random::<f64>() * self.total;
+            let mut pick = num_shards - 1;
+            for (i, &w) in self.estimates.iter().enumerate() {
+                if u < w {
+                    pick = i;
+                    break;
+                }
+                u -= w;
+            }
+            let estimate = self.estimates[pick];
+            let near_points = self.shard_neighborhood(pick);
+            if near_points.is_empty() {
+                continue; // acceptance probability 0
+            }
+            let accept = near_points.len() as f64 / (kappa * estimate);
+            if accept > 1.0 {
+                // The sketch under-estimated below |A_i|/κ — an
+                // exp(−Θ(k))-probability KMV failure. Clamping would bias
+                // the output; bail out to the exhaustive fallback (see the
+                // module docs for the residual bias of this rare path).
+                break;
+            }
+            if rng.random::<f64>() < accept {
+                let choice = rng.random_range(0..near_points.len());
+                return Some(near_points[choice]);
+            }
+        }
+
+        // Fallback: an exhaustive uniform draw. On round-budget overrun
+        // this keeps the output exactly uniform (every earlier round had the
+        // same constant per-point return probability); after a detected
+        // sketch failure it is the best available draw (module docs).
+        for shard in 0..num_shards {
+            self.shard_neighborhood(shard);
+        }
+        let sizes: Vec<usize> = self
+            .cached
+            .iter()
+            .map(|c| c.as_ref().map_or(0, Vec::len))
+            .collect();
+        let total: usize = sizes.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut choice = rng.random_range(0..total);
+        for (shard, &size) in sizes.iter().enumerate() {
+            if choice < size {
+                return Some(self.cached[shard].as_ref().expect("filled")[choice]);
+            }
+            choice -= size;
+        }
+        unreachable!("choice is within the concatenated size")
+    }
+}
+
+impl<P: Clone, H, N> ShardedIndex<P, H, N>
+where
+    H: LshHasher<P>,
+{
+    /// Inserts a new point into the least-loaded shard (ties broken toward
+    /// the lowest shard index, so routing is deterministic) and returns its
+    /// freshly assigned global id.
+    pub fn insert(&mut self, point: P) -> PointId {
+        let id = PointId::from_index(self.shard_of.len());
+        let target = (0..self.shards.len())
+            .min_by_key(|&s| self.shards[s].live_points())
+            .expect("at least one shard");
+        self.shard_of.push(target as u32);
+        self.shards[target].insert(id, point);
+        id
+    }
+
+    /// Deletes a point by global id; returns `false` for unknown or already
+    /// deleted ids. Purely shard-local (may trigger that shard's
+    /// compaction).
+    pub fn delete(&mut self, id: PointId) -> bool {
+        let Some(&s) = self.shard_of.get(id.index()) else {
+            return false;
+        };
+        if s == UNASSIGNED {
+            return false;
+        }
+        let deleted = self.shards[s as usize].delete(id);
+        debug_assert!(deleted, "routing table out of sync");
+        self.shard_of[id.index()] = UNASSIGNED;
+        deleted
+    }
+}
+
+/// [`NeighborSampler`] adapter around a [`ShardedIndex`], so the sharded
+/// engine slots into every harness built on the core sampling traits
+/// (including [`fairnn_core::FairSampler`] trait objects via the blanket
+/// impl).
+#[derive(Debug, Clone)]
+pub struct ShardedSampler<P, H, N> {
+    index: ShardedIndex<P, H, N>,
+    stats: QueryStats,
+}
+
+impl<P, H, N> ShardedSampler<P, H, N> {
+    /// Wraps an existing index.
+    pub fn new(index: ShardedIndex<P, H, N>) -> Self {
+        Self {
+            index,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &ShardedIndex<P, H, N> {
+        &self.index
+    }
+
+    /// Mutable access to the underlying index (insert/delete).
+    pub fn index_mut(&mut self) -> &mut ShardedIndex<P, H, N> {
+        &mut self.index
+    }
+
+    /// Unwraps the index.
+    pub fn into_inner(self) -> ShardedIndex<P, H, N> {
+        self.index
+    }
+}
+
+impl<P: Clone, BH, N> ShardedSampler<P, ConcatenatedHasher<BH>, N>
+where
+    BH: LshHasher<P>,
+{
+    /// Builds the index and wraps it (mirrors `FairNns::build` ergonomics).
+    pub fn build<F>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        config: ShardedIndexConfig,
+    ) -> Self
+    where
+        F: LshFamily<P, Hasher = BH>,
+        N: Clone,
+    {
+        Self::new(ShardedIndex::build(family, params, dataset, near, config))
+    }
+}
+
+impl<P, H, N> NeighborSampler<P> for ShardedSampler<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
+        let (id, stats) = self.index.sample(query, rng);
+        self.stats = stats;
+        id
+    }
+
+    fn last_query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded-engine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairnn_core::{ExactSampler, SimilarityAtLeast};
+    use fairnn_lsh::{MinHash, ParamsBuilder};
+    use fairnn_space::{Jaccard, SparseSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_dataset() -> Dataset<SparseSet> {
+        let mut sets = Vec::new();
+        for j in 0..10u32 {
+            let mut items: Vec<u32> = (0..25).collect();
+            items.push(100 + j);
+            items.push(200 + j);
+            sets.push(SparseSet::from_items(items));
+        }
+        for j in 0..20u32 {
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 15).collect(),
+            ));
+        }
+        Dataset::new(sets)
+    }
+
+    type Index = ShardedIndex<
+        SparseSet,
+        ConcatenatedHasher<fairnn_lsh::MinHasher>,
+        SimilarityAtLeast<Jaccard>,
+    >;
+
+    fn build(shards: usize, seed: u64) -> (Dataset<SparseSet>, Index) {
+        let data = clustered_dataset();
+        let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let index = ShardedIndex::build(
+            &MinHash,
+            params,
+            &data,
+            near,
+            ShardedIndexConfig::with_shards(shards).seeded(seed),
+        );
+        (data, index)
+    }
+
+    #[test]
+    fn shards_partition_the_dataset() {
+        let (data, index) = build(4, 1);
+        assert_eq!(index.num_shards(), 4);
+        assert_eq!(index.len(), data.len());
+        assert!(!index.is_empty());
+        for id in data.ids() {
+            assert!(index.contains(id));
+            assert_eq!(
+                index.shards().iter().filter(|s| s.contains(id)).count(),
+                1,
+                "{id} owned by != 1 shard"
+            );
+        }
+    }
+
+    #[test]
+    fn neighborhood_matches_exact_ground_truth() {
+        let (data, index) = build(4, 2);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        for qi in 0..10u32 {
+            let query = data.point(PointId(qi)).clone();
+            assert_eq!(
+                index.neighborhood(&query),
+                exact.neighborhood(&query),
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_returns_only_near_points_and_none_off_support() {
+        let (data, index) = build(3, 3);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let mut rng = StdRng::seed_from_u64(5);
+        let query = data.point(PointId(0)).clone();
+        let neighborhood = exact.neighborhood(&query);
+        for _ in 0..50 {
+            let (id, stats) = index.sample(&query, &mut rng);
+            assert!(neighborhood.contains(&id.expect("non-empty")));
+            assert!(stats.rounds >= 1);
+        }
+        let isolated = SparseSet::from_items(vec![88_000, 88_001]);
+        assert_eq!(index.sample(&isolated, &mut rng).0, None);
+    }
+
+    #[test]
+    fn repeated_queries_are_uniform_over_the_neighborhood() {
+        // The r-NNIS property of the two-level sampler: one build, repeated
+        // queries, empirical distribution uniform over the 10-member cluster.
+        let (data, index) = build(4, 4);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(0)).clone();
+        let neighborhood = exact.neighborhood(&query);
+        assert_eq!(neighborhood.len(), 10);
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 12_000;
+        let mut counts = vec![0usize; data.len()];
+        for _ in 0..trials {
+            let (id, _) = index.sample(&query, &mut rng);
+            counts[id.expect("non-empty").index()] += 1;
+        }
+        for &id in &neighborhood {
+            let rate = counts[id.index()] as f64 / trials as f64;
+            assert!(
+                (rate - 0.1).abs() < 0.02,
+                "member {id} sampled at rate {rate}, expected ~0.1"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_query_draws_match_the_one_shot_distribution() {
+        // prepare() caches only deterministic per-query state, so bulk draws
+        // from one cursor must be distributed like independent sample()
+        // calls: uniform over the neighborhood.
+        let (data, index) = build(4, 5);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(0)).clone();
+        let neighborhood = exact.neighborhood(&query);
+        let mut prepared = index.prepare(&query);
+        assert!(prepared.total_estimate() > 0.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 12_000;
+        let mut counts = vec![0usize; data.len()];
+        for _ in 0..trials {
+            counts[prepared.sample(&mut rng).expect("non-empty").index()] += 1;
+        }
+        for &id in &neighborhood {
+            let rate = counts[id.index()] as f64 / trials as f64;
+            assert!(
+                (rate - 0.1).abs() < 0.02,
+                "member {id} rate {rate} via prepared cursor"
+            );
+        }
+        assert!(prepared.stats().rounds >= trials);
+    }
+
+    #[test]
+    fn global_estimate_brackets_the_true_colliding_count() {
+        let (data, index) = build(4, 7);
+        let query = data.point(PointId(0)).clone();
+        let est = index.estimate_colliding(&query);
+        assert!(est >= 5.0, "estimate {est}");
+        assert!(est <= 2.0 * data.len() as f64, "estimate {est}");
+    }
+
+    #[test]
+    fn insert_routes_to_least_loaded_shard_and_is_sampleable() {
+        let (data, mut index) = build(4, 8);
+        let query = data.point(PointId(0)).clone();
+        let mut items: Vec<u32> = (0..25).collect();
+        items.push(100); // joins the cluster of query 0
+        items.push(777);
+        let id = index.insert(SparseSet::from_items(items));
+        assert_eq!(id.index(), data.len());
+        assert!(index.contains(id));
+        assert_eq!(index.len(), data.len() + 1);
+        assert!(
+            index.neighborhood(&query).contains(&id),
+            "inserted near point must join the neighborhood"
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let seen_inserted = (0..2000).any(|_| index.sample(&query, &mut rng).0 == Some(id));
+        assert!(seen_inserted, "inserted point never sampled");
+    }
+
+    #[test]
+    fn delete_removes_points_until_neighborhood_empties() {
+        let (data, mut index) = build(4, 10);
+        let query = data.point(PointId(0)).clone();
+        let members = index.neighborhood(&query);
+        assert_eq!(members.len(), 10);
+        for &id in &members {
+            assert!(index.delete(id));
+            assert!(!index.contains(id));
+            assert!(!index.delete(id), "double delete must fail");
+        }
+        assert_eq!(index.len(), data.len() - members.len());
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(index.sample(&query, &mut rng).0, None);
+        assert!(index.neighborhood(&query).is_empty());
+    }
+
+    #[test]
+    fn sharded_sampler_implements_the_core_traits() {
+        use fairnn_core::FairSampler;
+        let (data, index) = build(2, 12);
+        let mut sampler = ShardedSampler::new(index);
+        assert_eq!(sampler.name(), "sharded-engine");
+        let query = data.point(PointId(1)).clone();
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!(sampler.sample(&query, &mut rng).is_some());
+        assert!(sampler.last_query_stats().rounds >= 1);
+        assert_eq!(sampler.index().num_shards(), 2);
+        // Through the object-safe trait as well.
+        let boxed: &mut dyn FairSampler<SparseSet> = &mut sampler;
+        assert!(boxed.sample_dyn(&query, &mut rng).is_some());
+        assert_eq!(boxed.sampler_name(), "sharded-engine");
+    }
+
+    #[test]
+    fn one_shard_degenerates_gracefully() {
+        let (data, index) = build(1, 14);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let exact = ExactSampler::new(&data, near);
+        let query = data.point(PointId(5)).clone();
+        assert_eq!(index.neighborhood(&query), exact.neighborhood(&query));
+        let mut rng = StdRng::seed_from_u64(15);
+        assert!(index.sample(&query, &mut rng).0.is_some());
+    }
+}

@@ -35,6 +35,24 @@ impl LshTable {
         self.buckets.entry(key).or_default().push(id);
     }
 
+    /// Removes one occurrence of `id` from the bucket for `key`, preserving
+    /// the order of the remaining entries (fair samplers rely on bucket
+    /// order). Returns `true` when the id was present; empty buckets are
+    /// dropped so accounting stays tight.
+    pub fn remove(&mut self, key: u64, id: PointId) -> bool {
+        let Some(bucket) = self.buckets.get_mut(&key) else {
+            return false;
+        };
+        let Some(pos) = bucket.iter().position(|&x| x == id) else {
+            return false;
+        };
+        bucket.remove(pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        true
+    }
+
     /// Returns the bucket for `key` (empty slice if the bucket does not
     /// exist).
     pub fn bucket(&self, key: u64) -> &[PointId] {
@@ -160,6 +178,59 @@ impl<H> LshIndex<H> {
             .zip(self.tables.iter())
             .map(|(h, t)| t.bucket(h.hash(query)))
             .collect()
+    }
+
+    /// Appends one point to every table, assigning it the next dense id.
+    /// Returns the assigned id.
+    ///
+    /// This is the incremental half of the sharded serving layer: a shard
+    /// can grow without rebuilding its tables, because each table is just a
+    /// key → ids map and the hashers are fixed at construction time.
+    pub fn insert_point<P>(&mut self, point: &P) -> PointId
+    where
+        H: LshHasher<P>,
+    {
+        let id = PointId::from_index(self.num_points);
+        for (hasher, table) in self.hashers.iter().zip(self.tables.iter_mut()) {
+            table.insert(hasher.hash(point), id);
+        }
+        self.num_points += 1;
+        id
+    }
+
+    /// Removes `id` from every table (the caller supplies the point so its
+    /// bucket keys can be recomputed). Returns `true` when at least one
+    /// table contained the id. `num_points` is *not* decremented: ids stay
+    /// dense and the vacated id is simply never handed out again until
+    /// [`LshIndex::rebuild`] compacts the index.
+    pub fn remove_point<P>(&mut self, point: &P, id: PointId) -> bool
+    where
+        H: LshHasher<P>,
+    {
+        let mut removed = false;
+        for (hasher, table) in self.hashers.iter().zip(self.tables.iter_mut()) {
+            removed |= table.remove(hasher.hash(point), id);
+        }
+        removed
+    }
+
+    /// Rebuilds every table over `points` (point `i` gets id `PointId(i)`)
+    /// while keeping the existing hashers, so the rebuild is a pure
+    /// compaction: deterministic and local to this index. Shards use it to
+    /// reclaim tombstoned entries without any global coordination.
+    pub fn rebuild<P>(&mut self, points: &[P])
+    where
+        H: LshHasher<P>,
+    {
+        for table in &mut self.tables {
+            *table = LshTable::new();
+        }
+        for (table, hasher) in self.tables.iter_mut().zip(self.hashers.iter()) {
+            for (i, p) in points.iter().enumerate() {
+                table.insert(hasher.hash(p), PointId::from_index(i));
+            }
+        }
+        self.num_points = points.len();
     }
 
     /// All ids colliding with the query in at least one table, deduplicated
@@ -344,6 +415,57 @@ mod tests {
         assert_eq!(index.params().k, 2);
         // Every point must be findable by querying with itself.
         for (i, s) in sets.iter().enumerate() {
+            assert!(index.colliding_ids(s).contains(&PointId::from_index(i)));
+        }
+    }
+
+    #[test]
+    fn table_remove_preserves_order_and_drops_empty_buckets() {
+        let mut table = LshTable::new();
+        table.insert(7, PointId(0));
+        table.insert(7, PointId(1));
+        table.insert(7, PointId(2));
+        table.insert(9, PointId(3));
+        assert!(table.remove(7, PointId(1)));
+        assert_eq!(table.bucket(7), &[PointId(0), PointId(2)]);
+        assert!(
+            !table.remove(7, PointId(1)),
+            "double remove must be a no-op"
+        );
+        assert!(!table.remove(42, PointId(0)), "missing bucket");
+        assert!(table.remove(9, PointId(3)));
+        assert_eq!(table.num_buckets(), 1, "emptied bucket must be dropped");
+    }
+
+    #[test]
+    fn incremental_insert_remove_and_rebuild() {
+        let sets = toy_sets();
+        let (head, tail) = sets.split_at(sets.len() - 3);
+        let mut index = {
+            let params = ParamsBuilder::new(sets.len(), 0.5, 0.1).empirical(&OneBitMinHash);
+            let mut rng = StdRng::seed_from_u64(5);
+            LshIndex::build(&OneBitMinHash, params, head, &mut rng)
+        };
+        // Appending the tail must reproduce the index built over everything.
+        for p in tail {
+            let id = index.insert_point(p);
+            assert_eq!(id.index() + 1, index.num_points());
+            assert!(index.colliding_ids(p).contains(&id));
+        }
+        assert_eq!(index.total_entries(), sets.len() * index.num_tables());
+
+        // Removing a point erases it from every table.
+        let victim = PointId(0);
+        assert!(index.remove_point(&sets[0], victim));
+        assert!(!index.colliding_ids(&sets[0]).contains(&victim));
+        assert!(!index.remove_point(&sets[0], victim), "already removed");
+        assert_eq!(index.total_entries(), (sets.len() - 1) * index.num_tables());
+
+        // Rebuilding over a compacted slice re-densifies the ids.
+        index.rebuild(&sets[1..]);
+        assert_eq!(index.num_points(), sets.len() - 1);
+        assert_eq!(index.total_entries(), (sets.len() - 1) * index.num_tables());
+        for (i, s) in sets[1..].iter().enumerate() {
             assert!(index.colliding_ids(s).contains(&PointId::from_index(i)));
         }
     }

@@ -42,6 +42,18 @@ impl BottomKSketch {
         self.smallest.len()
     }
 
+    /// The seed this sketch was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether [`CardinalityEstimator::merge`] with `other` is defined
+    /// (same seed, same `k`). The serving engine checks this instead of
+    /// relying on the panic.
+    pub fn mergeable_with(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.k == other.k
+    }
+
     fn insert_value(&mut self, value: u64) {
         match self.smallest.binary_search(&value) {
             Ok(_) => {}

@@ -175,6 +175,14 @@ impl DistinctSketch {
         self.seed
     }
 
+    /// Whether [`CardinalityEstimator::merge`] with `other` is defined
+    /// (same seed and parameters). Callers that merge sketches from
+    /// different owners (e.g. shards) can check this instead of relying on
+    /// the panic.
+    pub fn mergeable_with(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.params == other.params
+    }
+
     /// Number of rows Δ.
     pub fn num_rows(&self) -> usize {
         self.rows.len()

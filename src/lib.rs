@@ -7,6 +7,8 @@
 //! a single crate:
 //!
 //! * [`core`] — the paper's fair samplers (r-NNS, r-NNIS, rank-swap, filter);
+//! * [`engine`] — the sharded, concurrent, batch query-serving subsystem
+//!   built on top of them;
 //! * [`lsh`] — the locality-sensitive hashing substrate;
 //! * [`space`] — point types, similarities, exact-neighbourhood datasets;
 //! * [`data`] — synthetic workloads calibrated to the paper's evaluation;
@@ -21,6 +23,7 @@
 
 pub use fairnn_core as core;
 pub use fairnn_data as data;
+pub use fairnn_engine as engine;
 pub use fairnn_lsh as lsh;
 pub use fairnn_sketch as sketch;
 pub use fairnn_space as space;

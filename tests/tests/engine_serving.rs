@@ -1,0 +1,266 @@
+//! Integration tests of the `fairnn-engine` serving subsystem: the sharded
+//! two-level sampler against the same uniformity battery the unsharded
+//! samplers face, the thread-count determinism contract, and the serving
+//! lifecycle (batching, cache, incremental updates) on the shared workload
+//! fixtures.
+
+use fairnn_core::{ExactSampler, NeighborSampler, SimilarityAtLeast};
+use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndex, ShardedIndexConfig, ShardedSampler};
+use fairnn_integration_tests::{test_dataset, test_params};
+use fairnn_lsh::OneBitMinHash;
+use fairnn_space::{Jaccard, PointId, SparseSet};
+use fairnn_stats::{FrequencyHistogram, UniformityReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const R: f64 = 0.3;
+
+fn build_index(
+    shards: usize,
+    seed: u64,
+) -> (
+    fairnn_space::Dataset<SparseSet>,
+    ShardedIndex<
+        SparseSet,
+        fairnn_lsh::ConcatenatedHasher<fairnn_lsh::OneBitMinHasher>,
+        SimilarityAtLeast<Jaccard>,
+    >,
+) {
+    let dataset = test_dataset(1);
+    let params = test_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let index = ShardedIndex::build(
+        &OneBitMinHash,
+        params,
+        &dataset,
+        near,
+        ShardedIndexConfig::with_shards(shards).seeded(seed),
+    );
+    (dataset, index)
+}
+
+/// Queries with a non-trivial neighbourhood on the fixture dataset.
+fn interesting_queries(dataset: &fairnn_space::Dataset<SparseSet>) -> Vec<PointId> {
+    dataset
+        .ids()
+        .filter(|id| dataset.similar_count(&Jaccard, dataset.point(*id), R) >= 6)
+        .take(4)
+        .collect()
+}
+
+#[test]
+fn sharded_sampler_passes_the_uniformity_battery() {
+    // The acceptance bar of the sharded engine: with 4 shards, the output
+    // distribution over B_S(q, r) must be statistically indistinguishable
+    // from uniform — the same battery (chi-square consistency + total
+    // variation) the unsharded fair samplers pass, on the same workload.
+    let (dataset, index) = build_index(4, 21);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let exact = ExactSampler::new(&dataset, near);
+    let queries = interesting_queries(&dataset);
+    assert!(!queries.is_empty(), "fixture has no interesting queries");
+
+    let mut rng = StdRng::seed_from_u64(99);
+    for &qid in &queries {
+        let query = dataset.point(qid).clone();
+        let support = exact.neighborhood(&query);
+        let trials = 1500 * support.len();
+        let mut prepared = index.prepare(&query);
+        let mut hist = FrequencyHistogram::new();
+        for _ in 0..trials {
+            hist.record(prepared.sample(&mut rng));
+        }
+        let report = UniformityReport::from_histogram(&hist, &support);
+        assert_eq!(
+            report.out_of_support, 0.0,
+            "query {qid}: sampler left the neighbourhood"
+        );
+        assert!(
+            report.is_consistent_with_uniform(0.001),
+            "query {qid}: chi2 = {}, p = {}, TV = {}",
+            report.chi_square,
+            report.chi_square_p_value(),
+            report.total_variation
+        );
+    }
+}
+
+#[test]
+fn sharded_tv_matches_the_unsharded_fair_sampler() {
+    // Head-to-head on the same queries and sample counts: the 4-shard
+    // two-level sampler must be as close to uniform as an unsharded fair
+    // sampler drawing the same number of samples (both TVs are sampling
+    // noise; allow a small gap).
+    let (dataset, index) = build_index(4, 22);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let exact = ExactSampler::new(&dataset, near);
+    let params = test_params(dataset.len(), R);
+    let mut build_rng = StdRng::seed_from_u64(7);
+    let mut fair =
+        fairnn_core::NaiveFairLsh::build(&OneBitMinHash, params, &dataset, near, &mut build_rng);
+
+    let mut rng = StdRng::seed_from_u64(123);
+    for qid in interesting_queries(&dataset).into_iter().take(2) {
+        let query = dataset.point(qid).clone();
+        let support = exact.neighborhood(&query);
+        let trials = 300 * support.len();
+        let mut prepared = index.prepare(&query);
+        let (mut sharded_hist, mut fair_hist) =
+            (FrequencyHistogram::new(), FrequencyHistogram::new());
+        for _ in 0..trials {
+            sharded_hist.record(prepared.sample(&mut rng));
+            fair_hist.record(fair.sample(&query, &mut rng));
+        }
+        let sharded_tv = UniformityReport::from_histogram(&sharded_hist, &support).total_variation;
+        let fair_tv = UniformityReport::from_histogram(&fair_hist, &support).total_variation;
+        assert!(
+            (sharded_tv - fair_tv).abs() < 0.05,
+            "query {qid}: sharded TV {sharded_tv} vs fair TV {fair_tv}"
+        );
+    }
+}
+
+#[test]
+fn sharded_neighborhood_preserves_recall() {
+    // Sharding must not lose recall: the union of per-shard colliding near
+    // points is a subset of the exact neighbourhood (no false positives by
+    // construction) and misses at most the 1% the 99%-recall parameters
+    // allow, for several shard counts including 1.
+    let dataset = test_dataset(1);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let exact = ExactSampler::new(&dataset, near);
+    for shards in [1usize, 2, 4, 7] {
+        let (_, index) = build_index(shards, 30 + shards as u64);
+        for &qid in &interesting_queries(&dataset) {
+            let query = dataset.point(qid).clone();
+            let truth = exact.neighborhood(&query);
+            let got = index.neighborhood(&query);
+            assert!(
+                got.iter().all(|id| truth.contains(id)),
+                "shards = {shards}, query {qid}: non-neighbour reported"
+            );
+            assert!(
+                got.len() as f64 >= 0.9 * truth.len() as f64,
+                "shards = {shards}, query {qid}: recall {}/{}",
+                got.len(),
+                truth.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn eight_thread_run_reproduces_one_thread_run_bit_for_bit() {
+    // The determinism regression test: same root seed, same batches, 1 vs 8
+    // worker threads — every answer (id, stats, cache flag) must match.
+    let dataset = test_dataset(1);
+    let params = test_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let config = EngineConfig::default().with_shards(4).with_seed(77);
+    let mut one = QueryEngine::build(&OneBitMinHash, params, &dataset, near, config);
+    let mut eight = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        &dataset,
+        near,
+        config.with_threads(8),
+    );
+
+    // Batches with distinct queries, duplicates, and repeats across batches
+    // (so pipeline, fast path and cache-generation logic are all covered).
+    let queries = interesting_queries(&dataset);
+    for round in 0..3u32 {
+        let mut batch = Vec::new();
+        for (i, &qid) in queries.iter().enumerate() {
+            let point = dataset.point(qid).clone();
+            batch.push(point.clone());
+            if i as u32 % 2 == round % 2 {
+                batch.push(point);
+            }
+        }
+        batch.push(SparseSet::from_items(vec![900_000, 900_001])); // ⊥ query
+        let a = one.run_batch(&batch);
+        let b = eight.run_batch(&batch);
+        assert_eq!(a, b, "round {round}: thread count changed the answers");
+        assert!(a.last().unwrap().id.is_none(), "⊥ query must answer None");
+    }
+    assert_eq!(one.cache_stats(), eight.cache_stats());
+}
+
+#[test]
+fn serving_lifecycle_batch_cache_insert_delete() {
+    let dataset = test_dataset(1);
+    let params = test_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut engine = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        &dataset,
+        near,
+        EngineConfig::default()
+            .with_shards(3)
+            .with_seed(5)
+            .with_threads(2),
+    );
+    let exact = ExactSampler::new(&dataset, near);
+    let qid = interesting_queries(&dataset)[0];
+    let query = dataset.point(qid).clone();
+    let support = exact.neighborhood(&query);
+
+    // Batch answers stay in the neighbourhood; repeats ride the cache.
+    let batch = vec![query.clone(); 30];
+    let first = engine.run_batch(&batch);
+    assert!(support.contains(&first[0].id.unwrap()));
+    assert!(first.iter().skip(1).all(|a| a.via_cache));
+    let again = engine.run_batch(&batch);
+    assert!(again.iter().all(|a| a.via_cache));
+    for a in &again {
+        assert!(support.contains(&a.id.unwrap()));
+    }
+
+    // Insert a twin of the query and make sure serving picks it up.
+    let id = engine.insert(query.clone());
+    assert_eq!(engine.len(), dataset.len() + 1);
+    let mut found = false;
+    for _ in 0..60 {
+        if engine.run_batch(&batch).iter().any(|a| a.id == Some(id)) {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "inserted twin never served");
+
+    // Delete it again; it must disappear from answers.
+    assert!(engine.delete(id));
+    let after = engine.run_batch(&batch);
+    assert!(after.iter().all(|a| a.id != Some(id)));
+    assert_eq!(engine.len(), dataset.len());
+}
+
+#[test]
+fn sharded_sampler_slots_into_the_sampler_harness() {
+    // The adapter must behave like any other NeighborSampler: k samples
+    // with replacement, stats, name.
+    let dataset = test_dataset(1);
+    let params = test_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let mut sampler = ShardedSampler::build(
+        &OneBitMinHash,
+        params,
+        &dataset,
+        near,
+        ShardedIndexConfig::with_shards(4).seeded(55),
+    );
+    let qid = interesting_queries(&dataset)[0];
+    let query = dataset.point(qid).clone();
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples = sampler.sample_with_replacement(&query, 20, &mut rng);
+    assert_eq!(samples.len(), 20);
+    let exact = ExactSampler::new(&dataset, near);
+    let support = exact.neighborhood(&query);
+    for id in samples {
+        assert!(support.contains(&id));
+    }
+    assert_eq!(sampler.name(), "sharded-engine");
+    assert!(sampler.last_query_stats().buckets_inspected > 0);
+}

@@ -82,3 +82,29 @@ fn table_query_cost_runs_at_tiny_scale() {
         "unexpected table_query_cost output:\n{out}"
     );
 }
+
+#[test]
+fn fig1_fairness_reports_the_sharded_engine_when_sharded() {
+    let out = run_experiment("fig1_fairness", &["--shards", "3", "--threads", "2"]);
+    assert!(
+        out.contains("sharded engine (3 shards)"),
+        "missing engine battery table:\n{out}"
+    );
+    assert!(
+        out.contains("mean TV sharded"),
+        "missing engine summary:\n{out}"
+    );
+}
+
+#[test]
+fn engine_throughput_runs_at_tiny_scale() {
+    let out = run_experiment("engine_throughput", &["--threads", "2", "--shards", "3"]);
+    assert!(
+        out.contains("determinism check"),
+        "unexpected engine_throughput output:\n{out}"
+    );
+    assert!(
+        out.contains("rank-swap fast path"),
+        "unexpected engine_throughput output:\n{out}"
+    );
+}
