@@ -48,6 +48,44 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched (`hash_all`) vs per-row evaluation of a full `K × L` bank of
+/// MinHash rows — the hashing half of every query.
+fn bench_hash_all(c: &mut Criterion) {
+    use fairnn_bench::figures::paper_lsh_params;
+    use fairnn_lsh::QueryScratch;
+    use rand::SeedableRng;
+    let workload = SetWorkload::generate(WorkloadKind::LastFm, 0.05, 5, 1);
+    let n = workload.dataset.len();
+    let params = paper_lsh_params(n, 0.2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let index = LshIndex::build(&OneBitMinHash, params, workload.dataset.points(), &mut rng);
+    let queries = workload.query_points();
+    let mut group = c.benchmark_group("hash_keys");
+    let mut scratch = QueryScratch::new();
+    group.bench_function("batched_hash_all", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            index.query_keys_into(q, &mut scratch.keys);
+            black_box(scratch.keys.last().copied())
+        })
+    });
+    group.bench_function("per_row_hash", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            scratch.keys.clear();
+            scratch
+                .keys
+                .extend(index.hashers().iter().map(|h| h.hash(q)));
+            black_box(scratch.keys.last().copied())
+        })
+    });
+    group.finish();
+}
+
 fn bench_collision_query(c: &mut Criterion) {
     use rand::SeedableRng;
     let workload = SetWorkload::generate(WorkloadKind::LastFm, 0.1, 5, 1);
@@ -84,6 +122,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20);
-    targets = bench_minhash_eval, bench_index_build, bench_collision_query
+    targets = bench_minhash_eval, bench_hash_all, bench_index_build, bench_collision_query
 }
 criterion_main!(benches);

@@ -20,6 +20,10 @@ pub struct CommonArgs {
     /// Shards for the serving-engine paths (1 = the historical monolithic
     /// index).
     pub shards: usize,
+    /// When set, the binary additionally writes a machine-readable JSON
+    /// report to this path (`--json <path>`); used by CI to track the
+    /// performance trajectory as build artifacts.
+    pub json: Option<String>,
 }
 
 impl Default for CommonArgs {
@@ -31,6 +35,7 @@ impl Default for CommonArgs {
             seed: 42,
             threads: 1,
             shards: 1,
+            json: None,
         }
     }
 }
@@ -73,6 +78,9 @@ impl CommonArgs {
                     if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
                         out.shards = v;
                     }
+                }
+                "--json" => {
+                    out.json = iter.next();
                 }
                 "--paper-scale" => {
                     out.scale = 1.0;

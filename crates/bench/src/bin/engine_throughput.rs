@@ -22,7 +22,7 @@ use fairnn_bench::figures::{paper_lsh_params, SetShardedSampler};
 use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
 use fairnn_core::{FairNnis, FairNns, FairSampler, NaiveFairLsh, SimilarityAtLeast};
 use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndexConfig};
-use fairnn_lsh::OneBitMinHash;
+use fairnn_lsh::{LshHasher, LshIndex, OneBitMinHash, QueryScratch};
 use fairnn_space::{Jaccard, SparseSet};
 use fairnn_stats::{table::fmt_f64, TextTable};
 use rand::rngs::StdRng;
@@ -30,6 +30,29 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 const R: f64 = 0.2;
+
+/// Hashing cost of the full `K × L` bank per point, in nanoseconds:
+/// batched (`hash_all`, single pass) vs per-row evaluation.
+fn measure_hash_ns(
+    index: &LshIndex<fairnn_lsh::ConcatenatedHasher<fairnn_lsh::OneBitMinHasher>>,
+    batch: &[SparseSet],
+) -> (f64, f64) {
+    let mut scratch = QueryScratch::new();
+    let start = Instant::now();
+    for point in batch {
+        index.query_keys_into(point, &mut scratch.keys);
+    }
+    let batched = start.elapsed().as_secs_f64() * 1e9 / batch.len() as f64;
+    let start = Instant::now();
+    for point in batch {
+        scratch.keys.clear();
+        scratch
+            .keys
+            .extend(index.hashers().iter().map(|h| h.hash(point)));
+    }
+    let per_row = start.elapsed().as_secs_f64() * 1e9 / batch.len() as f64;
+    (batched, per_row)
+}
 
 fn main() {
     let args = CommonArgs::from_env();
@@ -66,8 +89,23 @@ fn main() {
         .map(|i| dataset.points()[i % dataset.len()].clone())
         .collect();
 
+    // 0. Raw hashing cost of the query pipeline's first stage.
+    let hash_index = {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        LshIndex::build(&OneBitMinHash, params, dataset.points(), &mut rng)
+    };
+    let (hash_batched_ns, hash_per_row_ns) = measure_hash_ns(&hash_index, &batch);
+    println!(
+        "hash (K x L = {} rows/point): batched hash_all {} ns/point, per-row {} ns/point\n",
+        params.k * params.l,
+        fmt_f64(hash_batched_ns, 0),
+        fmt_f64(hash_per_row_ns, 0),
+    );
+    drop(hash_index);
+
     // 1. Single-thread baselines through the object-safe FairSampler trait.
     let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut baseline_qps: Vec<(String, f64)> = Vec::new();
     let mut baselines: Vec<Box<dyn FairSampler<SparseSet>>> = vec![
         Box::new(NaiveFairLsh::build(
             &OneBitMinHash,
@@ -110,6 +148,7 @@ fn main() {
         }
         let qps = batch.len() as f64 / start.elapsed().as_secs_f64();
         table.add_row(vec![sampler.sampler_name().to_string(), fmt_f64(qps, 0)]);
+        baseline_qps.push((sampler.sampler_name().to_string(), qps));
     }
     println!("{table}");
 
@@ -188,11 +227,39 @@ fn main() {
     let answers = cached.run_batch(&hot);
     let hot_secs = start.elapsed().as_secs_f64();
     let (hits, misses) = cached.cache_stats();
+    let rank_swap_qps = hot.len() as f64 / hot_secs;
     println!(
         "rank-swap fast path: {} queries/sec on a 4-hot-query batch ({} cache hits, {} misses, {} via cache)",
-        fmt_f64(hot.len() as f64 / hot_secs, 0),
+        fmt_f64(rank_swap_qps, 0),
         hits,
         misses,
         answers.iter().filter(|a| a.via_cache).count()
     );
+
+    // Machine-readable report for CI's perf-trajectory artifact.
+    if let Some(path) = &args.json {
+        let baselines_json: Vec<String> = baseline_qps
+            .iter()
+            .map(|(name, qps)| format!("    {{\"sampler\": \"{name}\", \"qps\": {qps:.1}}}"))
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {:.1}, \"per_row\": {:.1}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {:.1}}},\n    {{\"threads\": {}, \"qps\": {:.1}}}\n  ],\n  \"rank_swap_qps\": {:.1}\n}}\n",
+            args.scale,
+            batch_size,
+            args.seed,
+            args.shards,
+            dataset.len(),
+            params.k,
+            params.l,
+            hash_batched_ns,
+            hash_per_row_ns,
+            baselines_json.join(",\n"),
+            serial_qps,
+            args.threads,
+            threaded_qps,
+            rank_swap_qps,
+        );
+        std::fs::write(path, json).expect("write JSON report");
+        println!("\nwrote machine-readable report to {path}");
+    }
 }

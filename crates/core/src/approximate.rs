@@ -15,7 +15,7 @@
 
 use crate::predicate::Nearness;
 use crate::sampler::{NeighborSampler, QueryStats};
-use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch};
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
 
@@ -29,6 +29,7 @@ pub struct ApproximateNeighborhoodSampler<P, H, N> {
     /// Membership in `S'` is decided against the *far* threshold.
     within_far: N,
     stats: QueryStats,
+    scratch: QueryScratch,
 }
 
 impl<P: Clone, BH, N> ApproximateNeighborhoodSampler<P, ConcatenatedHasher<BH>, N>
@@ -55,6 +56,7 @@ where
             index,
             within_far,
             stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
         }
     }
 }
@@ -67,25 +69,38 @@ where
     /// The approximate neighbourhood `S'` of a query under the current
     /// build: colliding, deduplicated, and within the far threshold.
     pub fn approximate_neighborhood(&mut self, query: &P) -> Vec<PointId> {
+        self.fill_approximate_neighborhood(query);
+        self.scratch.candidates.clone()
+    }
+
+    /// Collects `S'` into `self.scratch.candidates` without allocating in
+    /// the steady state (batched hash pass + epoch-stamped visited buffer).
+    fn fill_approximate_neighborhood(&mut self, query: &P) {
         let mut stats = QueryStats::default();
-        let mut seen = vec![false; self.points.len()];
-        let mut result = Vec::new();
-        for bucket in self.index.query_buckets(query) {
+        let Self {
+            points,
+            index,
+            within_far,
+            scratch,
+            ..
+        } = self;
+        index.query_keys_into(query, &mut scratch.keys);
+        scratch.visited.reset(points.len());
+        scratch.candidates.clear();
+        for (t, &key) in scratch.keys.iter().enumerate() {
             stats.buckets_inspected += 1;
-            for &id in bucket {
+            for &id in index.table(t).bucket(key) {
                 stats.entries_scanned += 1;
-                if seen[id.index()] {
+                if !scratch.visited.insert(id.index()) {
                     continue;
                 }
-                seen[id.index()] = true;
                 stats.distance_computations += 1;
-                if self.within_far.is_near(query, &self.points[id.index()]) {
-                    result.push(id);
+                if within_far.is_near(query, &points[id.index()]) {
+                    scratch.candidates.push(id);
                 }
             }
         }
         self.stats = stats;
-        result
     }
 
     /// The underlying LSH index.
@@ -100,7 +115,8 @@ where
     N: Nearness<P>,
 {
     fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
-        let candidates = self.approximate_neighborhood(query);
+        self.fill_approximate_neighborhood(query);
+        let candidates = &self.scratch.candidates;
         if candidates.is_empty() {
             None
         } else {

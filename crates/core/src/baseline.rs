@@ -19,7 +19,7 @@
 
 use crate::predicate::Nearness;
 use crate::sampler::{NeighborSampler, QueryStats};
-use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch};
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
 
@@ -29,6 +29,7 @@ pub struct ExactSampler<P, N> {
     points: Vec<P>,
     near: N,
     stats: QueryStats,
+    scratch: QueryScratch,
 }
 
 impl<P: Clone, N> ExactSampler<P, N> {
@@ -38,6 +39,7 @@ impl<P: Clone, N> ExactSampler<P, N> {
             points: dataset.points().to_vec(),
             near,
             stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
         }
     }
 
@@ -58,7 +60,8 @@ impl<P: Clone, N> ExactSampler<P, N> {
 impl<P, N: Nearness<P>> NeighborSampler<P> for ExactSampler<P, N> {
     fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
         let mut stats = QueryStats::default();
-        let mut near_points = Vec::new();
+        let near_points = &mut self.scratch.candidates;
+        near_points.clear();
         for (i, p) in self.points.iter().enumerate() {
             stats.entries_scanned += 1;
             stats.distance_computations += 1;
@@ -66,13 +69,13 @@ impl<P, N: Nearness<P>> NeighborSampler<P> for ExactSampler<P, N> {
                 near_points.push(PointId::from_index(i));
             }
         }
-        self.stats = stats;
-        if near_points.is_empty() {
+        let result = if near_points.is_empty() {
             None
         } else {
-            let pick = rng.random_range(0..near_points.len());
-            Some(near_points[pick])
-        }
+            Some(near_points[rng.random_range(0..near_points.len())])
+        };
+        self.stats = stats;
+        result
     }
 
     fn last_query_stats(&self) -> QueryStats {
@@ -92,6 +95,7 @@ pub struct StandardLsh<P, H, N> {
     index: LshIndex<H>,
     near: N,
     stats: QueryStats,
+    scratch: QueryScratch,
 }
 
 impl<P: Clone, BH, N> StandardLsh<P, ConcatenatedHasher<BH>, N>
@@ -117,6 +121,7 @@ where
             index,
             near,
             stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
         }
     }
 }
@@ -139,9 +144,10 @@ where
     pub fn sample_deterministic(&mut self, query: &P) -> Option<PointId> {
         let mut stats = QueryStats::default();
         let mut result = None;
-        'tables: for bucket in self.index.query_buckets(query) {
+        self.index.query_keys_into(query, &mut self.scratch.keys);
+        'tables: for (t, &key) in self.scratch.keys.iter().enumerate() {
             stats.buckets_inspected += 1;
-            for &id in bucket {
+            for &id in self.index.table(t).bucket(key) {
                 stats.entries_scanned += 1;
                 stats.distance_computations += 1;
                 if self.near.is_near(query, &self.points[id.index()]) {
@@ -169,16 +175,27 @@ where
     /// build without rebuilding the index for every repetition.
     fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
         let mut stats = QueryStats::default();
-        let buckets = self.index.query_buckets(query);
-        // Random visiting order over tables.
-        let mut order: Vec<usize> = (0..buckets.len()).collect();
+        let Self {
+            points,
+            index,
+            near,
+            scratch,
+            ..
+        } = self;
+        index.query_keys_into(query, &mut scratch.keys);
+        // Random visiting order over tables (kept in the reused index
+        // buffer, so the randomness consumption matches the historical
+        // `Vec`-based shuffle exactly).
+        let order = &mut scratch.indices;
+        order.clear();
+        order.extend(0..scratch.keys.len() as u32);
         for i in (1..order.len()).rev() {
             let j = rng.random_range(0..=i);
             order.swap(i, j);
         }
         let mut result = None;
-        'tables: for &t in &order {
-            let bucket = buckets[t];
+        'tables: for &t in order.iter() {
+            let bucket = index.table(t as usize).bucket(scratch.keys[t as usize]);
             stats.buckets_inspected += 1;
             if bucket.is_empty() {
                 continue;
@@ -188,7 +205,7 @@ where
                 let id = bucket[(offset + step) % bucket.len()];
                 stats.entries_scanned += 1;
                 stats.distance_computations += 1;
-                if self.near.is_near(query, &self.points[id.index()]) {
+                if near.is_near(query, &points[id.index()]) {
                     result = Some(id);
                     break 'tables;
                 }
@@ -215,6 +232,7 @@ pub struct NaiveFairLsh<P, H, N> {
     index: LshIndex<H>,
     near: N,
     stats: QueryStats,
+    scratch: QueryScratch,
 }
 
 impl<P: Clone, BH, N> NaiveFairLsh<P, ConcatenatedHasher<BH>, N>
@@ -239,6 +257,7 @@ where
             index,
             near,
             stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
         }
     }
 }
@@ -256,27 +275,44 @@ where
     N: Nearness<P>,
 {
     /// All near points colliding with the query, deduplicated — the
-    /// candidate set the naive query samples from.
+    /// candidate set the naive query samples from. The allocation-free form
+    /// used by [`NeighborSampler::sample`] leaves the candidates in the
+    /// owned scratch; this public wrapper clones them out.
     pub fn near_candidates(&mut self, query: &P) -> Vec<PointId> {
+        self.fill_near_candidates(query);
+        self.scratch.candidates.clone()
+    }
+
+    /// Collects the deduplicated colliding near points into
+    /// `self.scratch.candidates`: one batched hash pass for the keys, an
+    /// epoch-stamped visited buffer for cross-table deduplication (no
+    /// `O(n)` allocation per query), and a reused candidate vector.
+    fn fill_near_candidates(&mut self, query: &P) {
         let mut stats = QueryStats::default();
-        let mut seen = vec![false; self.points.len()];
-        let mut candidates = Vec::new();
-        for bucket in self.index.query_buckets(query) {
+        let Self {
+            points,
+            index,
+            near,
+            scratch,
+            ..
+        } = self;
+        index.query_keys_into(query, &mut scratch.keys);
+        scratch.visited.reset(points.len());
+        scratch.candidates.clear();
+        for (t, &key) in scratch.keys.iter().enumerate() {
             stats.buckets_inspected += 1;
-            for &id in bucket {
+            for &id in index.table(t).bucket(key) {
                 stats.entries_scanned += 1;
-                if seen[id.index()] {
+                if !scratch.visited.insert(id.index()) {
                     continue;
                 }
-                seen[id.index()] = true;
                 stats.distance_computations += 1;
-                if self.near.is_near(query, &self.points[id.index()]) {
-                    candidates.push(id);
+                if near.is_near(query, &points[id.index()]) {
+                    scratch.candidates.push(id);
                 }
             }
         }
         self.stats = stats;
-        candidates
     }
 }
 
@@ -286,7 +322,8 @@ where
     N: Nearness<P>,
 {
     fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
-        let candidates = self.near_candidates(query);
+        self.fill_near_candidates(query);
+        let candidates = &self.scratch.candidates;
         if candidates.is_empty() {
             None
         } else {

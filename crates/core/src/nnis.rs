@@ -29,11 +29,14 @@
 use crate::predicate::Nearness;
 use crate::rank::RankPermutation;
 use crate::sampler::{NeighborSampler, QueryStats};
-use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
-use fairnn_sketch::{CardinalityEstimator, DistinctSketch, DistinctSketchParams};
+use fairnn_lsh::{
+    ConcatenatedHasher, FrozenTable, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch,
+};
+use fairnn_sketch::{
+    CardinalityEstimator, DistinctSketch, DistinctSketchParams, DistinctValueTable,
+};
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Tuning knobs of the Section 4 query algorithm. The defaults follow the
 /// paper's asymptotic choices with explicit constants.
@@ -72,33 +75,58 @@ impl FairNnisConfig {
     }
 }
 
-/// One LSH bucket: rank-sorted entries plus (for large buckets) a
-/// pre-computed count-distinct sketch.
+/// One LSH table in the frozen layout: `(rank, id)` entries, rank-sorted
+/// within each bucket, in one contiguous CSR array, plus a parallel array of
+/// pre-computed count-distinct sketches (large buckets only).
 #[derive(Debug, Clone)]
-struct RankedBucket {
-    /// `(rank, id)` pairs sorted by rank; supports rank-range retrieval via
-    /// binary search.
-    entries: Vec<(u32, PointId)>,
-    /// Pre-computed sketch of the point ids (only for buckets with at least
-    /// `sketch_threshold` entries).
-    sketch: Option<DistinctSketch>,
+struct RankedTable {
+    /// Bucket key → rank-sorted `(rank, id)` pairs; rank-range retrieval is
+    /// a binary search inside the bucket slice.
+    buckets: FrozenTable<(u32, PointId)>,
+    /// `sketches[i]` is the sketch of `buckets.bucket_at(i)`, present only
+    /// for buckets with at least `sketch_threshold` entries.
+    sketches: Vec<Option<DistinctSketch>>,
 }
 
-impl RankedBucket {
-    /// All entries with rank in `[lo, hi)`.
-    fn rank_range(&self, lo: u32, hi: u32) -> &[(u32, PointId)] {
-        let start = self.entries.partition_point(|(r, _)| *r < lo);
-        let end = self.entries.partition_point(|(r, _)| *r < hi);
-        &self.entries[start..end]
+/// The sub-slice of a rank-sorted bucket whose ranks lie in `[lo, hi)`.
+///
+/// LSH buckets are short (tens of entries), so for them a forward linear
+/// scan — predictable branches, no misprediction-heavy binary search — beats
+/// `partition_point`; long buckets fall back to binary search. This runs
+/// once per (round, table) in the rejection loop, which makes it the single
+/// hottest comparison loop of the Section 4 query.
+fn rank_range(entries: &[(u32, PointId)], lo: u32, hi: u32) -> &[(u32, PointId)] {
+    const LINEAR_SCAN_MAX: usize = 64;
+    if entries.len() <= LINEAR_SCAN_MAX {
+        let mut start = 0;
+        while start < entries.len() && entries[start].0 < lo {
+            start += 1;
+        }
+        let mut end = start;
+        while end < entries.len() && entries[end].0 < hi {
+            end += 1;
+        }
+        &entries[start..end]
+    } else {
+        let start = entries.partition_point(|(r, _)| *r < lo);
+        let end = entries.partition_point(|(r, _)| *r < hi);
+        &entries[start..end]
     }
 }
 
 /// The Section 4 fair independent sampler.
+///
+/// Buckets live in the frozen CSR layout ([`FrozenTable`]); the query hot
+/// path hashes the query once (all `K × L` rows in one batched pass), reuses
+/// those keys for both the sketch-merge estimate and every rejection round,
+/// and keeps its working memory — keys, epoch-stamped visited set, candidate
+/// buffer, merge-accumulator sketch — in owned scratch, so steady-state
+/// queries perform no heap allocation.
 #[derive(Debug, Clone)]
 pub struct FairNnis<P, H, N> {
     points: Vec<P>,
     hashers: Vec<H>,
-    buckets: Vec<HashMap<u64, RankedBucket>>,
+    tables: Vec<RankedTable>,
     ranks: RankPermutation,
     near: N,
     params: LshParams,
@@ -106,6 +134,13 @@ pub struct FairNnis<P, H, N> {
     sketch_seed: u64,
     sketch_params: DistinctSketchParams,
     stats: QueryStats,
+    scratch: QueryScratch,
+    /// Reusable merge accumulator for the step-1 estimate.
+    merged: DistinctSketch,
+    /// Precomputed per-point sketch row values: on-the-fly sketching of
+    /// small buckets costs a cutoff comparison per row instead of a
+    /// polynomial hash per row.
+    sketch_values: DistinctValueTable,
 }
 
 impl<P: Clone, BH, N> FairNnis<P, ConcatenatedHasher<BH>, N>
@@ -169,31 +204,33 @@ where
         );
         let params = index.params();
         let sketch_params = DistinctSketchParams::paper_defaults(dataset.len());
-        let (hashers, tables) = index.into_parts();
-        let mut buckets = Vec::with_capacity(tables.len());
-        for table in &tables {
-            let mut map: HashMap<u64, RankedBucket> = HashMap::with_capacity(table.num_buckets());
-            for (key, ids) in table.buckets() {
+        let (hashers, lsh_tables) = index.into_parts();
+        let mut tables = Vec::with_capacity(lsh_tables.len());
+        for table in &lsh_tables {
+            let buckets = FrozenTable::from_buckets(table.buckets().map(|(key, ids)| {
                 let mut entries: Vec<(u32, PointId)> =
                     ids.iter().map(|&id| (ranks.rank(id), id)).collect();
                 entries.sort_unstable();
-                let sketch = if entries.len() >= config.sketch_threshold {
-                    let mut s = DistinctSketch::new(sketch_seed, sketch_params);
-                    for (_, id) in &entries {
-                        s.insert(id.0 as u64);
-                    }
-                    Some(s)
-                } else {
-                    None
-                };
-                map.insert(key, RankedBucket { entries, sketch });
-            }
-            buckets.push(map);
+                (key, entries)
+            }));
+            let sketches = (0..buckets.num_buckets())
+                .map(|i| {
+                    let entries = buckets.bucket_at(i);
+                    (entries.len() >= config.sketch_threshold).then(|| {
+                        let mut s = DistinctSketch::new(sketch_seed, sketch_params);
+                        for (_, id) in entries {
+                            s.insert(id.0 as u64);
+                        }
+                        s
+                    })
+                })
+                .collect();
+            tables.push(RankedTable { buckets, sketches });
         }
         Self {
             points: dataset.points().to_vec(),
             hashers,
-            buckets,
+            tables,
             ranks,
             near,
             params,
@@ -201,6 +238,9 @@ where
             sketch_seed,
             sketch_params,
             stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
+            merged: DistinctSketch::new(sketch_seed, sketch_params),
+            sketch_values: DistinctValueTable::build(sketch_seed, sketch_params, dataset.len()),
         }
     }
 }
@@ -213,7 +253,7 @@ impl<P, H, N> FairNnis<P, H, N> {
 
     /// Number of LSH tables `L`.
     pub fn num_tables(&self) -> usize {
-        self.buckets.len()
+        self.tables.len()
     }
 
     /// The LSH parameters.
@@ -234,9 +274,9 @@ impl<P, H, N> FairNnis<P, H, N> {
     /// Number of buckets that carry a pre-computed sketch (space
     /// accounting / ablation).
     pub fn sketched_buckets(&self) -> usize {
-        self.buckets
+        self.tables
             .iter()
-            .map(|m| m.values().filter(|b| b.sketch.is_some()).count())
+            .map(|t| t.sketches.iter().flatten().count())
             .sum()
     }
 }
@@ -246,67 +286,158 @@ where
     H: LshHasher<P>,
     N: Nearness<P>,
 {
-    /// Estimates the number of distinct points colliding with the query by
-    /// merging the per-bucket count-distinct sketches (step 1 of the query
-    /// algorithm). Exposed for tests and the experiment harness.
-    pub fn estimate_colliding(&self, query: &P) -> f64 {
-        let mut merged = DistinctSketch::new(self.sketch_seed, self.sketch_params);
-        for (hasher, table) in self.hashers.iter().zip(self.buckets.iter()) {
-            let key = hasher.hash(query);
-            let Some(bucket) = table.get(&key) else {
+    /// Sentinel in the per-table resolved-bucket-index array for "query's
+    /// key has no bucket in this table".
+    const NO_BUCKET: u32 = u32::MAX;
+
+    /// Resolves each table's bucket index for the query's keys, once per
+    /// query: every later step — sketch merge, emptiness check, each of the
+    /// potentially hundreds of rejection rounds — reuses the indices
+    /// instead of re-running `L` binary searches per round.
+    fn resolve_buckets(tables: &[RankedTable], keys: &[u64], indices: &mut Vec<u32>) {
+        indices.clear();
+        indices.extend(tables.iter().zip(keys.iter()).map(|(table, &key)| {
+            table
+                .buckets
+                .find(key)
+                .map_or(Self::NO_BUCKET, |i| i as u32)
+        }));
+    }
+
+    /// Merges the colliding buckets' sketches into `merged` given resolved
+    /// bucket indices — the core of step 1, shared by
+    /// [`FairNnis::estimate_colliding`] and [`NeighborSampler::sample`]
+    /// (which hashes the query exactly once and reuses both the keys and
+    /// the indices). Small (unsketched) buckets are folded in from the
+    /// precomputed value table, and since sketch insertion is idempotent,
+    /// `seen` gates each distinct point to a single insertion even when it
+    /// collides in many tables — both shortcuts leave the merged sketch
+    /// bit-identical to element-wise insertion.
+    fn merge_colliding_resolved(
+        tables: &[RankedTable],
+        bucket_idx: &[u32],
+        sketch_values: &DistinctValueTable,
+        seen: &mut fairnn_lsh::VisitedSet,
+        num_points: usize,
+        merged: &mut DistinctSketch,
+    ) {
+        seen.reset(num_points);
+        for (table, &idx) in tables.iter().zip(bucket_idx.iter()) {
+            if idx == Self::NO_BUCKET {
                 continue;
-            };
-            match &bucket.sketch {
+            }
+            let i = idx as usize;
+            match &table.sketches[i] {
                 Some(sketch) => merged.merge(sketch),
                 None => {
-                    for (_, id) in &bucket.entries {
-                        merged.insert(id.0 as u64);
+                    for (_, id) in table.buckets.bucket_at(i) {
+                        if seen.insert(id.index()) {
+                            merged.insert_precomputed(sketch_values.values_of(id.index()));
+                        }
                     }
                 }
             }
         }
+    }
+
+    /// Estimates the number of distinct points colliding with the query by
+    /// merging the per-bucket count-distinct sketches (step 1 of the query
+    /// algorithm). Exposed for tests and the experiment harness; the hot
+    /// path goes through the keys-taking variant instead so the query is
+    /// hashed only once.
+    pub fn estimate_colliding(&self, query: &P) -> f64 {
+        let mut keys = vec![0u64; self.hashers.len()];
+        H::hash_all(&self.hashers, query, &mut keys);
+        let mut indices = Vec::new();
+        Self::resolve_buckets(&self.tables, &keys, &mut indices);
+        let mut merged = DistinctSketch::new(self.sketch_seed, self.sketch_params);
+        let mut seen = fairnn_lsh::VisitedSet::new();
+        Self::merge_colliding_resolved(
+            &self.tables,
+            &indices,
+            &self.sketch_values,
+            &mut seen,
+            self.points.len(),
+            &mut merged,
+        );
         merged.estimate()
     }
 
     /// Collects the distinct near points of `query` whose rank lies in
-    /// `[lo, hi)` (step 3.b of the query algorithm).
-    fn near_points_in_rank_range(
-        &self,
-        keys: &[u64],
+    /// `[lo, hi)` into `found` (step 3.b of the query algorithm).
+    /// Cross-table duplicates are skipped via the epoch-stamped `visited`
+    /// set — `O(1)` per entry instead of the former `O(|found|)` scan —
+    /// bucket indices are pre-resolved (no per-round binary searches), the
+    /// distance predicate is memoized across the whole query, and every
+    /// buffer is caller-provided, so rounds do not allocate.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_near_in_range(
+        tables: &[RankedTable],
+        points: &[P],
+        near: &N,
         query: &P,
+        bucket_idx: &[u32],
         lo: u32,
         hi: u32,
+        visited: &mut fairnn_lsh::VisitedSet,
+        memo: &mut fairnn_lsh::DistanceMemo,
+        found: &mut Vec<PointId>,
         stats: &mut QueryStats,
-    ) -> Vec<PointId> {
-        let mut found: Vec<PointId> = Vec::new();
-        for (table, &key) in self.buckets.iter().zip(keys.iter()) {
+    ) {
+        visited.reset(points.len());
+        found.clear();
+        for (table, &idx) in tables.iter().zip(bucket_idx.iter()) {
             stats.buckets_inspected += 1;
-            let Some(bucket) = table.get(&key) else {
+            if idx == Self::NO_BUCKET {
                 continue;
-            };
-            for &(_, id) in bucket.rank_range(lo, hi) {
+            }
+            for &(_, id) in rank_range(table.buckets.bucket_at(idx as usize), lo, hi) {
                 stats.entries_scanned += 1;
-                if found.contains(&id) {
+                if !visited.insert(id.index()) {
                     continue; // duplicate across tables
                 }
-                stats.distance_computations += 1;
-                if self.near.is_near(query, &self.points[id.index()]) {
+                let is_near = memo.get_or_insert_with(id.index(), || {
+                    stats.distance_computations += 1;
+                    near.is_near(query, &points[id.index()])
+                });
+                if is_near {
                     found.push(id);
                 }
             }
         }
-        found
     }
 
     /// Collects all distinct colliding near points (used by the exhaustive
     /// fallback and by tests).
     pub fn all_colliding_near_points(&mut self, query: &P) -> Vec<PointId> {
-        let keys: Vec<u64> = self.hashers.iter().map(|h| h.hash(query)).collect();
+        let Self {
+            points,
+            hashers,
+            tables,
+            near,
+            scratch,
+            ..
+        } = self;
         let mut stats = QueryStats::default();
-        let n = self.points.len() as u32;
-        let result = self.near_points_in_rank_range(&keys, query, 0, n, &mut stats);
+        scratch.compute_keys(hashers, query);
+        Self::resolve_buckets(tables, &scratch.keys, &mut scratch.indices);
+        scratch.memo.reset(points.len());
+        let n = points.len() as u32;
+        Self::collect_near_in_range(
+            tables,
+            points,
+            near,
+            query,
+            &scratch.indices,
+            0,
+            n,
+            &mut scratch.visited,
+            &mut scratch.memo,
+            &mut scratch.candidates,
+            &mut stats,
+        );
         self.stats = stats;
-        result
+        self.scratch.candidates.clone()
     }
 }
 
@@ -316,20 +447,52 @@ where
     N: Nearness<P>,
 {
     fn sample<R: Rng + ?Sized>(&mut self, query: &P, rng: &mut R) -> Option<PointId> {
+        let Self {
+            points,
+            hashers,
+            tables,
+            near,
+            config,
+            scratch,
+            merged,
+            sketch_values,
+            ..
+        } = self;
         let mut stats = QueryStats::default();
-        let n = self.points.len();
+        let n = points.len();
         if n == 0 {
             self.stats = stats;
             return None;
         }
-        let keys: Vec<u64> = self.hashers.iter().map(|h| h.hash(query)).collect();
+        // One batched hash pass, then one bucket resolution: the keys and
+        // per-table bucket indices feed the sketch merge *and* every
+        // rejection round below (the query is never hashed again, and no
+        // round repeats a bucket lookup). The distance memo spans the whole
+        // query, so each distinct candidate is checked at most once even
+        // across hundreds of rounds.
+        scratch.compute_keys(hashers, query);
+        Self::resolve_buckets(tables, &scratch.keys, &mut scratch.indices);
+        scratch.memo.reset(points.len());
 
-        // Step 1: estimate the number of distinct colliding points.
-        let estimate = self.estimate_colliding(query);
-        let colliding_is_empty = keys
+        // Step 1: estimate the number of distinct colliding points by
+        // merging bucket sketches into the reusable accumulator.
+        merged.clear();
+        Self::merge_colliding_resolved(
+            tables,
+            &scratch.indices,
+            sketch_values,
+            &mut scratch.visited,
+            n,
+            merged,
+        );
+        let estimate = merged.estimate_into(&mut scratch.floats);
+        let colliding_is_empty = scratch
+            .indices
             .iter()
-            .zip(self.buckets.iter())
-            .all(|(key, table)| table.get(key).is_none_or(|b| b.entries.is_empty()));
+            .zip(tables.iter())
+            .all(|(&idx, table)| {
+                idx == Self::NO_BUCKET || table.buckets.bucket_at(idx as usize).is_empty()
+            });
         if colliding_is_empty {
             self.stats = stats;
             return None;
@@ -340,8 +503,8 @@ where
         let mut k: u64 = ((2.0 * estimate).ceil().max(1.0) as u64)
             .next_power_of_two()
             .clamp(1, max_k);
-        let lambda = self.config.lambda.max(1) as f64;
-        let sigma = self.config.sigma.max(1);
+        let lambda = config.lambda.max(1) as f64;
+        let sigma = config.sigma.max(1);
 
         // Step 3: segment sampling with geometric acceptance and k-halving.
         let mut failures = 0usize;
@@ -357,17 +520,31 @@ where
             let h = rng.random_range(0..k);
             let lo = (h * segment_len).min(n as u64) as u32;
             let hi = ((h + 1) * segment_len).min(n as u64) as u32;
-            let near_points = if lo < hi {
-                self.near_points_in_rank_range(&keys, query, lo, hi, &mut stats)
+            if lo < hi {
+                Self::collect_near_in_range(
+                    tables,
+                    points,
+                    near,
+                    query,
+                    &scratch.indices,
+                    lo,
+                    hi,
+                    &mut scratch.visited,
+                    &mut scratch.memo,
+                    &mut scratch.candidates,
+                    &mut stats,
+                );
             } else {
-                Vec::new()
-            };
+                scratch.candidates.clear();
+            }
+            let near_points = &scratch.candidates;
             let lambda_qh = near_points.len() as f64;
             if lambda_qh > 0.0 && rng.random::<f64>() < (lambda_qh / lambda).min(1.0) {
                 // Step 4: uniform point among the near points of the segment.
                 let pick = rng.random_range(0..near_points.len());
+                let chosen = near_points[pick];
                 self.stats = stats;
-                return Some(near_points[pick]);
+                return Some(chosen);
             }
             failures += 1;
             if failures >= sigma {
@@ -383,14 +560,28 @@ where
         // Failure event (probability O(1/n²) with the paper's constants):
         // optionally fall back to exhaustive collection, which keeps the
         // output uniform over the colliding near points.
-        if self.config.exhaustive_fallback {
-            let all = self.near_points_in_rank_range(&keys, query, 0, n as u32, &mut stats);
+        if config.exhaustive_fallback {
+            Self::collect_near_in_range(
+                tables,
+                points,
+                near,
+                query,
+                &scratch.indices,
+                0,
+                n as u32,
+                &mut scratch.visited,
+                &mut scratch.memo,
+                &mut scratch.candidates,
+                &mut stats,
+            );
+            let all = &scratch.candidates;
+            let result = if all.is_empty() {
+                None
+            } else {
+                Some(all[rng.random_range(0..all.len())])
+            };
             self.stats = stats;
-            if all.is_empty() {
-                return None;
-            }
-            let pick = rng.random_range(0..all.len());
-            return Some(all[pick]);
+            return result;
         }
         self.stats = stats;
         None
@@ -562,20 +753,17 @@ mod tests {
 
     #[test]
     fn rank_range_retrieval_is_correct() {
-        let bucket = RankedBucket {
-            entries: vec![
-                (2, PointId(10)),
-                (5, PointId(11)),
-                (5, PointId(12)),
-                (9, PointId(13)),
-            ],
-            sketch: None,
-        };
-        assert_eq!(bucket.rank_range(0, 3).len(), 1);
-        assert_eq!(bucket.rank_range(2, 6).len(), 3);
-        assert_eq!(bucket.rank_range(6, 9).len(), 0);
-        assert_eq!(bucket.rank_range(0, 100).len(), 4);
-        assert_eq!(bucket.rank_range(9, 9).len(), 0);
+        let entries = [
+            (2, PointId(10)),
+            (5, PointId(11)),
+            (5, PointId(12)),
+            (9, PointId(13)),
+        ];
+        assert_eq!(rank_range(&entries, 0, 3).len(), 1);
+        assert_eq!(rank_range(&entries, 2, 6).len(), 3);
+        assert_eq!(rank_range(&entries, 6, 9).len(), 0);
+        assert_eq!(rank_range(&entries, 0, 100).len(), 4);
+        assert_eq!(rank_range(&entries, 9, 9).len(), 0);
     }
 
     #[test]

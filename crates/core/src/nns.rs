@@ -21,22 +21,34 @@
 use crate::predicate::Nearness;
 use crate::rank::RankPermutation;
 use crate::sampler::{NeighborSampler, QueryStats};
-use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_lsh::{
+    ConcatenatedHasher, FrozenTable, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch,
+};
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// The Section 3 fair r-NNS data structure.
+///
+/// Buckets are stored in the frozen CSR layout ([`FrozenTable`]): per table
+/// one sorted key array and one contiguous array of `(rank, id)` entries
+/// sorted by rank, so the first-near scan reads ranks inline instead of
+/// chasing the permutation array. The structure is static after
+/// construction (only the Appendix A rank swap rearranges bucket *contents*
+/// in place), so it never needs the staging `HashMap` form, and each query
+/// reuses an owned [`QueryScratch`] — including a per-query distance memo
+/// that caps predicate evaluations at one per distinct candidate — so the
+/// steady-state query performs no heap allocation.
 #[derive(Debug, Clone)]
 pub struct FairNns<P, H, N> {
     points: Vec<P>,
     hashers: Vec<H>,
-    /// For every table, bucket key → point ids sorted by increasing rank.
-    buckets: Vec<HashMap<u64, Vec<PointId>>>,
+    /// For every table, bucket key → `(rank, id)` pairs sorted by rank.
+    buckets: Vec<FrozenTable<(u32, PointId)>>,
     ranks: RankPermutation,
     near: N,
     params: LshParams,
     stats: QueryStats,
+    scratch: QueryScratch,
 }
 
 impl<P: Clone, BH, N> FairNns<P, ConcatenatedHasher<BH>, N>
@@ -83,13 +95,14 @@ where
         let (hashers, tables) = index.into_parts();
         let mut buckets = Vec::with_capacity(tables.len());
         for table in &tables {
-            let mut map: HashMap<u64, Vec<PointId>> = HashMap::with_capacity(table.num_buckets());
-            for (key, ids) in table.buckets() {
-                let mut sorted: Vec<PointId> = ids.to_vec();
-                sorted.sort_by_key(|id| ranks.rank(*id));
-                map.insert(key, sorted);
-            }
-            buckets.push(map);
+            buckets.push(FrozenTable::from_buckets(table.buckets().map(
+                |(key, ids)| {
+                    let mut sorted: Vec<(u32, PointId)> =
+                        ids.iter().map(|&id| (ranks.rank(id), id)).collect();
+                    sorted.sort_unstable();
+                    (key, sorted)
+                },
+            )));
         }
         Self {
             points: dataset.points().to_vec(),
@@ -99,6 +112,7 @@ where
             near,
             params,
             stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
         }
     }
 }
@@ -127,10 +141,7 @@ impl<P, H, N> FairNns<P, H, N> {
     /// Total number of bucket entries over all tables (the `Θ(nL)` space
     /// term of Theorem 1).
     pub fn total_entries(&self) -> usize {
-        self.buckets
-            .iter()
-            .map(|m| m.values().map(Vec::len).sum::<usize>())
-            .sum()
+        self.buckets.iter().map(FrozenTable::num_entries).sum()
     }
 }
 
@@ -145,27 +156,38 @@ where
     /// simply forwards to it (the "randomness" of the output lives entirely
     /// in the rank permutation drawn at construction time).
     pub fn min_rank_near_neighbor(&mut self, query: &P) -> Option<(u32, PointId)> {
+        let Self {
+            points,
+            hashers,
+            buckets,
+            near,
+            scratch,
+            ..
+        } = self;
         let mut stats = QueryStats::default();
+        // All K × L row hashes in one batched pass, into the reused buffer.
+        scratch.compute_keys(hashers, query);
+        scratch.memo.reset(points.len());
+        let memo = &mut scratch.memo;
         let mut best: Option<(u32, PointId)> = None;
-        for (hasher, table) in self.hashers.iter().zip(self.buckets.iter()) {
+        for (table, &key) in buckets.iter().zip(scratch.keys.iter()) {
             stats.buckets_inspected += 1;
-            let key = hasher.hash(query);
-            let Some(bucket) = table.get(&key) else {
-                continue;
-            };
-            for &id in bucket {
+            for &(rank, id) in table.bucket(key) {
                 stats.entries_scanned += 1;
                 // Skip points that cannot improve the current minimum: the
                 // bucket is rank-sorted, so once we pass the current best we
                 // can stop scanning this bucket.
                 if let Some((best_rank, _)) = best {
-                    if self.ranks.rank(id) >= best_rank {
+                    if rank >= best_rank {
                         break;
                     }
                 }
-                stats.distance_computations += 1;
-                if self.near.is_near(query, &self.points[id.index()]) {
-                    best = Some((self.ranks.rank(id), id));
+                let is_near = memo.get_or_insert_with(id.index(), || {
+                    stats.distance_computations += 1;
+                    near.is_near(query, &points[id.index()])
+                });
+                if is_near {
+                    best = Some((rank, id));
                     break; // first near point in this bucket has its minimum rank
                 }
             }
@@ -179,21 +201,31 @@ where
     /// (Section 3.1). Returns fewer than `k` points when the neighbourhood
     /// (restricted to colliding points) is smaller than `k`.
     pub fn sample_without_replacement(&mut self, query: &P, k: usize) -> Vec<PointId> {
+        let Self {
+            points,
+            hashers,
+            buckets,
+            near,
+            scratch,
+            ..
+        } = self;
         let mut stats = QueryStats::default();
+        scratch.compute_keys(hashers, query);
+        scratch.memo.reset(points.len());
+        let memo = &mut scratch.memo;
         // Collect the k smallest-rank near points of each bucket, then merge.
         let mut candidates: Vec<(u32, PointId)> = Vec::new();
-        for (hasher, table) in self.hashers.iter().zip(self.buckets.iter()) {
+        for (table, &key) in buckets.iter().zip(scratch.keys.iter()) {
             stats.buckets_inspected += 1;
-            let key = hasher.hash(query);
-            let Some(bucket) = table.get(&key) else {
-                continue;
-            };
             let mut found = 0usize;
-            for &id in bucket {
+            for &(rank, id) in table.bucket(key) {
                 stats.entries_scanned += 1;
-                stats.distance_computations += 1;
-                if self.near.is_near(query, &self.points[id.index()]) {
-                    candidates.push((self.ranks.rank(id), id));
+                let is_near = memo.get_or_insert_with(id.index(), || {
+                    stats.distance_computations += 1;
+                    near.is_near(query, &points[id.index()])
+                });
+                if is_near {
+                    candidates.push((rank, id));
                     found += 1;
                     if found >= k {
                         break;
@@ -227,17 +259,24 @@ where
             hashers,
             buckets,
             ranks,
+            scratch,
             ..
         } = self;
         let y = ranks.reshuffle_upwards(x, rng);
         if y == x {
             return y;
         }
-        for (hasher, table) in hashers.iter().zip(buckets.iter_mut()) {
-            for p in [x, y] {
-                let key = hasher.hash(&points[p.index()]);
-                if let Some(bucket) = table.get_mut(&key) {
-                    bucket.sort_by_key(|id| ranks.rank(*id));
+        // Restore stored ranks and rank order in every bucket containing x
+        // or y. The frozen layout supports this in place: a bucket is a
+        // contiguous slice whose *contents* may be rearranged freely.
+        for p in [x, y] {
+            scratch.compute_keys(hashers, &points[p.index()]);
+            for (table, &key) in buckets.iter_mut().zip(scratch.keys.iter()) {
+                if let Some(bucket) = table.bucket_mut(key) {
+                    for entry in bucket.iter_mut() {
+                        entry.0 = ranks.rank(entry.1);
+                    }
+                    bucket.sort_unstable();
                 }
             }
         }

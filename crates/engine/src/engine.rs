@@ -280,6 +280,14 @@ where
         }
         deleted
     }
+
+    /// Freezes every shard back into the read-optimized CSR bucket layout.
+    /// Inserts thaw the tables they touch into the mutable staging form;
+    /// calling this after an update burst restores the contiguous layout
+    /// the query hot path is fastest on. Queries are correct either way.
+    pub fn freeze(&mut self) {
+        self.index.write().expect("index lock poisoned").freeze();
+    }
 }
 
 /// Answers one group: cache hit → rank-swap draws; miss → pipeline for the

@@ -22,11 +22,20 @@
 
 use fairnn_core::predicate::Nearness;
 use fairnn_core::QueryStats;
-use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams};
+use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch};
 use fairnn_sketch::{BottomKSketch, CardinalityEstimator};
 use fairnn_space::PointId;
 use rand::Rng;
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+thread_local! {
+    /// Per-worker-thread query scratch. Shard query methods take `&self`
+    /// (they run under the engine's shared read lock from many threads), so
+    /// the reusable buffers — batched bucket keys and the epoch-stamped
+    /// visited set — live in thread-local storage rather than in the shard.
+    static SHARD_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
 
 /// Tuning knobs of a [`Shard`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,6 +161,19 @@ impl<P, H, N> Shard<P, H, N> {
         BottomKSketch::new(self.sketch_seed, self.config.sketch_k)
     }
 
+    /// Freezes the shard's tables back into their read-optimized CSR form
+    /// (see [`fairnn_lsh::LshTable::freeze`]). Builds and compactions
+    /// freeze automatically; call this after a burst of incremental inserts
+    /// to restore the contiguous layout for the query hot path.
+    pub fn freeze(&mut self) {
+        self.index.freeze();
+    }
+
+    /// Whether every table of this shard is in its frozen form.
+    pub fn is_frozen(&self) -> bool {
+        self.index.is_frozen()
+    }
+
     /// Rebuilds the per-bucket sketches from the current tables (called at
     /// construction and after compaction, when buckets contain live points
     /// only).
@@ -182,13 +204,36 @@ impl<P, H, N> Shard<P, H, N>
 where
     H: LshHasher<P>,
 {
+    /// Writes the query's per-table bucket keys for *this shard's* hashers
+    /// into `keys` — one batched `hash_all` pass over all `K × L` rows.
+    /// The two-level sampler computes these once per (query, shard) and
+    /// feeds them to both the sketch merge and the near-point collection.
+    pub fn query_keys_into(&self, query: &P, keys: &mut Vec<u64>) {
+        self.index.query_keys_into(query, keys);
+    }
+
     /// Merges the sketches of the buckets `query` collides with into `acc`.
     /// Small (unsketched) buckets are folded in by direct insertion, which
-    /// keeps their contribution exact.
+    /// keeps their contribution exact. The query is hashed once (all rows in
+    /// one batched pass into the thread-local scratch).
     pub fn merge_colliding_into(&self, query: &P, acc: &mut BottomKSketch, stats: &mut QueryStats) {
-        for (i, hasher) in self.index.hashers().iter().enumerate() {
+        SHARD_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.index.query_keys_into(query, &mut scratch.keys);
+            self.merge_colliding_with_keys(&scratch.keys, acc, stats);
+        });
+    }
+
+    /// Keys-taking form of [`Shard::merge_colliding_into`] for callers that
+    /// already hold this shard's bucket keys of the query.
+    pub fn merge_colliding_with_keys(
+        &self,
+        keys: &[u64],
+        acc: &mut BottomKSketch,
+        stats: &mut QueryStats,
+    ) {
+        for (i, &key) in keys.iter().enumerate() {
             stats.buckets_inspected += 1;
-            let key = hasher.hash(query);
             if let Some(sketch) = self.sketches[i].get(&key) {
                 debug_assert!(acc.mergeable_with(sketch));
                 acc.merge(sketch);
@@ -217,27 +262,47 @@ where
     N: Nearness<P>,
 {
     /// The distinct live near points of this shard colliding with `query`,
-    /// as global ids (the set the two-level sampler samples within).
+    /// as global ids (the set the two-level sampler samples within). One
+    /// batched hash pass per call; deduplication uses the thread-local
+    /// epoch-stamped visited buffer, so only the returned vector allocates.
     pub fn colliding_near_points(&self, query: &P, stats: &mut QueryStats) -> Vec<PointId> {
-        let mut seen = vec![false; self.points.len()];
-        let mut found = Vec::new();
-        for (i, hasher) in self.index.hashers().iter().enumerate() {
-            stats.buckets_inspected += 1;
-            let key = hasher.hash(query);
-            for &lid in self.index.table(i).bucket(key) {
-                stats.entries_scanned += 1;
-                let l = lid.index();
-                if seen[l] || !self.alive[l] {
-                    continue;
-                }
-                seen[l] = true;
-                stats.distance_computations += 1;
-                if self.near.is_near(query, &self.points[l]) {
-                    found.push(self.global_ids[l]);
+        // Take the keys buffer out of the thread-local scratch before the
+        // keys-taking call re-borrows it for the visited set.
+        let mut keys = SHARD_SCRATCH.with(|cell| std::mem::take(&mut cell.borrow_mut().keys));
+        self.index.query_keys_into(query, &mut keys);
+        let found = self.colliding_near_points_with_keys(query, &keys, stats);
+        SHARD_SCRATCH.with(|cell| cell.borrow_mut().keys = keys);
+        found
+    }
+
+    /// Keys-taking form of [`Shard::colliding_near_points`] for callers that
+    /// already hold this shard's bucket keys of the query.
+    pub fn colliding_near_points_with_keys(
+        &self,
+        query: &P,
+        keys: &[u64],
+        stats: &mut QueryStats,
+    ) -> Vec<PointId> {
+        SHARD_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.visited.reset(self.points.len());
+            let mut found = Vec::new();
+            for (i, &key) in keys.iter().enumerate() {
+                stats.buckets_inspected += 1;
+                for &lid in self.index.table(i).bucket(key) {
+                    stats.entries_scanned += 1;
+                    let l = lid.index();
+                    if !self.alive[l] || !scratch.visited.insert(l) {
+                        continue;
+                    }
+                    stats.distance_computations += 1;
+                    if self.near.is_near(query, &self.points[l]) {
+                        found.push(self.global_ids[l]);
+                    }
                 }
             }
-        }
-        found
+            found
+        })
     }
 }
 

@@ -198,6 +198,20 @@ impl<P, H, N> ShardedIndex<P, H, N> {
             .get(id.index())
             .is_some_and(|&s| s != UNASSIGNED)
     }
+
+    /// Freezes every shard's tables into their read-optimized CSR form
+    /// (inserts thaw the affected tables to the mutable staging form; see
+    /// [`Shard::freeze`]).
+    pub fn freeze(&mut self) {
+        for shard in &mut self.shards {
+            shard.freeze();
+        }
+    }
+
+    /// Whether every shard is fully frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.shards.iter().all(Shard::is_frozen)
+    }
 }
 
 impl<P, H, N> ShardedIndex<P, H, N>
@@ -248,15 +262,38 @@ where
     /// because the sketch merges are not redone per draw.
     pub fn prepare<'a>(&'a self, query: &'a P) -> PreparedQuery<'a, P, H, N> {
         let mut stats = QueryStats::default();
+        // Hash the query once per shard (one batched all-rows pass each);
+        // the keys feed both the sketch estimates here and the lazy
+        // neighborhood collections later. All shards share one `LshParams`,
+        // so the keys pack into a single flat shard-major buffer.
+        let stride = self.params.l;
+        let mut keys = Vec::with_capacity(self.shards.len() * stride);
+        let mut shard_keys = Vec::new();
+        for shard in &self.shards {
+            shard.query_keys_into(query, &mut shard_keys);
+            debug_assert_eq!(shard_keys.len(), stride, "shards share L");
+            keys.extend_from_slice(&shard_keys);
+        }
+        // One accumulator, cleared between shards: every shard's sketches
+        // share the seed and `k`, so the same instance is mergeable with all
+        // of them.
+        let mut acc = self.shards[0].empty_sketch();
         let estimates: Vec<f64> = self
             .shards
             .iter()
-            .map(|s| s.estimate_colliding(query, &mut stats))
+            .zip(keys.chunks_exact(stride))
+            .map(|(s, shard_keys)| {
+                acc.clear();
+                s.merge_colliding_with_keys(shard_keys, &mut acc, &mut stats);
+                acc.estimate()
+            })
             .collect();
         let total = estimates.iter().sum();
         PreparedQuery {
             index: self,
             query,
+            keys,
+            key_stride: stride,
             estimates,
             total,
             cached: vec![None; self.shards.len()],
@@ -279,6 +316,11 @@ where
 pub struct PreparedQuery<'a, P, H, N> {
     index: &'a ShardedIndex<P, H, N>,
     query: &'a P,
+    /// Per-shard bucket keys of the query, packed shard-major with stride
+    /// `key_stride` (computed once — each shard's `K × L` rows are hashed
+    /// in a single batched pass at prepare time).
+    keys: Vec<u64>,
+    key_stride: usize,
     /// Per-shard mergeable-sketch estimates (step 1, computed once).
     estimates: Vec<f64>,
     total: f64,
@@ -305,8 +347,12 @@ where
 
     fn shard_neighborhood(&mut self, shard: usize) -> &Vec<PointId> {
         if self.cached[shard].is_none() {
-            self.cached[shard] =
-                Some(self.index.shards[shard].colliding_near_points(self.query, &mut self.stats));
+            let keys = &self.keys[shard * self.key_stride..(shard + 1) * self.key_stride];
+            self.cached[shard] = Some(self.index.shards[shard].colliding_near_points_with_keys(
+                self.query,
+                keys,
+                &mut self.stats,
+            ));
         }
         self.cached[shard].as_ref().expect("filled above")
     }

@@ -11,46 +11,150 @@
 
 use crate::family::{CollisionModel, LshFamily, LshHasher};
 use rand::Rng;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread token scratch for [`ConcatenatedHasher`]'s `hash_all`:
+    /// holds the `K × L` row hashes of one batched evaluation so the query
+    /// hot path performs no heap allocation in the steady state. Thread
+    /// local (rather than caller-provided) so the batched path is available
+    /// behind the plain [`LshHasher`] trait, including from the engine's
+    /// worker threads.
+    static ROW_TOKENS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A hasher formed by concatenating `K` independent hashers from a base
 /// family.
+///
+/// The rows live in an [`Arc`] slice so that the `L` table hashers of one
+/// index can share a single table-major *bank* (see
+/// [`ConcatenatedHasher::bank`]); when a whole slice of such siblings is
+/// evaluated through [`LshHasher::hash_all`], all `K × L` rows are hashed in
+/// one pass over the point.
 #[derive(Debug, Clone)]
 pub struct ConcatenatedHasher<H> {
-    rows: Vec<H>,
+    rows: Arc<[H]>,
+    start: usize,
+    arity: usize,
 }
 
 impl<H> ConcatenatedHasher<H> {
     /// Combines `rows` hashers into one. `rows` must be non-empty.
     pub fn new(rows: Vec<H>) -> Self {
         assert!(!rows.is_empty(), "concatenation needs at least one hasher");
-        Self { rows }
+        let arity = rows.len();
+        Self {
+            rows: rows.into(),
+            start: 0,
+            arity,
+        }
+    }
+
+    /// Splits a flat, table-major bank of `rows.len() / arity` tables ×
+    /// `arity` rows into table hashers that all share one allocation.
+    /// [`crate::LshIndex::build`] uses this so a query can evaluate every
+    /// row of every table in a single pass over the point.
+    pub fn bank(rows: Vec<H>, arity: usize) -> Vec<Self> {
+        assert!(arity >= 1, "concatenation needs at least one hasher");
+        assert_eq!(
+            rows.len() % arity,
+            0,
+            "bank size must be a multiple of the arity"
+        );
+        let shared: Arc<[H]> = rows.into();
+        (0..shared.len() / arity)
+            .map(|table| Self {
+                rows: Arc::clone(&shared),
+                start: table * arity,
+                arity,
+            })
+            .collect()
     }
 
     /// Number of concatenated rows `K`.
     pub fn arity(&self) -> usize {
-        self.rows.len()
+        self.arity
     }
 
     /// The individual row hashers.
     pub fn rows(&self) -> &[H] {
-        &self.rows
+        &self.rows[self.start..self.start + self.arity]
     }
-}
 
-impl<P, H: LshHasher<P>> LshHasher<P> for ConcatenatedHasher<H> {
-    fn hash(&self, point: &P) -> u64 {
-        // Fold the row tokens with a 64-bit polynomial in a fixed odd base.
-        // Equal row-token vectors always produce equal keys; distinct
-        // vectors collide only if the fold collides.
+    /// When every hasher in `tables` views consecutive chunks of one shared
+    /// bank (the layout [`ConcatenatedHasher::bank`] produces), returns the
+    /// flat prefix of that bank covering all of them.
+    fn flat_bank(tables: &[Self]) -> Option<&[H]> {
+        let first = tables.first()?;
+        let mut expected_start = 0;
+        for table in tables {
+            if !Arc::ptr_eq(&table.rows, &first.rows) || table.start != expected_start {
+                return None;
+            }
+            expected_start += table.arity;
+        }
+        Some(&first.rows[..expected_start])
+    }
+
+    /// Folds a table's row tokens into its 64-bit bucket key — a polynomial
+    /// in a fixed odd base. Equal row-token vectors always produce equal
+    /// keys; distinct vectors collide only if the fold collides.
+    #[inline]
+    fn fold(tokens: impl IntoIterator<Item = u64>) -> u64 {
         let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
-        for row in &self.rows {
-            let token = row.hash(point);
+        for token in tokens {
             acc = acc
                 .wrapping_mul(0x0000_0100_0000_01B3)
                 .wrapping_add(token.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
                 .wrapping_add(1);
         }
         acc
+    }
+}
+
+impl<P, H: LshHasher<P>> LshHasher<P> for ConcatenatedHasher<H> {
+    fn hash(&self, point: &P) -> u64 {
+        Self::fold(self.rows().iter().map(|row| row.hash(point)))
+    }
+
+    /// Batched bucket keys: `out[t] = tables[t].hash(point)`.
+    ///
+    /// When the tables share one contiguous bank (the
+    /// [`ConcatenatedHasher::bank`] layout), all `K × L` row hashes are
+    /// computed by a *single* `H::hash_all` pass over the point and then
+    /// folded per table; otherwise each table gets its own single-pass
+    /// evaluation of its `K` rows. Either way the keys are bit-identical to
+    /// the per-row [`LshHasher::hash`] path, and the intermediate tokens
+    /// live in a reusable thread-local buffer, so steady-state queries do
+    /// not allocate.
+    fn hash_all(tables: &[Self], point: &P, out: &mut [u64]) {
+        debug_assert_eq!(tables.len(), out.len(), "one output slot per table");
+        // Take the buffer out of the thread-local instead of holding the
+        // borrow across the `H::hash_all` calls: if `H` is itself a
+        // `ConcatenatedHasher` (nested concatenation), the inner call then
+        // simply starts from an empty taken buffer rather than hitting a
+        // re-entrant `RefCell` borrow.
+        let mut tokens = ROW_TOKENS.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+        if let Some(flat) = Self::flat_bank(tables) {
+            tokens.clear();
+            tokens.resize(flat.len(), 0);
+            H::hash_all(flat, point, &mut tokens);
+            let mut offset = 0;
+            for (table, slot) in tables.iter().zip(out.iter_mut()) {
+                *slot = Self::fold(tokens[offset..offset + table.arity].iter().copied());
+                offset += table.arity;
+            }
+        } else {
+            for (table, slot) in tables.iter().zip(out.iter_mut()) {
+                let rows = table.rows();
+                tokens.clear();
+                tokens.resize(rows.len(), 0);
+                H::hash_all(rows, point, &mut tokens);
+                *slot = Self::fold(tokens.iter().copied());
+            }
+        }
+        ROW_TOKENS.with(|cell| *cell.borrow_mut() = tokens);
     }
 }
 

@@ -24,6 +24,27 @@ pub trait LshHasher<P> {
     fn hash_batch(&self, points: &[P]) -> Vec<u64> {
         points.iter().map(|p| self.hash(p)).collect()
     }
+
+    /// Row-batched evaluation: writes `out[i] = rows[i].hash(point)` for
+    /// every hasher in `rows` (`out.len()` must equal `rows.len()`).
+    ///
+    /// The default implementation makes one pass over the point per row.
+    /// Families whose evaluation streams the point's data override it with a
+    /// *single* pass that advances all rows per element — one item load
+    /// updates every running minimum for MinHash, and SimHash / p-stable use
+    /// a blocked matrix–vector product — which is what makes the query hot
+    /// path bound by one traversal of the point instead of `K × L`
+    /// re-traversals. Implementations must be bit-for-bit equivalent to the
+    /// per-row default; the property suite checks this for every family.
+    fn hash_all(rows: &[Self], point: &P, out: &mut [u64])
+    where
+        Self: Sized,
+    {
+        debug_assert_eq!(rows.len(), out.len(), "one output slot per row");
+        for (slot, row) in out.iter_mut().zip(rows) {
+            *slot = row.hash(point);
+        }
+    }
 }
 
 /// Model of the collision probability of a family as a function of the

@@ -1,0 +1,267 @@
+//! Read-optimized, frozen bucket storage.
+//!
+//! The mutable form of an LSH table is a `HashMap<u64, Vec<PointId>>`: ideal
+//! for building and for incremental updates, but every bucket is its own
+//! heap allocation and every lookup chases map metadata — exactly the wrong
+//! layout for the query hot path, which does nothing but "find bucket, scan
+//! bucket" `L` times per query. [`FrozenTable`] is the read-optimized
+//! counterpart: a sorted key array, a CSR-style offset array, and one
+//! contiguous entry array. Lookups are a binary search over a dense `u64`
+//! array (cache-friendly, no hashing) and a bucket is a contiguous slice of
+//! one allocation.
+//!
+//! Freezing preserves the *per-bucket entry order* of the staging form
+//! bit-for-bit. Every fair-sampling guarantee in this workspace is defined
+//! over bucket contents and their order (rank-sorted buckets, first-near
+//! scans), so the freeze must be — and is — invisible to samplers; the
+//! golden tests in `fairnn-integration` pin this.
+//!
+//! The entry type is generic: the plain index stores [`fairnn_space::PointId`]
+//! entries, the Section 4 structure stores `(rank, id)` pairs with a
+//! parallel sketch array.
+
+use std::collections::HashMap;
+
+/// Sentinel for an empty slot of the open-addressing key index.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// A frozen (read-optimized) bucket table: sorted keys, CSR offsets, one
+/// contiguous entry array, plus a flat open-addressing index from key to
+/// bucket position (Fibonacci hashing + linear probing over a power-of-two
+/// slot array) so a lookup costs a couple of dependent loads instead of a
+/// branchy binary search. See the module docs for the layout rationale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenTable<E> {
+    keys: Vec<u64>,
+    /// `offsets[i]..offsets[i + 1]` is the entry range of bucket `i`.
+    offsets: Vec<u32>,
+    entries: Vec<E>,
+    /// Open-addressing slots holding bucket indices ([`EMPTY_SLOT`] = free);
+    /// `slots.len()` is a power of two of at least `2 × keys.len()`.
+    slots: Vec<u32>,
+    /// Right-shift applied to the Fibonacci-multiplied key to obtain a slot.
+    slot_shift: u32,
+}
+
+impl<E> Default for FrozenTable<E> {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            offsets: vec![0],
+            entries: Vec::new(),
+            slots: Vec::new(),
+            slot_shift: 0,
+        }
+    }
+}
+
+/// First probe slot of `key` in a table with `1 << (64 - shift)` slots.
+#[inline]
+fn first_slot(key: u64, shift: u32) -> usize {
+    // Fibonacci hashing: multiply by 2^64 / φ and keep the top bits.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+}
+
+impl<E> FrozenTable<E> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes a collection of `(key, bucket)` pairs. Keys are sorted (and
+    /// must be distinct); the entries of each bucket keep their order.
+    pub fn from_buckets(buckets: impl IntoIterator<Item = (u64, Vec<E>)>) -> Self {
+        let mut pairs: Vec<(u64, Vec<E>)> = buckets.into_iter().collect();
+        pairs.sort_unstable_by_key(|(key, _)| *key);
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bucket keys must be distinct"
+        );
+        let total: usize = pairs.iter().map(|(_, bucket)| bucket.len()).sum();
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        let mut entries = Vec::with_capacity(total);
+        offsets.push(0);
+        for (key, bucket) in pairs {
+            keys.push(key);
+            entries.extend(bucket);
+            offsets.push(u32::try_from(entries.len()).expect("table exceeds u32 entries"));
+        }
+        let mut table = Self {
+            keys,
+            offsets,
+            entries,
+            slots: Vec::new(),
+            slot_shift: 0,
+        };
+        table.rebuild_slots();
+        table
+    }
+
+    /// Builds the open-addressing key index (load factor ≤ 1/2).
+    fn rebuild_slots(&mut self) {
+        let capacity = (self.keys.len() * 2).next_power_of_two().max(4);
+        self.slot_shift = 64 - capacity.trailing_zeros();
+        self.slots.clear();
+        self.slots.resize(capacity, EMPTY_SLOT);
+        let mask = capacity - 1;
+        for (i, &key) in self.keys.iter().enumerate() {
+            let mut slot = first_slot(key, self.slot_shift);
+            while self.slots[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = i as u32;
+        }
+    }
+
+    /// Thaws the table back into its staging (`HashMap`) form, preserving
+    /// per-bucket entry order.
+    pub fn into_buckets(mut self) -> HashMap<u64, Vec<E>> {
+        let mut map = HashMap::with_capacity(self.keys.len());
+        // Drain buckets back to front so each split_off is O(bucket).
+        for i in (0..self.keys.len()).rev() {
+            let bucket = self.entries.split_off(self.offsets[i] as usize);
+            map.insert(self.keys[i], bucket);
+        }
+        map
+    }
+
+    /// Index of the bucket for `key`, if present. A probe of the flat hash
+    /// index — `O(1)` with a couple of loads — rather than a binary search.
+    #[inline]
+    pub fn find(&self, key: u64) -> Option<usize> {
+        let mask = self.slots.len().wrapping_sub(1);
+        let mut slot = first_slot(key, self.slot_shift);
+        loop {
+            let bucket = *self.slots.get(slot)?;
+            if bucket == EMPTY_SLOT {
+                return None;
+            }
+            if self.keys[bucket as usize] == key {
+                return Some(bucket as usize);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The bucket for `key` (empty slice if absent).
+    #[inline]
+    pub fn bucket(&self, key: u64) -> &[E] {
+        match self.find(key) {
+            Some(i) => self.bucket_at(i),
+            None => &[],
+        }
+    }
+
+    /// The bucket at index `i` (as returned by [`FrozenTable::find`]).
+    #[inline]
+    pub fn bucket_at(&self, i: usize) -> &[E] {
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Mutable view of the bucket for `key`. The *contents* of a frozen
+    /// bucket may be rearranged in place (the rank-swap structure re-sorts
+    /// buckets after a rank exchange); the bucket structure itself is fixed.
+    #[inline]
+    pub fn bucket_mut(&mut self, key: u64) -> Option<&mut [E]> {
+        let i = self.find(key)?;
+        Some(&mut self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// The key of bucket `i`.
+    #[inline]
+    pub fn key_at(&self, i: usize) -> u64 {
+        self.keys[i]
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total number of stored entries.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Size of the largest bucket (0 for an empty table).
+    pub fn max_bucket_size(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over `(key, bucket)` pairs in increasing key order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, &[E])> {
+        (0..self.keys.len()).map(|i| (self.keys[i], self.bucket_at(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> FrozenTable<u32> {
+        FrozenTable::from_buckets(vec![
+            (9, vec![7, 3, 5]),
+            (2, vec![1]),
+            (400, vec![9, 9, 2, 4]),
+        ])
+    }
+
+    #[test]
+    fn lookup_preserves_bucket_contents_and_order() {
+        let table = sample_table();
+        assert_eq!(table.bucket(9), &[7, 3, 5]);
+        assert_eq!(table.bucket(2), &[1]);
+        assert_eq!(table.bucket(400), &[9, 9, 2, 4]);
+        assert!(table.bucket(3).is_empty());
+        assert_eq!(table.num_buckets(), 3);
+        assert_eq!(table.num_entries(), 8);
+        assert_eq!(table.max_bucket_size(), 4);
+    }
+
+    #[test]
+    fn buckets_iterate_in_key_order() {
+        let table = sample_table();
+        let keys: Vec<u64> = table.buckets().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 9, 400]);
+        assert_eq!(table.key_at(0), 2);
+        assert_eq!(table.find(9), Some(1));
+        assert_eq!(table.find(10), None);
+    }
+
+    #[test]
+    fn bucket_mut_allows_in_place_rearrangement() {
+        let mut table = sample_table();
+        table.bucket_mut(9).expect("bucket exists").sort_unstable();
+        assert_eq!(table.bucket(9), &[3, 5, 7]);
+        assert_eq!(table.bucket(2), &[1], "sibling buckets untouched");
+        assert!(table.bucket_mut(77).is_none());
+    }
+
+    #[test]
+    fn freeze_thaw_roundtrip_is_lossless() {
+        let table = sample_table();
+        let map = table.clone().into_buckets();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[&9], vec![7, 3, 5]);
+        assert_eq!(map[&2], vec![1]);
+        assert_eq!(map[&400], vec![9, 9, 2, 4]);
+        let refrozen = FrozenTable::from_buckets(map);
+        assert_eq!(refrozen, table);
+    }
+
+    #[test]
+    fn empty_table_behaves() {
+        let table: FrozenTable<u32> = FrozenTable::new();
+        assert_eq!(table.num_buckets(), 0);
+        assert_eq!(table.num_entries(), 0);
+        assert_eq!(table.max_bucket_size(), 0);
+        assert!(table.bucket(0).is_empty());
+        assert_eq!(table.buckets().count(), 0);
+        assert!(table.clone().into_buckets().is_empty());
+    }
+}

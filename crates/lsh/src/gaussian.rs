@@ -21,6 +21,47 @@ pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> DenseVector 
     DenseVector::new((0..dim).map(|_| standard_normal(rng)).collect())
 }
 
+/// Shared blocked matrix–vector kernel behind the batched (`hash_all`)
+/// evaluation of the projection-based families (SimHash, p-stable).
+///
+/// Rows are processed in blocks of eight; within a block each coordinate of
+/// the point is loaded once and feeds all eight running dot products, giving
+/// the instruction-level parallelism a row-at-a-time loop lacks. Per row the
+/// additions happen in the same coordinate order as [`DenseVector::dot`], so
+/// `finish(dot, row)` sees a bit-identical dot product and the hashes match
+/// the per-row path exactly. The per-row path's dimension check
+/// (`DenseVector::dot` asserts) is mirrored here so a malformed query panics
+/// instead of silently hashing a truncated projection.
+pub(crate) fn blocked_projection_hash<T>(
+    rows: &[T],
+    point: &DenseVector,
+    direction: impl Fn(&T) -> &DenseVector,
+    finish: impl Fn(f64, &T) -> u64,
+    out: &mut [u64],
+) {
+    const BLOCK: usize = 8;
+    debug_assert_eq!(rows.len(), out.len(), "one output slot per row");
+    let coords = point.values();
+    for (row_block, out_block) in rows.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+        for row in row_block {
+            assert_eq!(
+                direction(row).dim(),
+                point.dim(),
+                "dimension mismatch in dot product"
+            );
+        }
+        let mut acc = [0.0f64; BLOCK];
+        for (d, &x) in coords.iter().enumerate() {
+            for (sum, row) in acc.iter_mut().zip(row_block) {
+                *sum += direction(row).values()[d] * x;
+            }
+        }
+        for ((slot, sum), row) in out_block.iter_mut().zip(acc).zip(row_block) {
+            *slot = finish(sum, row);
+        }
+    }
+}
+
 /// Draws a uniformly random point on the unit sphere in `dim` dimensions
 /// (a normalised Gaussian vector).
 pub fn random_unit_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> DenseVector {

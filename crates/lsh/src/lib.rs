@@ -19,9 +19,15 @@
 //!   [`simhash::SimHash`] (random hyperplanes) for angular/inner-product
 //!   similarity, and [`pstable::PStableLsh`] (Gaussian projections with
 //!   quantisation) for Euclidean distance;
-//! * AND-concatenation over `K` rows ([`concat::ConcatenatedHasher`]);
+//! * AND-concatenation over `K` rows ([`concat::ConcatenatedHasher`]),
+//!   including the shared table-major row bank behind the single-pass
+//!   batched evaluation ([`family::LshHasher::hash_all`]);
 //! * the multi-table index ([`table::LshIndex`]) that stores the dataset
-//!   once per repetition and answers collision queries;
+//!   once per repetition and answers collision queries, with a frozen CSR
+//!   bucket layout ([`frozen::FrozenTable`]) for reads and the `HashMap`
+//!   staging form for incremental updates;
+//! * reusable per-query scratch ([`scratch::QueryScratch`]) so the query
+//!   hot path is allocation-free in the steady state;
 //! * parameter selection helpers ([`params`]) mirroring the choices of
 //!   Section 6 (expected number of far collisions ≈ 5, recall ≥ 99 %).
 
@@ -30,17 +36,21 @@
 
 pub mod concat;
 pub mod family;
+pub mod frozen;
 pub mod gaussian;
 pub mod minhash;
 pub mod params;
 pub mod pstable;
+pub mod scratch;
 pub mod simhash;
 pub mod table;
 
 pub use concat::{ConcatenatedFamily, ConcatenatedHasher};
 pub use family::{CollisionModel, LshFamily, LshHasher};
+pub use frozen::FrozenTable;
 pub use minhash::{MinHash, MinHasher, OneBitMinHash, OneBitMinHasher};
 pub use params::{LshParams, ParamsBuilder};
 pub use pstable::{PStableHasher, PStableLsh};
+pub use scratch::{DistanceMemo, QueryScratch, VisitedSet};
 pub use simhash::{SimHash, SimHasher};
 pub use table::{LshIndex, LshTable};

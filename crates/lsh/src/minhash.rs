@@ -53,9 +53,67 @@ impl MinHasher {
     }
 }
 
+/// Width of a row block in the batched MinHash evaluation: small enough
+/// that a block's running minima and hash coefficients stay in registers,
+/// wide enough to expose independent multiply chains to the pipeline.
+const MIN_BLOCK: usize = 8;
+
+/// Batched MinHash evaluation: rows are processed in blocks of
+/// [`MIN_BLOCK`]; within a block each item of the set is loaded once and
+/// updates all of the block's running minima, which live in a fixed-size
+/// (register-promoted) array. Bit-identical to evaluating the rows one by
+/// one — a minimum is order-independent — while loading the set
+/// `rows.len() / MIN_BLOCK` times instead of `rows.len()` times and keeping
+/// eight independent hash/min chains in flight per item.
+#[inline]
+fn min_values_blocked<T>(
+    rows: &[T],
+    perm_of: impl Fn(&T) -> MultiplyShift,
+    point: &SparseSet,
+    out: &mut [u64],
+) {
+    let items = point.items();
+    let mut row_blocks = rows.chunks_exact(MIN_BLOCK);
+    let mut out_blocks = out.chunks_exact_mut(MIN_BLOCK);
+    for (row_block, out_block) in row_blocks.by_ref().zip(out_blocks.by_ref()) {
+        // MinHash rows are always full-width multiply-shift (see
+        // `MinHasher::from_seed`), so the coefficients alone drive the
+        // kernel: a block's (a, b) pairs and running minima all fit in
+        // registers for the duration of the item stream.
+        let coeff: [(u64, u64); MIN_BLOCK] =
+            std::array::from_fn(|j| perm_of(&row_block[j]).coefficients());
+        let mut mins = [u64::MAX; MIN_BLOCK];
+        for &item in items {
+            let x = item as u64;
+            for j in 0..MIN_BLOCK {
+                let (a, b) = coeff[j];
+                mins[j] = mins[j].min(splitmix64(a.wrapping_mul(x).wrapping_add(b)));
+            }
+        }
+        out_block.copy_from_slice(&mins);
+    }
+    for (row, slot) in row_blocks
+        .remainder()
+        .iter()
+        .zip(out_blocks.into_remainder())
+    {
+        let perm = perm_of(row);
+        let mut min = u64::MAX;
+        for &item in items {
+            min = min.min(splitmix64(perm.hash(item as u64)));
+        }
+        *slot = min;
+    }
+}
+
 impl LshHasher<SparseSet> for MinHasher {
     fn hash(&self, point: &SparseSet) -> u64 {
         self.min_value(point)
+    }
+
+    fn hash_all(rows: &[Self], point: &SparseSet, out: &mut [u64]) {
+        debug_assert_eq!(rows.len(), out.len(), "one output slot per row");
+        min_values_blocked(rows, |r| r.perm, point, out);
     }
 }
 
@@ -100,6 +158,16 @@ impl OneBitMinHasher {
 impl LshHasher<SparseSet> for OneBitMinHasher {
     fn hash(&self, point: &SparseSet) -> u64 {
         self.inner.min_value(point) & 1
+    }
+
+    fn hash_all(rows: &[Self], point: &SparseSet, out: &mut [u64]) {
+        debug_assert_eq!(rows.len(), out.len(), "one output slot per row");
+        // The full 64-bit minima are tracked during the pass; the 1-bit
+        // truncation happens once at the end.
+        min_values_blocked(rows, |r| r.inner.perm, point, out);
+        for slot in out {
+            *slot &= 1;
+        }
     }
 }
 

@@ -77,6 +77,22 @@ impl LshHasher<DenseVector> for PStableHasher {
         // Map the signed bucket index to u64 preserving equality.
         bucket as u64
     }
+
+    /// Blocked matrix–vector evaluation via
+    /// [`crate::gaussian::blocked_projection_hash`]: eight projections
+    /// advance per coordinate load. The offset is added after the full dot
+    /// product and the quantisation matches [`PStableHasher::hash`]
+    /// operation for operation, so the bucket keys are bit-identical to the
+    /// per-row path.
+    fn hash_all(rows: &[Self], point: &DenseVector, out: &mut [u64]) {
+        crate::gaussian::blocked_projection_hash(
+            rows,
+            point,
+            |row| &row.direction,
+            |dot, row| (((dot + row.offset) / row.width).floor() as i64) as u64,
+            out,
+        );
+    }
 }
 
 impl CollisionModel for PStableLsh {

@@ -49,6 +49,20 @@ impl LshHasher<DenseVector> for SimHasher {
     fn hash(&self, point: &DenseVector) -> u64 {
         u64::from(self.normal.dot(point) >= 0.0)
     }
+
+    /// Blocked matrix–vector evaluation via
+    /// [`crate::gaussian::blocked_projection_hash`]: eight dot products
+    /// advance per coordinate load, and the signs — and therefore the
+    /// hashes — are bit-identical to the per-row path.
+    fn hash_all(rows: &[Self], point: &DenseVector, out: &mut [u64]) {
+        crate::gaussian::blocked_projection_hash(
+            rows,
+            point,
+            |row| &row.normal,
+            |dot, _| u64::from(dot >= 0.0),
+            out,
+        );
+    }
 }
 
 impl CollisionModel for SimHash {

@@ -13,34 +13,85 @@
 
 use crate::concat::ConcatenatedHasher;
 use crate::family::{LshFamily, LshHasher};
+use crate::frozen::FrozenTable;
 use crate::params::LshParams;
+use crate::scratch::QueryScratch;
 use fairnn_space::PointId;
 use rand::Rng;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
+thread_local! {
+    /// Per-thread scratch for the convenience query methods
+    /// ([`LshIndex::colliding_ids`] and friends), which take `&self` and
+    /// therefore cannot own reusable buffers. Hot paths that already hold a
+    /// [`QueryScratch`] use the `_into` variants instead.
+    static INDEX_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
 /// A single hash table: bucket key → ids of the points in the bucket.
+///
+/// The table has two representations. While it is being built or mutated it
+/// is a `HashMap<u64, Vec<PointId>>` — the *staging* form, cheap to update.
+/// [`LshTable::freeze`] converts it into a [`FrozenTable`] — sorted keys,
+/// CSR offsets, one contiguous entry array — which is what queries should
+/// run against. Mutating a frozen table thaws it back to staging
+/// transparently (an `O(entries)` conversion, amortised over the following
+/// updates); [`LshIndex`] re-freezes on [`LshIndex::rebuild`] and exposes
+/// [`LshIndex::freeze`] for explicit compaction after a burst of updates.
+/// Freezing and thawing preserve per-bucket entry order bit-for-bit, which
+/// the fair samplers' determinism depends on.
 #[derive(Debug, Clone, Default)]
 pub struct LshTable {
-    buckets: HashMap<u64, Vec<PointId>>,
+    staging: HashMap<u64, Vec<PointId>>,
+    frozen: Option<FrozenTable<PointId>>,
 }
 
 impl LshTable {
-    /// Creates an empty table.
+    /// Creates an empty table (in staging form).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Inserts a point with the given bucket key.
+    /// Whether the table is currently in its read-optimized frozen form.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Converts the table to its read-optimized frozen form. No-op if
+    /// already frozen.
+    pub fn freeze(&mut self) {
+        if self.frozen.is_none() {
+            self.frozen = Some(FrozenTable::from_buckets(self.staging.drain()));
+        }
+    }
+
+    /// Converts the table back to its mutable staging form. No-op if
+    /// already staged.
+    fn thaw(&mut self) {
+        if let Some(frozen) = self.frozen.take() {
+            self.staging = frozen.into_buckets();
+        }
+    }
+
+    /// The frozen representation, when active (for layout-aware callers).
+    pub fn as_frozen(&self) -> Option<&FrozenTable<PointId>> {
+        self.frozen.as_ref()
+    }
+
+    /// Inserts a point with the given bucket key (thaws a frozen table).
     pub fn insert(&mut self, key: u64, id: PointId) {
-        self.buckets.entry(key).or_default().push(id);
+        self.thaw();
+        self.staging.entry(key).or_default().push(id);
     }
 
     /// Removes one occurrence of `id` from the bucket for `key`, preserving
     /// the order of the remaining entries (fair samplers rely on bucket
     /// order). Returns `true` when the id was present; empty buckets are
-    /// dropped so accounting stays tight.
+    /// dropped so accounting stays tight. Thaws a frozen table.
     pub fn remove(&mut self, key: u64, id: PointId) -> bool {
-        let Some(bucket) = self.buckets.get_mut(&key) else {
+        self.thaw();
+        let Some(bucket) = self.staging.get_mut(&key) else {
             return false;
         };
         let Some(pos) = bucket.iter().position(|&x| x == id) else {
@@ -48,35 +99,52 @@ impl LshTable {
         };
         bucket.remove(pos);
         if bucket.is_empty() {
-            self.buckets.remove(&key);
+            self.staging.remove(&key);
         }
         true
     }
 
     /// Returns the bucket for `key` (empty slice if the bucket does not
     /// exist).
+    #[inline]
     pub fn bucket(&self, key: u64) -> &[PointId] {
-        self.buckets.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        match &self.frozen {
+            Some(frozen) => frozen.bucket(key),
+            None => self.staging.get(&key).map(Vec::as_slice).unwrap_or(&[]),
+        }
     }
 
     /// Number of non-empty buckets.
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        match &self.frozen {
+            Some(frozen) => frozen.num_buckets(),
+            None => self.staging.len(),
+        }
     }
 
     /// Total number of stored point references.
     pub fn num_entries(&self) -> usize {
-        self.buckets.values().map(Vec::len).sum()
+        match &self.frozen {
+            Some(frozen) => frozen.num_entries(),
+            None => self.staging.values().map(Vec::len).sum(),
+        }
     }
 
     /// Size of the largest bucket (0 for an empty table).
     pub fn max_bucket_size(&self) -> usize {
-        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+        match &self.frozen {
+            Some(frozen) => frozen.max_bucket_size(),
+            None => self.staging.values().map(Vec::len).max().unwrap_or(0),
+        }
     }
 
-    /// Iterator over `(key, bucket)` pairs.
+    /// Iterator over `(key, bucket)` pairs (in key order when frozen, in
+    /// arbitrary map order while staging).
     pub fn buckets(&self) -> impl Iterator<Item = (u64, &[PointId])> {
-        self.buckets.iter().map(|(k, v)| (*k, v.as_slice()))
+        self.staging
+            .iter()
+            .map(|(k, v)| (*k, v.as_slice()))
+            .chain(self.frozen.iter().flat_map(FrozenTable::buckets))
     }
 }
 
@@ -140,16 +208,24 @@ impl<H> LshIndex<H> {
 impl<H> LshIndex<H> {
     /// Builds an index from pre-sampled hashers (used by the filter-style
     /// structures and by tests that need full control over the hashers).
+    /// Every point's `L` bucket keys are computed with one batched
+    /// [`LshHasher::hash_all`] evaluation, and the tables are frozen into
+    /// their read-optimized form once filled.
     pub fn from_hashers<P>(hashers: Vec<H>, points: &[P], params: LshParams) -> Self
     where
         H: LshHasher<P>,
     {
         assert!(!hashers.is_empty(), "index needs at least one hasher");
         let mut tables: Vec<LshTable> = (0..hashers.len()).map(|_| LshTable::new()).collect();
-        for (table, hasher) in tables.iter_mut().zip(hashers.iter()) {
-            for (i, p) in points.iter().enumerate() {
-                table.insert(hasher.hash(p), PointId::from_index(i));
+        let mut keys = vec![0u64; hashers.len()];
+        for (i, p) in points.iter().enumerate() {
+            H::hash_all(&hashers, p, &mut keys);
+            for (table, &key) in tables.iter_mut().zip(keys.iter()) {
+                table.insert(key, PointId::from_index(i));
             }
+        }
+        for table in &mut tables {
+            table.freeze();
         }
         Self {
             hashers,
@@ -159,12 +235,42 @@ impl<H> LshIndex<H> {
         }
     }
 
+    /// Freezes every table into its read-optimized form (see
+    /// [`LshTable::freeze`]). Call after a burst of incremental updates to
+    /// restore the contiguous bucket layout; build and
+    /// [`LshIndex::rebuild`] freeze automatically.
+    pub fn freeze(&mut self) {
+        for table in &mut self.tables {
+            table.freeze();
+        }
+    }
+
+    /// Whether every table is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.tables.iter().all(LshTable::is_frozen)
+    }
+
     /// Per-table bucket keys of a query point.
     pub fn query_keys<P>(&self, query: &P) -> Vec<u64>
     where
         H: LshHasher<P>,
     {
-        self.hashers.iter().map(|h| h.hash(query)).collect()
+        let mut keys = vec![0u64; self.hashers.len()];
+        H::hash_all(&self.hashers, query, &mut keys);
+        keys
+    }
+
+    /// Writes the per-table bucket keys of `query` into `keys` (resized to
+    /// `L`), computing all `K × L` row hashes in one batched pass. This is
+    /// the allocation-free form of [`LshIndex::query_keys`] for callers
+    /// holding a reusable buffer.
+    pub fn query_keys_into<P>(&self, query: &P, keys: &mut Vec<u64>)
+    where
+        H: LshHasher<P>,
+    {
+        keys.clear();
+        keys.resize(self.hashers.len(), 0);
+        H::hash_all(&self.hashers, query, keys);
     }
 
     /// The buckets a query collides with, one (possibly empty) slice per
@@ -173,11 +279,16 @@ impl<H> LshIndex<H> {
     where
         H: LshHasher<P>,
     {
-        self.hashers
-            .iter()
-            .zip(self.tables.iter())
-            .map(|(h, t)| t.bucket(h.hash(query)))
-            .collect()
+        INDEX_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.query_keys_into(query, &mut scratch.keys);
+            scratch
+                .keys
+                .iter()
+                .zip(self.tables.iter())
+                .map(|(&key, t)| t.bucket(key))
+                .collect()
+        })
     }
 
     /// Appends one point to every table, assigning it the next dense id.
@@ -191,8 +302,9 @@ impl<H> LshIndex<H> {
         H: LshHasher<P>,
     {
         let id = PointId::from_index(self.num_points);
-        for (hasher, table) in self.hashers.iter().zip(self.tables.iter_mut()) {
-            table.insert(hasher.hash(point), id);
+        let keys = self.query_keys(point);
+        for (table, &key) in self.tables.iter_mut().zip(keys.iter()) {
+            table.insert(key, id);
         }
         self.num_points += 1;
         id
@@ -207,9 +319,10 @@ impl<H> LshIndex<H> {
     where
         H: LshHasher<P>,
     {
+        let keys = self.query_keys(point);
         let mut removed = false;
-        for (hasher, table) in self.hashers.iter().zip(self.tables.iter_mut()) {
-            removed |= table.remove(hasher.hash(point), id);
+        for (table, &key) in self.tables.iter_mut().zip(keys.iter()) {
+            removed |= table.remove(key, id);
         }
         removed
     }
@@ -217,7 +330,8 @@ impl<H> LshIndex<H> {
     /// Rebuilds every table over `points` (point `i` gets id `PointId(i)`)
     /// while keeping the existing hashers, so the rebuild is a pure
     /// compaction: deterministic and local to this index. Shards use it to
-    /// reclaim tombstoned entries without any global coordination.
+    /// reclaim tombstoned entries without any global coordination. The
+    /// rebuilt tables come out frozen.
     pub fn rebuild<P>(&mut self, points: &[P])
     where
         H: LshHasher<P>,
@@ -225,31 +339,58 @@ impl<H> LshIndex<H> {
         for table in &mut self.tables {
             *table = LshTable::new();
         }
-        for (table, hasher) in self.tables.iter_mut().zip(self.hashers.iter()) {
-            for (i, p) in points.iter().enumerate() {
-                table.insert(hasher.hash(p), PointId::from_index(i));
+        let mut keys = vec![0u64; self.hashers.len()];
+        for (i, p) in points.iter().enumerate() {
+            H::hash_all(&self.hashers, p, &mut keys);
+            for (table, &key) in self.tables.iter_mut().zip(keys.iter()) {
+                table.insert(key, PointId::from_index(i));
             }
         }
+        self.freeze();
         self.num_points = points.len();
     }
 
     /// All ids colliding with the query in at least one table, deduplicated
-    /// (the set `S_q = ∪_i S_{i, ℓ_i(q)}` of the paper).
+    /// (the set `S_q = ∪_i S_{i, ℓ_i(q)}` of the paper). Uses a per-thread
+    /// scratch; callers that own a [`QueryScratch`] should prefer
+    /// [`LshIndex::colliding_ids_into`], which also reuses the output
+    /// buffer.
     pub fn colliding_ids<P>(&self, query: &P) -> Vec<PointId>
     where
         H: LshHasher<P>,
     {
-        let mut seen = vec![false; self.num_points];
-        let mut out = Vec::new();
-        for bucket in self.query_buckets(query) {
-            for &id in bucket {
-                if !seen[id.index()] {
-                    seen[id.index()] = true;
-                    out.push(id);
+        INDEX_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.colliding_ids_into(query, scratch);
+            scratch.candidates.clone()
+        })
+    }
+
+    /// Collects the deduplicated colliding ids into `scratch.candidates`
+    /// without allocating in the steady state: bucket keys land in
+    /// `scratch.keys` (one batched hash pass), deduplication uses the
+    /// epoch-stamped `scratch.visited` (no `O(n)` clear), and the result
+    /// reuses `scratch.candidates`.
+    pub fn colliding_ids_into<P>(&self, query: &P, scratch: &mut QueryScratch)
+    where
+        H: LshHasher<P>,
+    {
+        let QueryScratch {
+            keys,
+            visited,
+            candidates,
+            ..
+        } = scratch;
+        self.query_keys_into(query, keys);
+        visited.reset(self.num_points);
+        candidates.clear();
+        for (table, &key) in self.tables.iter().zip(keys.iter()) {
+            for &id in table.bucket(key) {
+                if visited.insert(id.index()) {
+                    candidates.push(id);
                 }
             }
         }
-        out
     }
 
     /// Total number of colliding entries including duplicates — the number
@@ -258,13 +399,27 @@ impl<H> LshIndex<H> {
     where
         H: LshHasher<P>,
     {
-        self.query_buckets(query).iter().map(|b| b.len()).sum()
+        INDEX_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.query_keys_into(query, &mut scratch.keys);
+            scratch
+                .keys
+                .iter()
+                .zip(self.tables.iter())
+                .map(|(&key, t)| t.bucket(key).len())
+                .sum()
+        })
     }
 }
 
 impl<BH> LshIndex<ConcatenatedHasher<BH>> {
     /// Builds the standard `K × L` index: `L` tables, each keyed by a
     /// concatenation of `K` draws from `family`.
+    ///
+    /// All `K × L` rows are drawn into one shared table-major bank
+    /// ([`ConcatenatedHasher::bank`]) so batched queries evaluate them in a
+    /// single pass over the point. The draw order matches the historical
+    /// per-table sampling exactly, so seeds keep producing the same hashers.
     pub fn build<P, F, R>(
         family: &F,
         params: LshParams,
@@ -276,9 +431,8 @@ impl<BH> LshIndex<ConcatenatedHasher<BH>> {
         BH: LshHasher<P>,
         R: Rng + ?Sized,
     {
-        let hashers: Vec<ConcatenatedHasher<F::Hasher>> = (0..params.l)
-            .map(|_| ConcatenatedHasher::new(family.sample_many(rng, params.k)))
-            .collect();
+        let rows = family.sample_many(rng, params.k * params.l);
+        let hashers = ConcatenatedHasher::bank(rows, params.k);
         LshIndex::from_hashers(hashers, points, params)
     }
 }

@@ -124,4 +124,127 @@ proptest! {
         prop_assert_eq!(hasher.arity(), k);
         prop_assert_eq!(hasher.rows().len(), k);
     }
+
+    // ---- batched hashing: hash_all must be bit-identical to per-row hash ----
+
+    #[test]
+    fn minhash_hash_all_matches_per_row(set in arb_set(), seed in 0u64..1000, rows in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashers = MinHash.sample_many(&mut rng, rows);
+        let mut out = vec![0u64; rows];
+        LshHasher::hash_all(&hashers, &set, &mut out);
+        for (h, got) in hashers.iter().zip(&out) {
+            prop_assert_eq!(h.hash(&set), *got);
+        }
+        let one_bit = OneBitMinHash.sample_many(&mut rng, rows);
+        LshHasher::hash_all(&one_bit, &set, &mut out);
+        for (h, got) in one_bit.iter().zip(&out) {
+            prop_assert_eq!(h.hash(&set), *got);
+        }
+    }
+
+    #[test]
+    fn dense_hash_all_matches_per_row(v in arb_vector(), seed in 0u64..1000, rows in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = SimHash::new(8).sample_many(&mut rng, rows);
+        let mut out = vec![0u64; rows];
+        LshHasher::hash_all(&sim, &v, &mut out);
+        for (h, got) in sim.iter().zip(&out) {
+            prop_assert_eq!(h.hash(&v), *got);
+        }
+        let pstable = PStableLsh::new(8, 4.0).sample_many(&mut rng, rows);
+        LshHasher::hash_all(&pstable, &v, &mut out);
+        for (h, got) in pstable.iter().zip(&out) {
+            prop_assert_eq!(h.hash(&v), *got);
+        }
+    }
+
+    #[test]
+    fn concatenated_hash_all_matches_per_table(
+        set in arb_set(),
+        seed in 0u64..1000,
+        k in 1usize..6,
+        l in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Shared-bank layout (the one LshIndex::build produces): the batched
+        // path takes the single-pass fast path.
+        let bank = ConcatenatedHasher::bank(MinHash.sample_many(&mut rng, k * l), k);
+        let mut out = vec![0u64; l];
+        LshHasher::hash_all(&bank, &set, &mut out);
+        for (h, got) in bank.iter().zip(&out) {
+            prop_assert_eq!(h.hash(&set), *got);
+        }
+        // Independently-built tables (no shared bank): the fallback path.
+        let fam = ConcatenatedFamily::new(MinHash, k);
+        let tables: Vec<ConcatenatedHasher<_>> = (0..l).map(|_| fam.sample(&mut rng)).collect();
+        LshHasher::hash_all(&tables, &set, &mut out);
+        for (h, got) in tables.iter().zip(&out) {
+            prop_assert_eq!(h.hash(&set), *got);
+        }
+    }
+
+    // ---- frozen CSR storage: bit-identical buckets, contents and order ----
+
+    #[test]
+    fn frozen_table_matches_staging_buckets(
+        inserts in proptest::collection::vec((0u64..32, 0u32..100), 1..120),
+    ) {
+        use fairnn_lsh::LshTable;
+        use std::collections::HashMap;
+        // Reference: the plain staging form.
+        let mut reference: HashMap<u64, Vec<PointId>> = HashMap::new();
+        let mut table = LshTable::new();
+        for &(key, id) in &inserts {
+            reference.entry(key).or_default().push(PointId(id));
+            table.insert(key, PointId(id));
+        }
+        prop_assert!(!table.is_frozen());
+        table.freeze();
+        prop_assert!(table.is_frozen());
+        // Identical buckets: contents *and* order, plus identical accounting.
+        for (key, bucket) in &reference {
+            prop_assert_eq!(table.bucket(*key), bucket.as_slice());
+        }
+        prop_assert_eq!(table.num_buckets(), reference.len());
+        prop_assert_eq!(
+            table.num_entries(),
+            reference.values().map(Vec::len).sum::<usize>()
+        );
+        prop_assert_eq!(
+            table.max_bucket_size(),
+            reference.values().map(Vec::len).max().unwrap_or(0)
+        );
+        // Thaw by mutating, then refreeze: still identical.
+        table.insert(1000, PointId(7));
+        prop_assert!(!table.is_frozen());
+        prop_assert!(table.remove(1000, PointId(7)));
+        table.freeze();
+        for (key, bucket) in &reference {
+            prop_assert_eq!(table.bucket(*key), bucket.as_slice());
+        }
+    }
+
+    #[test]
+    fn frozen_index_queries_match_staging_queries(
+        sets in proptest::collection::vec(arb_set(), 2..30),
+        seed in 0u64..500,
+    ) {
+        // The same index queried in frozen form (as built) and after thawing
+        // every table via a no-op mutation must return identical results.
+        let params = LshParams::explicit(2, 5, 0.5, 0.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frozen = LshIndex::build(&OneBitMinHash, params, &sets, &mut rng);
+        prop_assert!(frozen.is_frozen());
+        let mut staged = frozen.clone();
+        let probe = sets[0].clone();
+        let id = staged.insert_point(&probe);
+        staged.remove_point(&probe, id);
+        prop_assert!(!staged.is_frozen());
+        for s in &sets {
+            prop_assert_eq!(frozen.colliding_ids(s), staged.colliding_ids(s));
+            prop_assert_eq!(frozen.query_keys(s), staged.query_keys(s));
+            prop_assert_eq!(frozen.collision_count(s), staged.collision_count(s));
+        }
+    }
 }

@@ -54,6 +54,13 @@ impl BottomKSketch {
         self.seed == other.seed && self.k == other.k
     }
 
+    /// Resets the sketch to empty while keeping its hash function and
+    /// capacity, so one instance can serve as a reusable merge accumulator
+    /// across queries.
+    pub fn clear(&mut self) {
+        self.smallest.clear();
+    }
+
     fn insert_value(&mut self, value: u64) {
         match self.smallest.binary_search(&value) {
             Ok(_) => {}

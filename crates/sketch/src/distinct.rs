@@ -86,6 +86,12 @@ impl SketchRow {
     }
 
     fn insert_value(&mut self, value: u64, capacity: usize) {
+        // Fast reject once the row is full: a value at or above the current
+        // t-th smallest either duplicates the boundary or would be dropped
+        // by the truncation below, so skipping it leaves the row unchanged.
+        if self.smallest.len() >= capacity && self.smallest.last().is_some_and(|&v| value >= v) {
+            return;
+        }
         match self.smallest.binary_search(&value) {
             Ok(_) => {} // already present — distinct values only
             Err(pos) => {
@@ -183,6 +189,44 @@ impl DistinctSketch {
         self.seed == other.seed && self.params == other.params
     }
 
+    /// Resets the sketch to empty while keeping its hash functions and row
+    /// capacity, so one instance can serve as a reusable merge accumulator
+    /// across queries (the Section 4 sampler keeps one in its scratch
+    /// instead of building a fresh sketch per query).
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.smallest.clear();
+        }
+    }
+
+    /// [`CardinalityEstimator::estimate`] with a caller-provided buffer for
+    /// the per-row estimates, so hot paths can take the median without a
+    /// per-call allocation or a full sort. Returns exactly the same value
+    /// as `estimate`.
+    pub fn estimate_into(&self, buffer: &mut Vec<f64>) -> f64 {
+        buffer.clear();
+        buffer.extend(
+            self.rows
+                .iter()
+                .map(|r| r.estimate(self.hash_range, self.row_width)),
+        );
+        let mid = buffer.len() / 2;
+        let compare = |a: &f64, b: &f64| a.partial_cmp(b).expect("estimates are finite");
+        let (left, median, _) = buffer.select_nth_unstable_by(mid, compare);
+        if self.rows.len() % 2 == 1 {
+            *median
+        } else {
+            // Even row count: the lower-middle element is the maximum of the
+            // left partition produced by the selection.
+            let below = left
+                .iter()
+                .copied()
+                .max_by(|a, b| compare(a, b))
+                .expect("two or more rows");
+            (below + *median) / 2.0
+        }
+    }
+
     /// Number of rows Δ.
     pub fn num_rows(&self) -> usize {
         self.rows.len()
@@ -210,6 +254,66 @@ impl DistinctSketch {
             sketch.insert(e);
         }
         sketch
+    }
+}
+
+impl DistinctSketch {
+    /// Inserts an element whose per-row hash values were precomputed by a
+    /// [`DistinctValueTable`] sharing this sketch's seed and parameters.
+    /// `values[w]` must equal `ψ_w(element) + 1`; the effect is exactly that
+    /// of [`CardinalityEstimator::insert`], minus the `Δ` polynomial-hash
+    /// evaluations.
+    pub fn insert_precomputed(&mut self, values: &[u64]) {
+        debug_assert_eq!(values.len(), self.rows.len(), "one value per row");
+        for (row, &value) in self.rows.iter_mut().zip(values) {
+            row.insert_value(value, self.row_width);
+        }
+    }
+}
+
+/// Precomputed per-element row values for a [`DistinctSketch`] universe.
+///
+/// The Section 4 query merges bucket sketches, but buckets below the space
+/// threshold are sketched *on the fly* by inserting their elements — and one
+/// insertion evaluates all `Δ = Θ(log n)` pairwise-independent row hashes.
+/// Those hashes depend only on the element, not on the query, so an index
+/// over a dense id universe `0..n` can evaluate them once at build time
+/// (`Θ(n Δ)` words, the same order as the `Θ(n L)` index itself) and serve
+/// every query with [`DistinctSketch::insert_precomputed`] — turning the
+/// on-the-fly sketching of small buckets from the dominant query cost into
+/// a short run of bounds-checked comparisons.
+#[derive(Debug, Clone)]
+pub struct DistinctValueTable {
+    rows: usize,
+    values: Vec<u64>,
+}
+
+impl DistinctValueTable {
+    /// Precomputes the row values of every element in `0..universe` for
+    /// sketches created with this `seed` and `params`.
+    pub fn build(seed: u64, params: DistinctSketchParams, universe: usize) -> Self {
+        let reference = DistinctSketch::new(seed, params);
+        let rows = reference.rows.len();
+        let range = reference.hash_range;
+        let mut values = Vec::with_capacity(universe * rows);
+        for element in 0..universe as u64 {
+            for row in &reference.rows {
+                values.push(row.hash.hash_range(element, range) + 1);
+            }
+        }
+        Self { rows, values }
+    }
+
+    /// Number of rows `Δ` (matches the sketches this table feeds).
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The precomputed row values of `element`, suitable for
+    /// [`DistinctSketch::insert_precomputed`].
+    #[inline]
+    pub fn values_of(&self, element: usize) -> &[u64] {
+        &self.values[element * self.rows..(element + 1) * self.rows]
     }
 }
 

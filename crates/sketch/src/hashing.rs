@@ -91,6 +91,17 @@ impl MultiplyShift {
             v >> (64 - self.out_bits)
         }
     }
+
+    /// The `(a, b)` coefficients, for batched kernels that keep them in
+    /// registers across a long input stream. Combine as
+    /// `a.wrapping_mul(x).wrapping_add(b)` — equal to [`MultiplyShift::hash`]
+    /// only in the full-width (`out_bits() == 64`) case, which the debug
+    /// assertion guards.
+    #[inline]
+    pub fn coefficients(&self) -> (u64, u64) {
+        debug_assert_eq!(self.out_bits, 64, "coefficients are full-width only");
+        (self.a, self.b)
+    }
 }
 
 /// k-independent polynomial hashing over the Mersenne prime `2^61 - 1`.

@@ -28,7 +28,7 @@ pub mod hashing;
 pub mod hyperloglog;
 
 pub use bottomk::BottomKSketch;
-pub use distinct::{DistinctSketch, DistinctSketchParams};
+pub use distinct::{DistinctSketch, DistinctSketchParams, DistinctValueTable};
 pub use hashing::{splitmix64, MultiplyShift, PolynomialHash};
 pub use hyperloglog::HyperLogLog;
 

@@ -115,17 +115,19 @@ impl SparseSet {
 
     /// Size of the intersection with `other` (linear merge).
     pub fn intersection_size(&self, other: &SparseSet) -> usize {
+        // Branch-light sorted merge: every iteration advances at least one
+        // cursor via arithmetic on the comparison results, so the loop has a
+        // single well-predicted branch. This is the inner loop of every
+        // distance evaluation the samplers perform.
+        let a = &self.items;
+        let b = &other.items;
         let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-        while i < self.items.len() && j < other.items.len() {
-            match self.items[i].cmp(&other.items[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
+        while i < a.len() && j < b.len() {
+            let x = a[i];
+            let y = b[j];
+            count += usize::from(x == y);
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
         }
         count
     }
@@ -135,13 +137,16 @@ impl SparseSet {
         self.items.len() + other.items.len() - self.intersection_size(other)
     }
 
-    /// Jaccard similarity `|A ∩ B| / |A ∪ B|`; defined as 1 for two empty sets.
+    /// Jaccard similarity `|A ∩ B| / |A ∪ B|`; defined as 1 for two empty
+    /// sets. One merge pass: the union size is derived from the
+    /// intersection instead of being merged a second time.
     pub fn jaccard(&self, other: &SparseSet) -> f64 {
-        let union = self.union_size(other);
+        let intersection = self.intersection_size(other);
+        let union = self.items.len() + other.items.len() - intersection;
         if union == 0 {
             return 1.0;
         }
-        self.intersection_size(other) as f64 / union as f64
+        intersection as f64 / union as f64
     }
 }
 

@@ -103,6 +103,28 @@ impl Criterion {
                 fmt_ns(report.min_ns),
                 report.iterations,
             );
+            // Machine-readable trail: when CRITERION_JSON names a file, one
+            // JSON line per benchmark is appended (JSONL), so CI can archive
+            // the numbers as an artifact without parsing the human output.
+            if let Ok(path) = std::env::var("CRITERION_JSON") {
+                if !path.is_empty() {
+                    let line = format!(
+                        "{{\"label\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iterations\": {}}}\n",
+                        label.replace('"', "'"),
+                        report.mean_ns,
+                        report.min_ns,
+                        report.iterations,
+                    );
+                    use std::io::Write;
+                    if let Ok(mut file) = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                    {
+                        let _ = file.write_all(line.as_bytes());
+                    }
+                }
+            }
         }
     }
 }
