@@ -183,19 +183,29 @@ fn main() {
     let serial_qps = batch.len() as f64 / serial_secs;
     let threaded_qps = batch.len() as f64 / threaded_secs;
 
+    // On a runner with fewer cores than requested threads the multi-thread
+    // row measures the same serial execution plus scheduling noise; mark it
+    // so downstream tooling (the CI bench gate) knows to skip it.
+    let hardware_limited = cores < args.threads;
     let mut table = TextTable::new(
         "engine pipeline (cache disabled)",
-        &["threads", "queries/sec", "speedup"],
+        &["threads", "queries/sec", "speedup", "note"],
     );
     table.add_row(vec![
         "1".to_string(),
         fmt_f64(serial_qps, 0),
         "1.0".to_string(),
+        String::new(),
     ]);
     table.add_row(vec![
         args.threads.to_string(),
         fmt_f64(threaded_qps, 0),
         fmt_f64(threaded_qps / serial_qps, 2),
+        if hardware_limited {
+            format!("hardware-limited ({cores} core(s))")
+        } else {
+            String::new()
+        },
     ]);
     println!("{table}");
     assert_eq!(
@@ -243,7 +253,7 @@ fn main() {
             .map(|(name, qps)| format!("    {{\"sampler\": \"{name}\", \"qps\": {qps:.1}}}"))
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {:.1}, \"per_row\": {:.1}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {:.1}}},\n    {{\"threads\": {}, \"qps\": {:.1}}}\n  ],\n  \"rank_swap_qps\": {:.1}\n}}\n",
+            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {:.1}, \"per_row\": {:.1}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {:.1}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {:.1}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {:.1}\n}}\n",
             args.scale,
             batch_size,
             args.seed,
@@ -257,6 +267,7 @@ fn main() {
             serial_qps,
             args.threads,
             threaded_qps,
+            hardware_limited,
             rank_swap_qps,
         );
         std::fs::write(path, json).expect("write JSON report");

@@ -1,0 +1,248 @@
+//! Build-once/serve-many: what does a snapshot buy over a rebuild?
+//!
+//! For each of several dataset scales, this binary builds the two heaviest
+//! structures of the workspace — the Section 4 [`FairNnis`] sampler and the
+//! full serving [`QueryEngine`] — then measures the snapshot cycle:
+//!
+//! 1. **build** — wall time to construct the structure from raw points;
+//! 2. **save** — wall time to write the versioned snapshot, plus its size;
+//! 3. **load** — wall time to restore the structure from the snapshot;
+//! 4. **verify** — the restored structure must answer a probe workload
+//!    bit-for-bit identically to the one it was saved from (the binary
+//!    aborts otherwise, so CI catches roundtrip drift).
+//!
+//! The `build / load` ratio is the multiplier a warm restart, a CI job
+//! attaching a prebuilt fixture, or an extra serving replica gains from
+//! attaching state instead of reconstructing it.
+//!
+//! Usage: `cargo run --release -p fairnn-bench --bin snapshot_cycle --
+//!         [--scale 0.25] [--seed 42] [--threads 2] [--shards 4]
+//!         [--json BENCH_snapshot.json]`
+//! (three scales are exercised: ½×, 1× and 2× the `--scale` value, clamped
+//! to the valid range).
+
+use fairnn_bench::figures::paper_lsh_params;
+use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
+use fairnn_core::{FairNnis, NeighborSampler, SimilarityAtLeast};
+use fairnn_engine::{EngineConfig, QueryEngine};
+use fairnn_lsh::{ConcatenatedHasher, OneBitMinHash, OneBitMinHasher};
+use fairnn_space::{Jaccard, SparseSet};
+use fairnn_stats::{table::fmt_f64, TextTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const R: f64 = 0.2;
+
+type SetNnis = FairNnis<SparseSet, ConcatenatedHasher<OneBitMinHasher>, SimilarityAtLeast<Jaccard>>;
+type SetEngine =
+    QueryEngine<SparseSet, ConcatenatedHasher<OneBitMinHasher>, SimilarityAtLeast<Jaccard>>;
+
+/// One measured build → save → load → verify cycle.
+struct Cycle {
+    scale: f64,
+    structure: &'static str,
+    dataset_points: usize,
+    build_s: f64,
+    save_s: f64,
+    load_s: f64,
+    snapshot_bytes: u64,
+}
+
+impl Cycle {
+    fn build_over_load(&self) -> f64 {
+        if self.load_s > 0.0 {
+            self.build_s / self.load_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn snapshot_path(structure: &str, scale: f64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fairnn-snapshot-cycle-{}-{structure}-{scale}.snap",
+        std::process::id()
+    ))
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// One cycle for the Section 4 sampler: the verification draws a sample
+/// sequence from the original and the restored sampler with identical RNG
+/// streams and requires bit-for-bit equality.
+fn cycle_fair_nnis(workload: &SetWorkload, scale: f64, seed: u64) -> Cycle {
+    let dataset = &workload.dataset;
+    let params = paper_lsh_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let (mut sampler, build_s) = timed(|| -> SetNnis {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FairNnis::build(&OneBitMinHash, params, dataset, near, &mut rng)
+    });
+
+    let path = snapshot_path("fair-nnis", scale);
+    let ((), save_s) = timed(|| sampler.save(&path).expect("save fair-nnis snapshot"));
+    let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+    let (mut loaded, load_s) = timed(|| SetNnis::load(&path).expect("load fair-nnis snapshot"));
+    let _ = std::fs::remove_file(&path);
+
+    let queries = workload.query_points();
+    let mut rng_a = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    let mut rng_b = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    for query in queries.iter().cycle().take(64) {
+        assert_eq!(
+            sampler.sample(query, &mut rng_a),
+            loaded.sample(query, &mut rng_b),
+            "restored fair-nnis diverged from the saved sampler"
+        );
+    }
+
+    Cycle {
+        scale,
+        structure: "fair-nnis",
+        dataset_points: dataset.len(),
+        build_s,
+        save_s,
+        load_s,
+        snapshot_bytes,
+    }
+}
+
+/// One cycle for the serving engine: the verification runs the same batch
+/// through the original and the restored engine and requires identical
+/// answers (the engine's own determinism contract, now across a snapshot).
+fn cycle_engine(workload: &SetWorkload, scale: f64, args: &CommonArgs) -> Cycle {
+    let dataset = &workload.dataset;
+    let params = paper_lsh_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+    let config = EngineConfig::default()
+        .with_threads(args.threads)
+        .with_shards(args.shards)
+        .with_seed(args.seed);
+    let (mut engine, build_s) = timed(|| -> SetEngine {
+        QueryEngine::build(&OneBitMinHash, params, dataset, near, config)
+    });
+
+    // Warm the cache so the snapshot covers serving state, not just the
+    // freshly built index.
+    let batch: Vec<SparseSet> = (0..256)
+        .map(|i| dataset.points()[i % dataset.len()].clone())
+        .collect();
+    let _ = engine.run_batch(&batch);
+
+    let path = snapshot_path("query-engine", scale);
+    let ((), save_s) = timed(|| engine.save(&path).expect("save engine snapshot"));
+    let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+    let (mut loaded, load_s) = timed(|| SetEngine::load(&path).expect("load engine snapshot"));
+    let _ = std::fs::remove_file(&path);
+
+    for _ in 0..2 {
+        assert_eq!(
+            engine.run_batch(&batch),
+            loaded.run_batch(&batch),
+            "restored engine diverged from the saved engine"
+        );
+    }
+
+    Cycle {
+        scale,
+        structure: "query-engine",
+        dataset_points: dataset.len(),
+        build_s,
+        save_s,
+        load_s,
+        snapshot_bytes,
+    }
+}
+
+fn main() {
+    let args = CommonArgs::from_env();
+    println!("Snapshot cycle — build-once/serve-many frozen indexes");
+    println!(
+        "base scale = {}, seed = {}, threads = {}, shards = {}, format v{}\n",
+        args.scale,
+        args.seed,
+        args.threads,
+        args.shards,
+        fairnn_snapshot::FORMAT_VERSION
+    );
+
+    let mut scales: Vec<f64> = [0.5, 1.0, 2.0]
+        .iter()
+        .map(|m| (args.scale * m).clamp(0.01, 1.0))
+        .collect();
+    scales.dedup();
+
+    let mut cycles: Vec<Cycle> = Vec::new();
+    for &scale in &scales {
+        let workload = SetWorkload::generate(WorkloadKind::LastFm, scale, args.queries, args.seed);
+        println!(
+            "scale {scale}: {} users, verifying roundtrips ...",
+            workload.dataset.len()
+        );
+        cycles.push(cycle_fair_nnis(&workload, scale, args.seed));
+        cycles.push(cycle_engine(&workload, scale, &args));
+    }
+
+    let mut table = TextTable::new(
+        "snapshot cycle (build vs load, roundtrips verified bit-for-bit)",
+        &[
+            "scale",
+            "structure",
+            "points",
+            "build s",
+            "save s",
+            "load s",
+            "bytes",
+            "build/load",
+        ],
+    );
+    for c in &cycles {
+        table.add_row(vec![
+            format!("{}", c.scale),
+            c.structure.to_string(),
+            c.dataset_points.to_string(),
+            fmt_f64(c.build_s, 3),
+            fmt_f64(c.save_s, 3),
+            fmt_f64(c.load_s, 3),
+            c.snapshot_bytes.to_string(),
+            fmt_f64(c.build_over_load(), 1),
+        ]);
+    }
+    println!("{table}");
+
+    if let Some(path) = &args.json {
+        let rows: Vec<String> = cycles
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"scale\": {}, \"structure\": \"{}\", \"dataset_points\": {}, \"build_s\": {:.6}, \"save_s\": {:.6}, \"load_s\": {:.6}, \"snapshot_bytes\": {}, \"build_over_load\": {:.1}}}",
+                    c.scale,
+                    c.structure,
+                    c.dataset_points,
+                    c.build_s,
+                    c.save_s,
+                    c.load_s,
+                    c.snapshot_bytes,
+                    c.build_over_load(),
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"snapshot_cycle\",\n  \"base_scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"shards\": {},\n  \"format_version\": {},\n  \"cycles\": [\n{}\n  ]\n}}\n",
+            args.scale,
+            args.seed,
+            args.threads,
+            args.shards,
+            fairnn_snapshot::FORMAT_VERSION,
+            rows.join(",\n"),
+        );
+        std::fs::write(path, json).expect("write JSON report");
+        println!("wrote machine-readable report to {path}");
+    }
+}

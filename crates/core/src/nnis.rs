@@ -75,6 +75,26 @@ impl FairNnisConfig {
     }
 }
 
+impl fairnn_snapshot::Codec for FairNnisConfig {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.lambda as u64);
+        enc.write_u64(self.sigma as u64);
+        enc.write_u64(self.sketch_threshold as u64);
+        self.exhaustive_fallback.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            lambda: usize::decode(dec)?,
+            sigma: usize::decode(dec)?,
+            sketch_threshold: usize::decode(dec)?,
+            exhaustive_fallback: bool::decode(dec)?,
+        })
+    }
+}
+
 /// One LSH table in the frozen layout: `(rank, id)` entries, rank-sorted
 /// within each bucket, in one contiguous CSR array, plus a parallel array of
 /// pre-computed count-distinct sketches (large buckets only).
@@ -86,6 +106,28 @@ struct RankedTable {
     /// `sketches[i]` is the sketch of `buckets.bucket_at(i)`, present only
     /// for buckets with at least `sketch_threshold` entries.
     sketches: Vec<Option<DistinctSketch>>,
+}
+
+impl fairnn_snapshot::Codec for RankedTable {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.buckets.encode(enc);
+        self.sketches.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let buckets = FrozenTable::<(u32, PointId)>::decode(dec)?;
+        let sketches = Vec::<Option<DistinctSketch>>::decode(dec)?;
+        if sketches.len() != buckets.num_buckets() {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "ranked table stores {} sketch slots for {} buckets",
+                sketches.len(),
+                buckets.num_buckets()
+            )));
+        }
+        Ok(Self { buckets, sketches })
+    }
 }
 
 /// The sub-slice of a rank-sorted bucket whose ranks lie in `[lo, hi)`.
@@ -438,6 +480,144 @@ where
         );
         self.stats = stats;
         self.scratch.candidates.clone()
+    }
+}
+
+impl<P, H, N> fairnn_snapshot::Codec for FairNnis<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.points.encode(enc);
+        H::encode_bank(&self.hashers, enc);
+        self.tables.encode(enc);
+        self.ranks.encode(enc);
+        self.near.encode(enc);
+        self.params.encode(enc);
+        self.config.encode(enc);
+        enc.write_u64(self.sketch_seed);
+        self.sketch_params.encode(enc);
+        self.sketch_values.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let points = Vec::<P>::decode(dec)?;
+        let hashers = H::decode_bank(dec)?;
+        let tables = Vec::<RankedTable>::decode(dec)?;
+        let ranks = RankPermutation::decode(dec)?;
+        let near = N::decode(dec)?;
+        let params = LshParams::decode(dec)?;
+        let config = FairNnisConfig::decode(dec)?;
+        let sketch_seed = dec.read_u64()?;
+        let sketch_params = DistinctSketchParams::decode(dec)?;
+        let sketch_values = DistinctValueTable::decode(dec)?;
+        if tables.len() != hashers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "fair-nnis stores {} ranked tables for {} hashers",
+                tables.len(),
+                hashers.len()
+            )));
+        }
+        if ranks.len() != points.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "rank permutation over {} points does not match {} stored points",
+                ranks.len(),
+                points.len()
+            )));
+        }
+        let merged = DistinctSketch::new(sketch_seed, sketch_params);
+        if sketch_values.num_rows() != merged.num_rows() {
+            return Err(SnapshotError::Corrupt(format!(
+                "distinct value table has {} rows, the sketch parameters derive {}",
+                sketch_values.num_rows(),
+                merged.num_rows()
+            )));
+        }
+        if sketch_values.universe() != points.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "distinct value table covers {} elements for {} points",
+                sketch_values.universe(),
+                points.len()
+            )));
+        }
+        for table in &tables {
+            for (_, bucket) in table.buckets.buckets() {
+                for &(rank, id) in bucket {
+                    if id.index() >= points.len() || rank as usize >= points.len() {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "bucket entry (rank {rank}, {id}) out of range for {} points",
+                            points.len()
+                        )));
+                    }
+                }
+                // Rank-range retrieval binary-searches inside the bucket;
+                // unsorted entries would silently bias sampling rather than
+                // fail, so the sort invariant is part of the format.
+                if !bucket.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(SnapshotError::Corrupt(
+                        "bucket entries are not strictly rank-sorted".into(),
+                    ));
+                }
+            }
+            // Every bucket sketch must merge with the query-time
+            // accumulator; a mismatched seed or parameter set would
+            // otherwise panic inside `merge` on the first query that
+            // touches the bucket, instead of failing the load.
+            for sketch in table.sketches.iter().flatten() {
+                if !merged.mergeable_with(sketch) {
+                    return Err(SnapshotError::Corrupt(
+                        "bucket sketch seed/parameters do not match the sampler's".into(),
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            points,
+            hashers,
+            tables,
+            ranks,
+            near,
+            params,
+            config,
+            sketch_seed,
+            sketch_params,
+            stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
+            merged,
+            sketch_values,
+        })
+    }
+}
+
+impl<P, H, N> FairNnis<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Writes the whole Section 4 structure — points, hasher bank, ranked
+    /// CSR tables with their per-bucket sketches, rank permutation, and the
+    /// precomputed [`DistinctValueTable`] — as a versioned, checksummed
+    /// snapshot.
+    pub fn save<Q: AsRef<std::path::Path>>(
+        &self,
+        path: Q,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::FairNnis, self, path)
+    }
+
+    /// Restores a structure written by [`FairNnis::save`]; the restored
+    /// sampler consumes query randomness identically to the saved one, so
+    /// sample sequences are reproduced bit for bit.
+    pub fn load<Q: AsRef<std::path::Path>>(
+        path: Q,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::FairNnis, path)
     }
 }
 

@@ -284,6 +284,102 @@ where
     }
 }
 
+impl<P, H, N> fairnn_snapshot::Codec for FairNns<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.points.encode(enc);
+        H::encode_bank(&self.hashers, enc);
+        self.buckets.encode(enc);
+        self.ranks.encode(enc);
+        self.near.encode(enc);
+        self.params.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let points = Vec::<P>::decode(dec)?;
+        let hashers = H::decode_bank(dec)?;
+        let buckets = Vec::<FrozenTable<(u32, PointId)>>::decode(dec)?;
+        let ranks = RankPermutation::decode(dec)?;
+        let near = N::decode(dec)?;
+        let params = LshParams::decode(dec)?;
+        if buckets.len() != hashers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "fair-nns stores {} bucket tables for {} hashers",
+                buckets.len(),
+                hashers.len()
+            )));
+        }
+        if ranks.len() != points.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "rank permutation over {} points does not match {} stored points",
+                ranks.len(),
+                points.len()
+            )));
+        }
+        for table in &buckets {
+            for (_, bucket) in table.buckets() {
+                for &(rank, id) in bucket {
+                    if id.index() >= points.len() || rank as usize >= points.len() {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "bucket entry (rank {rank}, {id}) out of range for {} points",
+                            points.len()
+                        )));
+                    }
+                }
+                // The min-rank scan early-exits on the first near point;
+                // unsorted entries would silently bias sampling rather than
+                // fail, so the sort invariant is part of the format.
+                if !bucket.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(SnapshotError::Corrupt(
+                        "bucket entries are not strictly rank-sorted".into(),
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            points,
+            hashers,
+            buckets,
+            ranks,
+            near,
+            params,
+            stats: QueryStats::default(),
+            scratch: QueryScratch::new(),
+        })
+    }
+}
+
+impl<P, H, N> FairNns<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Writes the whole structure — points, hasher bank, rank-sorted frozen
+    /// buckets, rank permutation — as a versioned, checksummed snapshot.
+    pub fn save<Q: AsRef<std::path::Path>>(
+        &self,
+        path: Q,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::FairNns, self, path)
+    }
+
+    /// Restores a structure written by [`FairNns::save`]; the restored
+    /// sampler answers every query exactly like the saved one.
+    pub fn load<Q: AsRef<std::path::Path>>(
+        path: Q,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::FairNns, path)
+    }
+}
+
 impl<P, H, N> NeighborSampler<P> for FairNns<P, H, N>
 where
     H: LshHasher<P>,

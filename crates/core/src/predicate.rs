@@ -47,6 +47,22 @@ impl<P, S: Similarity<P>> Nearness<P> for SimilarityAtLeast<S> {
     }
 }
 
+impl<S: fairnn_snapshot::Codec> fairnn_snapshot::Codec for SimilarityAtLeast<S> {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.measure.encode(enc);
+        enc.write_f64(self.threshold);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            measure: S::decode(dec)?,
+            threshold: dec.read_f64()?,
+        })
+    }
+}
+
 /// Neighbourhood defined by a distance threshold: `D(q, p) ≤ r`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistanceAtMost<D> {
@@ -63,6 +79,22 @@ impl<D> DistanceAtMost<D> {
     /// The underlying distance metric.
     pub fn metric(&self) -> &D {
         &self.metric
+    }
+}
+
+impl<D: fairnn_snapshot::Codec> fairnn_snapshot::Codec for DistanceAtMost<D> {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.metric.encode(enc);
+        enc.write_f64(self.threshold);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            metric: D::decode(dec)?,
+            threshold: dec.read_f64()?,
+        })
     }
 }
 

@@ -112,6 +112,36 @@ impl RankPermutation {
     }
 }
 
+impl fairnn_snapshot::Codec for RankPermutation {
+    /// Persists the `point → rank` direction only; the inverse array is
+    /// derived state and is rebuilt — and the bijection invariant verified —
+    /// on load.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.rank_of.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let rank_of = Vec::<u32>::decode(dec)?;
+        let n = rank_of.len();
+        let mut point_at = vec![u32::MAX; n];
+        for (point, &rank) in rank_of.iter().enumerate() {
+            let slot = point_at.get_mut(rank as usize).ok_or_else(|| {
+                SnapshotError::Corrupt(format!("rank {rank} out of range for {n} points"))
+            })?;
+            if *slot != u32::MAX {
+                return Err(SnapshotError::Corrupt(format!(
+                    "rank {rank} assigned to two points"
+                )));
+            }
+            *slot = point as u32;
+        }
+        Ok(Self { rank_of, point_at })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,48 @@ impl<P, H, N> RankSwapSampler<P, H, N> {
     }
 }
 
+impl<P, H, N> fairnn_snapshot::Codec for RankSwapSampler<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.inner.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            inner: FairNns::decode(dec)?,
+        })
+    }
+}
+
+impl<P, H, N> RankSwapSampler<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Writes the sampler (including the *current* rank permutation — the
+    /// swap state survives the round trip) as a snapshot file.
+    pub fn save<Q: AsRef<std::path::Path>>(
+        &self,
+        path: Q,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::RankSwap, self, path)
+    }
+
+    /// Restores a sampler written by [`RankSwapSampler::save`].
+    pub fn load<Q: AsRef<std::path::Path>>(
+        path: Q,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::RankSwap, path)
+    }
+}
+
 impl<P, H, N> NeighborSampler<P> for RankSwapSampler<P, H, N>
 where
     H: LshHasher<P>,

@@ -91,6 +91,11 @@ impl<P: Hash + Eq + Clone> ResultCache<P> {
         self.capacity > 0
     }
 
+    /// Maximum number of entries the cache holds (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of cached queries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -162,6 +167,74 @@ impl<P: Hash + Eq + Clone> ResultCache<P> {
         self.order.clear();
         self.hits = 0;
         self.misses = 0;
+    }
+}
+
+impl fairnn_snapshot::Codec for CacheEntry {
+    /// Persists the member permutation *as is*: the rank-swap state of the
+    /// entry survives the round trip, so a restored engine continues the
+    /// exact draw sequence the saved one would have produced.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.members.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            members: Vec::<PointId>::decode(dec)?,
+        })
+    }
+}
+
+impl<P: Hash + Eq + Clone + fairnn_snapshot::Codec> fairnn_snapshot::Codec for ResultCache<P> {
+    /// Entries are written in FIFO (eviction) order, which both makes the
+    /// encoding canonical and lets the decoder rebuild the eviction queue
+    /// exactly.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.capacity as u64);
+        enc.write_len(self.order.len());
+        for key in &self.order {
+            key.encode(enc);
+            self.map
+                .get(key)
+                .expect("eviction order tracks the map")
+                .encode(enc);
+        }
+        enc.write_u64(self.hits);
+        enc.write_u64(self.misses);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let capacity = usize::decode(dec)?;
+        let len = dec.read_len()?;
+        if len > capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "result cache stores {len} entries over its capacity {capacity}"
+            )));
+        }
+        let mut map = HashMap::with_capacity(len);
+        let mut order = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            let key = P::decode(dec)?;
+            let entry = CacheEntry::decode(dec)?;
+            if map.insert(key.clone(), entry).is_some() {
+                return Err(SnapshotError::Corrupt(
+                    "result cache stores a key twice".into(),
+                ));
+            }
+            order.push_back(key);
+        }
+        Ok(Self {
+            capacity,
+            map,
+            order,
+            hits: dec.read_u64()?,
+            misses: dec.read_u64()?,
+        })
     }
 }
 

@@ -290,6 +290,112 @@ where
     }
 }
 
+impl fairnn_snapshot::Codec for EngineConfig {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.threads as u64);
+        enc.write_u64(self.cache_capacity as u64);
+        self.index.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let threads = usize::decode(dec)?;
+        let cache_capacity = usize::decode(dec)?;
+        let index = crate::sharded::ShardedIndexConfig::decode(dec)?;
+        // Loading respawns the worker pool from this field, so it must be
+        // range-checked like every other decoded parameter: a corrupt value
+        // would otherwise spawn OS threads until `thread::spawn` panics.
+        // 1024 is far above any sane pool (the pool is compute-bound) and
+        // far below any spawn limit.
+        const MAX_THREADS: usize = 1024;
+        if !(1..=MAX_THREADS).contains(&threads) {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "engine thread count must be in 1..={MAX_THREADS}, found {threads}"
+            )));
+        }
+        Ok(Self {
+            threads,
+            cache_capacity,
+            index,
+        })
+    }
+}
+
+impl<P, H, N> fairnn_snapshot::Codec for QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone + fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Persists the engine's complete serving state: configuration (thread
+    /// count, cache capacity, index topology and root seed), the batch
+    /// counter that seeds per-batch RNG streams, the sharded index, and the
+    /// rank-swap result cache with its entries' current permutations — so a
+    /// restored engine's next `run_batch` is bit-for-bit the batch the saved
+    /// engine would have answered. The worker pool is transient and is
+    /// respawned from the configuration on load.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.config.encode(enc);
+        enc.write_u64(self.batches);
+        self.index.read().expect("index lock poisoned").encode(enc);
+        self.cache.lock().expect("cache lock poisoned").encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let config = EngineConfig::decode(dec)?;
+        let batches = dec.read_u64()?;
+        let index = ShardedIndex::<P, H, N>::decode(dec)?;
+        let cache = ResultCache::<P>::decode(dec)?;
+        if cache.capacity() != config.cache_capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "cache snapshot has capacity {}, engine config says {}",
+                cache.capacity(),
+                config.cache_capacity
+            )));
+        }
+        let pool = (config.threads > 1).then(|| ThreadPool::new(config.threads));
+        Ok(Self {
+            index: Arc::new(RwLock::new(index)),
+            cache: Arc::new(Mutex::new(cache)),
+            pool,
+            config,
+            batches,
+            last_stats: QueryStats::default(),
+        })
+    }
+}
+
+impl<P, H, N> QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone + fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Writes the engine as a versioned, checksummed snapshot file — the
+    /// build-once/serve-many handoff: one process builds and saves, any
+    /// number of serving processes `load` and start answering batches with
+    /// zero rebuild work.
+    pub fn save<Q: AsRef<std::path::Path>>(
+        &self,
+        path: Q,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::QueryEngine, self, path)
+    }
+
+    /// Restores an engine written by [`QueryEngine::save`]; batches answered
+    /// by the restored engine are bit-for-bit identical to what the saved
+    /// engine would have produced.
+    pub fn load<Q: AsRef<std::path::Path>>(
+        path: Q,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::QueryEngine, path)
+    }
+}
+
 /// Answers one group: cache hit → rank-swap draws; miss → pipeline for the
 /// first position, rank-swap over the freshly collected neighborhood for the
 /// rest. Returns the per-position answers plus the cache commit (applied by
@@ -724,5 +830,30 @@ mod tests {
     fn empty_batch_is_fine() {
         let (_, mut engine) = build(EngineConfig::default());
         assert!(engine.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn snapshot_mid_serving_continues_bit_for_bit() {
+        use fairnn_snapshot::{from_bytes, to_bytes, SnapshotKind};
+        let (data, mut engine) = build(EngineConfig::default().with_seed(31).with_shards(3));
+        let batch = mixed_batch(&data);
+        // Warm the engine: batch counter advances, the cache fills, entries
+        // get swapped by fast-path draws.
+        let _ = engine.run_batch(&batch);
+        let _ = engine.run_batch(&batch);
+
+        let bytes = to_bytes(SnapshotKind::QueryEngine, &engine);
+        let mut restored: Engine = from_bytes(SnapshotKind::QueryEngine, &bytes).expect("load");
+        assert_eq!(restored.cache_stats(), engine.cache_stats());
+
+        // The restored engine must answer the *next* batches exactly like
+        // the saved one — batch seeds, cache hits and swap states included.
+        for _ in 0..2 {
+            assert_eq!(restored.run_batch(&batch), engine.run_batch(&batch));
+        }
+
+        // And updates keep working on the restored instance.
+        let id = restored.insert(data.point(PointId(0)).clone());
+        assert!(restored.delete(id));
     }
 }

@@ -62,6 +62,32 @@ impl Default for ShardConfig {
     }
 }
 
+impl fairnn_snapshot::Codec for ShardConfig {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.sketch_k as u64);
+        enc.write_u64(self.sketch_threshold as u64);
+        enc.write_f64(self.rebuild_fraction);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let sketch_k = usize::decode(dec)?;
+        let sketch_threshold = usize::decode(dec)?;
+        let rebuild_fraction = dec.read_f64()?;
+        if sketch_k < 2 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "shard sketch_k must be at least 2, found {sketch_k}"
+            )));
+        }
+        Ok(Self {
+            sketch_k,
+            sketch_threshold,
+            rebuild_fraction,
+        })
+    }
+}
+
 /// A shard of the sharded index. Local point ids are dense `0..points.len()`
 /// (with tombstoned holes between compactions); every public method speaks
 /// global [`PointId`]s.
@@ -387,6 +413,151 @@ where
         self.tombstones = 0;
         self.index.rebuild(&self.points);
         self.rebuild_sketches();
+    }
+}
+
+impl<P, H, N> fairnn_snapshot::Codec for Shard<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Persists the shard's LSH index, its points with their global ids and
+    /// tombstone flags, and — because a KMV sketch cannot be rebuilt after
+    /// deletes (it may legitimately remember tombstoned ids) — every
+    /// per-bucket sketch verbatim, in sorted key order so the encoding is
+    /// canonical. The `global → local` map and the live/tombstone counters
+    /// are derived state, rebuilt on load.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.index.encode(enc);
+        self.points.encode(enc);
+        self.global_ids.encode(enc);
+        self.alive.encode(enc);
+        self.near.encode(enc);
+        enc.write_len(self.sketches.len());
+        for table in &self.sketches {
+            let mut entries: Vec<(&u64, &BottomKSketch)> = table.iter().collect();
+            entries.sort_unstable_by_key(|(key, _)| **key);
+            enc.write_len(entries.len());
+            for (key, sketch) in entries {
+                enc.write_u64(*key);
+                sketch.encode(enc);
+            }
+        }
+        enc.write_u64(self.sketch_seed);
+        self.config.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let index = LshIndex::<H>::decode(dec)?;
+        let points = Vec::<P>::decode(dec)?;
+        let global_ids = Vec::<PointId>::decode(dec)?;
+        let alive = Vec::<bool>::decode(dec)?;
+        let near = N::decode(dec)?;
+        if points.len() != global_ids.len() || points.len() != alive.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "shard arrays disagree: {} points, {} global ids, {} alive flags",
+                points.len(),
+                global_ids.len(),
+                alive.len()
+            )));
+        }
+        if index.num_points() != points.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "shard index covers {} local ids for {} stored points",
+                index.num_points(),
+                points.len()
+            )));
+        }
+        let num_sketch_tables = dec.read_len()?;
+        if num_sketch_tables != index.num_tables() {
+            return Err(SnapshotError::Corrupt(format!(
+                "shard stores sketch maps for {num_sketch_tables} tables, index has {}",
+                index.num_tables()
+            )));
+        }
+        let mut sketches = Vec::with_capacity(num_sketch_tables);
+        for _ in 0..num_sketch_tables {
+            let len = dec.read_len()?;
+            let mut table = HashMap::with_capacity(len);
+            let mut previous: Option<u64> = None;
+            for _ in 0..len {
+                let key = dec.read_u64()?;
+                if previous.is_some_and(|p| p >= key) {
+                    return Err(SnapshotError::Corrupt(
+                        "shard sketch keys are not strictly increasing".into(),
+                    ));
+                }
+                previous = Some(key);
+                table.insert(key, BottomKSketch::decode(dec)?);
+            }
+            sketches.push(table);
+        }
+        let sketch_seed = dec.read_u64()?;
+        let config = ShardConfig::decode(dec)?;
+        // Every bucket sketch must merge with the accumulator built from
+        // this shard's seed and `k`; a mismatch would otherwise panic
+        // inside `merge` at query time instead of failing the load.
+        let reference = BottomKSketch::new(sketch_seed, config.sketch_k);
+        for sketch in sketches.iter().flat_map(HashMap::values) {
+            if !reference.mergeable_with(sketch) {
+                return Err(SnapshotError::Corrupt(
+                    "bucket sketch seed/k do not match the shard's".into(),
+                ));
+            }
+        }
+        let mut local_of = HashMap::with_capacity(points.len());
+        let mut live = 0usize;
+        for (i, (&global, &is_alive)) in global_ids.iter().zip(alive.iter()).enumerate() {
+            if is_alive {
+                if local_of.insert(global, i as u32).is_some() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "global id {global} owned by two live local slots"
+                    )));
+                }
+                live += 1;
+            }
+        }
+        let tombstones = points.len() - live;
+        Ok(Self {
+            index,
+            points,
+            global_ids,
+            alive,
+            local_of,
+            live,
+            tombstones,
+            near,
+            sketches,
+            sketch_seed,
+            config,
+        })
+    }
+}
+
+impl<P, H, N> Shard<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Writes this shard alone as a snapshot file (the sharded index and
+    /// engine snapshots embed the same encoding per shard).
+    pub fn save<Q: AsRef<std::path::Path>>(
+        &self,
+        path: Q,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::Shard, self, path)
+    }
+
+    /// Restores a shard written by [`Shard::save`].
+    pub fn load<Q: AsRef<std::path::Path>>(
+        path: Q,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::Shard, path)
     }
 }
 

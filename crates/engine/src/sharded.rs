@@ -90,6 +90,43 @@ impl ShardedIndexConfig {
     }
 }
 
+impl fairnn_snapshot::Codec for ShardedIndexConfig {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.shards as u64);
+        enc.write_u64(self.seed);
+        enc.write_f64(self.kappa);
+        enc.write_u64(self.max_rounds as u64);
+        self.shard.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let shards = usize::decode(dec)?;
+        let seed = dec.read_u64()?;
+        let kappa = dec.read_f64()?;
+        let max_rounds = usize::decode(dec)?;
+        let shard = ShardConfig::decode(dec)?;
+        if shards < 1 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(
+                "sharded index needs at least one shard".into(),
+            ));
+        }
+        if !kappa.is_finite() || kappa < 1.0 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "rejection margin kappa must be at least 1, found {kappa}"
+            )));
+        }
+        Ok(Self {
+            shards,
+            seed,
+            kappa,
+            max_rounds,
+            shard,
+        })
+    }
+}
+
 /// Sentinel in the id→shard routing table for deleted / never-assigned ids.
 const UNASSIGNED: u32 = u32::MAX;
 
@@ -308,6 +345,79 @@ where
         let mut prepared = self.prepare(query);
         let id = prepared.sample(rng);
         (id, prepared.stats())
+    }
+}
+
+impl<P, H, N> fairnn_snapshot::Codec for ShardedIndex<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Persists the full topology: every shard (each with its own hasher
+    /// bank, frozen tables and sketches), the global id → shard partition
+    /// map, the shared LSH parameters, and the configuration (shard count,
+    /// root seed, rejection margin).
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.shards.encode(enc);
+        self.shard_of.encode(enc);
+        self.params.encode(enc);
+        self.config.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let shards = Vec::<Shard<P, H, N>>::decode(dec)?;
+        let shard_of = Vec::<u32>::decode(dec)?;
+        let params = LshParams::decode(dec)?;
+        let config = ShardedIndexConfig::decode(dec)?;
+        if shards.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "sharded index needs at least one shard".into(),
+            ));
+        }
+        if let Some(&bad) = shard_of
+            .iter()
+            .find(|&&s| s != UNASSIGNED && s as usize >= shards.len())
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "routing table points at shard {bad} of {}",
+                shards.len()
+            )));
+        }
+        Ok(Self {
+            shards,
+            shard_of,
+            params,
+            config,
+        })
+    }
+}
+
+impl<P, H, N> ShardedIndex<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    /// Writes the sharded index as a versioned, checksummed snapshot file.
+    pub fn save<Q: AsRef<std::path::Path>>(
+        &self,
+        path: Q,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::ShardedIndex, self, path)
+    }
+
+    /// Restores an index written by [`ShardedIndex::save`]. Sampling from
+    /// the restored index with the same RNG stream reproduces the saved
+    /// index's draws bit for bit, and incremental insert/delete behave
+    /// exactly as on the saved instance.
+    pub fn load<Q: AsRef<std::path::Path>>(
+        path: Q,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::ShardedIndex, path)
     }
 }
 

@@ -158,6 +158,90 @@ impl<P, H: LshHasher<P>> LshHasher<P> for ConcatenatedHasher<H> {
     }
 }
 
+/// Bank layout tags of the [`crate::snapshot::HasherBankCodec`] encoding.
+const BANK_SHARED: u8 = 1;
+const BANK_INDEPENDENT: u8 = 0;
+
+impl<H: fairnn_snapshot::Codec> crate::snapshot::HasherBankCodec for ConcatenatedHasher<H> {
+    /// Writes the table hashers either as one flat shared bank (the layout
+    /// [`ConcatenatedHasher::bank`] produces — each row written exactly
+    /// once) or, for independently built hashers, as one row vector per
+    /// table.
+    fn encode_bank(tables: &[Self], enc: &mut fairnn_snapshot::Encoder) {
+        let uniform_arity = tables
+            .first()
+            .is_some_and(|first| tables.iter().all(|t| t.arity == first.arity));
+        match Self::flat_bank(tables) {
+            Some(flat) if uniform_arity => {
+                enc.write_u8(BANK_SHARED);
+                enc.write_len(tables.len());
+                enc.write_u64(tables[0].arity as u64);
+                for row in flat {
+                    row.encode(enc);
+                }
+            }
+            _ => {
+                enc.write_u8(BANK_INDEPENDENT);
+                enc.write_len(tables.len());
+                for table in tables {
+                    enc.write_u64(table.arity as u64);
+                    for row in table.rows() {
+                        row.encode(enc);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode_bank(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Vec<Self>, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::{Codec, SnapshotError};
+        let layout = dec.read_u8()?;
+        let num_tables = dec.read_len()?;
+        match layout {
+            BANK_SHARED => {
+                let arity = usize::decode(dec)?;
+                if arity < 1 {
+                    return Err(SnapshotError::Corrupt(
+                        "hasher bank arity must be at least 1".into(),
+                    ));
+                }
+                let total = num_tables.checked_mul(arity).ok_or_else(|| {
+                    SnapshotError::Corrupt(format!(
+                        "hasher bank of {num_tables} tables x {arity} rows overflows"
+                    ))
+                })?;
+                let mut rows = Vec::with_capacity(total.min(dec.remaining()));
+                for _ in 0..total {
+                    rows.push(H::decode(dec)?);
+                }
+                Ok(Self::bank(rows, arity))
+            }
+            BANK_INDEPENDENT => {
+                let mut tables = Vec::with_capacity(num_tables.min(dec.remaining()));
+                for _ in 0..num_tables {
+                    let arity = usize::decode(dec)?;
+                    if arity < 1 {
+                        return Err(SnapshotError::Corrupt(
+                            "concatenated hasher arity must be at least 1".into(),
+                        ));
+                    }
+                    let mut rows = Vec::with_capacity(arity.min(dec.remaining()));
+                    for _ in 0..arity {
+                        rows.push(H::decode(dec)?);
+                    }
+                    tables.push(Self::new(rows));
+                }
+                Ok(tables)
+            }
+            other => Err(SnapshotError::Corrupt(format!(
+                "unknown hasher bank layout tag {other}"
+            ))),
+        }
+    }
+}
+
 /// A family whose samples are concatenations of `K` draws from a base
 /// family.
 #[derive(Debug, Clone)]

@@ -199,6 +199,64 @@ impl<E> FrozenTable<E> {
     }
 }
 
+impl<E: fairnn_snapshot::Codec> fairnn_snapshot::Codec for FrozenTable<E> {
+    /// Persists the CSR triplet `(keys, offsets, entries)`; the
+    /// open-addressing key index is derived state and is rebuilt on load
+    /// (deterministically, from the keys alone).
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.keys.encode(enc);
+        self.offsets.encode(enc);
+        self.entries.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let keys = Vec::<u64>::decode(dec)?;
+        let offsets = Vec::<u32>::decode(dec)?;
+        let entries = Vec::<E>::decode(dec)?;
+        if offsets.len() != keys.len() + 1 {
+            return Err(SnapshotError::Corrupt(format!(
+                "frozen table has {} keys but {} offsets (expected one more than keys)",
+                keys.len(),
+                offsets.len()
+            )));
+        }
+        if offsets.first() != Some(&0) {
+            return Err(SnapshotError::Corrupt(
+                "frozen table offsets must start at 0".into(),
+            ));
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(SnapshotError::Corrupt(
+                "frozen table offsets are not non-decreasing".into(),
+            ));
+        }
+        if *offsets.last().expect("offsets non-empty") as usize != entries.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "frozen table final offset {} does not match {} entries",
+                offsets.last().expect("offsets non-empty"),
+                entries.len()
+            )));
+        }
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Corrupt(
+                "frozen table keys are not strictly increasing".into(),
+            ));
+        }
+        let mut table = Self {
+            keys,
+            offsets,
+            entries,
+            slots: Vec::new(),
+            slot_shift: 0,
+        };
+        table.rebuild_slots();
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

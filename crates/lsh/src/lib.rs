@@ -43,6 +43,7 @@ pub mod params;
 pub mod pstable;
 pub mod scratch;
 pub mod simhash;
+pub mod snapshot;
 pub mod table;
 
 pub use concat::{ConcatenatedFamily, ConcatenatedHasher};
@@ -53,4 +54,5 @@ pub use params::{LshParams, ParamsBuilder};
 pub use pstable::{PStableHasher, PStableLsh};
 pub use scratch::{DistanceMemo, QueryScratch, VisitedSet};
 pub use simhash::{SimHash, SimHasher};
+pub use snapshot::HasherBankCodec;
 pub use table::{LshIndex, LshTable};

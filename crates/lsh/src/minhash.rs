@@ -106,6 +106,24 @@ fn min_values_blocked<T>(
     }
 }
 
+impl fairnn_snapshot::Codec for MinHasher {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.perm.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let perm = MultiplyShift::decode(dec)?;
+        if perm.out_bits() != 64 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(
+                "MinHash permutations are full-width multiply-shift".into(),
+            ));
+        }
+        Ok(Self { perm })
+    }
+}
+
 impl LshHasher<SparseSet> for MinHasher {
     fn hash(&self, point: &SparseSet) -> u64 {
         self.min_value(point)
@@ -152,6 +170,20 @@ impl OneBitMinHasher {
         Self {
             inner: MinHasher::from_seed(seed),
         }
+    }
+}
+
+impl fairnn_snapshot::Codec for OneBitMinHasher {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.inner.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            inner: MinHasher::decode(dec)?,
+        })
     }
 }
 

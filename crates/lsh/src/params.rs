@@ -60,6 +60,30 @@ impl LshParams {
     }
 }
 
+impl fairnn_snapshot::Codec for LshParams {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.k as u64);
+        enc.write_u64(self.l as u64);
+        enc.write_f64(self.near);
+        enc.write_f64(self.far);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let k = usize::decode(dec)?;
+        let l = usize::decode(dec)?;
+        let near = dec.read_f64()?;
+        let far = dec.read_f64()?;
+        if k < 1 || l < 1 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "LSH parameters need K >= 1 and L >= 1, found K = {k}, L = {l}"
+            )));
+        }
+        Ok(Self { k, l, near, far })
+    }
+}
+
 /// Builder computing [`LshParams`] from a collision model and workload
 /// description.
 #[derive(Debug, Clone, Copy)]

@@ -71,6 +71,32 @@ impl PStableHasher {
     }
 }
 
+impl fairnn_snapshot::Codec for PStableHasher {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.direction.encode(enc);
+        enc.write_f64(self.offset);
+        enc.write_f64(self.width);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let direction = DenseVector::decode(dec)?;
+        let offset = dec.read_f64()?;
+        let width = dec.read_f64()?;
+        if !width.is_finite() || width <= 0.0 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "p-stable bucket width must be positive, found {width}"
+            )));
+        }
+        Ok(Self {
+            direction,
+            offset,
+            width,
+        })
+    }
+}
+
 impl LshHasher<DenseVector> for PStableHasher {
     fn hash(&self, point: &DenseVector) -> u64 {
         let bucket = (self.projection(point) / self.width).floor() as i64;
@@ -79,7 +105,7 @@ impl LshHasher<DenseVector> for PStableHasher {
     }
 
     /// Blocked matrix–vector evaluation via
-    /// [`crate::gaussian::blocked_projection_hash`]: eight projections
+    /// `crate::gaussian::blocked_projection_hash`: eight projections
     /// advance per coordinate load. The offset is added after the full dot
     /// product and the quantisation matches [`PStableHasher::hash`]
     /// operation for operation, so the bucket keys are bit-identical to the

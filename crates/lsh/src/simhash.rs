@@ -45,13 +45,27 @@ impl SimHasher {
     }
 }
 
+impl fairnn_snapshot::Codec for SimHasher {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.normal.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            normal: DenseVector::decode(dec)?,
+        })
+    }
+}
+
 impl LshHasher<DenseVector> for SimHasher {
     fn hash(&self, point: &DenseVector) -> u64 {
         u64::from(self.normal.dot(point) >= 0.0)
     }
 
     /// Blocked matrix–vector evaluation via
-    /// [`crate::gaussian::blocked_projection_hash`]: eight dot products
+    /// `crate::gaussian::blocked_projection_hash`: eight dot products
     /// advance per coordinate load, and the signs — and therefore the
     /// hashes — are bit-identical to the per-row path.
     fn hash_all(rows: &[Self], point: &DenseVector, out: &mut [u64]) {

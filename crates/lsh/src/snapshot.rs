@@ -1,0 +1,30 @@
+//! Snapshot support for the LSH substrate.
+//!
+//! Most types here implement [`fairnn_snapshot::Codec`] next to their
+//! definition (they have private fields); this module holds the one
+//! abstraction the index codec needs on top: [`HasherBankCodec`],
+//! slice-level hasher serialization.
+//!
+//! An [`crate::LshIndex`] does not store `L` independent hashers — it stores
+//! `L` views into one shared, table-major row bank
+//! ([`crate::ConcatenatedHasher::bank`]), which is what makes the batched
+//! single-pass query evaluation possible. Serializing the hashers one by one
+//! would write every row once but *load* them into `L` separate allocations,
+//! silently losing the single-pass layout. [`HasherBankCodec`] serializes
+//! the whole slice at once: when the hashers share a bank the rows are
+//! written flat and the bank is reconstituted on load, so a loaded index has
+//! the exact memory layout — and therefore the exact performance — of a
+//! freshly built one.
+
+use fairnn_snapshot::{Decoder, Encoder, SnapshotError};
+
+/// Slice-level hasher serialization (see the module docs for why this is
+/// not simply `Codec` on the hasher type).
+pub trait HasherBankCodec: Sized {
+    /// Encodes a slice of per-table hashers, preserving bank sharing.
+    fn encode_bank(hashers: &[Self], enc: &mut Encoder);
+
+    /// Decodes a slice written by [`HasherBankCodec::encode_bank`],
+    /// reconstructing the shared bank layout when one was written.
+    fn decode_bank(dec: &mut Decoder<'_>) -> Result<Vec<Self>, SnapshotError>;
+}

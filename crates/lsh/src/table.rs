@@ -148,6 +148,57 @@ impl LshTable {
     }
 }
 
+impl fairnn_snapshot::Codec for LshTable {
+    /// The wire form is always the frozen CSR image, regardless of the
+    /// in-memory representation: a staging table is frozen on the fly (the
+    /// canonical key-sorted layout, per-bucket order preserved), so
+    /// `save → load → save` is byte-identical and a loaded table starts in
+    /// exactly the state an explicit [`LshTable::freeze`] would produce —
+    /// including that later incremental mutations thaw it transparently.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        match &self.frozen {
+            Some(frozen) => frozen.encode(enc),
+            None => {
+                // Write the canonical CSR image straight from the staging
+                // map — byte-identical to freezing first (the unit tests
+                // pin this), without cloning every bucket or building the
+                // frozen form's hash index only to discard it.
+                let mut buckets: Vec<(u64, &Vec<PointId>)> =
+                    self.staging.iter().map(|(k, v)| (*k, v)).collect();
+                buckets.sort_unstable_by_key(|(key, _)| *key);
+                enc.write_len(buckets.len());
+                for (key, _) in &buckets {
+                    enc.write_u64(*key);
+                }
+                enc.write_len(buckets.len() + 1);
+                let mut offset = 0u32;
+                enc.write_u32(offset);
+                for (_, bucket) in &buckets {
+                    offset = offset
+                        .checked_add(u32::try_from(bucket.len()).expect("bucket exceeds u32"))
+                        .expect("table exceeds u32 entries");
+                    enc.write_u32(offset);
+                }
+                enc.write_len(offset as usize);
+                for (_, bucket) in &buckets {
+                    for id in *bucket {
+                        id.encode(enc);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            staging: HashMap::new(),
+            frozen: Some(FrozenTable::decode(dec)?),
+        })
+    }
+}
+
 /// The `L`-table LSH index.
 ///
 /// Generic over the hasher type `H`; the usual instantiation is
@@ -412,6 +463,75 @@ impl<H> LshIndex<H> {
     }
 }
 
+impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H> {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        H::encode_bank(&self.hashers, enc);
+        self.tables.encode(enc);
+        enc.write_u64(self.num_points as u64);
+        self.params.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let hashers = H::decode_bank(dec)?;
+        if hashers.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "an LSH index needs at least one hasher".into(),
+            ));
+        }
+        let tables = Vec::<LshTable>::decode(dec)?;
+        if tables.len() != hashers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "index stores {} tables for {} hashers",
+                tables.len(),
+                hashers.len()
+            )));
+        }
+        let num_points = usize::decode(dec)?;
+        let params = LshParams::decode(dec)?;
+        for table in &tables {
+            for (_, bucket) in table.buckets() {
+                if let Some(&id) = bucket.iter().find(|id| id.index() >= num_points) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "bucket entry {id} out of range for {num_points} points"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            hashers,
+            tables,
+            num_points,
+            params,
+        })
+    }
+}
+
+impl<H: crate::snapshot::HasherBankCodec> LshIndex<H> {
+    /// Writes the index as a versioned, checksummed snapshot file. Tables
+    /// are stored in their frozen CSR form (staging tables are frozen into
+    /// the canonical image on the way out); the shared hasher bank is
+    /// written flat, row by row, exactly once.
+    pub fn save<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<(), fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::save(fairnn_snapshot::SnapshotKind::LshIndex, self, path)
+    }
+
+    /// Restores an index written by [`LshIndex::save`]. The loaded index is
+    /// fully frozen and behaves exactly like the saved one: queries produce
+    /// identical keys and buckets, and incremental mutations thaw the
+    /// affected tables exactly as they would after [`LshIndex::freeze`].
+    pub fn load<P: AsRef<std::path::Path>>(
+        path: P,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        fairnn_snapshot::load(fairnn_snapshot::SnapshotKind::LshIndex, path)
+    }
+}
+
 impl<BH> LshIndex<ConcatenatedHasher<BH>> {
     /// Builds the standard `K × L` index: `L` tables, each keyed by a
     /// concatenation of `K` draws from `family`.
@@ -621,6 +741,62 @@ mod tests {
         assert_eq!(index.total_entries(), (sets.len() - 1) * index.num_tables());
         for (i, s) in sets[1..].iter().enumerate() {
             assert!(index.colliding_ids(s).contains(&PointId::from_index(i)));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries_and_layout() {
+        use fairnn_snapshot::{from_bytes, to_bytes, SnapshotKind};
+        let sets = toy_sets();
+        let index = build_index(&sets);
+        let bytes = to_bytes(SnapshotKind::LshIndex, &index);
+        let loaded: LshIndex<ConcatenatedHasher<crate::minhash::OneBitMinHasher>> =
+            from_bytes(SnapshotKind::LshIndex, &bytes).expect("load");
+        assert!(loaded.is_frozen(), "loaded tables start frozen");
+        assert_eq!(loaded.num_points(), index.num_points());
+        assert_eq!(loaded.num_tables(), index.num_tables());
+        for s in &sets {
+            assert_eq!(loaded.query_keys(s), index.query_keys(s));
+            assert_eq!(loaded.colliding_ids(s), index.colliding_ids(s));
+        }
+        // Canonical: encoding the loaded index reproduces the bytes.
+        assert_eq!(to_bytes(SnapshotKind::LshIndex, &loaded), bytes);
+    }
+
+    #[test]
+    fn snapshot_of_staging_tables_equals_snapshot_after_freeze() {
+        use fairnn_snapshot::{to_bytes, SnapshotKind};
+        let sets = toy_sets();
+        let mut index = build_index(&sets);
+        // Thaw a table via an insert/remove pair: contents are unchanged but
+        // the representation is now the staging HashMap.
+        let extra = SparseSet::from_items(vec![1, 2, 3]);
+        let id = index.insert_point(&extra);
+        index.remove_point(&extra, id);
+        assert!(!index.is_frozen());
+        let staged = index.clone();
+        index.freeze();
+        // num_points differs (the insert bumped it in both copies), so the
+        // two snapshots are taken from identical logical states.
+        assert_eq!(
+            to_bytes(SnapshotKind::LshIndex, &staged),
+            to_bytes(SnapshotKind::LshIndex, &index),
+            "staging and frozen forms must snapshot identically"
+        );
+    }
+
+    #[test]
+    fn mutating_a_loaded_index_matches_mutating_the_original() {
+        use fairnn_snapshot::{from_bytes, to_bytes, SnapshotKind};
+        let sets = toy_sets();
+        let mut index = build_index(&sets);
+        let bytes = to_bytes(SnapshotKind::LshIndex, &index);
+        let mut loaded: LshIndex<ConcatenatedHasher<crate::minhash::OneBitMinHasher>> =
+            from_bytes(SnapshotKind::LshIndex, &bytes).expect("load");
+        let extra = SparseSet::from_items((3000..3020).collect());
+        assert_eq!(loaded.insert_point(&extra), index.insert_point(&extra));
+        for s in sets.iter().chain(std::iter::once(&extra)) {
+            assert_eq!(loaded.colliding_ids(s), index.colliding_ids(s));
         }
     }
 

@@ -74,6 +74,46 @@ impl BottomKSketch {
     }
 }
 
+impl fairnn_snapshot::Codec for BottomKSketch {
+    /// Persists `(seed, k, smallest)`; the hash function is re-derived from
+    /// the seed on load, so a restored sketch is indistinguishable from one
+    /// that observed the same stream — including mergeability with its
+    /// siblings.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.seed);
+        enc.write_u64(self.k as u64);
+        self.smallest.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let seed = dec.read_u64()?;
+        let k = usize::decode(dec)?;
+        if k < 2 {
+            return Err(SnapshotError::Corrupt(format!(
+                "bottom-k sketch needs k >= 2, found {k}"
+            )));
+        }
+        let smallest = Vec::<u64>::decode(dec)?;
+        if smallest.len() > k {
+            return Err(SnapshotError::Corrupt(format!(
+                "bottom-k sketch stores {} values but k = {k}",
+                smallest.len()
+            )));
+        }
+        if !smallest.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Corrupt(
+                "bottom-k values are not strictly increasing".into(),
+            ));
+        }
+        let mut sketch = Self::new(seed, k);
+        sketch.smallest = smallest;
+        Ok(sketch)
+    }
+}
+
 impl CardinalityEstimator for BottomKSketch {
     fn insert(&mut self, element: u64) {
         // Map to [1, u64::MAX] to avoid a zero k-th value.

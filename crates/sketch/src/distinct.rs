@@ -309,11 +309,116 @@ impl DistinctValueTable {
         self.rows
     }
 
+    /// Number of elements the table covers (the dense id universe `0..n`).
+    pub fn universe(&self) -> usize {
+        self.values.len().checked_div(self.rows).unwrap_or(0)
+    }
+
     /// The precomputed row values of `element`, suitable for
     /// [`DistinctSketch::insert_precomputed`].
     #[inline]
     pub fn values_of(&self, element: usize) -> &[u64] {
         &self.values[element * self.rows..(element + 1) * self.rows]
+    }
+}
+
+impl fairnn_snapshot::Codec for DistinctSketchParams {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_f64(self.epsilon);
+        enc.write_f64(self.delta);
+        enc.write_u64(self.universe);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let epsilon = dec.read_f64()?;
+        let delta = dec.read_f64()?;
+        let universe = dec.read_u64()?;
+        if !(epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0) {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "distinct-sketch parameters out of range: epsilon = {epsilon}, delta = {delta}"
+            )));
+        }
+        Ok(Self {
+            epsilon,
+            delta,
+            universe,
+        })
+    }
+}
+
+impl fairnn_snapshot::Codec for DistinctSketch {
+    /// Persists `(seed, params)` plus each row's bottom values; the per-row
+    /// hash functions — and the derived row width and hash range — are
+    /// re-derived from the seed on load, exactly as at construction time.
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.seed);
+        self.params.encode(enc);
+        enc.write_len(self.rows.len());
+        for row in &self.rows {
+            row.smallest.encode(enc);
+        }
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let seed = dec.read_u64()?;
+        let params = DistinctSketchParams::decode(dec)?;
+        let num_rows = dec.read_len()?;
+        let mut sketch = Self::new(seed, params);
+        if num_rows != sketch.rows.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "distinct sketch stores {num_rows} rows but its parameters derive {}",
+                sketch.rows.len()
+            )));
+        }
+        for row in &mut sketch.rows {
+            let smallest = Vec::<u64>::decode(dec)?;
+            if smallest.len() > sketch.row_width {
+                return Err(SnapshotError::Corrupt(format!(
+                    "sketch row stores {} values but t = {}",
+                    smallest.len(),
+                    sketch.row_width
+                )));
+            }
+            if !smallest.windows(2).all(|w| w[0] < w[1]) {
+                return Err(SnapshotError::Corrupt(
+                    "sketch row values are not strictly increasing".into(),
+                ));
+            }
+            row.smallest = smallest;
+        }
+        Ok(sketch)
+    }
+}
+
+impl fairnn_snapshot::Codec for DistinctValueTable {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.rows as u64);
+        self.values.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let rows = usize::decode(dec)?;
+        let values = Vec::<u64>::decode(dec)?;
+        if rows == 0 && !values.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "distinct value table has values but zero rows".into(),
+            ));
+        }
+        if rows > 0 && values.len() % rows != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "distinct value table length {} is not a multiple of its {rows} rows",
+                values.len()
+            )));
+        }
+        Ok(Self { rows, values })
     }
 }
 

@@ -159,6 +159,33 @@ impl PolynomialHash {
     }
 }
 
+impl fairnn_snapshot::Codec for MultiplyShift {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        enc.write_u64(self.a);
+        enc.write_u64(self.b);
+        enc.write_u32(self.out_bits);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let a = dec.read_u64()?;
+        let b = dec.read_u64()?;
+        let out_bits = dec.read_u32()?;
+        if !(1..=64).contains(&out_bits) {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                "multiply-shift out_bits must be in 1..=64, found {out_bits}"
+            )));
+        }
+        if a & 1 == 0 {
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(
+                "multiply-shift multiplier must be odd".into(),
+            ));
+        }
+        Ok(Self { a, b, out_bits })
+    }
+}
+
 /// Reduces a 128-bit value modulo the Mersenne prime `2^61 - 1`.
 #[inline]
 fn mod_mersenne(x: u128) -> u64 {

@@ -1,0 +1,384 @@
+//! The byte-level encoder/decoder pair and the [`Codec`] trait.
+//!
+//! Everything on disk is little-endian, independent of the host: writers use
+//! `to_le_bytes`, readers use `from_le_bytes`, so a snapshot produced on any
+//! toolchain loads on any other. The decoder owns a cursor over a borrowed
+//! byte slice and bounds-checks every read, returning
+//! [`SnapshotError::Truncated`] instead of panicking; length prefixes are
+//! sanity-checked against the remaining input so corrupt lengths cannot
+//! trigger absurd allocations.
+
+use crate::error::SnapshotError;
+
+/// Append-only byte sink for encoding (always little-endian).
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder and returns the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern, little-endian (NaN
+    /// payloads survive the round trip bit for bit).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a length prefix (`usize` as `u64`).
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked cursor over an encoded payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes, or reports truncation.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, SnapshotError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, SnapshotError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a length prefix, rejecting values that do not fit `usize` or
+    /// that exceed the remaining input (every encoded element occupies at
+    /// least one byte, so a greater length is provably corrupt and must not
+    /// reach the allocator).
+    pub fn read_len(&mut self) -> Result<usize, SnapshotError> {
+        let raw = self.read_u64()?;
+        let len = usize::try_from(raw)
+            .map_err(|_| SnapshotError::Corrupt(format!("length {raw} does not fit usize")))?;
+        if len > self.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "length prefix {len} exceeds the {} remaining payload byte(s)",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Asserts that the payload was fully consumed.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A type that can write itself into an [`Encoder`] and read itself back
+/// from a [`Decoder`].
+///
+/// The contract the snapshot tests enforce: `decode(encode(x)) == x`
+/// observationally, and `encode(decode(bytes)) == bytes` for every payload
+/// `encode` can produce (the encoding is canonical — unordered containers
+/// are written in sorted order).
+///
+/// One restriction: a type whose encoding is zero bytes (the stateless unit
+/// measures) must not be stored inside a length-prefixed container such as
+/// `Vec<T>` — the decoder bounds every length prefix by the remaining input
+/// (see [`Decoder::read_len`]), which assumes at least one byte per
+/// element. `Vec::encode` carries a debug assertion for this; embed unit
+/// types directly in their owning struct instead.
+pub trait Codec: Sized {
+    /// Appends this value's canonical encoding.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads one value, validating structural invariants.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl Codec for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u8(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        dec.read_u8()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u32(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        dec.read_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        dec.read_u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u64(*self as u64);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let raw = dec.read_u64()?;
+        usize::try_from(raw)
+            .map_err(|_| SnapshotError::Corrupt(format!("value {raw} does not fit usize")))
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_f64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        dec.read_f64()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u8(u8::from(*self));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        match dec.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!(
+                "boolean byte must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.write_u8(0),
+            Some(v) => {
+                enc.write_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        match dec.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            other => Err(SnapshotError::Corrupt(format!(
+                "option tag must be 0 or 1, found {other}"
+            ))),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_len(self.len());
+        let payload_start = enc.len();
+        for item in self {
+            item.encode(enc);
+        }
+        debug_assert!(
+            self.is_empty() || enc.len() > payload_start,
+            "zero-byte Codec types cannot be length-prefixed (see the Codec trait docs)"
+        );
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let len = dec.read_len()?;
+        // `read_len` bounds the length by the remaining input, so the
+        // capacity request cannot exceed the snapshot size.
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut enc = Encoder::new();
+        value.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = T::decode(&mut dec).expect("decode");
+        dec.finish().expect("fully consumed");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(-0.0f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip((7u32, 9u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(42u64));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut enc = Encoder::new();
+        weird.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = f64::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut enc = Encoder::new();
+        enc.write_u32(0x0A0B_0C0D);
+        assert_eq!(enc.into_bytes(), vec![0x0D, 0x0C, 0x0B, 0x0A]);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut dec = Decoder::new(&[1, 2, 3]);
+        match dec.read_u64() {
+            Err(SnapshotError::Truncated {
+                needed: 8,
+                available: 3,
+            }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corrupt() {
+        let mut enc = Encoder::new();
+        enc.write_u64(1 << 40); // a "vector" far longer than the payload
+        let bytes = enc.into_bytes();
+        match Vec::<u64>::decode(&mut Decoder::new(&bytes)) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        assert!(matches!(
+            bool::decode(&mut Decoder::new(&[7])),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::decode(&mut Decoder::new(&[9])),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let dec = Decoder::new(&[0, 1]);
+        assert!(matches!(
+            dec.finish(),
+            Err(SnapshotError::TrailingBytes { remaining: 2 })
+        ));
+    }
+}

@@ -1,0 +1,329 @@
+//! The on-disk container: header, checksum, and the save/load entry points.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic            "FAIRNNSS"
+//!      8     4  format version   (this build reads exactly FORMAT_VERSION)
+//!     12     4  byte-order mark  0x0A0B0C0D (reads back wrong if a writer
+//!                                ever emitted native big-endian)
+//!     16     4  kind tag         which structure the payload holds
+//!     20     4  reserved         zero; room for future flags
+//!     24     8  payload length   bytes following the header
+//!     32     8  checksum         FNV-1a 64 over the payload bytes
+//!     40     …  payload          the structure's canonical Codec encoding
+//! ```
+//!
+//! The header is fully validated before a single payload byte is decoded:
+//! magic → version → byte order → kind → length → checksum, each failure a
+//! distinct [`SnapshotError`] variant. Version bumps are deliberate breaks —
+//! the format has no migration shims; a reader accepts exactly one version.
+
+use crate::codec::{Codec, Decoder, Encoder};
+use crate::error::SnapshotError;
+use std::path::Path;
+
+/// Magic bytes at offset 0 of every snapshot.
+pub const MAGIC: [u8; 8] = *b"FAIRNNSS";
+
+/// The single format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte-order marker: written little-endian, so a conforming file always
+/// reads back as this value.
+pub const ENDIAN_MARK: u32 = 0x0A0B_0C0D;
+
+/// Total header size in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// Which structure a snapshot holds. The tag is stored in the header so a
+/// loader immediately rejects a file holding the wrong structure instead of
+/// misinterpreting its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SnapshotKind {
+    /// A bare `fairnn_lsh::LshIndex`.
+    LshIndex = 1,
+    /// The Section 3 `fairnn_core::FairNns` structure.
+    FairNns = 2,
+    /// The Section 4 `fairnn_core::FairNnis` structure.
+    FairNnis = 3,
+    /// The Appendix A `fairnn_core::RankSwapSampler`.
+    RankSwap = 4,
+    /// A single `fairnn_engine::Shard`.
+    Shard = 5,
+    /// A `fairnn_engine::ShardedIndex` (all shards + partition map).
+    ShardedIndex = 6,
+    /// A full `fairnn_engine::QueryEngine` (index + cache + batch counter).
+    QueryEngine = 7,
+}
+
+impl SnapshotKind {
+    /// The header tag value.
+    pub fn tag(self) -> u32 {
+        self as u32
+    }
+}
+
+/// FNV-1a 64-bit hash — the payload checksum. Simple, fast, and entirely
+/// deterministic across platforms; a snapshot is trusted storage, so the
+/// checksum guards against truncation and bit rot, not adversaries.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serializes `value` into a complete snapshot byte image (header +
+/// payload).
+pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
+    let mut payload = Encoder::new();
+    value.encode(&mut payload);
+    let payload = payload.into_bytes();
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
+    out.extend_from_slice(&kind.tag().to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses a snapshot byte image produced by [`to_bytes`], validating the
+/// full header chain before decoding the payload.
+pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        // Distinguish "not even a magic" from "header cut short".
+        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&bytes[..8]);
+            return Err(SnapshotError::BadMagic { found });
+        }
+        return Err(SnapshotError::Truncated {
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(SnapshotError::BadMagic { found });
+    }
+    let mut header = Decoder::new(&bytes[8..HEADER_LEN]);
+    let version = header.read_u32().expect("header length checked");
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let endian = header.read_u32().expect("header length checked");
+    if endian != ENDIAN_MARK {
+        return Err(SnapshotError::EndiannessMismatch { found: endian });
+    }
+    let found_kind = header.read_u32().expect("header length checked");
+    if found_kind != kind.tag() {
+        return Err(SnapshotError::KindMismatch {
+            found: found_kind,
+            expected: kind.tag(),
+        });
+    }
+    let _reserved = header.read_u32().expect("header length checked");
+    let payload_len = header.read_u64().expect("header length checked");
+    let stored_checksum = header.read_u64().expect("header length checked");
+
+    let payload_len = usize::try_from(payload_len).map_err(|_| {
+        SnapshotError::Corrupt(format!("payload length {payload_len} does not fit usize"))
+    })?;
+    let available = bytes.len() - HEADER_LEN;
+    if available < payload_len {
+        return Err(SnapshotError::Truncated {
+            needed: payload_len,
+            available,
+        });
+    }
+    if available > payload_len {
+        return Err(SnapshotError::TrailingBytes {
+            remaining: available - payload_len,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let computed = checksum64(payload);
+    if computed != stored_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+
+    let mut dec = Decoder::new(payload);
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+/// Writes `value` as a snapshot file at `path` (atomically replaced via a
+/// sibling temporary file, so readers never observe a half-written
+/// snapshot).
+pub fn save<T: Codec, P: AsRef<Path>>(
+    kind: SnapshotKind,
+    value: &T,
+    path: P,
+) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let bytes = to_bytes(kind, value);
+    // The temp name appends to the *full* file name (never replaces an
+    // extension — sibling snapshots sharing a stem must not collide) and
+    // carries the pid so concurrent saves from different processes do not
+    // race on one temp file.
+    let file_name = path.file_name().ok_or_else(|| {
+        SnapshotError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("snapshot path {} has no file name", path.display()),
+        ))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a snapshot file written by [`save`].
+pub fn load<T: Codec, P: AsRef<Path>>(kind: SnapshotKind, path: P) -> Result<T, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(kind, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip() {
+        let value = vec![3u64, 1, 4, 1, 5];
+        let bytes = to_bytes(SnapshotKind::LshIndex, &value);
+        assert_eq!(&bytes[..8], &MAGIC);
+        let back: Vec<u64> = from_bytes(SnapshotKind::LshIndex, &bytes).unwrap();
+        assert_eq!(back, value);
+        // Canonical: re-encoding the decoded value is byte-identical.
+        assert_eq!(to_bytes(SnapshotKind::LshIndex, &back), bytes);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = to_bytes(SnapshotKind::LshIndex, &7u64);
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes::<u64>(SnapshotKind::LshIndex, &bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn bumped_version_rejected() {
+        let mut bytes = to_bytes(SnapshotKind::LshIndex, &7u64);
+        bytes[8] = FORMAT_VERSION as u8 + 1;
+        assert!(matches!(
+            from_bytes::<u64>(SnapshotKind::LshIndex, &bytes),
+            Err(SnapshotError::UnsupportedVersion { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn flipped_endian_mark_rejected() {
+        let mut bytes = to_bytes(SnapshotKind::LshIndex, &7u64);
+        bytes[12..16].reverse(); // what a native big-endian writer would emit
+        assert!(matches!(
+            from_bytes::<u64>(SnapshotKind::LshIndex, &bytes),
+            Err(SnapshotError::EndiannessMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let bytes = to_bytes(SnapshotKind::FairNns, &7u64);
+        assert!(matches!(
+            from_bytes::<u64>(SnapshotKind::QueryEngine, &bytes),
+            Err(SnapshotError::KindMismatch { found, expected })
+                if found == SnapshotKind::FairNns.tag()
+                    && expected == SnapshotKind::QueryEngine.tag()
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_caught_by_checksum() {
+        let mut bytes = to_bytes(SnapshotKind::LshIndex, &vec![1u64, 2, 3]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let bytes = to_bytes(SnapshotKind::LshIndex, &vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &bytes[..cut])
+                .expect_err("truncated snapshot must not load");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic { .. }
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_garbage_detected() {
+        let mut bytes = to_bytes(SnapshotKind::LshIndex, &7u64);
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<u64>(SnapshotKind::LshIndex, &bytes),
+            Err(SnapshotError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let path =
+            std::env::temp_dir().join(format!("fairnn-snapshot-test-{}.snap", std::process::id()));
+        save(SnapshotKind::Shard, &vec![9u64, 8, 7], &path).unwrap();
+        let back: Vec<u64> = load(SnapshotKind::Shard, &path).unwrap();
+        assert_eq!(back, vec![9, 8, 7]);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            load::<Vec<u64>, _>(SnapshotKind::Shard, &path),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // Pin the FNV-1a constants: a silent change would invalidate every
+        // existing snapshot while still "round-tripping" in-process.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"fairnn"), {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in b"fairnn" {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+            }
+            h
+        });
+    }
+}

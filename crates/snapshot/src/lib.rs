@@ -1,0 +1,44 @@
+//! Versioned, checksummed binary snapshots: build frozen indexes once,
+//! attach them from disk everywhere.
+//!
+//! Every process start used to rebuild LSH tables, CSR buckets, rank tables
+//! and sketches from raw points. Pod-style serving architectures get their
+//! elasticity from separating expensive state *construction* from cheap
+//! state *attachment*; the frozen CSR structures of this workspace are flat,
+//! offset-indexed representations that are one serialization step away from
+//! that property — this crate is that step.
+//!
+//! The crate deliberately sits at the bottom of the dependency graph and
+//! knows nothing about LSH or sampling. It provides:
+//!
+//! * [`Codec`] — the canonical little-endian encode/decode contract the
+//!   structural crates (`fairnn-lsh`, `fairnn-sketch`, `fairnn-core`,
+//!   `fairnn-engine`) implement next to their types;
+//! * [`Encoder`] / [`Decoder`] — the bounds-checked byte cursors;
+//! * the container format ([`to_bytes`] / [`from_bytes`] /
+//!   [`save`] / [`load`]): an 8-byte magic, a format version, a byte-order
+//!   marker, a structure [`SnapshotKind`] tag, the payload length, and an
+//!   FNV-1a checksum, validated in that order before any payload byte is
+//!   decoded;
+//! * [`SnapshotError`] — a typed error for every rejection path (bad magic,
+//!   unsupported version, endianness, kind mismatch, checksum mismatch,
+//!   truncation, corrupt payload, trailing bytes). Loading never panics on
+//!   malformed input.
+//!
+//! The format is canonical: unordered containers are encoded in sorted
+//! order, so `save → load → save` is byte-identical — which is also what
+//! makes snapshot files meaningfully diffable and checksummable in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod container;
+mod error;
+
+pub use codec::{Codec, Decoder, Encoder};
+pub use container::{
+    checksum64, from_bytes, load, save, to_bytes, SnapshotKind, ENDIAN_MARK, FORMAT_VERSION,
+    HEADER_LEN, MAGIC,
+};
+pub use error::SnapshotError;

@@ -40,6 +40,7 @@
 pub mod dataset;
 pub mod metric;
 pub mod point;
+pub mod snapshot;
 
 pub use dataset::Dataset;
 pub use metric::{

@@ -1,0 +1,142 @@
+//! [`Codec`] implementations for the point types and measures, so the data
+//! structures built over them can be persisted by `fairnn-snapshot`.
+//!
+//! The measures ([`Jaccard`], [`Euclidean`], …) are stateless unit structs;
+//! they encode to zero bytes and exist in the format only through the
+//! structure that embeds them — which keeps a snapshot's similarity
+//! orientation a property of the *type* being loaded, exactly like in
+//! memory.
+
+use crate::metric::{Cosine, Euclidean, Hamming, InnerProduct, Jaccard, SquaredEuclidean};
+use crate::point::{DenseVector, PointId, SparseSet};
+use fairnn_snapshot::{Codec, Decoder, Encoder, SnapshotError};
+
+impl Codec for PointId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u32(self.0);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        Ok(PointId(dec.read_u32()?))
+    }
+}
+
+impl Codec for SparseSet {
+    fn encode(&self, enc: &mut Encoder) {
+        let items = self.items();
+        enc.write_len(items.len());
+        for &item in items {
+            enc.write_u32(item);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let len = dec.read_len()?;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(dec.read_u32()?);
+        }
+        if !items.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Corrupt(
+                "sparse set items are not strictly increasing".into(),
+            ));
+        }
+        Ok(SparseSet::from_sorted(items))
+    }
+}
+
+impl Codec for DenseVector {
+    fn encode(&self, enc: &mut Encoder) {
+        let values = self.values();
+        enc.write_len(values.len());
+        for &v in values {
+            enc.write_f64(v);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let len = dec.read_len()?;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(dec.read_f64()?);
+        }
+        Ok(DenseVector::new(values))
+    }
+}
+
+/// Implements a zero-byte [`Codec`] for a stateless unit-struct measure.
+macro_rules! impl_unit_codec {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Codec for $t {
+            fn encode(&self, _enc: &mut Encoder) {}
+
+            fn decode(_dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+                Ok(<$t>::default())
+            }
+        }
+    )+};
+}
+
+impl_unit_codec!(
+    Jaccard,
+    Euclidean,
+    SquaredEuclidean,
+    Hamming,
+    InnerProduct,
+    Cosine
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut enc = Encoder::new();
+        value.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(T::decode(&mut dec).expect("decode"), value);
+        dec.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn point_types_roundtrip() {
+        roundtrip(PointId(77));
+        roundtrip(SparseSet::from_items(vec![9, 2, 2, 7]));
+        roundtrip(SparseSet::new());
+        roundtrip(DenseVector::new(vec![0.5, -1.25, f64::NEG_INFINITY]));
+        roundtrip(Jaccard);
+        roundtrip(Euclidean);
+    }
+
+    #[test]
+    fn unsorted_sparse_set_payload_is_corrupt() {
+        let mut enc = Encoder::new();
+        enc.write_len(2);
+        enc.write_u32(5);
+        enc.write_u32(3); // out of order
+        let bytes = enc.into_bytes();
+        assert!(matches!(
+            SparseSet::decode(&mut Decoder::new(&bytes)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Duplicates violate the strictly-increasing invariant too.
+        let mut enc = Encoder::new();
+        enc.write_len(2);
+        enc.write_u32(4);
+        enc.write_u32(4);
+        let bytes = enc.into_bytes();
+        assert!(matches!(
+            SparseSet::decode(&mut Decoder::new(&bytes)),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn measures_encode_to_zero_bytes() {
+        let mut enc = Encoder::new();
+        Jaccard.encode(&mut enc);
+        Euclidean.encode(&mut enc);
+        assert!(enc.is_empty());
+    }
+}

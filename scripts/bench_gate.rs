@@ -1,0 +1,581 @@
+//! CI perf-regression gate.
+//!
+//! Compares a freshly measured `BENCH_engine.json` (written by the
+//! `engine_throughput` binary on this commit) against the committed
+//! `BENCH_baseline.json` and **fails the job** when any tracked
+//! queries/sec figure regressed by more than the threshold (default 35 %,
+//! sized for the noise of shared CI runners).
+//!
+//! Tracked figures:
+//!
+//! * every sampler in the baseline's `baselines_qps` array (a sampler
+//!   missing from the fresh run is itself a failure — a silently dropped
+//!   measurement must not pass the gate);
+//! * every `pipeline_qps` row whose thread count appears in both files,
+//!   *skipping* rows either side marked `"hardware_limited": true` (on a
+//!   runner with fewer cores than threads the row measures scheduling
+//!   noise, not the engine);
+//! * the `rank_swap_qps` fast-path figure.
+//!
+//! Usage: `bench_gate <fresh.json> <baseline.json> [--max-regression 0.35]`
+//!
+//! Exit code 0 = within budget, 1 = regression (or unreadable input). To
+//! land a PR with a known, accepted slowdown, apply the `perf-override`
+//! label — the workflow skips this gate when the label is present — and say
+//! why in the PR description.
+//!
+//! The JSON parser below is a ~100-line recursive-descent reader for the
+//! subset these reports use (objects, arrays, strings, f64 numbers, bools,
+//! null); the workspace has no registry access, so no serde.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::process::ExitCode;
+
+/// A parsed JSON value (the subset the bench reports use).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over a byte cursor.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing input at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? != byte {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                byte as char, self.pos, self.bytes[self.pos] as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found '{}'",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found '{}'",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let escaped = *self.bytes.get(self.pos + 1).ok_or("unterminated escape")?;
+                    out.push(match escaped {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => {
+                            return Err(format!("unsupported escape '\\{}'", other as char));
+                        }
+                    });
+                    self.pos += 2;
+                }
+                byte => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| byte >= 0x80 && (*b & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+/// One tracked figure's comparison.
+struct Comparison {
+    name: String,
+    baseline_qps: f64,
+    fresh_qps: Option<f64>,
+}
+
+impl Comparison {
+    /// Fractional regression (positive = slower than baseline). A missing
+    /// fresh measurement counts as a total regression.
+    fn regression(&self) -> f64 {
+        match self.fresh_qps {
+            Some(fresh) if self.baseline_qps > 0.0 => 1.0 - fresh / self.baseline_qps,
+            Some(_) => 0.0,
+            None => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fresh_qps {
+            Some(fresh) => write!(
+                f,
+                "{:<28} baseline {:>12.1} q/s   fresh {:>12.1} q/s   change {:>+7.1}%",
+                self.name,
+                self.baseline_qps,
+                fresh,
+                -self.regression() * 100.0
+            ),
+            None => write!(
+                f,
+                "{:<28} baseline {:>12.1} q/s   fresh      MISSING",
+                self.name, self.baseline_qps
+            ),
+        }
+    }
+}
+
+/// Extracts `name → qps` from a `baselines_qps`-style array.
+fn sampler_qps(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(rows) = report.get("baselines_qps").and_then(Json::as_array) {
+        for row in rows {
+            if let (Some(name), Some(qps)) = (
+                row.get("sampler").and_then(Json::as_str),
+                row.get("qps").and_then(Json::as_f64),
+            ) {
+                out.insert(name.to_string(), qps);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `threads → qps` from `pipeline_qps`, dropping rows marked
+/// `hardware_limited` (see the module docs).
+fn pipeline_qps(report: &Json) -> BTreeMap<u64, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(rows) = report.get("pipeline_qps").and_then(Json::as_array) {
+        for row in rows {
+            let limited = row
+                .get("hardware_limited")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            if limited {
+                continue;
+            }
+            if let (Some(threads), Some(qps)) = (
+                row.get("threads").and_then(Json::as_f64),
+                row.get("qps").and_then(Json::as_f64),
+            ) {
+                out.insert(threads as u64, qps);
+            }
+        }
+    }
+    out
+}
+
+/// Builds the full comparison list between two reports.
+fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
+    let mut comparisons = Vec::new();
+
+    let fresh_samplers = sampler_qps(fresh);
+    for (name, base_qps) in sampler_qps(baseline) {
+        comparisons.push(Comparison {
+            fresh_qps: fresh_samplers.get(&name).copied(),
+            name: format!("sampler/{name}"),
+            baseline_qps: base_qps,
+        });
+    }
+
+    let fresh_pipeline = pipeline_qps(fresh);
+    for (threads, base_qps) in pipeline_qps(baseline) {
+        // A thread count absent from the fresh report is not a regression:
+        // the fresh run may have marked it hardware-limited (runner downsized)
+        // or run with a different --threads. Only co-measured rows gate.
+        if let Some(&fresh_qps) = fresh_pipeline.get(&threads) {
+            comparisons.push(Comparison {
+                name: format!("pipeline/{threads}-thread"),
+                baseline_qps: base_qps,
+                fresh_qps: Some(fresh_qps),
+            });
+        }
+    }
+
+    if let Some(base_qps) = baseline.get("rank_swap_qps").and_then(Json::as_f64) {
+        comparisons.push(Comparison {
+            name: "rank-swap-fast-path".to_string(),
+            baseline_qps: base_qps,
+            fresh_qps: fresh.get("rank_swap_qps").and_then(Json::as_f64),
+        });
+    }
+
+    comparisons
+}
+
+/// Applies the threshold; returns the failing comparisons.
+fn gate(comparisons: &[Comparison], max_regression: f64) -> Vec<&Comparison> {
+    comparisons
+        .iter()
+        .filter(|c| c.regression() > max_regression)
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut max_regression = 0.35f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--max-regression" {
+            max_regression = iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("--max-regression needs a numeric value")?;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [fresh_path, baseline_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_gate <fresh.json> <baseline.json> [--max-regression 0.35]".into(),
+        );
+    };
+
+    let fresh_text =
+        std::fs::read_to_string(fresh_path).map_err(|e| format!("read {fresh_path}: {e}"))?;
+    let baseline_text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let fresh = Parser::parse(&fresh_text).map_err(|e| format!("parse {fresh_path}: {e}"))?;
+    let baseline =
+        Parser::parse(&baseline_text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+
+    let comparisons = compare_reports(&fresh, &baseline);
+    if comparisons.is_empty() {
+        return Err("no comparable figures between the two reports".into());
+    }
+    println!(
+        "bench gate: {} tracked figure(s), regression budget {:.0}%",
+        comparisons.len(),
+        max_regression * 100.0
+    );
+    for c in &comparisons {
+        println!("  {c}");
+    }
+
+    let failures = gate(&comparisons, max_regression);
+    if failures.is_empty() {
+        println!("bench gate: PASS");
+        Ok(true)
+    } else {
+        println!(
+            "\nbench gate: FAIL — regression beyond {:.0}% on:",
+            max_regression * 100.0
+        );
+        for c in &failures {
+            println!("  {c}");
+        }
+        println!(
+            "\nIf this slowdown is intended, apply the 'perf-override' label to the PR \
+             (the workflow skips the gate) and justify it in the description; \
+             refresh BENCH_baseline.json in the same PR when the new level is the new normal."
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench gate: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(naive: f64, nns: f64, one_thread: f64, limited_two: bool, rank_swap: f64) -> Json {
+        let text = format!(
+            r#"{{
+              "baselines_qps": [
+                {{"sampler": "naive-fair-lsh", "qps": {naive}}},
+                {{"sampler": "fair-nns", "qps": {nns}}}
+              ],
+              "pipeline_qps": [
+                {{"threads": 1, "qps": {one_thread}, "hardware_limited": false}},
+                {{"threads": 2, "qps": 11.0, "hardware_limited": {limited_two}}}
+              ],
+              "rank_swap_qps": {rank_swap}
+            }}"#
+        );
+        Parser::parse(&text).expect("valid report")
+    }
+
+    #[test]
+    fn parser_handles_the_report_shape() {
+        let json = report(100.0, 200.0, 50.0, true, 1e6);
+        assert_eq!(json.get("rank_swap_qps").and_then(Json::as_f64), Some(1e6));
+        assert_eq!(sampler_qps(&json).len(), 2);
+        // The hardware-limited 2-thread row is dropped.
+        assert_eq!(pipeline_qps(&json).len(), 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Parser::parse("{").is_err());
+        assert!(Parser::parse("[1, 2,,]").is_err());
+        assert!(Parser::parse("{\"a\": 1} trailing").is_err());
+        assert!(Parser::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parser_handles_scalars_arrays_strings() {
+        assert_eq!(Parser::parse("-3.5e2"), Ok(Json::Number(-350.0)));
+        assert_eq!(Parser::parse(r#""a\"b""#), Ok(Json::String("a\"b".into())));
+        assert_eq!(
+            Parser::parse("[true, null]")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(Parser::parse("[]"), Ok(Json::Array(vec![])));
+        assert_eq!(Parser::parse("{}"), Ok(Json::Object(BTreeMap::new())));
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let baseline = report(100.0, 200.0, 50.0, false, 1000.0);
+        let fresh = report(80.0, 190.0, 40.0, false, 900.0); // worst: -20%
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert_eq!(comparisons.len(), 5); // 2 samplers + 2 pipeline rows + rank swap
+        assert!(gate(&comparisons, 0.35).is_empty());
+    }
+
+    #[test]
+    fn deep_regression_fails() {
+        let baseline = report(100.0, 200.0, 50.0, false, 1000.0);
+        let fresh = report(60.0, 190.0, 48.0, false, 990.0); // naive: -40%
+        let comparisons = compare_reports(&fresh, &baseline);
+        let failures = gate(&comparisons, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "sampler/naive-fair-lsh");
+        assert!(failures[0].regression() > 0.35);
+    }
+
+    #[test]
+    fn missing_sampler_fails() {
+        let baseline = report(100.0, 200.0, 50.0, false, 1000.0);
+        let fresh = Parser::parse(
+            r#"{"baselines_qps": [{"sampler": "fair-nns", "qps": 210.0}],
+                "pipeline_qps": [], "rank_swap_qps": 1000.0}"#,
+        )
+        .unwrap();
+        let comparisons = compare_reports(&fresh, &baseline);
+        let failures = gate(&comparisons, 0.35);
+        assert!(failures
+            .iter()
+            .any(|c| c.name == "sampler/naive-fair-lsh" && c.fresh_qps.is_none()));
+    }
+
+    #[test]
+    fn hardware_limited_rows_do_not_gate() {
+        let baseline = report(100.0, 200.0, 50.0, false, 1000.0);
+        // Fresh run on a 1-core box: 2-thread row is marked limited and its
+        // (terrible) number must not fail the gate.
+        let fresh = report(100.0, 200.0, 50.0, true, 1000.0);
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert!(comparisons.iter().all(|c| c.name != "pipeline/2-thread"));
+        assert!(gate(&comparisons, 0.35).is_empty());
+    }
+
+    #[test]
+    fn faster_is_never_a_failure() {
+        let baseline = report(100.0, 200.0, 50.0, false, 1000.0);
+        let fresh = report(500.0, 900.0, 200.0, false, 9000.0);
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert!(gate(&comparisons, 0.0).is_empty());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`space`] — point types, similarities, exact-neighbourhood datasets;
 //! * [`data`] — synthetic workloads calibrated to the paper's evaluation;
 //! * [`sketch`] — mergeable count-distinct sketches;
+//! * [`snapshot`] — the versioned binary snapshot format behind every
+//!   structure's `save(path)` / `load(path)`;
 //! * [`stats`] — fairness/uniformity measurement machinery.
 //!
 //! See the crate-level docs of [`fairnn_core`] for the theorem-by-theorem map
@@ -26,5 +28,6 @@ pub use fairnn_data as data;
 pub use fairnn_engine as engine;
 pub use fairnn_lsh as lsh;
 pub use fairnn_sketch as sketch;
+pub use fairnn_snapshot as snapshot;
 pub use fairnn_space as space;
 pub use fairnn_stats as stats;

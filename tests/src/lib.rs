@@ -32,6 +32,56 @@ pub fn test_params(n: usize, r: f64) -> LshParams {
     ParamsBuilder::new(n, r, 0.1).empirical(&OneBitMinHash)
 }
 
+/// The clustered fixture behind the seed-pinned golden tests: one 10-member
+/// cluster and 20 isolated points (the same shape the unit suites use).
+/// Shared between `golden_samples.rs` (pins the behaviour of the live
+/// structures) and `snapshot_roundtrip.rs` (pins that structures restored
+/// from disk reproduce the very same sequences).
+pub fn golden_dataset() -> Dataset<SparseSet> {
+    let mut sets = Vec::new();
+    for j in 0..10u32 {
+        let mut items: Vec<u32> = (0..25).collect();
+        items.push(100 + j);
+        items.push(200 + j);
+        sets.push(SparseSet::from_items(items));
+    }
+    for j in 0..20u32 {
+        sets.push(SparseSet::from_items(
+            (1000 + j * 40..1000 + j * 40 + 15).collect(),
+        ));
+    }
+    Dataset::new(sets)
+}
+
+/// The LSH parameters the golden captures were taken with (full MinHash,
+/// `r = 0.5`, far threshold 0.05).
+pub fn golden_params(n: usize) -> LshParams {
+    ParamsBuilder::new(n, 0.5, 0.05).empirical(&fairnn_lsh::MinHash)
+}
+
+/// Flattens optional ids for comparison against the golden constants
+/// (`-1` encodes the paper's `⊥`).
+pub fn golden_ids(v: &[Option<fairnn_space::PointId>]) -> Vec<i64> {
+    v.iter()
+        .map(|id| id.map_or(-1, |p| i64::from(p.0)))
+        .collect()
+}
+
+/// Expected output of the pinned `FairNns` query sequence (seeds 1/5).
+pub const GOLDEN_FAIR_NNS: [i64; 10] = [0, 0, 0, 10, 13, 16, 19, 22, 25, 28];
+/// Expected output of the pinned `FairNnis` query sequence (seeds 2/99).
+pub const GOLDEN_FAIR_NNIS: [i64; 20] =
+    [7, 3, 8, 4, 8, 7, 0, 5, 2, 0, 6, 2, 6, 6, 7, 5, 7, 4, 4, 2];
+/// Expected output of the pinned `RankSwapSampler` sequence (seeds 3/7).
+pub const GOLDEN_RANK_SWAP: [i64; 20] =
+    [3, 3, 6, 1, 9, 3, 7, 8, 2, 9, 1, 9, 1, 9, 8, 6, 9, 3, 9, 6];
+/// Expected output of the pinned 3-shard `ShardedIndex` sequence (seeds 17/11).
+pub const GOLDEN_SHARDED: [i64; 20] = [9, 9, 6, 8, 4, 2, 9, 5, 6, 7, 3, 3, 2, 2, 2, 4, 5, 2, 1, 0];
+/// Expected first batch of the pinned 4-shard `QueryEngine` (seed 23).
+pub const GOLDEN_ENGINE_FIRST: [i64; 10] = [1, 8, 9, 4, 8, 9, 3, 3, 8, 2];
+/// Expected second batch (rides the rank-swap cache).
+pub const GOLDEN_ENGINE_SECOND: [i64; 10] = [5, 9, 7, 5, 7, 4, 9, 8, 4, 3];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,51 +1,30 @@
 //! Seed-pinned golden tests: the frozen-CSR bucket layout and the batched
 //! hash path must not change a single sampled id.
 //!
-//! The expected sequences below were captured from the pre-freeze
-//! `HashMap<u64, Vec<PointId>>` implementation (PR 2 state) with the exact
-//! builds and RNG streams used here. Any change to hashing order, bucket
-//! order, or the samplers' consumption of query randomness shows up as a
-//! mismatch — which is the point: freezing the layout is a pure
-//! representation change and must be bit-for-bit invisible to callers.
+//! The expected sequences (shared constants in `fairnn_integration_tests`)
+//! were captured from the pre-freeze `HashMap<u64, Vec<PointId>>`
+//! implementation (PR 2 state) with the exact builds and RNG streams used
+//! here. Any change to hashing order, bucket order, or the samplers'
+//! consumption of query randomness shows up as a mismatch — which is the
+//! point: freezing the layout is a pure representation change and must be
+//! bit-for-bit invisible to callers. `snapshot_roundtrip.rs` holds the
+//! disk-roundtrip counterparts of these tests, pinned to the same
+//! constants.
 
 use fairnn_core::{FairNnis, FairNns, NeighborSampler, RankSwapSampler, SimilarityAtLeast};
 use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndex, ShardedIndexConfig};
+use fairnn_integration_tests::{
+    golden_dataset, golden_ids as ids, golden_params as params, GOLDEN_ENGINE_FIRST,
+    GOLDEN_ENGINE_SECOND, GOLDEN_FAIR_NNIS, GOLDEN_FAIR_NNS, GOLDEN_RANK_SWAP, GOLDEN_SHARDED,
+};
 use fairnn_lsh::MinHash;
-use fairnn_space::{Dataset, Jaccard, PointId, SparseSet};
+use fairnn_space::{Jaccard, PointId, SparseSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The clustered fixture shared by the captures: one 10-member cluster and
-/// 20 isolated points (the same shape the unit suites use).
-fn clustered_dataset() -> Dataset<SparseSet> {
-    let mut sets = Vec::new();
-    for j in 0..10u32 {
-        let mut items: Vec<u32> = (0..25).collect();
-        items.push(100 + j);
-        items.push(200 + j);
-        sets.push(SparseSet::from_items(items));
-    }
-    for j in 0..20u32 {
-        sets.push(SparseSet::from_items(
-            (1000 + j * 40..1000 + j * 40 + 15).collect(),
-        ));
-    }
-    Dataset::new(sets)
-}
-
-fn params(n: usize) -> fairnn_lsh::LshParams {
-    fairnn_lsh::ParamsBuilder::new(n, 0.5, 0.05).empirical(&MinHash)
-}
-
-fn ids(v: &[Option<PointId>]) -> Vec<i64> {
-    v.iter()
-        .map(|id| id.map_or(-1, |p| i64::from(p.0)))
-        .collect()
-}
-
 #[test]
 fn fair_nns_golden() {
-    let data = clustered_dataset();
+    let data = golden_dataset();
     let mut rng = StdRng::seed_from_u64(1);
     let near = SimilarityAtLeast::new(Jaccard, 0.5);
     let mut sampler = FairNns::build(&MinHash, params(data.len()), &data, near, &mut rng);
@@ -62,7 +41,7 @@ fn fair_nns_golden() {
 
 #[test]
 fn fair_nnis_golden() {
-    let data = clustered_dataset();
+    let data = golden_dataset();
     let mut rng = StdRng::seed_from_u64(2);
     let near = SimilarityAtLeast::new(Jaccard, 0.5);
     let mut sampler = FairNnis::build(&MinHash, params(data.len()), &data, near, &mut rng);
@@ -75,7 +54,7 @@ fn fair_nnis_golden() {
 
 #[test]
 fn rank_swap_golden() {
-    let data = clustered_dataset();
+    let data = golden_dataset();
     let mut rng = StdRng::seed_from_u64(3);
     let near = SimilarityAtLeast::new(Jaccard, 0.5);
     let mut sampler = RankSwapSampler::build(&MinHash, params(data.len()), &data, near, &mut rng);
@@ -88,7 +67,7 @@ fn rank_swap_golden() {
 
 #[test]
 fn sharded_index_golden() {
-    let data = clustered_dataset();
+    let data = golden_dataset();
     let near = SimilarityAtLeast::new(Jaccard, 0.5);
     let index = ShardedIndex::build(
         &MinHash,
@@ -106,7 +85,7 @@ fn sharded_index_golden() {
 
 #[test]
 fn engine_batch_golden() {
-    let data = clustered_dataset();
+    let data = golden_dataset();
     let near = SimilarityAtLeast::new(Jaccard, 0.5);
     let mut engine = QueryEngine::build(
         &MinHash,
@@ -125,10 +104,3 @@ fn engine_batch_golden() {
     assert_eq!(ids(&first), GOLDEN_ENGINE_FIRST);
     assert_eq!(ids(&second), GOLDEN_ENGINE_SECOND);
 }
-
-const GOLDEN_FAIR_NNS: [i64; 10] = [0, 0, 0, 10, 13, 16, 19, 22, 25, 28];
-const GOLDEN_FAIR_NNIS: [i64; 20] = [7, 3, 8, 4, 8, 7, 0, 5, 2, 0, 6, 2, 6, 6, 7, 5, 7, 4, 4, 2];
-const GOLDEN_RANK_SWAP: [i64; 20] = [3, 3, 6, 1, 9, 3, 7, 8, 2, 9, 1, 9, 1, 9, 8, 6, 9, 3, 9, 6];
-const GOLDEN_SHARDED: [i64; 20] = [9, 9, 6, 8, 4, 2, 9, 5, 6, 7, 3, 3, 2, 2, 2, 4, 5, 2, 1, 0];
-const GOLDEN_ENGINE_FIRST: [i64; 10] = [1, 8, 9, 4, 8, 9, 3, 3, 8, 2];
-const GOLDEN_ENGINE_SECOND: [i64; 10] = [5, 9, 7, 5, 7, 4, 9, 8, 4, 3];

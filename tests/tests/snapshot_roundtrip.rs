@@ -1,0 +1,489 @@
+//! Snapshot persistence: disk roundtrips must be invisible to sampling.
+//!
+//! Three families of guarantees are pinned here:
+//!
+//! 1. **Golden identity** — a structure restored via `load()` reproduces
+//!    the exact seed-pinned sample sequences of `golden_samples.rs`
+//!    (same constants, same RNG streams), for every persisted structure:
+//!    `FairNns`, `FairNnis`, `RankSwapSampler`, `ShardedIndex`,
+//!    `QueryEngine`.
+//! 2. **Canonical encoding** — `save → load → save` is byte-identical.
+//! 3. **Rejection, not panic** — corrupted, truncated and version-bumped
+//!    snapshots fail with the matching typed [`SnapshotError`] variant;
+//!    property tests hammer the loader with random mutations (including
+//!    checksum-repaired payload corruption, which exercises the decoders
+//!    themselves) and require an error or a clean decode, never a panic.
+
+use fairnn_core::{FairNnis, FairNns, NeighborSampler, RankSwapSampler, SimilarityAtLeast};
+use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndex, ShardedIndexConfig};
+use fairnn_integration_tests::{
+    golden_dataset, golden_ids as ids, golden_params as params, GOLDEN_ENGINE_FIRST,
+    GOLDEN_ENGINE_SECOND, GOLDEN_FAIR_NNIS, GOLDEN_FAIR_NNS, GOLDEN_RANK_SWAP, GOLDEN_SHARDED,
+};
+use fairnn_lsh::{ConcatenatedHasher, MinHash, MinHasher};
+use fairnn_snapshot::{
+    checksum64, from_bytes, to_bytes, SnapshotError, SnapshotKind, FORMAT_VERSION, HEADER_LEN,
+};
+use fairnn_space::{Jaccard, PointId, SparseSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+type Hasher = ConcatenatedHasher<MinHasher>;
+type Near = SimilarityAtLeast<Jaccard>;
+type SetNns = FairNns<SparseSet, Hasher, Near>;
+type SetNnis = FairNnis<SparseSet, Hasher, Near>;
+type SetRankSwap = RankSwapSampler<SparseSet, Hasher, Near>;
+type SetSharded = ShardedIndex<SparseSet, Hasher, Near>;
+type SetEngine = QueryEngine<SparseSet, Hasher, Near>;
+
+fn near() -> Near {
+    SimilarityAtLeast::new(Jaccard, 0.5)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fairnn-roundtrip-{}-{name}.snap",
+        std::process::id()
+    ))
+}
+
+/// Saves to a real file, loads back, removes the file.
+fn file_roundtrip<T, S, L>(value: &T, name: &str, save: S, load: L) -> T
+where
+    S: FnOnce(&T, &PathBuf),
+    L: FnOnce(&PathBuf) -> T,
+{
+    let path = temp_path(name);
+    save(value, &path);
+    let restored = load(&path);
+    let _ = std::fs::remove_file(&path);
+    restored
+}
+
+#[test]
+fn loaded_fair_nns_reproduces_the_golden_sequence() {
+    let data = golden_dataset();
+    let mut rng = StdRng::seed_from_u64(1);
+    let sampler: SetNns = FairNns::build(&MinHash, params(data.len()), &data, near(), &mut rng);
+    let mut loaded = file_roundtrip(
+        &sampler,
+        "fair-nns",
+        |s, p| s.save(p).expect("save"),
+        |p| SetNns::load(p).expect("load"),
+    );
+    let mut qrng = StdRng::seed_from_u64(5);
+    let got: Vec<Option<PointId>> = [0u32, 3, 7, 10, 13, 16, 19, 22, 25, 28]
+        .iter()
+        .map(|&qi| loaded.sample(&data.point(PointId(qi)).clone(), &mut qrng))
+        .collect();
+    assert_eq!(ids(&got), GOLDEN_FAIR_NNS);
+}
+
+#[test]
+fn loaded_fair_nnis_reproduces_the_golden_sequence() {
+    let data = golden_dataset();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sampler: SetNnis = FairNnis::build(&MinHash, params(data.len()), &data, near(), &mut rng);
+    let mut loaded = file_roundtrip(
+        &sampler,
+        "fair-nnis",
+        |s, p| s.save(p).expect("save"),
+        |p| SetNnis::load(p).expect("load"),
+    );
+    let query = data.point(PointId(0)).clone();
+    let mut qrng = StdRng::seed_from_u64(99);
+    let got: Vec<Option<PointId>> = (0..20).map(|_| loaded.sample(&query, &mut qrng)).collect();
+    assert_eq!(ids(&got), GOLDEN_FAIR_NNIS);
+}
+
+#[test]
+fn loaded_rank_swap_reproduces_the_golden_sequence() {
+    let data = golden_dataset();
+    let mut rng = StdRng::seed_from_u64(3);
+    let sampler: SetRankSwap =
+        RankSwapSampler::build(&MinHash, params(data.len()), &data, near(), &mut rng);
+    let mut loaded = file_roundtrip(
+        &sampler,
+        "rank-swap",
+        |s, p| s.save(p).expect("save"),
+        |p| SetRankSwap::load(p).expect("load"),
+    );
+    let query = data.point(PointId(4)).clone();
+    let mut qrng = StdRng::seed_from_u64(7);
+    let got: Vec<Option<PointId>> = (0..20).map(|_| loaded.sample(&query, &mut qrng)).collect();
+    assert_eq!(ids(&got), GOLDEN_RANK_SWAP);
+}
+
+#[test]
+fn mid_sequence_rank_swap_snapshot_continues_the_sequence() {
+    // The rank-swap sampler mutates its permutation on every draw; a
+    // snapshot taken mid-sequence must capture that state, so the restored
+    // sampler continues exactly where the saved one stood.
+    let data = golden_dataset();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sampler: SetRankSwap =
+        RankSwapSampler::build(&MinHash, params(data.len()), &data, near(), &mut rng);
+    let query = data.point(PointId(4)).clone();
+    let mut qrng = StdRng::seed_from_u64(7);
+    let mut got: Vec<Option<PointId>> =
+        (0..10).map(|_| sampler.sample(&query, &mut qrng)).collect();
+    let mut restored = file_roundtrip(
+        &sampler,
+        "rank-swap-mid",
+        |s, p| s.save(p).expect("save"),
+        |p| SetRankSwap::load(p).expect("load"),
+    );
+    got.extend((0..10).map(|_| restored.sample(&query, &mut qrng)));
+    assert_eq!(ids(&got), GOLDEN_RANK_SWAP);
+}
+
+#[test]
+fn loaded_sharded_index_reproduces_the_golden_sequence() {
+    let data = golden_dataset();
+    let index: SetSharded = ShardedIndex::build(
+        &MinHash,
+        params(data.len()),
+        &data,
+        near(),
+        ShardedIndexConfig::with_shards(3).seeded(17),
+    );
+    let loaded = file_roundtrip(
+        &index,
+        "sharded",
+        |s, p| s.save(p).expect("save"),
+        |p| SetSharded::load(p).expect("load"),
+    );
+    let query = data.point(PointId(0)).clone();
+    let mut qrng = StdRng::seed_from_u64(11);
+    let got: Vec<Option<PointId>> = (0..20)
+        .map(|_| loaded.sample(&query, &mut qrng).0)
+        .collect();
+    assert_eq!(ids(&got), GOLDEN_SHARDED);
+}
+
+#[test]
+fn loaded_query_engine_reproduces_the_golden_batches() {
+    // The acceptance criterion of the snapshot subsystem: an engine restored
+    // from disk answers the pinned batches bit-for-bit — including the
+    // second batch, which rides the rank-swap cache.
+    let data = golden_dataset();
+    let engine: SetEngine = QueryEngine::build(
+        &MinHash,
+        params(data.len()),
+        &data,
+        near(),
+        EngineConfig::default().with_seed(23).with_shards(4),
+    );
+    let mut loaded = file_roundtrip(
+        &engine,
+        "engine",
+        |s, p| s.save(p).expect("save"),
+        |p| SetEngine::load(p).expect("load"),
+    );
+    let batch: Vec<SparseSet> = (0..10u32).map(|i| data.point(PointId(i)).clone()).collect();
+    let first: Vec<Option<PointId>> = loaded.run_batch(&batch).iter().map(|a| a.id).collect();
+    let second: Vec<Option<PointId>> = loaded.run_batch(&batch).iter().map(|a| a.id).collect();
+    assert_eq!(ids(&first), GOLDEN_ENGINE_FIRST);
+    assert_eq!(ids(&second), GOLDEN_ENGINE_SECOND);
+}
+
+#[test]
+fn save_load_save_is_byte_identical_for_every_structure() {
+    let data = golden_dataset();
+    let p = params(data.len());
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let nns: SetNns = FairNns::build(&MinHash, p, &data, near(), &mut rng);
+    let bytes = to_bytes(SnapshotKind::FairNns, &nns);
+    let back: SetNns = from_bytes(SnapshotKind::FairNns, &bytes).expect("load");
+    assert_eq!(to_bytes(SnapshotKind::FairNns, &back), bytes, "FairNns");
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let nnis: SetNnis = FairNnis::build(&MinHash, p, &data, near(), &mut rng);
+    let bytes = to_bytes(SnapshotKind::FairNnis, &nnis);
+    let back: SetNnis = from_bytes(SnapshotKind::FairNnis, &bytes).expect("load");
+    assert_eq!(to_bytes(SnapshotKind::FairNnis, &back), bytes, "FairNnis");
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let swap: SetRankSwap = RankSwapSampler::build(&MinHash, p, &data, near(), &mut rng);
+    let bytes = to_bytes(SnapshotKind::RankSwap, &swap);
+    let back: SetRankSwap = from_bytes(SnapshotKind::RankSwap, &bytes).expect("load");
+    assert_eq!(to_bytes(SnapshotKind::RankSwap, &back), bytes, "RankSwap");
+
+    let sharded: SetSharded = ShardedIndex::build(
+        &MinHash,
+        p,
+        &data,
+        near(),
+        ShardedIndexConfig::with_shards(3).seeded(17),
+    );
+    let bytes = to_bytes(SnapshotKind::ShardedIndex, &sharded);
+    let back: SetSharded = from_bytes(SnapshotKind::ShardedIndex, &bytes).expect("load");
+    assert_eq!(
+        to_bytes(SnapshotKind::ShardedIndex, &back),
+        bytes,
+        "ShardedIndex"
+    );
+
+    let mut engine: SetEngine = QueryEngine::build(
+        &MinHash,
+        p,
+        &data,
+        near(),
+        EngineConfig::default().with_seed(23).with_shards(4),
+    );
+    // Warm the cache so the canonical-encoding claim covers a non-trivial
+    // cache state too.
+    let batch: Vec<SparseSet> = (0..10u32).map(|i| data.point(PointId(i)).clone()).collect();
+    let _ = engine.run_batch(&batch);
+    let bytes = to_bytes(SnapshotKind::QueryEngine, &engine);
+    let back: SetEngine = from_bytes(SnapshotKind::QueryEngine, &bytes).expect("load");
+    assert_eq!(
+        to_bytes(SnapshotKind::QueryEngine, &back),
+        bytes,
+        "QueryEngine"
+    );
+}
+
+#[test]
+fn updates_after_load_behave_like_updates_after_freeze() {
+    // Staging mutations on a loaded engine must thaw and answer exactly
+    // like the same mutations applied to the engine it was saved from.
+    let data = golden_dataset();
+    let mut engine: SetEngine = QueryEngine::build(
+        &MinHash,
+        params(data.len()),
+        &data,
+        near(),
+        EngineConfig::default().with_seed(23).with_shards(4),
+    );
+    let bytes = to_bytes(SnapshotKind::QueryEngine, &engine);
+    let mut loaded: SetEngine = from_bytes(SnapshotKind::QueryEngine, &bytes).expect("load");
+
+    let mut items: Vec<u32> = (0..25).collect();
+    items.push(100);
+    items.push(777);
+    let twin = SparseSet::from_items(items);
+    assert_eq!(engine.insert(twin.clone()), loaded.insert(twin.clone()));
+
+    let batch: Vec<SparseSet> = (0..10u32)
+        .map(|i| data.point(PointId(i)).clone())
+        .chain(std::iter::once(twin))
+        .collect();
+    for _ in 0..3 {
+        assert_eq!(engine.run_batch(&batch), loaded.run_batch(&batch));
+    }
+
+    // Deletes (which may trigger shard compaction) stay in lockstep too.
+    assert_eq!(engine.delete(PointId(0)), loaded.delete(PointId(0)));
+    assert_eq!(engine.run_batch(&batch), loaded.run_batch(&batch));
+}
+
+/// A small FairNns snapshot image the corruption tests mutate.
+fn small_snapshot() -> Vec<u8> {
+    static IMAGE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    IMAGE
+        .get_or_init(|| {
+            let data = golden_dataset();
+            let mut rng = StdRng::seed_from_u64(1);
+            let sampler: SetNns =
+                FairNns::build(&MinHash, params(data.len()), &data, near(), &mut rng);
+            to_bytes(SnapshotKind::FairNns, &sampler)
+        })
+        .clone()
+}
+
+/// A FairNnis snapshot image (carries per-bucket sketches and the distinct
+/// value table — the state whose cross-structure invariants the decoder
+/// must re-verify).
+fn small_nnis_snapshot() -> Vec<u8> {
+    static IMAGE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    IMAGE
+        .get_or_init(|| {
+            let data = golden_dataset();
+            let mut rng = StdRng::seed_from_u64(2);
+            let sampler: SetNnis =
+                FairNnis::build(&MinHash, params(data.len()), &data, near(), &mut rng);
+            to_bytes(SnapshotKind::FairNnis, &sampler)
+        })
+        .clone()
+}
+
+/// A ShardedIndex snapshot image (per-shard KMV sketches + partition map).
+fn small_sharded_snapshot() -> Vec<u8> {
+    static IMAGE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    IMAGE
+        .get_or_init(|| {
+            let data = golden_dataset();
+            let index: SetSharded = ShardedIndex::build(
+                &MinHash,
+                params(data.len()),
+                &data,
+                near(),
+                ShardedIndexConfig::with_shards(3).seeded(17),
+            );
+            to_bytes(SnapshotKind::ShardedIndex, &index)
+        })
+        .clone()
+}
+
+/// Flips one payload byte and repairs the checksum, so the mutation reaches
+/// the structural decoders instead of the checksum wall.
+fn flip_and_repair(bytes: &[u8], offset: usize, flip: u8) -> Vec<u8> {
+    let offset = HEADER_LEN + (offset % (bytes.len() - HEADER_LEN));
+    let mut mutated = bytes.to_vec();
+    mutated[offset] ^= flip;
+    let repaired = checksum64(&mutated[HEADER_LEN..]);
+    mutated[32..40].copy_from_slice(&repaired.to_le_bytes());
+    mutated
+}
+
+fn load_small(bytes: &[u8]) -> Result<SetNns, SnapshotError> {
+    from_bytes(SnapshotKind::FairNns, bytes)
+}
+
+#[test]
+fn corrupted_truncated_and_version_bumped_snapshots_fail_typed() {
+    let bytes = small_snapshot();
+
+    // Payload corruption → checksum mismatch.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x40;
+    assert!(matches!(
+        load_small(&corrupt),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation → typed truncation error, at header and payload cuts.
+    for cut in [
+        0,
+        4,
+        HEADER_LEN - 1,
+        HEADER_LEN,
+        bytes.len() / 2,
+        bytes.len() - 1,
+    ] {
+        assert!(
+            matches!(
+                load_small(&bytes[..cut]),
+                Err(SnapshotError::Truncated { .. })
+            ),
+            "cut at {cut} must report truncation"
+        );
+    }
+
+    // Version bump → typed version rejection (no migration shims).
+    let mut bumped = bytes.clone();
+    bumped[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        load_small(&bumped),
+        Err(SnapshotError::UnsupportedVersion { found, supported })
+            if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+    ));
+
+    // Wrong magic → BadMagic.
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'Z';
+    assert!(matches!(
+        load_small(&wrong_magic),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+
+    // Wrong structure kind → KindMismatch (a FairNnis loader must refuse a
+    // FairNns file instead of misreading it).
+    assert!(matches!(
+        from_bytes::<SetNnis>(SnapshotKind::FairNnis, &bytes),
+        Err(SnapshotError::KindMismatch { .. })
+    ));
+
+    // Trailing garbage → TrailingBytes.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0, 1, 2]);
+    assert!(matches!(
+        load_small(&padded),
+        Err(SnapshotError::TrailingBytes { .. })
+    ));
+
+    // The pristine image still loads.
+    assert!(load_small(&bytes).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_single_byte_flips_never_panic(offset in 0usize..1 << 16, flip in 1u8..=255) {
+        let bytes = small_snapshot();
+        let offset = offset % bytes.len();
+        // Offsets 16..20 are the reserved header field, which loaders
+        // deliberately ignore; everywhere else a flip must be rejected.
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= flip;
+        match load_small(&mutated) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(
+                (16..20).contains(&offset),
+                "flip at {offset} was accepted outside the reserved field"
+            ),
+        }
+    }
+
+    #[test]
+    fn random_truncations_never_panic(cut in 0usize..1 << 16) {
+        let bytes = small_snapshot();
+        let cut = cut % bytes.len();
+        prop_assert!(load_small(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn checksum_repaired_corruption_is_rejected_or_decoded_never_panics(
+        offset in 0usize..1 << 16,
+        flip in 1u8..=255,
+    ) {
+        // The decoders must survive arbitrary checksum-valid payloads:
+        // either a typed error or a structurally valid value, never a
+        // panic.
+        let mutated = flip_and_repair(&small_snapshot(), offset, flip);
+        let _ = load_small(&mutated);
+    }
+
+    #[test]
+    fn corrupt_fair_nnis_snapshots_reject_at_load_or_serve_cleanly(
+        offset in 0usize..1 << 20,
+        flip in 1u8..=255,
+    ) {
+        // FairNnis carries per-bucket sketches whose seeds/parameters must
+        // agree with the sampler's accumulator: a mutation that breaks that
+        // cross-structure invariant must be rejected by `load`, not panic
+        // inside `merge` on the first query.
+        let mutated = flip_and_repair(&small_nnis_snapshot(), offset, flip);
+        if let Ok(mut loaded) = from_bytes::<SetNnis>(SnapshotKind::FairNnis, &mutated) {
+            let data = golden_dataset();
+            let query = data.point(PointId(0)).clone();
+            let mut qrng = StdRng::seed_from_u64(99);
+            for _ in 0..3 {
+                let _ = loaded.sample(&query, &mut qrng);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_sharded_snapshots_reject_at_load_or_serve_cleanly(
+        offset in 0usize..1 << 20,
+        flip in 1u8..=255,
+    ) {
+        // Same property for the shard-level KMV sketches.
+        let mutated = flip_and_repair(&small_sharded_snapshot(), offset, flip);
+        if let Ok(loaded) = from_bytes::<SetSharded>(SnapshotKind::ShardedIndex, &mutated) {
+            let data = golden_dataset();
+            let query = data.point(PointId(0)).clone();
+            let mut qrng = StdRng::seed_from_u64(11);
+            for _ in 0..3 {
+                let _ = loaded.sample(&query, &mut qrng);
+            }
+        }
+    }
+}

@@ -131,7 +131,7 @@ pub mod strategy {
 }
 
 pub mod collection {
-    //! Collection strategies: [`vec`] and [`hash_set`].
+    //! Collection strategies: [`vec()`] and [`hash_set`].
 
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
@@ -187,7 +187,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
