@@ -253,11 +253,12 @@ fn main() {
             .map(|(name, qps)| format!("    {{\"sampler\": \"{name}\", \"qps\": {qps:.1}}}"))
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {:.1}, \"per_row\": {:.1}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {:.1}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {:.1}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {:.1}\n}}\n",
+            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {:.1}, \"per_row\": {:.1}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {:.1}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {:.1}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {:.1}\n}}\n",
             args.scale,
             batch_size,
             args.seed,
             args.shards,
+            args.threads,
             dataset.len(),
             params.k,
             params.l,

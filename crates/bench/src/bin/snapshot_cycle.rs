@@ -162,9 +162,14 @@ fn cycle_engine(workload: &SetWorkload, scale: f64, args: &CommonArgs) -> Cycle 
 
 fn main() {
     let args = CommonArgs::from_env();
+    // Builds and snapshot encode/decode run on the build workers; the
+    // outputs are bit-identical at any thread count (the roundtrip
+    // verification below re-checks that on every run).
+    fairnn_parallel::set_build_threads(args.threads);
+    let cores = fairnn_parallel::available_parallelism();
     println!("Snapshot cycle — build-once/serve-many frozen indexes");
     println!(
-        "base scale = {}, seed = {}, threads = {}, shards = {}, format v{}\n",
+        "base scale = {}, seed = {}, threads = {}, shards = {}, {cores} hardware thread(s), format v{}\n",
         args.scale,
         args.seed,
         args.threads,
@@ -217,24 +222,31 @@ fn main() {
     println!("{table}");
 
     if let Some(path) = &args.json {
+        // A run asking for more threads than the runner has measures
+        // scheduling noise, not parallel speedup; annotate the rows so the
+        // gate and dashboards can skip them — the same `hardware_limited`
+        // convention `engine_throughput` and `build_scaling` use.
+        let hardware_limited = args.threads > cores;
         let rows: Vec<String> = cycles
             .iter()
             .map(|c| {
                 format!(
-                    "    {{\"scale\": {}, \"structure\": \"{}\", \"dataset_points\": {}, \"build_s\": {:.6}, \"save_s\": {:.6}, \"load_s\": {:.6}, \"snapshot_bytes\": {}, \"build_over_load\": {:.1}}}",
+                    "    {{\"scale\": {}, \"structure\": \"{}\", \"dataset_points\": {}, \"threads\": {}, \"build_s\": {:.6}, \"save_s\": {:.6}, \"load_s\": {:.6}, \"snapshot_bytes\": {}, \"build_over_load\": {:.1}, \"hardware_limited\": {}}}",
                     c.scale,
                     c.structure,
                     c.dataset_points,
+                    args.threads,
                     c.build_s,
                     c.save_s,
                     c.load_s,
                     c.snapshot_bytes,
                     c.build_over_load(),
+                    hardware_limited,
                 )
             })
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"snapshot_cycle\",\n  \"base_scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"shards\": {},\n  \"format_version\": {},\n  \"cycles\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"snapshot_cycle\",\n  \"base_scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"shards\": {},\n  \"available_parallelism\": {cores},\n  \"format_version\": {},\n  \"cycles\": [\n{}\n  ]\n}}\n",
             args.scale,
             args.seed,
             args.threads,

@@ -32,9 +32,9 @@ pub struct ApproximateNeighborhoodSampler<P, H, N> {
     scratch: QueryScratch,
 }
 
-impl<P: Clone, BH, N> ApproximateNeighborhoodSampler<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> ApproximateNeighborhoodSampler<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the sampler. `within_far` must encode the far threshold `cr`
     /// (e.g. `SimilarityAtLeast::new(Jaccard, 0.5)` for the Section 6.2

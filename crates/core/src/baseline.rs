@@ -98,9 +98,9 @@ pub struct StandardLsh<P, H, N> {
     scratch: QueryScratch,
 }
 
-impl<P: Clone, BH, N> StandardLsh<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> StandardLsh<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the standard LSH searcher with the given family and
     /// parameters.
@@ -235,9 +235,9 @@ pub struct NaiveFairLsh<P, H, N> {
     scratch: QueryScratch,
 }
 
-impl<P: Clone, BH, N> NaiveFairLsh<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> NaiveFairLsh<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the naive fair LSH searcher.
     pub fn build<F, R>(

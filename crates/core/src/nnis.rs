@@ -185,9 +185,9 @@ pub struct FairNnis<P, H, N> {
     sketch_values: DistinctValueTable,
 }
 
-impl<P: Clone, BH, N> FairNnis<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> FairNnis<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the data structure with default configuration.
     pub fn build<F, R>(
@@ -247,9 +247,12 @@ where
         let params = index.params();
         let sketch_params = DistinctSketchParams::paper_defaults(dataset.len());
         let (hashers, lsh_tables) = index.into_parts();
-        let mut tables = Vec::with_capacity(lsh_tables.len());
-        for table in &lsh_tables {
-            let buckets = FrozenTable::from_buckets(table.buckets().map(|(key, ids)| {
+        // Per-table rank sort, CSR freeze and bucket sketching are disjoint
+        // work items; they run on parallel build workers in table order, so
+        // the structure is bit-identical to the serial construction at any
+        // thread count.
+        let tables = fairnn_parallel::map_indexed(lsh_tables.len(), |t| {
+            let buckets = FrozenTable::from_buckets(lsh_tables[t].buckets().map(|(key, ids)| {
                 let mut entries: Vec<(u32, PointId)> =
                     ids.iter().map(|&id| (ranks.rank(id), id)).collect();
                 entries.sort_unstable();
@@ -267,8 +270,8 @@ where
                     })
                 })
                 .collect();
-            tables.push(RankedTable { buckets, sketches });
-        }
+            RankedTable { buckets, sketches }
+        });
         Self {
             points: dataset.points().to_vec(),
             hashers,
@@ -483,39 +486,61 @@ where
     }
 }
 
-impl<P, H, N> fairnn_snapshot::Codec for FairNnis<P, H, N>
-where
-    P: fairnn_snapshot::Codec,
-    H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
-{
-    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
-        self.points.encode(enc);
-        H::encode_bank(&self.hashers, enc);
-        self.tables.encode(enc);
-        self.ranks.encode(enc);
-        self.near.encode(enc);
-        self.params.encode(enc);
-        self.config.encode(enc);
-        enc.write_u64(self.sketch_seed);
-        self.sketch_params.encode(enc);
-        self.sketch_values.encode(enc);
+/// Structural validation of one decoded [`RankedTable`]: entry ranges, the
+/// rank-sort invariant (rank-range retrieval binary-searches inside the
+/// bucket; unsorted entries would silently bias sampling rather than fail,
+/// so the sort is part of the format), and sketch mergeability with the
+/// query-time accumulator (a mismatched seed or parameter set would
+/// otherwise panic inside `merge` on the first query that touches the
+/// bucket, instead of failing the load).
+fn validate_ranked_table(
+    table: &RankedTable,
+    num_points: usize,
+    reference: &DistinctSketch,
+) -> Result<(), fairnn_snapshot::SnapshotError> {
+    use fairnn_snapshot::SnapshotError;
+    for (_, bucket) in table.buckets.buckets() {
+        for &(rank, id) in bucket {
+            if id.index() >= num_points || rank as usize >= num_points {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bucket entry (rank {rank}, {id}) out of range for {num_points} points"
+                )));
+            }
+        }
+        if !bucket.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Corrupt(
+                "bucket entries are not strictly rank-sorted".into(),
+            ));
+        }
     }
+    for sketch in table.sketches.iter().flatten() {
+        if !reference.mergeable_with(sketch) {
+            return Err(SnapshotError::Corrupt(
+                "bucket sketch seed/parameters do not match the sampler's".into(),
+            ));
+        }
+    }
+    Ok(())
+}
 
-    fn decode(
-        dec: &mut fairnn_snapshot::Decoder<'_>,
+impl<P, H, N> FairNnis<P, H, N> {
+    /// Shared tail of the inline and sectioned decoders: every cross-field
+    /// invariant of the wire format lives here, exactly once, so the two
+    /// container forms cannot drift apart in what they accept.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        points: Vec<P>,
+        hashers: Vec<H>,
+        tables: Vec<RankedTable>,
+        ranks: RankPermutation,
+        near: N,
+        params: LshParams,
+        config: FairNnisConfig,
+        sketch_seed: u64,
+        sketch_params: DistinctSketchParams,
+        sketch_values: DistinctValueTable,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
-        let points = Vec::<P>::decode(dec)?;
-        let hashers = H::decode_bank(dec)?;
-        let tables = Vec::<RankedTable>::decode(dec)?;
-        let ranks = RankPermutation::decode(dec)?;
-        let near = N::decode(dec)?;
-        let params = LshParams::decode(dec)?;
-        let config = FairNnisConfig::decode(dec)?;
-        let sketch_seed = dec.read_u64()?;
-        let sketch_params = DistinctSketchParams::decode(dec)?;
-        let sketch_values = DistinctValueTable::decode(dec)?;
         if tables.len() != hashers.len() {
             return Err(SnapshotError::Corrupt(format!(
                 "fair-nnis stores {} ranked tables for {} hashers",
@@ -546,35 +571,7 @@ where
             )));
         }
         for table in &tables {
-            for (_, bucket) in table.buckets.buckets() {
-                for &(rank, id) in bucket {
-                    if id.index() >= points.len() || rank as usize >= points.len() {
-                        return Err(SnapshotError::Corrupt(format!(
-                            "bucket entry (rank {rank}, {id}) out of range for {} points",
-                            points.len()
-                        )));
-                    }
-                }
-                // Rank-range retrieval binary-searches inside the bucket;
-                // unsorted entries would silently bias sampling rather than
-                // fail, so the sort invariant is part of the format.
-                if !bucket.windows(2).all(|w| w[0] < w[1]) {
-                    return Err(SnapshotError::Corrupt(
-                        "bucket entries are not strictly rank-sorted".into(),
-                    ));
-                }
-            }
-            // Every bucket sketch must merge with the query-time
-            // accumulator; a mismatched seed or parameter set would
-            // otherwise panic inside `merge` on the first query that
-            // touches the bucket, instead of failing the load.
-            for sketch in table.sketches.iter().flatten() {
-                if !merged.mergeable_with(sketch) {
-                    return Err(SnapshotError::Corrupt(
-                        "bucket sketch seed/parameters do not match the sampler's".into(),
-                    ));
-                }
-            }
+            validate_ranked_table(table, points.len(), &merged)?;
         }
         Ok(Self {
             points,
@@ -591,6 +588,146 @@ where
             merged,
             sketch_values,
         })
+    }
+}
+
+impl<P, H, N> fairnn_snapshot::Codec for FairNnis<P, H, N>
+where
+    P: fairnn_snapshot::Codec,
+    H: fairnn_lsh::HasherBankCodec,
+    N: fairnn_snapshot::Codec,
+{
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.points.encode(enc);
+        H::encode_bank(&self.hashers, enc);
+        self.tables.encode(enc);
+        self.ranks.encode(enc);
+        self.near.encode(enc);
+        self.params.encode(enc);
+        self.config.encode(enc);
+        enc.write_u64(self.sketch_seed);
+        self.sketch_params.encode(enc);
+        self.sketch_values.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let points = Vec::<P>::decode(dec)?;
+        let hashers = H::decode_bank(dec)?;
+        let tables = Vec::<RankedTable>::decode(dec)?;
+        let ranks = RankPermutation::decode(dec)?;
+        let near = N::decode(dec)?;
+        let params = LshParams::decode(dec)?;
+        let config = FairNnisConfig::decode(dec)?;
+        let sketch_seed = dec.read_u64()?;
+        let sketch_params = DistinctSketchParams::decode(dec)?;
+        let sketch_values = DistinctValueTable::decode(dec)?;
+        Self::assemble(
+            points,
+            hashers,
+            tables,
+            ranks,
+            near,
+            params,
+            config,
+            sketch_seed,
+            sketch_params,
+            sketch_values,
+        )
+    }
+
+    /// Sectioned container image: a head section (points, hasher bank, rank
+    /// permutation, predicate and all scalar parameters), one section per
+    /// ranked table, and one for the precomputed distinct-value table — so
+    /// the per-table encode, checksum and decode-with-validation work (the
+    /// dominant cost either way) runs on parallel build workers. Bytes are
+    /// identical at every thread count.
+    fn encode_sections(&self) -> Vec<Vec<u8>> {
+        let mut head = fairnn_snapshot::Encoder::new();
+        self.points.encode(&mut head);
+        H::encode_bank(&self.hashers, &mut head);
+        self.ranks.encode(&mut head);
+        self.near.encode(&mut head);
+        self.params.encode(&mut head);
+        self.config.encode(&mut head);
+        head.write_u64(self.sketch_seed);
+        self.sketch_params.encode(&mut head);
+        head.write_u64(self.tables.len() as u64);
+        let mut sections = Vec::with_capacity(self.tables.len() + 2);
+        sections.push(head.into_bytes());
+        // Capture only the ranked tables (not `self`), so the parallel
+        // encode needs no `Sync` bounds on the point/hasher/predicate types.
+        let tables = &self.tables;
+        sections.extend(fairnn_parallel::map_indexed(tables.len(), |t| {
+            let mut enc = fairnn_snapshot::Encoder::new();
+            tables[t].encode(&mut enc);
+            enc.into_bytes()
+        }));
+        let mut values = fairnn_snapshot::Encoder::new();
+        self.sketch_values.encode(&mut values);
+        sections.push(values.into_bytes());
+        sections
+    }
+
+    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let Some((head, rest)) = sections.split_first() else {
+            return Err(SnapshotError::Corrupt(
+                "fair-nnis snapshot has no head section".into(),
+            ));
+        };
+        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let points = Vec::<P>::decode(&mut dec)?;
+        let hashers = H::decode_bank(&mut dec)?;
+        let ranks = RankPermutation::decode(&mut dec)?;
+        let near = N::decode(&mut dec)?;
+        let params = LshParams::decode(&mut dec)?;
+        let config = FairNnisConfig::decode(&mut dec)?;
+        let sketch_seed = dec.read_u64()?;
+        let sketch_params = DistinctSketchParams::decode(&mut dec)?;
+        // Cross-section count: a plain u64 (`read_len` bounds by this
+        // section's remaining bytes, which is not the right limit here).
+        let num_tables = usize::try_from(dec.read_u64()?)
+            .map_err(|_| SnapshotError::Corrupt("table count does not fit usize".into()))?;
+        dec.finish()?;
+        let Some((value_section, table_sections)) = rest.split_last() else {
+            return Err(SnapshotError::Corrupt(
+                "fair-nnis snapshot has no value-table section".into(),
+            ));
+        };
+        if table_sections.len() != num_tables {
+            return Err(SnapshotError::Corrupt(format!(
+                "fair-nnis head declares {num_tables} tables, directory holds {} table sections",
+                table_sections.len()
+            )));
+        }
+        let decoded = fairnn_parallel::map_indexed(table_sections.len(), |t| {
+            let mut dec = fairnn_snapshot::Decoder::new(table_sections[t]);
+            let table = RankedTable::decode(&mut dec)?;
+            dec.finish()?;
+            Ok::<RankedTable, SnapshotError>(table)
+        });
+        let mut tables = Vec::with_capacity(num_tables);
+        for table in decoded {
+            tables.push(table?);
+        }
+        let mut dec = fairnn_snapshot::Decoder::new(value_section);
+        let sketch_values = DistinctValueTable::decode(&mut dec)?;
+        dec.finish()?;
+        // All cross-field invariants live in the shared `assemble` tail.
+        Self::assemble(
+            points,
+            hashers,
+            tables,
+            ranks,
+            near,
+            params,
+            config,
+            sketch_seed,
+            sketch_params,
+            sketch_values,
+        )
     }
 }
 

@@ -51,9 +51,9 @@ pub struct FairNns<P, H, N> {
     scratch: QueryScratch,
 }
 
-impl<P: Clone, BH, N> FairNns<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> FairNns<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the data structure: LSH index plus random rank permutation.
     pub fn build<F, R>(
@@ -93,17 +93,17 @@ where
         );
         let params = index.params();
         let (hashers, tables) = index.into_parts();
-        let mut buckets = Vec::with_capacity(tables.len());
-        for table in &tables {
-            buckets.push(FrozenTable::from_buckets(table.buckets().map(
-                |(key, ids)| {
-                    let mut sorted: Vec<(u32, PointId)> =
-                        ids.iter().map(|&id| (ranks.rank(id), id)).collect();
-                    sorted.sort_unstable();
-                    (key, sorted)
-                },
-            )));
-        }
+        // Per-table rank sort + CSR freeze are disjoint work items: they run
+        // on parallel build workers, in table order, so the result is
+        // bit-identical to the serial construction.
+        let buckets = fairnn_parallel::map_indexed(tables.len(), |t| {
+            FrozenTable::from_buckets(tables[t].buckets().map(|(key, ids)| {
+                let mut sorted: Vec<(u32, PointId)> =
+                    ids.iter().map(|&id| (ranks.rank(id), id)).collect();
+                sorted.sort_unstable();
+                (key, sorted)
+            }))
+        });
         Self {
             points: dataset.points().to_vec(),
             hashers,

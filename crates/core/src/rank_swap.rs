@@ -30,9 +30,9 @@ pub struct RankSwapSampler<P, H, N> {
     inner: FairNns<P, H, N>,
 }
 
-impl<P: Clone, BH, N> RankSwapSampler<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> RankSwapSampler<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the data structure (same construction as [`FairNns`]).
     pub fn build<F, R>(

@@ -26,12 +26,12 @@ use crate::sharded::{ShardedIndex, ShardedIndexConfig};
 use fairnn_core::predicate::Nearness;
 use fairnn_core::{NeighborSampler, QueryStats};
 use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshParams};
+use fairnn_parallel::ThreadPool;
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::thread;
 
 /// Configuration of a [`QueryEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,57 +99,6 @@ pub struct Answer {
 /// RNG stream tag for batches (domain-separated from the index streams).
 const STREAM_BATCH_BASE: u64 = 3 << 32;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A minimal fixed-size thread pool (std-only; the workspace has no
-/// dependency budget for an executor).
-#[derive(Debug)]
-struct ThreadPool {
-    sender: Option<mpsc::Sender<Job>>,
-    workers: Vec<thread::JoinHandle<()>>,
-}
-
-impl ThreadPool {
-    fn new(threads: usize) -> Self {
-        assert!(threads >= 1);
-        let (sender, receiver) = mpsc::channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|_| {
-                let receiver = Arc::clone(&receiver);
-                thread::spawn(move || loop {
-                    let job = receiver.lock().expect("pool receiver poisoned").recv();
-                    match job {
-                        Ok(job) => job(),
-                        Err(_) => break, // pool dropped
-                    }
-                })
-            })
-            .collect();
-        Self {
-            sender: Some(sender),
-            workers,
-        }
-    }
-
-    fn execute(&self, job: Job) {
-        self.sender
-            .as_ref()
-            .expect("pool is live")
-            .send(job)
-            .expect("workers alive while pool is live");
-    }
-}
-
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        drop(self.sender.take());
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
 /// One unit of work: a distinct query and the batch positions asking it.
 struct Group<P> {
     query: P,
@@ -170,12 +119,14 @@ pub struct QueryEngine<P, H, N> {
     last_stats: QueryStats,
 }
 
-impl<P: Clone, BH, N> QueryEngine<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Send + Sync, BH, N> QueryEngine<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
     P: Hash + Eq,
 {
-    /// Builds the index and the worker pool. Deterministic given
+    /// Builds the index and the worker pool: the shards build concurrently
+    /// on the build workers (see [`ShardedIndex::build`]), with output
+    /// bit-identical at any thread count. Deterministic given
     /// `config.index.seed`.
     pub fn build<F>(
         family: &F,
@@ -185,8 +136,8 @@ where
         config: EngineConfig,
     ) -> Self
     where
-        F: LshFamily<P, Hasher = BH>,
-        N: Clone,
+        F: LshFamily<P, Hasher = BH> + Sync,
+        N: Clone + Send + Sync,
     {
         Self::from_index(
             ShardedIndex::build(family, params, dataset, near, config.index),
@@ -324,9 +275,9 @@ impl fairnn_snapshot::Codec for EngineConfig {
 
 impl<P, H, N> fairnn_snapshot::Codec for QueryEngine<P, H, N>
 where
-    P: Hash + Eq + Clone + fairnn_snapshot::Codec,
-    H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    P: Hash + Eq + Clone + fairnn_snapshot::Codec + Send + Sync,
+    H: fairnn_lsh::HasherBankCodec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync,
 {
     /// Persists the engine's complete serving state: configuration (thread
     /// count, cache capacity, index topology and root seed), the batch
@@ -345,13 +296,69 @@ where
     fn decode(
         dec: &mut fairnn_snapshot::Decoder<'_>,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
-        use fairnn_snapshot::SnapshotError;
         let config = EngineConfig::decode(dec)?;
         let batches = dec.read_u64()?;
         let index = ShardedIndex::<P, H, N>::decode(dec)?;
         let cache = ResultCache::<P>::decode(dec)?;
+        Self::assemble(config, batches, index, cache)
+    }
+
+    /// Sectioned container image: a head section (configuration, batch
+    /// counter, result cache) followed by the index's own sections — one
+    /// per shard — so engine snapshots encode and decode shard-parallel
+    /// exactly like bare [`ShardedIndex`] snapshots.
+    fn encode_sections(&self) -> Vec<Vec<u8>> {
+        let mut head = fairnn_snapshot::Encoder::new();
+        self.config.encode(&mut head);
+        head.write_u64(self.batches);
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .encode(&mut head);
+        let mut sections = vec![head.into_bytes()];
+        sections.extend(
+            self.index
+                .read()
+                .expect("index lock poisoned")
+                .encode_sections(),
+        );
+        sections
+    }
+
+    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let Some((head, index_sections)) = sections.split_first() else {
+            return Err(SnapshotError::Corrupt(
+                "engine snapshot has no head section".into(),
+            ));
+        };
+        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let config = EngineConfig::decode(&mut dec)?;
+        let batches = dec.read_u64()?;
+        let cache = ResultCache::<P>::decode(&mut dec)?;
+        dec.finish()?;
+        let index = ShardedIndex::<P, H, N>::decode_sections(index_sections)?;
+        // All cross-field invariants live in the shared `assemble` tail.
+        Self::assemble(config, batches, index, cache)
+    }
+}
+
+impl<P, H, N> QueryEngine<P, H, N>
+where
+    P: Hash + Eq + Clone,
+{
+    /// Shared tail of the inline and sectioned decoders: every cross-field
+    /// invariant of the wire format lives here, exactly once, so the two
+    /// container forms cannot drift apart in what they accept. Respawns the
+    /// transient worker pool from the configuration.
+    fn assemble(
+        config: EngineConfig,
+        batches: u64,
+        index: ShardedIndex<P, H, N>,
+        cache: ResultCache<P>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         if cache.capacity() != config.cache_capacity {
-            return Err(SnapshotError::Corrupt(format!(
+            return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
                 "cache snapshot has capacity {}, engine config says {}",
                 cache.capacity(),
                 config.cache_capacity
@@ -371,9 +378,9 @@ where
 
 impl<P, H, N> QueryEngine<P, H, N>
 where
-    P: Hash + Eq + Clone + fairnn_snapshot::Codec,
-    H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    P: Hash + Eq + Clone + fairnn_snapshot::Codec + Send + Sync,
+    H: fairnn_lsh::HasherBankCodec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync,
 {
     /// Writes the engine as a versioned, checksummed snapshot file — the
     /// build-once/serve-many handoff: one process builds and saves, any
@@ -531,7 +538,7 @@ where
                     let index = Arc::clone(&self.index);
                     let cache = Arc::clone(&self.cache);
                     let tx = tx.clone();
-                    pool.execute(Box::new(move || {
+                    pool.execute(move || {
                         let index = index.read().expect("index lock poisoned");
                         let results: Vec<_> = chunk
                             .iter()
@@ -543,7 +550,7 @@ where
                             })
                             .collect();
                         tx.send(results).expect("batch receiver alive");
-                    }));
+                    });
                 }
                 drop(tx);
                 commits.resize_with(num_groups, || None);

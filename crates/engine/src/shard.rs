@@ -109,9 +109,9 @@ pub struct Shard<P, H, N> {
     config: ShardConfig,
 }
 
-impl<P: Clone, BH, N> Shard<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Sync, BH, N> Shard<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds a shard over `points` (with their global ids) from the shared
     /// parameters; the hashers are drawn from `rng`, which the sharded index
@@ -202,27 +202,29 @@ impl<P, H, N> Shard<P, H, N> {
 
     /// Rebuilds the per-bucket sketches from the current tables (called at
     /// construction and after compaction, when buckets contain live points
-    /// only).
+    /// only). Tables are disjoint work items, so their sketch maps build
+    /// concurrently on the build workers; sketch contents depend only on
+    /// bucket contents, so the result is thread-count independent.
     fn rebuild_sketches(&mut self) {
         let threshold = self.config.sketch_threshold;
-        self.sketches = self
-            .index
-            .tables()
-            .iter()
-            .map(|table| {
-                table
-                    .buckets()
-                    .filter(|(_, ids)| ids.len() >= threshold)
-                    .map(|(key, ids)| {
-                        let mut sketch = BottomKSketch::new(self.sketch_seed, self.config.sketch_k);
-                        for &lid in ids {
-                            sketch.insert(self.global_ids[lid.index()].0 as u64);
-                        }
-                        (key, sketch)
-                    })
-                    .collect()
-            })
-            .collect();
+        let sketch_seed = self.sketch_seed;
+        let sketch_k = self.config.sketch_k;
+        let tables = self.index.tables();
+        let global_ids = &self.global_ids;
+        let sketches = fairnn_parallel::map_indexed(tables.len(), |t| {
+            tables[t]
+                .buckets()
+                .filter(|(_, ids)| ids.len() >= threshold)
+                .map(|(key, ids)| {
+                    let mut sketch = BottomKSketch::new(sketch_seed, sketch_k);
+                    for &lid in ids {
+                        sketch.insert(global_ids[lid.index()].0 as u64);
+                    }
+                    (key, sketch)
+                })
+                .collect()
+        });
+        self.sketches = sketches;
     }
 }
 
@@ -389,14 +391,19 @@ where
         true
     }
 
-    /// Drops tombstoned points, re-densifies local ids, rebuilds the tables
-    /// (keeping the same hashers, so this is a deterministic compaction)
-    /// and refreshes every bucket sketch. Strictly shard-local.
+    /// Drops tombstoned points, re-densifies local ids, compacts the tables
+    /// and refreshes every bucket sketch. Strictly shard-local. The tables
+    /// are compacted by [`fairnn_lsh::LshIndex::compact_retain`] — a pure
+    /// per-table id remap of the already-recorded bucket keys, so no point
+    /// is re-run through the hasher bank — which is bit-identical to the
+    /// old rebuild-based compaction at a fraction of the cost.
     fn compact(&mut self) {
+        let mut new_id_of = vec![u32::MAX; self.points.len()];
         let mut points = Vec::with_capacity(self.live);
         let mut global_ids = Vec::with_capacity(self.live);
         for (i, point) in self.points.drain(..).enumerate() {
             if self.alive[i] {
+                new_id_of[i] = points.len() as u32;
                 points.push(point);
                 global_ids.push(self.global_ids[i]);
             }
@@ -411,7 +418,7 @@ where
             .map(|(i, &g)| (g, i as u32))
             .collect();
         self.tombstones = 0;
-        self.index.rebuild(&self.points);
+        self.index.compact_retain(&new_id_of, self.points.len());
         self.rebuild_sketches();
     }
 }

@@ -144,13 +144,16 @@ pub struct ShardedIndex<P, H, N> {
     config: ShardedIndexConfig,
 }
 
-impl<P: Clone, BH, N> ShardedIndex<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Send + Sync, BH, N> ShardedIndex<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Partitions `dataset` round-robin across `config.shards` shards and
-    /// builds each shard's tables from the shared `params`. Fully
-    /// deterministic given `config.seed`.
+    /// builds each shard's tables from the shared `params`. Shards are
+    /// independent work items — each draws its hashers from its own RNG
+    /// stream split off the root seed — so they build concurrently on the
+    /// build workers, and the result is bit-for-bit the serial build at any
+    /// thread count. Fully deterministic given `config.seed`.
     pub fn build<F>(
         family: &F,
         params: LshParams,
@@ -159,26 +162,28 @@ where
         config: ShardedIndexConfig,
     ) -> Self
     where
-        F: LshFamily<P, Hasher = BH>,
-        N: Clone,
+        F: LshFamily<P, Hasher = BH> + Sync,
+        N: Clone + Send + Sync,
     {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.kappa >= 1.0, "kappa must be at least 1");
         let sketch_seed = split_seed(config.seed, STREAM_SKETCH);
         let assignment = partition::round_robin(dataset.len(), config.shards);
         let mut shard_of = vec![UNASSIGNED; dataset.len()];
-        let mut shards = Vec::with_capacity(config.shards);
         for (s, indices) in assignment.iter().enumerate() {
             for &i in indices {
                 shard_of[i] = s as u32;
             }
+        }
+        let shards = fairnn_parallel::map_indexed(config.shards, |s| {
+            let indices = &assignment[s];
             let points: Vec<P> = indices
                 .iter()
                 .map(|&i| dataset.points()[i].clone())
                 .collect();
             let globals: Vec<PointId> = indices.iter().map(|&i| PointId::from_index(i)).collect();
             let mut rng = stream_rng(config.seed, STREAM_SHARD_BASE + s as u64);
-            shards.push(Shard::build(
+            Shard::build(
                 family,
                 params,
                 points,
@@ -187,8 +192,8 @@ where
                 sketch_seed,
                 config.shard,
                 &mut rng,
-            ));
-        }
+            )
+        });
         Self {
             shards,
             shard_of,
@@ -350,9 +355,9 @@ where
 
 impl<P, H, N> fairnn_snapshot::Codec for ShardedIndex<P, H, N>
 where
-    P: fairnn_snapshot::Codec,
-    H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    P: fairnn_snapshot::Codec + Send + Sync,
+    H: fairnn_lsh::HasherBankCodec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync,
 {
     /// Persists the full topology: every shard (each with its own hasher
     /// bank, frozen tables and sketches), the global id → shard partition
@@ -368,11 +373,80 @@ where
     fn decode(
         dec: &mut fairnn_snapshot::Decoder<'_>,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
-        use fairnn_snapshot::SnapshotError;
         let shards = Vec::<Shard<P, H, N>>::decode(dec)?;
         let shard_of = Vec::<u32>::decode(dec)?;
         let params = LshParams::decode(dec)?;
         let config = ShardedIndexConfig::decode(dec)?;
+        Self::assemble(shards, shard_of, params, config)
+    }
+
+    /// Sectioned container image: a head section (partition map, shared
+    /// parameters, configuration), then one section per shard — encode,
+    /// per-section checksums and the per-shard decodes (each rebuilding its
+    /// CSR key indexes and re-verifying its sketches) all run on parallel
+    /// build workers. Bytes are identical at every thread count.
+    fn encode_sections(&self) -> Vec<Vec<u8>> {
+        let mut head = fairnn_snapshot::Encoder::new();
+        self.shard_of.encode(&mut head);
+        self.params.encode(&mut head);
+        self.config.encode(&mut head);
+        head.write_u64(self.shards.len() as u64);
+        let mut sections = Vec::with_capacity(self.shards.len() + 1);
+        sections.push(head.into_bytes());
+        sections.extend(fairnn_parallel::map_indexed(self.shards.len(), |s| {
+            let mut enc = fairnn_snapshot::Encoder::new();
+            self.shards[s].encode(&mut enc);
+            enc.into_bytes()
+        }));
+        sections
+    }
+
+    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let Some((head, shard_sections)) = sections.split_first() else {
+            return Err(SnapshotError::Corrupt(
+                "sharded index snapshot has no head section".into(),
+            ));
+        };
+        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let shard_of = Vec::<u32>::decode(&mut dec)?;
+        let params = LshParams::decode(&mut dec)?;
+        let config = ShardedIndexConfig::decode(&mut dec)?;
+        // Cross-section count: a plain u64 (`read_len` bounds by this
+        // section's remaining bytes, which is not the right limit here).
+        let num_shards = usize::try_from(dec.read_u64()?)
+            .map_err(|_| SnapshotError::Corrupt("shard count does not fit usize".into()))?;
+        dec.finish()?;
+        if num_shards != shard_sections.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "sharded head declares {num_shards} shards, directory holds {} shard sections",
+                shard_sections.len()
+            )));
+        }
+        let decoded = fairnn_parallel::map_indexed(shard_sections.len(), |s| {
+            let mut dec = fairnn_snapshot::Decoder::new(shard_sections[s]);
+            let shard = Shard::<P, H, N>::decode(&mut dec)?;
+            dec.finish()?;
+            Ok::<Shard<P, H, N>, SnapshotError>(shard)
+        });
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard in decoded {
+            shards.push(shard?);
+        }
+        Self::assemble(shards, shard_of, params, config)
+    }
+}
+
+impl<P, H, N> ShardedIndex<P, H, N> {
+    /// Shared tail of the inline and sectioned decoders: cross-shard
+    /// validation and assembly.
+    fn assemble(
+        shards: Vec<Shard<P, H, N>>,
+        shard_of: Vec<u32>,
+        params: LshParams,
+        config: ShardedIndexConfig,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
         if shards.is_empty() {
             return Err(SnapshotError::Corrupt(
                 "sharded index needs at least one shard".into(),
@@ -398,9 +472,9 @@ where
 
 impl<P, H, N> ShardedIndex<P, H, N>
 where
-    P: fairnn_snapshot::Codec,
-    H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    P: fairnn_snapshot::Codec + Send + Sync,
+    H: fairnn_lsh::HasherBankCodec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync,
 {
     /// Writes the sharded index as a versioned, checksummed snapshot file.
     pub fn save<Q: AsRef<std::path::Path>>(
@@ -602,9 +676,9 @@ impl<P, H, N> ShardedSampler<P, H, N> {
     }
 }
 
-impl<P: Clone, BH, N> ShardedSampler<P, ConcatenatedHasher<BH>, N>
+impl<P: Clone + Send + Sync, BH, N> ShardedSampler<P, ConcatenatedHasher<BH>, N>
 where
-    BH: LshHasher<P>,
+    BH: LshHasher<P> + Send + Sync,
 {
     /// Builds the index and wraps it (mirrors `FairNns::build` ergonomics).
     pub fn build<F>(
@@ -615,8 +689,8 @@ where
         config: ShardedIndexConfig,
     ) -> Self
     where
-        F: LshFamily<P, Hasher = BH>,
-        N: Clone,
+        F: LshFamily<P, Hasher = BH> + Sync,
+        N: Clone + Send + Sync,
     {
         Self::new(ShardedIndex::build(family, params, dataset, near, config))
     }

@@ -256,28 +256,65 @@ impl<H> LshIndex<H> {
     }
 }
 
+/// Computes every point's `L` bucket keys into one point-major buffer
+/// (`keys[i * L + t]` is point `i`'s key in table `t`): one batched
+/// [`LshHasher::hash_all`] evaluation per point, with disjoint point chunks
+/// hashed on parallel build workers. Chunks are concatenated in point
+/// order, so the buffer is bit-identical at every thread count.
+fn compute_point_keys<P, H>(hashers: &[H], points: &[P]) -> Vec<u64>
+where
+    H: LshHasher<P> + Sync,
+    P: Sync,
+{
+    let l = hashers.len();
+    let chunks = fairnn_parallel::map_slices(points, 32, |_, chunk| {
+        let mut keys = vec![0u64; chunk.len() * l];
+        for (i, p) in chunk.iter().enumerate() {
+            H::hash_all(hashers, p, &mut keys[i * l..(i + 1) * l]);
+        }
+        keys
+    });
+    let mut keys = Vec::with_capacity(points.len() * l);
+    for chunk in chunks {
+        keys.extend(chunk);
+    }
+    keys
+}
+
+/// Builds the `L` frozen tables from a precomputed point-major key buffer.
+/// Each table is filled by inserting the points **in point order** — the
+/// exact order the serial build used — so per-bucket entry order is
+/// preserved bit-for-bit; tables are disjoint work items, so they build and
+/// freeze concurrently.
+fn build_tables(keys: &[u64], num_tables: usize, num_points: usize) -> Vec<LshTable> {
+    debug_assert_eq!(keys.len(), num_tables * num_points);
+    fairnn_parallel::map_indexed(num_tables, |t| {
+        let mut table = LshTable::new();
+        for i in 0..num_points {
+            table.insert(keys[i * num_tables + t], PointId::from_index(i));
+        }
+        table.freeze();
+        table
+    })
+}
+
 impl<H> LshIndex<H> {
     /// Builds an index from pre-sampled hashers (used by the filter-style
     /// structures and by tests that need full control over the hashers).
     /// Every point's `L` bucket keys are computed with one batched
-    /// [`LshHasher::hash_all`] evaluation, and the tables are frozen into
-    /// their read-optimized form once filled.
+    /// [`LshHasher::hash_all`] evaluation — point chunks hashed and the
+    /// per-table CSR freezes run on parallel build workers (see
+    /// [`fairnn_parallel`]), with output bit-identical to the serial build
+    /// at any thread count — and the tables come out frozen into their
+    /// read-optimized form.
     pub fn from_hashers<P>(hashers: Vec<H>, points: &[P], params: LshParams) -> Self
     where
-        H: LshHasher<P>,
+        H: LshHasher<P> + Sync,
+        P: Sync,
     {
         assert!(!hashers.is_empty(), "index needs at least one hasher");
-        let mut tables: Vec<LshTable> = (0..hashers.len()).map(|_| LshTable::new()).collect();
-        let mut keys = vec![0u64; hashers.len()];
-        for (i, p) in points.iter().enumerate() {
-            H::hash_all(&hashers, p, &mut keys);
-            for (table, &key) in tables.iter_mut().zip(keys.iter()) {
-                table.insert(key, PointId::from_index(i));
-            }
-        }
-        for table in &mut tables {
-            table.freeze();
-        }
+        let keys = compute_point_keys(&hashers, points);
+        let tables = build_tables(&keys, hashers.len(), points.len());
         Self {
             hashers,
             tables,
@@ -287,13 +324,11 @@ impl<H> LshIndex<H> {
     }
 
     /// Freezes every table into its read-optimized form (see
-    /// [`LshTable::freeze`]). Call after a burst of incremental updates to
-    /// restore the contiguous bucket layout; build and
-    /// [`LshIndex::rebuild`] freeze automatically.
+    /// [`LshTable::freeze`]), tables in parallel on the build workers. Call
+    /// after a burst of incremental updates to restore the contiguous
+    /// bucket layout; build and [`LshIndex::rebuild`] freeze automatically.
     pub fn freeze(&mut self) {
-        for table in &mut self.tables {
-            table.freeze();
-        }
+        fairnn_parallel::for_each_mut(&mut self.tables, |_, table| table.freeze());
     }
 
     /// Whether every table is currently frozen.
@@ -382,23 +417,66 @@ impl<H> LshIndex<H> {
     /// while keeping the existing hashers, so the rebuild is a pure
     /// compaction: deterministic and local to this index. Shards use it to
     /// reclaim tombstoned entries without any global coordination. The
-    /// rebuilt tables come out frozen.
+    /// rebuilt tables come out frozen. Runs the same parallel two-phase
+    /// build as [`LshIndex::from_hashers`]. When the surviving points are a
+    /// subset of the currently indexed ones, prefer
+    /// [`LshIndex::compact_retain`], which skips the re-hash entirely.
     pub fn rebuild<P>(&mut self, points: &[P])
     where
-        H: LshHasher<P>,
+        H: LshHasher<P> + Sync,
+        P: Sync,
     {
-        for table in &mut self.tables {
-            *table = LshTable::new();
-        }
-        let mut keys = vec![0u64; self.hashers.len()];
-        for (i, p) in points.iter().enumerate() {
-            H::hash_all(&self.hashers, p, &mut keys);
-            for (table, &key) in self.tables.iter_mut().zip(keys.iter()) {
-                table.insert(key, PointId::from_index(i));
-            }
-        }
-        self.freeze();
+        let keys = compute_point_keys(&self.hashers, points);
+        self.tables = build_tables(&keys, self.hashers.len(), points.len());
         self.num_points = points.len();
+    }
+
+    /// Compacts the index to the points that survive the `new_id_of` remap
+    /// (old id → new dense id; [`u32::MAX`] marks ids that are gone)
+    /// **without re-running the hasher bank**: every surviving entry's
+    /// bucket key is already recorded in the tables, so compaction is a
+    /// pure per-table remap — the fix for the redundant re-hash the old
+    /// rebuild-based compaction paid on every shard compaction. Requires
+    /// the tables to contain surviving ids only (callers remove deleted
+    /// points first, as [`crate::LshIndex::remove_point`] does).
+    ///
+    /// The result is bit-identical to `rebuild` over the surviving points
+    /// in new-id order: per-bucket entries are re-sorted by their new ids,
+    /// which is exactly the order a fresh point-order build would insert
+    /// them in. Tables remap and freeze concurrently.
+    pub fn compact_retain(&mut self, new_id_of: &[u32], new_num_points: usize) {
+        assert!(
+            new_id_of.len() >= self.num_points,
+            "remap covers {} ids for {} indexed points",
+            new_id_of.len(),
+            self.num_points
+        );
+        let tables = std::mem::take(&mut self.tables);
+        self.tables = fairnn_parallel::map_indexed(tables.len(), |t| {
+            let mut staging: HashMap<u64, Vec<PointId>> =
+                HashMap::with_capacity(tables[t].num_buckets());
+            for (key, bucket) in tables[t].buckets() {
+                let mut ids: Vec<PointId> = bucket
+                    .iter()
+                    .filter_map(|id| {
+                        let new = new_id_of[id.index()];
+                        (new != u32::MAX).then_some(PointId(new))
+                    })
+                    .collect();
+                if ids.is_empty() {
+                    continue;
+                }
+                ids.sort_unstable();
+                staging.insert(key, ids);
+            }
+            let mut table = LshTable {
+                staging,
+                frozen: None,
+            };
+            table.freeze();
+            table
+        });
+        self.num_points = new_num_points;
     }
 
     /// All ids colliding with the query in at least one table, deduplicated
@@ -463,25 +541,22 @@ impl<H> LshIndex<H> {
     }
 }
 
-impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H> {
-    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
-        H::encode_bank(&self.hashers, enc);
-        self.tables.encode(enc);
-        enc.write_u64(self.num_points as u64);
-        self.params.encode(enc);
-    }
-
-    fn decode(
-        dec: &mut fairnn_snapshot::Decoder<'_>,
+impl<H> LshIndex<H> {
+    /// Shared tail of the inline and sectioned decoders: every cross-field
+    /// invariant of the wire format lives here, exactly once, so the two
+    /// container forms cannot drift apart in what they accept.
+    fn assemble(
+        hashers: Vec<H>,
+        tables: Vec<LshTable>,
+        num_points: usize,
+        params: LshParams,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
-        let hashers = H::decode_bank(dec)?;
         if hashers.is_empty() {
             return Err(SnapshotError::Corrupt(
                 "an LSH index needs at least one hasher".into(),
             ));
         }
-        let tables = Vec::<LshTable>::decode(dec)?;
         if tables.len() != hashers.len() {
             return Err(SnapshotError::Corrupt(format!(
                 "index stores {} tables for {} hashers",
@@ -489,8 +564,6 @@ impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H>
                 hashers.len()
             )));
         }
-        let num_points = usize::decode(dec)?;
-        let params = LshParams::decode(dec)?;
         for table in &tables {
             for (_, bucket) in table.buckets() {
                 if let Some(&id) = bucket.iter().find(|id| id.index() >= num_points) {
@@ -506,6 +579,85 @@ impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H>
             num_points,
             params,
         })
+    }
+}
+
+impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H> {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        H::encode_bank(&self.hashers, enc);
+        self.tables.encode(enc);
+        enc.write_u64(self.num_points as u64);
+        self.params.encode(enc);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let hashers = H::decode_bank(dec)?;
+        let tables = Vec::<LshTable>::decode(dec)?;
+        let num_points = usize::decode(dec)?;
+        let params = LshParams::decode(dec)?;
+        Self::assemble(hashers, tables, num_points, params)
+    }
+
+    /// Sectioned container image: section 0 holds the hasher bank and the
+    /// scalar metadata, then one section per table — so table encodes, the
+    /// per-section checksums and the per-table decodes (CSR validation +
+    /// key-index rebuild, the expensive part of a load) all run on parallel
+    /// build workers. The bytes are identical at every thread count.
+    fn encode_sections(&self) -> Vec<Vec<u8>> {
+        let mut head = fairnn_snapshot::Encoder::new();
+        H::encode_bank(&self.hashers, &mut head);
+        head.write_u64(self.num_points as u64);
+        self.params.encode(&mut head);
+        head.write_u64(self.tables.len() as u64);
+        let mut sections = Vec::with_capacity(self.tables.len() + 1);
+        sections.push(head.into_bytes());
+        // Capture only the tables (not `self`), so the parallel encode
+        // needs no `Sync` bound on the hasher type.
+        let tables = &self.tables;
+        sections.extend(fairnn_parallel::map_indexed(tables.len(), |t| {
+            let mut enc = fairnn_snapshot::Encoder::new();
+            tables[t].encode(&mut enc);
+            enc.into_bytes()
+        }));
+        sections
+    }
+
+    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        use fairnn_snapshot::SnapshotError;
+        let Some((head, table_sections)) = sections.split_first() else {
+            return Err(SnapshotError::Corrupt(
+                "LSH index snapshot has no head section".into(),
+            ));
+        };
+        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let hashers = H::decode_bank(&mut dec)?;
+        let num_points = usize::decode(&mut dec)?;
+        let params = LshParams::decode(&mut dec)?;
+        // Cross-section count: a plain u64, *not* `read_len` (the bound of
+        // which is the remaining bytes of this section, not the directory).
+        let num_tables = usize::try_from(dec.read_u64()?)
+            .map_err(|_| SnapshotError::Corrupt("table count does not fit usize".into()))?;
+        dec.finish()?;
+        if num_tables != table_sections.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "index head declares {num_tables} tables, directory holds {} table sections",
+                table_sections.len()
+            )));
+        }
+        let decoded = fairnn_parallel::map_indexed(table_sections.len(), |t| {
+            let mut dec = fairnn_snapshot::Decoder::new(table_sections[t]);
+            let table = LshTable::decode(&mut dec)?;
+            dec.finish()?;
+            Ok::<LshTable, SnapshotError>(table)
+        });
+        let mut tables = Vec::with_capacity(num_tables);
+        for table in decoded {
+            tables.push(table?);
+        }
+        // All structural invariants live in the shared `assemble` tail.
+        Self::assemble(hashers, tables, num_points, params)
     }
 }
 
@@ -548,7 +700,8 @@ impl<BH> LshIndex<ConcatenatedHasher<BH>> {
     ) -> LshIndex<ConcatenatedHasher<F::Hasher>>
     where
         F: LshFamily<P, Hasher = BH>,
-        BH: LshHasher<P>,
+        BH: LshHasher<P> + Send + Sync,
+        P: Sync,
         R: Rng + ?Sized,
     {
         let rows = family.sample_many(rng, params.k * params.l);
@@ -742,6 +895,42 @@ mod tests {
         for (i, s) in sets[1..].iter().enumerate() {
             assert!(index.colliding_ids(s).contains(&PointId::from_index(i)));
         }
+    }
+
+    #[test]
+    fn compact_retain_matches_rebuild_without_rehashing() {
+        let sets = toy_sets();
+        let mut retained = build_index(&sets);
+        let mut rebuilt = retained.clone();
+        // Drop every third point, as a shard compaction would after deletes.
+        let keep: Vec<usize> = (0..sets.len()).filter(|i| i % 3 != 0).collect();
+        let mut new_id_of = vec![u32::MAX; sets.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            new_id_of[old] = new as u32;
+        }
+        for (i, s) in sets.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(retained.remove_point(s, PointId::from_index(i)));
+                assert!(rebuilt.remove_point(s, PointId::from_index(i)));
+            }
+        }
+        let survivors: Vec<SparseSet> = keep.iter().map(|&i| sets[i].clone()).collect();
+        retained.compact_retain(&new_id_of, survivors.len());
+        rebuilt.rebuild(&survivors);
+        assert_eq!(retained.num_points(), rebuilt.num_points());
+        for (a, b) in retained.tables().iter().zip(rebuilt.tables()) {
+            let got: Vec<(u64, Vec<PointId>)> =
+                a.buckets().map(|(k, ids)| (k, ids.to_vec())).collect();
+            let want: Vec<(u64, Vec<PointId>)> =
+                b.buckets().map(|(k, ids)| (k, ids.to_vec())).collect();
+            assert_eq!(got, want, "contents and per-bucket order must match");
+        }
+        // And the canonical snapshots agree byte for byte.
+        use fairnn_snapshot::{to_bytes, SnapshotKind};
+        assert_eq!(
+            to_bytes(SnapshotKind::LshIndex, &retained),
+            to_bytes(SnapshotKind::LshIndex, &rebuilt)
+        );
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Std-only deterministic scoped parallelism.
+//!
+//! Every structure in this workspace promises *bit-for-bit identical output
+//! at any thread count*: the engine's `run_batch` established the discipline
+//! for queries, and the build path follows it here. The helpers in this
+//! crate make that easy to uphold, because they only ever parallelize work
+//! whose result is a pure function of the input partition:
+//!
+//! * [`map_slices`] / [`map_indexed`] split a slice (or an index range)
+//!   into **contiguous chunks in order**, run one scoped worker per chunk
+//!   (`std::thread::scope`), and concatenate the results **in chunk
+//!   order** — so the output is exactly the serial output regardless of how
+//!   the OS schedules the workers;
+//! * [`for_each_mut`] does the same over disjoint `&mut` chunks;
+//! * nested calls run serially (a thread spawned by one helper never spawns
+//!   more), so fan-out is bounded by one level and builders can compose
+//!   freely — a sharded build parallelizes across shards while each shard's
+//!   inner index build runs inline on its worker.
+//!
+//! How many workers the helpers use is controlled by the process-wide
+//! [`set_build_threads`] knob (default: [`available_parallelism`]). The
+//! knob only moves chunk boundaries, never results, so it is safe to flip
+//! at any time — benches sweep it to measure build scaling.
+//!
+//! The crate also owns [`ThreadPool`], the fixed worker pool the serving
+//! engine dispatches query batches on (hoisted here so the build and serve
+//! layers share one threading substrate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::ThreadPool;
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Process-wide build-parallelism knob; 0 means "auto" (use
+/// [`available_parallelism`]).
+static BUILD_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set on worker threads spawned by the helpers below, so nested calls
+    /// run serially instead of oversubscribing the machine.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of hardware threads (1 when the query fails).
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets the number of worker threads construction helpers may use.
+/// `0` restores the default (one per hardware thread). Because every helper
+/// is deterministic, changing this never changes any build output — only
+/// how fast it is produced.
+pub fn set_build_threads(threads: usize) {
+    BUILD_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The resolved build-parallelism level (the knob, or the hardware thread
+/// count when the knob is unset).
+pub fn build_threads() -> usize {
+    match BUILD_THREADS.load(Ordering::Relaxed) {
+        0 => available_parallelism(),
+        n => n,
+    }
+}
+
+/// Whether the current thread is already a helper worker (nested calls run
+/// serially).
+fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(Cell::get)
+}
+
+/// Balanced contiguous chunk boundaries: `len` items over at most
+/// `build_threads()` chunks of at least `min_per_chunk` items each.
+/// Returns `(start, end)` pairs covering `0..len` in order.
+fn chunk_bounds(len: usize, min_per_chunk: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let max_chunks = len / min_per_chunk.max(1);
+    let chunks = build_threads().min(max_chunks).max(1);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let end = start + base + usize::from(i < extra);
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+/// Runs `f` over balanced contiguous sub-ranges of `0..len` — in parallel
+/// when more than one chunk is warranted — and returns the per-chunk
+/// results **in range order**. With `f` a pure function of its range, the
+/// concatenated output is identical at every thread count.
+///
+/// `min_per_chunk` bounds the split so tiny inputs are not smeared across
+/// threads (spawn latency would dominate).
+pub fn map_ranges<R, F>(len: usize, min_per_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let bounds = chunk_bounds(len, min_per_chunk);
+    if bounds.len() <= 1 || in_parallel_region() {
+        return bounds
+            .into_iter()
+            .map(|(start, end)| f(start..end))
+            .collect();
+    }
+    thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|(start, end)| {
+                scope.spawn(move || {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    f(start..end)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel build worker panicked"))
+            .collect()
+    })
+}
+
+/// The slice form of [`map_ranges`]: runs `f(start, &items[start..end])`
+/// over balanced contiguous chunks of `items` and returns the per-chunk
+/// results in chunk order.
+pub fn map_slices<T, R, F>(items: &[T], min_per_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    map_ranges(items.len(), min_per_chunk, |range| {
+        f(range.start, &items[range])
+    })
+}
+
+/// Maps `f` over `0..len` — in parallel chunks — returning the results in
+/// index order. This is the per-item form of [`map_ranges`] for work keyed
+/// by an index (one LSH table, one shard, one snapshot section).
+pub fn map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunks = map_ranges(len, 1, |range| range.map(&f).collect::<Vec<R>>());
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Runs `f(index, &mut item)` for every item — in parallel over disjoint
+/// contiguous chunks. The mutations commute by construction (each item is
+/// touched by exactly one worker), so the post-state is identical at every
+/// thread count.
+pub fn for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let bounds = chunk_bounds(items.len(), 1);
+    if bounds.len() <= 1 || in_parallel_region() {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    thread::scope(|scope| {
+        let f = &f;
+        let mut rest = items;
+        let mut consumed = 0;
+        for (start, end) in bounds {
+            let (chunk, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            scope.spawn(move || {
+                IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                for (offset, item) in chunk.iter_mut().enumerate() {
+                    f(start + offset, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The knob is process-global; tests that sweep it take this lock so
+    /// they do not observe each other's settings.
+    static KNOB: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn knob_roundtrips_and_zero_means_auto() {
+        let _guard = KNOB.lock().unwrap();
+        set_build_threads(3);
+        assert_eq!(build_threads(), 3);
+        set_build_threads(0);
+        assert_eq!(build_threads(), available_parallelism());
+    }
+
+    #[test]
+    fn chunk_bounds_cover_the_range_in_order() {
+        let _guard = KNOB.lock().unwrap();
+        set_build_threads(4);
+        let bounds = chunk_bounds(10, 1);
+        assert!(bounds.len() <= 4);
+        assert_eq!(bounds.first().map(|b| b.0), Some(0));
+        assert_eq!(bounds.last().map(|b| b.1), Some(10));
+        for pair in bounds.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "chunks must be contiguous");
+        }
+        assert!(chunk_bounds(0, 1).is_empty());
+        // A large minimum collapses to one chunk.
+        assert_eq!(chunk_bounds(10, 100), vec![(0, 10)]);
+        set_build_threads(0);
+    }
+
+    #[test]
+    fn map_slices_is_order_preserving_at_every_thread_count() {
+        let _guard = KNOB.lock().unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<Vec<u64>> = vec![items.iter().map(|x| x * 3).collect()];
+        let serial: Vec<u64> = serial.into_iter().flatten().collect();
+        for threads in [1, 2, 5, 8] {
+            set_build_threads(threads);
+            let mapped: Vec<u64> = map_slices(&items, 1, |_, chunk| {
+                chunk.iter().map(|x| x * 3).collect::<Vec<u64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            assert_eq!(mapped, serial, "threads = {threads}");
+        }
+        set_build_threads(0);
+    }
+
+    #[test]
+    fn map_indexed_preserves_index_order() {
+        let _guard = KNOB.lock().unwrap();
+        for threads in [1, 3, 8] {
+            set_build_threads(threads);
+            let out = map_indexed(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_build_threads(0);
+        assert!(map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let _guard = KNOB.lock().unwrap();
+        for threads in [1, 4] {
+            set_build_threads(threads);
+            let mut items = vec![0usize; 101];
+            for_each_mut(&mut items, |i, slot| *slot += i + 1);
+            assert_eq!(
+                items,
+                (0..101).map(|i| i + 1).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+        set_build_threads(0);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_and_stay_correct() {
+        let _guard = KNOB.lock().unwrap();
+        set_build_threads(4);
+        let outer: Vec<Vec<usize>> = map_indexed(6, |i| map_indexed(5, move |j| i * 10 + j));
+        for (i, inner) in outer.iter().enumerate() {
+            assert_eq!(inner, &(0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+        set_build_threads(0);
+    }
+}

@@ -290,16 +290,26 @@ pub struct DistinctValueTable {
 
 impl DistinctValueTable {
     /// Precomputes the row values of every element in `0..universe` for
-    /// sketches created with this `seed` and `params`.
+    /// sketches created with this `seed` and `params`. Each element's `Δ`
+    /// row hashes depend only on the element, so disjoint element ranges
+    /// are evaluated on parallel build workers and concatenated in order —
+    /// the table is bit-identical at every thread count.
     pub fn build(seed: u64, params: DistinctSketchParams, universe: usize) -> Self {
         let reference = DistinctSketch::new(seed, params);
         let rows = reference.rows.len();
         let range = reference.hash_range;
-        let mut values = Vec::with_capacity(universe * rows);
-        for element in 0..universe as u64 {
-            for row in &reference.rows {
-                values.push(row.hash.hash_range(element, range) + 1);
+        let chunks = fairnn_parallel::map_ranges(universe, 64, |elements| {
+            let mut values = Vec::with_capacity(elements.len() * rows);
+            for element in elements {
+                for row in &reference.rows {
+                    values.push(row.hash.hash_range(element as u64, range) + 1);
+                }
             }
+            values
+        });
+        let mut values = Vec::with_capacity(universe * rows);
+        for chunk in chunks {
+            values.extend(chunk);
         }
         Self { rows, values }
     }

@@ -170,6 +170,41 @@ pub trait Codec: Sized {
 
     /// Reads one value, validating structural invariants.
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError>;
+
+    /// Splits this value's **container image** into independently decodable
+    /// sections (the version-2 container stores one length and checksum per
+    /// section; see `crate::container`). The default is a single section
+    /// holding the plain [`Codec::encode`] bytes. Large structures override
+    /// this with one section per shard or per table, so encode, checksum
+    /// and decode all run on parallel build workers — with the emitted
+    /// bytes identical at every thread count, because sections are always
+    /// concatenated in order.
+    ///
+    /// Only the top-level value of a snapshot is sectioned; a value nested
+    /// inside another's encoding always uses the inline [`Codec::encode`]
+    /// form.
+    fn encode_sections(&self) -> Vec<Vec<u8>> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        vec![enc.into_bytes()]
+    }
+
+    /// Reassembles a value from the container sections written by
+    /// [`Codec::encode_sections`]. Implementations must reject a section
+    /// count they did not produce, and every section must be fully
+    /// consumed.
+    fn decode_sections(sections: &[&[u8]]) -> Result<Self, SnapshotError> {
+        let [payload] = sections else {
+            return Err(SnapshotError::Corrupt(format!(
+                "expected a single snapshot section, found {}",
+                sections.len()
+            )));
+        };
+        let mut dec = Decoder::new(payload);
+        let value = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(value)
+    }
 }
 
 impl Codec for u8 {

@@ -70,7 +70,9 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "snapshot format version {found} is not supported (this build reads version {supported})"
+                "snapshot format version {found} is not supported (this build reads version {supported}); \
+                 upgrade the file by rebuilding the structure from its raw data and re-saving it \
+                 with this build (versions are deliberate breaks — there are no migration shims)"
             ),
             SnapshotError::EndiannessMismatch { found } => write!(
                 f,

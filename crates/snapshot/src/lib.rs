@@ -17,9 +17,11 @@
 //! * [`Encoder`] / [`Decoder`] — the bounds-checked byte cursors;
 //! * the container format ([`to_bytes`] / [`from_bytes`] /
 //!   [`save`] / [`load`]): an 8-byte magic, a format version, a byte-order
-//!   marker, a structure [`SnapshotKind`] tag, the payload length, and an
-//!   FNV-1a checksum, validated in that order before any payload byte is
-//!   decoded;
+//!   marker, a structure [`SnapshotKind`] tag, the payload length, an
+//!   FNV-1a checksum over the section directory — validated in that order
+//!   before any payload byte is decoded — and per-section lengths and
+//!   checksums, so large structures encode, verify and decode their
+//!   sections on parallel build workers ([`Codec::encode_sections`]);
 //! * [`SnapshotError`] — a typed error for every rejection path (bad magic,
 //!   unsupported version, endianness, kind mismatch, checksum mismatch,
 //!   truncation, corrupt payload, trailing bytes). Loading never panics on
@@ -38,7 +40,7 @@ mod error;
 
 pub use codec::{Codec, Decoder, Encoder};
 pub use container::{
-    checksum64, from_bytes, load, save, to_bytes, SnapshotKind, ENDIAN_MARK, FORMAT_VERSION,
-    HEADER_LEN, MAGIC,
+    checksum64, from_bytes, load, repair_checksums, save, to_bytes, SnapshotKind, ENDIAN_MARK,
+    FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
 pub use error::SnapshotError;

@@ -1,10 +1,10 @@
 //! CI perf-regression gate.
 //!
-//! Compares a freshly measured `BENCH_engine.json` (written by the
-//! `engine_throughput` binary on this commit) against the committed
-//! `BENCH_baseline.json` and **fails the job** when any tracked
-//! queries/sec figure regressed by more than the threshold (default 35 %,
-//! sized for the noise of shared CI runners).
+//! Compares freshly measured reports (written by the `engine_throughput`
+//! and `build_scaling` binaries on this commit) against the committed
+//! `BENCH_baseline.json` and **fails the job** when any tracked figure
+//! regressed by more than the threshold (default 35 %, sized for the noise
+//! of shared CI runners).
 //!
 //! Tracked figures:
 //!
@@ -15,9 +15,19 @@
 //!   *skipping* rows either side marked `"hardware_limited": true` (on a
 //!   runner with fewer cores than threads the row measures scheduling
 //!   noise, not the engine);
-//! * the `rank_swap_qps` fast-path figure.
+//! * the `rank_swap_qps` fast-path figure;
+//! * every `builds` row (build throughput in points/sec from
+//!   `build_scaling`) whose `(structure, scale, threads)` coordinate
+//!   appears in both files, with the same `hardware_limited` skip — the
+//!   single-thread rows always compare, so a serial build regression fails
+//!   the gate even on a 1-core runner.
 //!
-//! Usage: `bench_gate <fresh.json> <baseline.json> [--max-regression 0.35]`
+//! Usage: `bench_gate <fresh.json>... <baseline.json>
+//!         [--max-regression 0.35]`
+//!
+//! Several fresh reports may be passed (engine + build); their top-level
+//! keys are merged, later files winning, and compared against the single
+//! baseline (the last path).
 //!
 //! Exit code 0 = within budget, 1 = regression (or unreadable input). To
 //! land a PR with a known, accepted slowdown, apply the `perf-override`
@@ -351,6 +361,49 @@ fn pipeline_qps(report: &Json) -> BTreeMap<u64, f64> {
     out
 }
 
+/// Builds measured below this wall time do not gate: a sub-millisecond
+/// smoke build is dominated by scheduler noise on a shared runner, so its
+/// points/sec would trip the 35 % threshold without any code change. The
+/// larger smoke scales comfortably clear this bar and carry the gate.
+const MIN_GATED_BUILD_S: f64 = 0.005;
+
+/// Extracts `(structure, scale, threads) → points/sec` from a `builds`
+/// array (written by `build_scaling`), dropping rows marked
+/// `hardware_limited` and rows too short to measure reliably.
+fn build_throughput(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(rows) = report.get("builds").and_then(Json::as_array) {
+        for row in rows {
+            let limited = row
+                .get("hardware_limited")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            if limited {
+                continue;
+            }
+            let too_short = row
+                .get("build_s")
+                .and_then(Json::as_f64)
+                .is_some_and(|s| s < MIN_GATED_BUILD_S);
+            if too_short {
+                continue;
+            }
+            if let (Some(structure), Some(scale), Some(threads), Some(pps)) = (
+                row.get("structure").and_then(Json::as_str),
+                row.get("scale").and_then(Json::as_f64),
+                row.get("threads").and_then(Json::as_f64),
+                row.get("points_per_s").and_then(Json::as_f64),
+            ) {
+                out.insert(
+                    format!("{structure}/scale-{scale}/{}t", threads as u64),
+                    pps,
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Builds the full comparison list between two reports.
 fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
     let mut comparisons = Vec::new();
@@ -386,7 +439,31 @@ fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
         });
     }
 
+    // Build throughput: points/sec behaves exactly like queries/sec in the
+    // regression math (higher is better). Only co-measured, non-limited
+    // coordinates gate — CI always measures the 1-thread rows, so the
+    // serial build path is always covered.
+    let fresh_builds = build_throughput(fresh);
+    for (key, base_pps) in build_throughput(baseline) {
+        if let Some(&fresh_pps) = fresh_builds.get(&key) {
+            comparisons.push(Comparison {
+                name: format!("build/{key}"),
+                baseline_qps: base_pps,
+                fresh_qps: Some(fresh_pps),
+            });
+        }
+    }
+
     comparisons
+}
+
+/// Overlays the top-level keys of `extra` onto `base` (later reports win).
+fn merge_reports(base: &mut Json, extra: Json) {
+    if let (Json::Object(into), Json::Object(from)) = (base, extra) {
+        for (key, value) in from {
+            into.insert(key, value);
+        }
+    }
 }
 
 /// Applies the threshold; returns the failing comparisons.
@@ -411,17 +488,21 @@ fn run(args: &[String]) -> Result<bool, String> {
             paths.push(arg);
         }
     }
-    let [fresh_path, baseline_path] = paths.as_slice() else {
+    let Some((baseline_path, fresh_paths)) = paths.split_last().filter(|(_, f)| !f.is_empty())
+    else {
         return Err(
-            "usage: bench_gate <fresh.json> <baseline.json> [--max-regression 0.35]".into(),
+            "usage: bench_gate <fresh.json>... <baseline.json> [--max-regression 0.35]".into(),
         );
     };
 
-    let fresh_text =
-        std::fs::read_to_string(fresh_path).map_err(|e| format!("read {fresh_path}: {e}"))?;
+    let mut fresh = Json::Object(BTreeMap::new());
+    for path in fresh_paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let report = Parser::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        merge_reports(&mut fresh, report);
+    }
     let baseline_text =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
-    let fresh = Parser::parse(&fresh_text).map_err(|e| format!("parse {fresh_path}: {e}"))?;
     let baseline =
         Parser::parse(&baseline_text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
 
@@ -568,6 +649,71 @@ mod tests {
         let fresh = report(100.0, 200.0, 50.0, true, 1000.0);
         let comparisons = compare_reports(&fresh, &baseline);
         assert!(comparisons.iter().all(|c| c.name != "pipeline/2-thread"));
+        assert!(gate(&comparisons, 0.35).is_empty());
+    }
+
+    fn build_report(serial_pps: f64, limited_two: bool) -> Json {
+        let text = format!(
+            r#"{{
+              "bench": "build_scaling",
+              "builds": [
+                {{"structure": "fair-nnis", "scale": 0.05, "threads": 1, "build_s": 0.05, "points_per_s": {serial_pps}, "hardware_limited": false}},
+                {{"structure": "fair-nnis", "scale": 0.05, "threads": 2, "build_s": 0.05, "points_per_s": 999.0, "hardware_limited": {limited_two}}},
+                {{"structure": "fair-nnis", "scale": 0.01, "threads": 1, "build_s": 0.0004, "points_per_s": 50000.0, "hardware_limited": false}}
+              ]
+            }}"#
+        );
+        Parser::parse(&text).expect("valid build report")
+    }
+
+    #[test]
+    fn sub_millisecond_builds_do_not_gate() {
+        // The 0.01-scale row is 0.4 ms — pure scheduler noise on a shared
+        // runner — and must be dropped on both sides even when its
+        // points/sec swings wildly.
+        let baseline = build_report(10_000.0, true);
+        let fresh = build_report(10_000.0, true);
+        assert!(build_throughput(&baseline)
+            .keys()
+            .all(|k| !k.contains("scale-0.01")));
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert!(comparisons.iter().all(|c| !c.name.contains("scale-0.01")));
+    }
+
+    #[test]
+    fn serial_build_regression_fails_the_gate() {
+        let baseline = build_report(10_000.0, true);
+        let fresh = build_report(5_000.0, true); // serial build 2x slower
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert_eq!(comparisons.len(), 1, "only the non-limited 1-thread row");
+        let failures = gate(&comparisons, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "build/fair-nnis/scale-0.05/1t");
+    }
+
+    #[test]
+    fn hardware_limited_build_rows_do_not_gate() {
+        // Baseline measured on a multicore box (2-thread row valid), fresh
+        // run on a 1-core runner (2-thread row limited): only the serial
+        // row compares, and within budget it passes.
+        let baseline = build_report(10_000.0, false);
+        let fresh = build_report(9_000.0, true);
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert!(comparisons.iter().all(|c| !c.name.contains("/2t")));
+        assert!(gate(&comparisons, 0.35).is_empty());
+    }
+
+    #[test]
+    fn merged_fresh_reports_cover_engine_and_build_figures() {
+        // The CI invocation: engine and build reports as separate fresh
+        // files, one combined baseline.
+        let mut fresh = report(100.0, 200.0, 50.0, true, 1000.0);
+        merge_reports(&mut fresh, build_report(10_000.0, true));
+        let mut baseline = report(100.0, 200.0, 50.0, true, 1000.0);
+        merge_reports(&mut baseline, build_report(10_000.0, true));
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert!(comparisons.iter().any(|c| c.name.starts_with("sampler/")));
+        assert!(comparisons.iter().any(|c| c.name.starts_with("build/")));
         assert!(gate(&comparisons, 0.35).is_empty());
     }
 

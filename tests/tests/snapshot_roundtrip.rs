@@ -22,7 +22,7 @@ use fairnn_integration_tests::{
 };
 use fairnn_lsh::{ConcatenatedHasher, MinHash, MinHasher};
 use fairnn_snapshot::{
-    checksum64, from_bytes, to_bytes, SnapshotError, SnapshotKind, FORMAT_VERSION, HEADER_LEN,
+    from_bytes, to_bytes, SnapshotError, SnapshotKind, FORMAT_VERSION, HEADER_LEN,
 };
 use fairnn_space::{Jaccard, PointId, SparseSet};
 use proptest::prelude::*;
@@ -329,14 +329,14 @@ fn small_sharded_snapshot() -> Vec<u8> {
         .clone()
 }
 
-/// Flips one payload byte and repairs the checksum, so the mutation reaches
-/// the structural decoders instead of the checksum wall.
+/// Flips one payload byte and repairs every checksum (each section's
+/// directory entry plus the header checksum over the directory), so the
+/// mutation reaches the structural decoders instead of the checksum wall.
 fn flip_and_repair(bytes: &[u8], offset: usize, flip: u8) -> Vec<u8> {
     let offset = HEADER_LEN + (offset % (bytes.len() - HEADER_LEN));
     let mut mutated = bytes.to_vec();
     mutated[offset] ^= flip;
-    let repaired = checksum64(&mutated[HEADER_LEN..]);
-    mutated[32..40].copy_from_slice(&repaired.to_le_bytes());
+    fairnn_snapshot::repair_checksums(&mut mutated);
     mutated
 }
 
@@ -383,6 +383,21 @@ fn corrupted_truncated_and_version_bumped_snapshots_fail_typed() {
         Err(SnapshotError::UnsupportedVersion { found, supported })
             if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
     ));
+
+    // Old-version file (the pre-sectioning flat v1 layout) → the same typed
+    // rejection, and the message tells the operator how to move forward.
+    let mut old = bytes.clone();
+    old[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let err = load_small(&old).expect_err("a v1 file must not load");
+    assert!(matches!(
+        err,
+        SnapshotError::UnsupportedVersion { found: 1, supported } if supported == FORMAT_VERSION
+    ));
+    let message = err.to_string();
+    assert!(
+        message.contains("re-sav") && message.contains(&format!("version {FORMAT_VERSION}")),
+        "version error must carry an upgrade hint, got: {message}"
+    );
 
     // Wrong magic → BadMagic.
     let mut wrong_magic = bytes.clone();
