@@ -1,0 +1,361 @@
+//! Per-file context over the token stream: which tokens are test code,
+//! which function encloses a token, and which identifiers name hash-ordered
+//! containers (`HashMap`/`HashSet`) — the receiver tracking the
+//! determinism rules need, built without type inference.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`&mut [E]`, `match x { .. }` arms, …). Anything else
+/// identifier-like in front of `[` is treated as an indexed value.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "dyn", "in", "as", "if", "else", "match", "return", "break", "continue", "loop",
+    "while", "for", "let", "const", "static", "move", "unsafe", "impl", "where", "pub", "fn",
+    "use", "mod", "struct", "enum", "trait", "type", "crate", "super",
+];
+
+/// The hash-container type names whose iteration order is arbitrary.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Wrapper types that are themselves order-preserving; an identifier typed
+/// `Vec<HashMap<..>>` is not a hash container, but iterating it yields
+/// hash containers, which `for` loops propagate to their binding.
+const ORDERED_WRAPPERS: &[&str] = &["Vec", "Option", "Box", "Arc", "Rc", "VecDeque", "Mutex"];
+
+/// Context for one file: the comment-free code token stream plus the
+/// per-token facts the rules consume.
+pub struct FileContext<'a> {
+    /// Code tokens (comments and [`TokenKind::Other`] stripped).
+    pub code: Vec<&'a Token>,
+    /// Comment tokens, for waiver parsing.
+    pub comments: Vec<&'a Token>,
+    /// `in_test[i]`: code token `i` sits inside `#[cfg(test)]` / `#[test]`
+    /// marked items.
+    pub in_test: Vec<bool>,
+    /// Identifiers declared (anywhere in the file) with a hash-container
+    /// type or initializer.
+    pub hash_names: BTreeSet<String>,
+    /// Identifiers declared as ordered collections *of* hash containers
+    /// (`Vec<HashMap<..>>`); iterating them is fine, but a `for` binding
+    /// over them is itself a hash container.
+    pub hash_element_names: BTreeSet<String>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Builds the context for a lexed file.
+    pub fn new(tokens: &'a [Token]) -> Self {
+        let mut code = Vec::with_capacity(tokens.len());
+        let mut comments = Vec::new();
+        for t in tokens {
+            match t.kind {
+                TokenKind::Comment => comments.push(t),
+                TokenKind::Other => {}
+                _ => code.push(t),
+            }
+        }
+        let in_test = mark_test_regions(&code);
+        let (mut hash_names, hash_element_names) = collect_hash_names(&code);
+        propagate_for_bindings(&code, &hash_element_names, &mut hash_names);
+        Self {
+            code,
+            comments,
+            in_test,
+            hash_names,
+            hash_element_names,
+        }
+    }
+
+    /// Whether code token `i` can start an index expression's `[` — i.e.
+    /// the previous code token is a value-like ident, `)`, or `]`.
+    pub fn is_index_bracket(&self, i: usize) -> bool {
+        if !self.code[i].is_punct(b'[') {
+            return false;
+        }
+        let Some(prev) = i.checked_sub(1).map(|p| self.code[p]) else {
+            return false;
+        };
+        match prev.kind {
+            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokenKind::Punct => prev.is_punct(b')') || prev.is_punct(b']'),
+            _ => false,
+        }
+    }
+}
+
+/// Marks every code token inside a test item. A test item is one whose
+/// preceding attributes mention the identifier `test` (`#[test]`,
+/// `#[cfg(test)]`); the mark covers the item's brace-delimited body.
+fn mark_test_regions(code: &[&Token]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth = 0usize;
+    let mut paren = 0usize;
+    // Depths at which a test region opened; tokens are test while non-empty.
+    let mut test_depths: Vec<usize> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct(b'#') && code.get(i + 1).is_some_and(|n| n.is_punct(b'[')) {
+            // Scan the attribute; remember whether it mentions `test`.
+            let mut j = i + 2;
+            let mut brackets = 1usize;
+            let mut mentions_test = false;
+            while j < code.len() && brackets > 0 {
+                if code[j].is_punct(b'[') {
+                    brackets += 1;
+                } else if code[j].is_punct(b']') {
+                    brackets -= 1;
+                } else if code[j].is_ident("test") {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            pending_test_attr |= mentions_test;
+            let attr_in_test = !test_depths.is_empty() || mentions_test;
+            for flag in &mut in_test[i..j] {
+                *flag = *flag || attr_in_test;
+            }
+            i = j;
+            continue;
+        }
+        match t.text.as_bytes().first() {
+            Some(b'(') if t.kind == TokenKind::Punct => paren += 1,
+            Some(b')') if t.kind == TokenKind::Punct => paren = paren.saturating_sub(1),
+            Some(b'{') if t.kind == TokenKind::Punct => {
+                if pending_test_attr && paren == 0 {
+                    test_depths.push(depth);
+                    pending_test_attr = false;
+                }
+                depth += 1;
+            }
+            Some(b'}') if t.kind == TokenKind::Punct => {
+                depth = depth.saturating_sub(1);
+                in_test[i] = !test_depths.is_empty();
+                while test_depths.last().is_some_and(|&d| d >= depth) {
+                    test_depths.pop();
+                }
+                i += 1;
+                continue;
+            }
+            Some(b';') if t.kind == TokenKind::Punct => {
+                // `#[cfg(test)] use …;` — the attribute covered a braceless
+                // item; do not leak onto the next one.
+                if paren == 0 && depth == test_depths.last().map_or(usize::MAX, |&d| d) {
+                    // still inside a region body; nothing to do
+                }
+                if paren == 0 {
+                    in_test[i] = !test_depths.is_empty() || pending_test_attr;
+                    pending_test_attr = false;
+                    i += 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        in_test[i] = !test_depths.is_empty() || pending_test_attr;
+        i += 1;
+    }
+    in_test
+}
+
+/// Walks a type path starting at `i`, returning the final segment ident
+/// and the index just past it (`a::b::Name` → `Name`). Stops before `<`.
+fn path_final_segment(code: &[&Token], mut i: usize) -> Option<(usize, usize)> {
+    let mut last = None;
+    loop {
+        let t = code.get(i)?;
+        if t.kind != TokenKind::Ident {
+            return last;
+        }
+        last = Some((i, i + 1));
+        // `::` continues the path; anything else ends it.
+        if code.get(i + 1).is_some_and(|a| a.is_punct(b':'))
+            && code.get(i + 2).is_some_and(|b| b.is_punct(b':'))
+            && code.get(i + 3).is_some_and(|c| c.kind == TokenKind::Ident)
+        {
+            i += 3;
+        } else {
+            return last;
+        }
+    }
+}
+
+/// Collects identifiers whose declared type (field, `let`, or parameter
+/// annotation) or initializer is a hash container; also identifiers whose
+/// type is an ordered wrapper *around* a hash container.
+fn collect_hash_names(code: &[&Token]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut hash = BTreeSet::new();
+    let mut hash_elem = BTreeSet::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name : Type` (not `name ::`): field, param, or let annotation.
+        if code.get(i + 1).is_some_and(|a| a.is_punct(b':'))
+            && !code.get(i + 2).is_some_and(|b| b.is_punct(b':'))
+        {
+            // Skip `&`, `&mut`, lifetimes in front of the type.
+            let mut j = i + 2;
+            while code.get(j).is_some_and(|x| {
+                x.is_punct(b'&') || x.is_ident("mut") || x.kind == TokenKind::Lifetime
+            }) {
+                j += 1;
+            }
+            if let Some((name_idx, after)) = path_final_segment(code, j) {
+                let name = code[name_idx].text.as_str();
+                if HASH_TYPES.contains(&name) && !code.get(after).is_some_and(|x| x.is_punct(b':'))
+                {
+                    hash.insert(t.text.clone());
+                } else if ORDERED_WRAPPERS.contains(&name)
+                    && code.get(after).is_some_and(|x| x.is_punct(b'<'))
+                {
+                    // Peek at the wrapper's first type argument.
+                    if let Some((inner_idx, _)) = path_final_segment(code, after + 1) {
+                        if HASH_TYPES.contains(&code[inner_idx].text.as_str()) {
+                            hash_elem.insert(t.text.clone());
+                        }
+                    }
+                }
+            }
+        }
+        // `let [mut] name = …HashMap::new()`-style initializers.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|x| x.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = code.get(j).filter(|x| x.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if !code.get(j + 1).is_some_and(|x| x.is_punct(b'=')) {
+                continue;
+            }
+            // Scan a short window of the initializer for `HashMap ::` /
+            // `HashSet ::` heads.
+            for k in (j + 2)..code.len().min(j + 12) {
+                if code[k].is_punct(b';') {
+                    break;
+                }
+                if HASH_TYPES.contains(&code[k].text.as_str())
+                    && code.get(k + 1).is_some_and(|a| a.is_punct(b':'))
+                {
+                    hash.insert(name.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    (hash, hash_elem)
+}
+
+/// `for table in &self.sketches { … }` where `sketches: Vec<HashMap<..>>`
+/// binds `table` to a hash container — propagate the mark to the binding.
+fn propagate_for_bindings(
+    code: &[&Token],
+    hash_elem: &BTreeSet<String>,
+    hash: &mut BTreeSet<String>,
+) {
+    for i in 0..code.len() {
+        if !code[i].is_ident("for") {
+            continue;
+        }
+        let Some(binding) = code.get(i + 1).filter(|x| x.kind == TokenKind::Ident) else {
+            continue;
+        };
+        if !code.get(i + 2).is_some_and(|x| x.is_ident("in")) {
+            continue;
+        }
+        // The iterated expression, up to the loop's `{`.
+        let mut j = i + 3;
+        let mut iterates_hash_elem = false;
+        while j < code.len() && !code[j].is_punct(b'{') {
+            if code[j].kind == TokenKind::Ident && hash_elem.contains(&code[j].text) {
+                iterates_hash_elem = true;
+            }
+            j += 1;
+        }
+        if iterates_hash_elem {
+            hash.insert(binding.text.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(src: &str) -> (Vec<Token>, ()) {
+        (lex(src.as_bytes()), ())
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let (tokens, ()) = ctx("fn live() { hot(); }\n\
+             #[cfg(test)]\nmod tests { fn helper() { cold(); } }\n\
+             #[test]\nfn unit() { colder(); }\n\
+             fn live2() { hot2(); }");
+        let fc = FileContext::new(&tokens);
+        let flag = |word: &str| {
+            let i = fc.code.iter().position(|t| t.is_ident(word)).unwrap();
+            fc.in_test[i]
+        };
+        assert!(!flag("hot"));
+        assert!(flag("helper"));
+        assert!(flag("cold"));
+        assert!(flag("unit"));
+        assert!(flag("colder"));
+        assert!(!flag("hot2"));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let (tokens, ()) = ctx("#[cfg(test)] use std::x;\nfn live() { hot(); }");
+        let fc = FileContext::new(&tokens);
+        let i = fc.code.iter().position(|t| t.is_ident("hot")).unwrap();
+        assert!(!fc.in_test[i]);
+    }
+
+    #[test]
+    fn hash_names_found_in_fields_lets_and_params() {
+        let (tokens, ()) = ctx(
+            "struct S { staging: HashMap<u64, Vec<u32>>, plain: Vec<u32> }\n\
+             fn f(seen: &mut HashSet<u32>, v: &[u8]) {\n\
+                 let mut local = std::collections::HashMap::new();\n\
+                 let okay = Vec::new();\n\
+             }\n\
+             struct T { nested: Vec<HashMap<u64, u32>> }",
+        );
+        let fc = FileContext::new(&tokens);
+        assert!(fc.hash_names.contains("staging"));
+        assert!(fc.hash_names.contains("seen"));
+        assert!(fc.hash_names.contains("local"));
+        assert!(!fc.hash_names.contains("plain"));
+        assert!(!fc.hash_names.contains("okay"));
+        assert!(!fc.hash_names.contains("v"));
+        assert!(fc.hash_element_names.contains("nested"));
+        assert!(!fc.hash_names.contains("nested"));
+    }
+
+    #[test]
+    fn for_over_vec_of_maps_marks_the_binding() {
+        let (tokens, ()) = ctx("struct S { sketches: Vec<HashMap<u64, u32>> }\n\
+             fn f(s: &S) { for table in &s.sketches { table.len(); } }");
+        let fc = FileContext::new(&tokens);
+        assert!(fc.hash_names.contains("table"));
+    }
+
+    #[test]
+    fn index_brackets_distinguished_from_types_and_macros() {
+        let (tokens, ()) = ctx("fn f(a: &[u8], b: [u8; 8]) { let v = vec![0]; a[0]; f(a)[1]; }");
+        let fc = FileContext::new(&tokens);
+        let index_positions: Vec<u32> = (0..fc.code.len())
+            .filter(|&i| fc.is_index_bracket(i))
+            .map(|i| fc.code[i].col)
+            .collect();
+        // Exactly two: `a[0]` and `f(a)[1]`.
+        assert_eq!(index_positions.len(), 2, "{index_positions:?}");
+    }
+}

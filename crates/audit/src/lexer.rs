@@ -1,0 +1,411 @@
+//! A comment- and string-aware token stream over Rust source bytes.
+//!
+//! This is not a full Rust lexer — it is the minimal byte-level pass the
+//! audit rules need: it distinguishes code from comments, string/char
+//! literals and raw strings (so a `HashMap` mentioned in a doc comment or a
+//! fixture string never trips a rule), attaches a `line:col` span to every
+//! token, and never panics on arbitrary input (a property test pins this).
+//! Operating on raw bytes sidesteps UTF-8 validity entirely: non-ASCII
+//! bytes outside comments and literals become opaque [`TokenKind::Other`]
+//! tokens the rules ignore.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `iter`, …).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `{`, `[`, …).
+    Punct,
+    /// A string, raw-string, byte-string, or char literal (content opaque).
+    Literal,
+    /// A numeric literal.
+    Number,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// A `//…` line comment or `/*…*/` block comment, text included —
+    /// waiver comments are parsed out of these.
+    Comment,
+    /// Anything else (stray non-ASCII bytes, shebangs, …).
+    Other,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's bytes, lossily decoded (exact for all ASCII tokens).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+    /// Byte offset of the token's first byte in the input.
+    pub start: usize,
+    /// Byte offset one past the token's last byte (`start <= end <= len`).
+    pub end: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation byte `p`.
+    pub fn is_punct(&self, p: u8) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes() == [p]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Cursor state shared by the sub-lexers.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek(0) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `input` into a token stream. Whitespace is dropped; everything
+/// else — including comments — becomes a token. Never panics, for any byte
+/// sequence; every returned span satisfies
+/// `start <= end <= input.len()` and `line >= 1`, `col >= 1`.
+pub fn lex(input: &[u8]) -> Vec<Token> {
+    let mut cur = Cursor {
+        bytes: input,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                lex_line_comment(&mut cur);
+                TokenKind::Comment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut cur);
+                TokenKind::Comment
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                TokenKind::Literal
+            }
+            b'\'' => lex_quote(&mut cur),
+            b'r' | b'b' if starts_prefixed_literal(&cur) => {
+                lex_prefixed_literal(&mut cur);
+                TokenKind::Literal
+            }
+            _ if is_ident_start(b) => {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokenKind::Number
+            }
+            _ if b.is_ascii_punctuation() => {
+                cur.bump();
+                TokenKind::Punct
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Other
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text: String::from_utf8_lossy(&input[start..cur.pos]).into_owned(),
+            line,
+            col,
+            start,
+            end: cur.pos,
+        });
+    }
+    tokens
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) {
+    while let Some(b) = cur.peek(0) {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+/// Block comments nest, per Rust. An unterminated comment runs to EOF.
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump_n(2); // `/*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump_n(2);
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump_n(2);
+            }
+            (Some(_), _) => cur.bump(),
+            (None, _) => break,
+        }
+    }
+}
+
+/// A `"…"` string with escape handling; unterminated runs to EOF.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b'\\' => cur.bump_n(2),
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// `'` starts either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // Lifetime heuristic: `'` + ident not closed by another `'`.
+    if cur.peek(1).is_some_and(is_ident_start) {
+        let mut ahead = 2;
+        while cur.peek(ahead).is_some_and(is_ident_continue) {
+            ahead += 1;
+        }
+        if cur.peek(ahead) != Some(b'\'') {
+            cur.bump_n(ahead);
+            return TokenKind::Lifetime;
+        }
+    }
+    cur.bump(); // opening quote
+    match cur.peek(0) {
+        Some(b'\\') => {
+            cur.bump_n(2);
+            // Escapes may be multi-byte (`\u{1F600}`): consume to the quote.
+            while let Some(b) = cur.peek(0) {
+                cur.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+        }
+        Some(_) => {
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+        }
+        None => {}
+    }
+    TokenKind::Literal
+}
+
+/// Whether the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`.
+fn starts_prefixed_literal(cur: &Cursor<'_>) -> bool {
+    matches!(
+        (cur.peek(0), cur.peek(1), cur.peek(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+/// Raw strings `r##"…"##` (any number of hashes), byte strings, byte chars.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) {
+    if cur.peek(0) == Some(b'b') {
+        cur.bump();
+    }
+    match cur.peek(0) {
+        Some(b'r') => {
+            cur.bump();
+            let mut hashes = 0usize;
+            while cur.peek(0) == Some(b'#') {
+                hashes += 1;
+                cur.bump();
+            }
+            if cur.peek(0) != Some(b'"') {
+                return; // `r#foo` raw identifier: treated as an opaque token
+            }
+            cur.bump();
+            // Scan for `"` followed by `hashes` hash bytes.
+            'scan: while let Some(b) = cur.peek(0) {
+                if b == b'"' {
+                    for i in 0..hashes {
+                        if cur.peek(1 + i) != Some(b'#') {
+                            cur.bump();
+                            continue 'scan;
+                        }
+                    }
+                    cur.bump_n(1 + hashes);
+                    return;
+                }
+                cur.bump();
+            }
+        }
+        Some(b'"') => lex_string(cur),
+        Some(b'\'') => {
+            lex_quote(cur);
+        }
+        _ => {}
+    }
+}
+
+/// Numbers, including hex/octal/binary, underscores, suffixes and simple
+/// floats. A `.` is consumed only when a digit follows, so `0..n` ranges
+/// lex as number-punct-punct-ident.
+fn lex_number(cur: &mut Cursor<'_>) {
+    let mut seen_dot = false;
+    while let Some(b) = cur.peek(0) {
+        if is_ident_continue(b) {
+            cur.bump();
+        } else if b == b'.' && !seen_dot && cur.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+            seen_dot = true;
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("let x = \"HashMap.iter()\"; // HashMap::keys\n/* .values() */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Comment)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = kinds(r##"let s = r#"inner " quote"# ; tail"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("inner")));
+        assert!(toks.iter().any(|(_, t)| t == "tail"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let literals = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[1].1 == "code");
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let toks = kinds("for i in 0..10 { a[i.0] = 1.5; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "0", "1.5"]);
+    }
+
+    #[test]
+    fn spans_point_at_sources() {
+        let src = "ab\n  cd";
+        let toks = lex(src.as_bytes());
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(&src[toks[1].start..toks[1].end], "cd");
+    }
+
+    #[test]
+    fn unterminated_forms_reach_eof_without_panicking() {
+        for src in ["\"unterminated", "/* open", "r#\"open", "'", "b'", "ident"] {
+            let toks = lex(src.as_bytes());
+            assert!(!toks.is_empty());
+            assert!(toks.iter().all(|t| t.end <= src.len()));
+        }
+    }
+
+    #[test]
+    fn non_ascii_bytes_become_other_tokens() {
+        let toks = lex(&[0xE2, 0x80, 0x94, b'x']); // an em dash, then `x`
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Other));
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+}

@@ -1,0 +1,191 @@
+//! Inline waivers: `// fairnn-audit: allow(<rule>[, <rule>…]) — <reason>`.
+//!
+//! A waiver suppresses findings of the named rule(s) on its own line or on
+//! the line immediately below (so it can trail the offending expression or
+//! sit on its own line above it). The reason is mandatory; a reasonless
+//! waiver is itself a deny-level finding, and every accepted waiver's
+//! reason is surfaced in the report.
+
+use crate::lexer::Token;
+
+/// The marker that opens a waiver comment.
+pub const WAIVER_MARKER: &str = "fairnn-audit:";
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules this waiver suppresses.
+    pub rules: Vec<String>,
+    /// The justification after the dash separator (may be empty, which the
+    /// `waiver-reason` rule rejects).
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Whether code precedes the comment on its line: a trailing waiver
+    /// covers only that line, a standalone one also the line below.
+    pub trailing: bool,
+    /// Malformed-waiver diagnostic (bad syntax rather than empty reason).
+    pub malformed: Option<String>,
+}
+
+impl Waiver {
+    /// Whether this waiver covers `rule` for a finding on `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.malformed.is_none()
+            && !self.reason.is_empty()
+            && (self.line == line || (!self.trailing && self.line + 1 == line))
+            && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Extracts every waiver from a file's comment tokens. `code` (the file's
+/// non-comment tokens) determines which waivers trail an expression.
+pub fn parse_waivers(comments: &[&Token], code: &[&Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments describe the waiver syntax; only plain comments
+        // (`//`, `/*`) can enact it.
+        if is_doc_comment(&c.text) {
+            continue;
+        }
+        let Some(at) = c.text.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let rest = c.text[at + WAIVER_MARKER.len()..].trim_start();
+        let trailing = code.iter().any(|t| t.line == c.line && t.start < c.start);
+        out.push(parse_one(rest, c.line, trailing));
+    }
+    out
+}
+
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || text.starts_with("/*!")
+        || (text.starts_with("/**") && !text.starts_with("/***"))
+}
+
+fn parse_one(rest: &str, line: u32, trailing: bool) -> Waiver {
+    let malformed = |what: &str| Waiver {
+        rules: Vec::new(),
+        reason: String::new(),
+        line,
+        trailing,
+        malformed: Some(what.to_string()),
+    };
+    let Some(args) = rest.strip_prefix("allow") else {
+        return malformed("expected `allow(<rule>)` after `fairnn-audit:`");
+    };
+    let args = args.trim_start();
+    let Some(after_open) = args.strip_prefix('(') else {
+        return malformed("expected `(` after `allow`");
+    };
+    let Some(close) = after_open.find(')') else {
+        return malformed("unclosed `allow(`");
+    };
+    let rules: Vec<String> = after_open[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return malformed("`allow()` names no rule");
+    }
+    // The reason follows a dash separator (em dash, en dash, `--`, `-`,
+    // or `:`); everything after it, trimmed, is the reason text. A block
+    // comment's closing `*/` is not part of the reason.
+    let mut reason = after_open[close + 1..].trim();
+    reason = reason.trim_end_matches("*/").trim_end();
+    reason = reason.trim_start_matches(['—', '–', '-', ':', ' ']).trim();
+    Waiver {
+        rules,
+        reason: reason.to_string(),
+        line,
+        trailing,
+        malformed: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokenKind};
+
+    fn waivers_of(src: &str) -> Vec<Waiver> {
+        let tokens = lex(src.as_bytes());
+        let comments: Vec<&crate::lexer::Token> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .collect();
+        let code: Vec<&crate::lexer::Token> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        parse_waivers(&comments, &code)
+    }
+
+    #[test]
+    fn trailing_and_preceding_waivers_cover_the_right_lines() {
+        let ws = waivers_of(
+            "let x = m.iter(); // fairnn-audit: allow(unordered-iter) — sorted below\n\
+             // fairnn-audit: allow(wall-clock) — bench-only timing\n\
+             let t = now();\n",
+        );
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].covers("unordered-iter", 1));
+        assert!(!ws[0].covers("unordered-iter", 2));
+        assert!(!ws[0].covers("wall-clock", 1));
+        assert!(ws[1].covers("wall-clock", 2), "own line");
+        assert!(ws[1].covers("wall-clock", 3), "line below");
+    }
+
+    #[test]
+    fn multiple_rules_and_ascii_separators_parse() {
+        let ws =
+            waivers_of("// fairnn-audit: allow(snapshot-panic, snapshot-index) -- encode side\n");
+        assert_eq!(ws[0].rules, vec!["snapshot-panic", "snapshot-index"]);
+        assert_eq!(ws[0].reason, "encode side");
+        assert!(ws[0].covers("snapshot-index", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_not_a_valid_waiver() {
+        let ws = waivers_of(
+            "// fairnn-audit: allow(unordered-iter)\n// fairnn-audit: allow(unordered-iter) —   \n",
+        );
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert!(w.malformed.is_none());
+            assert!(w.reason.is_empty());
+            assert!(!w.covers("unordered-iter", w.line));
+        }
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported_not_ignored() {
+        let ws = waivers_of(
+            "// fairnn-audit: deny(x) — nope\n\
+             // fairnn-audit: allow — no parens\n\
+             // fairnn-audit: allow() — empty\n\
+             // fairnn-audit: allow(a — unclosed\n",
+        );
+        assert_eq!(ws.len(), 4);
+        assert!(ws.iter().all(|w| w.malformed.is_some()));
+    }
+
+    #[test]
+    fn doc_comments_never_enact_waivers() {
+        let ws = waivers_of(
+            "//! Syntax: `// fairnn-audit: allow(<rule>) — <reason>`.\n\
+             /// fairnn-audit: allow(unordered-iter) — docs only\n\
+             fn f() {}\n",
+        );
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+
+    #[test]
+    fn block_comment_waiver_strips_the_terminator() {
+        let ws = waivers_of("/* fairnn-audit: allow(raw-thread) — pool internals */\n");
+        assert_eq!(ws[0].reason, "pool internals");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the auditor's lexer and end-to-end pipeline:
+//! arbitrary bytes — including invalid UTF-8, unterminated strings and
+//! comment soup — must never panic, and every token span must stay
+//! in-bounds with 1-based positions.
+
+use fairnn_audit::lexer::lex;
+use proptest::prelude::*;
+
+/// Checks the span/position contract for every token over `bytes`.
+fn assert_spans_in_bounds(bytes: &[u8]) {
+    let tokens = lex(bytes);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert!(t.start <= t.end, "inverted span: {t:?}");
+        assert!(t.end <= bytes.len(), "span past the input: {t:?}");
+        assert!(t.start >= prev_end, "overlapping tokens: {t:?}");
+        assert!(t.line >= 1, "lines are 1-based: {t:?}");
+        assert!(t.col >= 1, "columns are 1-based: {t:?}");
+        prev_end = t.end;
+    }
+}
+
+/// Fragments that stress the lexer's comment/string/raw-string state
+/// machine when concatenated in arbitrary orders.
+const FRAGMENTS: &[&str] = &[
+    "//",
+    "/*",
+    "*/",
+    "\"",
+    "\\\"",
+    "r#\"",
+    "\"#",
+    "'",
+    "'a",
+    "b'x'",
+    "\n",
+    "\r\n",
+    "for",
+    "in",
+    "HashMap",
+    ".iter()",
+    "map",
+    "0..10",
+    "1.5",
+    "0x_F",
+    "fairnn-audit: allow(",
+    ")",
+    "—",
+    "#[",
+    "test",
+    "]",
+    "{",
+    "}",
+    "::",
+    "é",
+    "\u{7f}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..400)
+    ) {
+        assert_spans_in_bounds(&bytes);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_rust_flavoured_soup(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..60)
+    ) {
+        let soup: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_spans_in_bounds(soup.as_bytes());
+    }
+
+    #[test]
+    fn full_audit_pipeline_never_panics(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..60)
+    ) {
+        let soup: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        // Route through the strictest rule scopes: determinism crates and
+        // the snapshot crate. Findings are fine; panics are not.
+        let _ = fairnn_audit::audit_source("crates/engine/src/soup.rs", soup.as_bytes());
+        let _ = fairnn_audit::audit_source("crates/snapshot/src/soup.rs", soup.as_bytes());
+    }
+}

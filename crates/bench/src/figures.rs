@@ -116,6 +116,7 @@ where
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads).max(1);
+    // fairnn-audit: allow(raw-thread) — bench-only helper; `threads` is a per-call CLI argument, predates fairnn-parallel
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)

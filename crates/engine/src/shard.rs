@@ -151,6 +151,7 @@ where
             global_ids,
         };
         shard.rebuild_sketches();
+        shard.debug_assert_occupancy_invariants();
         shard
     }
 }
@@ -159,6 +160,40 @@ impl<P, H, N> Shard<P, H, N> {
     /// Number of live points.
     pub fn live_points(&self) -> usize {
         self.live
+    }
+
+    /// Debug-only check of the occupancy invariants every mutation must
+    /// preserve: the parallel point arrays agree in length, `live` and
+    /// `tombstones` partition them, and `local_of` maps exactly the live
+    /// points back to their dense local ids. Compiled away in release
+    /// builds; `build`, `insert`, `delete`, `compact` and the snapshot
+    /// decoder all end with this check so a broken invariant fails at the
+    /// mutation site rather than at some later query.
+    fn debug_assert_occupancy_invariants(&self) {
+        if cfg!(debug_assertions) {
+            debug_assert_eq!(self.global_ids.len(), self.points.len());
+            debug_assert_eq!(self.alive.len(), self.points.len());
+            debug_assert_eq!(
+                self.live + self.tombstones,
+                self.points.len(),
+                "live + tombstones must partition the point array"
+            );
+            debug_assert_eq!(self.live, self.alive.iter().filter(|&&a| a).count());
+            debug_assert_eq!(
+                self.local_of.len(),
+                self.live,
+                "local_of must hold exactly the live points"
+            );
+            for (l, &global) in self.global_ids.iter().enumerate() {
+                if self.alive[l] {
+                    debug_assert_eq!(
+                        self.local_of.get(&global).copied(),
+                        Some(l as u32),
+                        "live global id {global} must map to its dense local slot"
+                    );
+                }
+            }
+        }
     }
 
     /// Number of tombstoned points awaiting compaction.
@@ -369,6 +404,7 @@ where
                 self.sketches[i].insert(key, sketch);
             }
         }
+        self.debug_assert_occupancy_invariants();
     }
 
     /// Deletes the point with the given global id. Returns `false` when the
@@ -388,6 +424,7 @@ where
         if self.tombstones as f64 > self.config.rebuild_fraction * self.live.max(1) as f64 {
             self.compact();
         }
+        self.debug_assert_occupancy_invariants();
         true
     }
 
@@ -420,6 +457,7 @@ where
         self.tombstones = 0;
         self.index.compact_retain(&new_id_of, self.points.len());
         self.rebuild_sketches();
+        self.debug_assert_occupancy_invariants();
     }
 }
 
@@ -443,6 +481,7 @@ where
         self.near.encode(enc);
         enc.write_len(self.sketches.len());
         for table in &self.sketches {
+            // fairnn-audit: allow(unordered-iter) — collected and key-sorted below
             let mut entries: Vec<(&u64, &BottomKSketch)> = table.iter().collect();
             entries.sort_unstable_by_key(|(key, _)| **key);
             enc.write_len(entries.len());
@@ -509,6 +548,7 @@ where
         // this shard's seed and `k`; a mismatch would otherwise panic
         // inside `merge` at query time instead of failing the load.
         let reference = BottomKSketch::new(sketch_seed, config.sketch_k);
+        // fairnn-audit: allow(unordered-iter) — validation only; acceptance is order-independent
         for sketch in sketches.iter().flat_map(HashMap::values) {
             if !reference.mergeable_with(sketch) {
                 return Err(SnapshotError::Corrupt(
@@ -529,7 +569,7 @@ where
             }
         }
         let tombstones = points.len() - live;
-        Ok(Self {
+        let shard = Self {
             index,
             points,
             global_ids,
@@ -541,7 +581,9 @@ where
             sketches,
             sketch_seed,
             config,
-        })
+        };
+        shard.debug_assert_occupancy_invariants();
+        Ok(shard)
     }
 }
 

@@ -94,8 +94,42 @@ impl<E> FrozenTable<E> {
             slots: Vec::new(),
             slot_shift: 0,
         };
+        table.debug_assert_csr_invariants();
         table.rebuild_slots();
         table
+    }
+
+    /// Debug-only check of the CSR structural invariants every lookup
+    /// relies on: strictly increasing keys, `offsets` one longer than
+    /// `keys`, starting at 0, non-decreasing, and ending exactly at
+    /// `entries.len()`. Compiled away in release builds; both construction
+    /// paths ([`FrozenTable::from_buckets`] and the snapshot decoder) call
+    /// it so a violated invariant fails at the build site, not at some
+    /// later query.
+    fn debug_assert_csr_invariants(&self) {
+        debug_assert_eq!(
+            self.offsets.len(),
+            self.keys.len() + 1,
+            "CSR offsets must be one longer than keys"
+        );
+        debug_assert_eq!(
+            self.offsets.first(),
+            Some(&0),
+            "CSR offsets must start at 0"
+        );
+        debug_assert!(
+            self.offsets.windows(2).all(|w| w[0] <= w[1]),
+            "CSR offsets must be non-decreasing"
+        );
+        debug_assert_eq!(
+            self.offsets.last().copied().unwrap_or(0) as usize,
+            self.entries.len(),
+            "CSR offsets must end at entries.len()"
+        );
+        debug_assert!(
+            self.keys.windows(2).all(|w| w[0] < w[1]),
+            "CSR keys must be strictly increasing"
+        );
     }
 
     /// Builds the open-addressing key index (load factor ≤ 1/2).
@@ -252,6 +286,7 @@ impl<E: fairnn_snapshot::Codec> fairnn_snapshot::Codec for FrozenTable<E> {
             slots: Vec::new(),
             slot_shift: 0,
         };
+        table.debug_assert_csr_invariants();
         table.rebuild_slots();
         Ok(table)
     }

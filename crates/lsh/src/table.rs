@@ -62,6 +62,7 @@ impl LshTable {
     /// already frozen.
     pub fn freeze(&mut self) {
         if self.frozen.is_none() {
+            // fairnn-audit: allow(unordered-iter) — from_buckets key-sorts the drained pairs
             self.frozen = Some(FrozenTable::from_buckets(self.staging.drain()));
         }
     }
@@ -126,6 +127,7 @@ impl LshTable {
     pub fn num_entries(&self) -> usize {
         match &self.frozen {
             Some(frozen) => frozen.num_entries(),
+            // fairnn-audit: allow(unordered-iter) — a sum is order-independent
             None => self.staging.values().map(Vec::len).sum(),
         }
     }
@@ -134,16 +136,23 @@ impl LshTable {
     pub fn max_bucket_size(&self) -> usize {
         match &self.frozen {
             Some(frozen) => frozen.max_bucket_size(),
+            // fairnn-audit: allow(unordered-iter) — a max is order-independent
             None => self.staging.values().map(Vec::len).max().unwrap_or(0),
         }
     }
 
-    /// Iterator over `(key, bucket)` pairs (in key order when frozen, in
-    /// arbitrary map order while staging).
+    /// Iterator over `(key, bucket)` pairs, in ascending key order in
+    /// **both** representations: staging pairs are collected and sorted
+    /// before exposure, so no caller can observe hash-map order.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, &[PointId])> {
-        self.staging
-            .iter()
-            .map(|(k, v)| (*k, v.as_slice()))
+        let mut staged: Vec<(u64, &[PointId])> = Vec::with_capacity(self.staging.len());
+        // fairnn-audit: allow(unordered-iter) — collected and key-sorted before exposure
+        for (key, bucket) in &self.staging {
+            staged.push((*key, bucket.as_slice()));
+        }
+        staged.sort_unstable_by_key(|(key, _)| *key);
+        staged
+            .into_iter()
             .chain(self.frozen.iter().flat_map(FrozenTable::buckets))
     }
 }
@@ -163,8 +172,9 @@ impl fairnn_snapshot::Codec for LshTable {
                 // map — byte-identical to freezing first (the unit tests
                 // pin this), without cloning every bucket or building the
                 // frozen form's hash index only to discard it.
-                let mut buckets: Vec<(u64, &Vec<PointId>)> =
-                    self.staging.iter().map(|(k, v)| (*k, v)).collect();
+                // fairnn-audit: allow(unordered-iter) — collected and key-sorted below
+                let pairs = self.staging.iter().map(|(k, v)| (*k, v));
+                let mut buckets: Vec<(u64, &Vec<PointId>)> = pairs.collect();
                 buckets.sort_unstable_by_key(|(key, _)| *key);
                 enc.write_len(buckets.len());
                 for (key, _) in &buckets {

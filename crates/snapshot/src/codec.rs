@@ -87,34 +87,50 @@ impl<'a> Decoder<'a> {
         self.bytes.len() - self.pos
     }
 
-    /// Takes the next `n` bytes, or reports truncation.
+    /// Takes the next `n` bytes, or reports truncation. Uses checked
+    /// slicing throughout: no input, however corrupt, can panic here.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.remaining() < n {
-            return Err(SnapshotError::Truncated {
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end));
+        match slice {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => Err(SnapshotError::Truncated {
                 needed: n,
                 available: self.remaining(),
-            });
+            }),
         }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
+    }
+
+    /// Takes the next `N` bytes as a fixed array (the `from_le_bytes`
+    /// input), or reports truncation.
+    fn read_array<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(slice) {
+            *dst = *src;
+        }
+        Ok(out)
     }
 
     /// Reads one byte.
     pub fn read_u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.read_array::<1>()?;
+        Ok(byte)
     }
 
     /// Reads a little-endian `u32`.
     pub fn read_u32(&mut self) -> Result<u32, SnapshotError> {
-        let bytes = self.take(4)?;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.read_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&mut self) -> Result<u64, SnapshotError> {
-        let bytes = self.take(8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.read_array()?))
     }
 
     /// Reads an `f64` from its little-endian bit pattern.
@@ -383,6 +399,31 @@ mod tests {
             }) => {}
             other => panic!("expected Truncated, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn every_primitive_read_reports_truncation() {
+        assert!(matches!(
+            Decoder::new(&[]).read_u8(),
+            Err(SnapshotError::Truncated {
+                needed: 1,
+                available: 0
+            })
+        ));
+        assert!(matches!(
+            Decoder::new(&[1, 2]).read_u32(),
+            Err(SnapshotError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        ));
+        assert!(matches!(
+            Decoder::new(&[0; 7]).read_f64(),
+            Err(SnapshotError::Truncated {
+                needed: 8,
+                available: 7
+            })
+        ));
     }
 
     #[test]

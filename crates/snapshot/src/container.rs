@@ -109,11 +109,13 @@ pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
         !sections.is_empty(),
         "a snapshot needs at least one section"
     );
+    // fairnn-audit: allow(snapshot-index) — encode side: `i` ranges over `sections.len()` by construction
     let checksums = fairnn_parallel::map_indexed(sections.len(), |i| checksum64(&sections[i]));
 
     let mut directory = Vec::with_capacity(4 + sections.len() * 16);
     directory.extend_from_slice(
         &u32::try_from(sections.len())
+            // fairnn-audit: allow(snapshot-panic) — encode side: >u32::MAX sections is a programming error, not snapshot input
             .expect("section count fits u32")
             .to_le_bytes(),
     );
@@ -143,50 +145,53 @@ pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
 /// checksums are verified (in parallel) before the sections reach
 /// [`Codec::decode_sections`].
 pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, SnapshotError> {
-    if bytes.len() < HEADER_LEN {
-        // Distinguish "not even a magic" from "header cut short".
-        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+    // Magic first, so "not a snapshot at all" is distinguished from
+    // "header cut short" even on sub-header inputs.
+    if let Some(magic) = bytes.get(..8) {
+        if magic != MAGIC {
             let mut found = [0u8; 8];
-            found.copy_from_slice(&bytes[..8]);
+            for (dst, src) in found.iter_mut().zip(magic) {
+                *dst = *src;
+            }
             return Err(SnapshotError::BadMagic { found });
         }
+    }
+    let (Some(header_bytes), Some(payload)) = (bytes.get(8..HEADER_LEN), bytes.get(HEADER_LEN..))
+    else {
         return Err(SnapshotError::Truncated {
             needed: HEADER_LEN,
             available: bytes.len(),
         });
-    }
-    if bytes[..8] != MAGIC {
-        let mut found = [0u8; 8];
-        found.copy_from_slice(&bytes[..8]);
-        return Err(SnapshotError::BadMagic { found });
-    }
-    let mut header = Decoder::new(&bytes[8..HEADER_LEN]);
-    let version = header.read_u32().expect("header length checked");
+    };
+    // The `?`s below cannot fire — the header slice is exactly 32 bytes —
+    // but snapshot code never panics on input, so they stay `?`.
+    let mut header = Decoder::new(header_bytes);
+    let version = header.read_u32()?;
     if version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let endian = header.read_u32().expect("header length checked");
+    let endian = header.read_u32()?;
     if endian != ENDIAN_MARK {
         return Err(SnapshotError::EndiannessMismatch { found: endian });
     }
-    let found_kind = header.read_u32().expect("header length checked");
+    let found_kind = header.read_u32()?;
     if found_kind != kind.tag() {
         return Err(SnapshotError::KindMismatch {
             found: found_kind,
             expected: kind.tag(),
         });
     }
-    let _reserved = header.read_u32().expect("header length checked");
-    let payload_len = header.read_u64().expect("header length checked");
-    let stored_checksum = header.read_u64().expect("header length checked");
+    let _reserved = header.read_u32()?;
+    let payload_len = header.read_u64()?;
+    let stored_checksum = header.read_u64()?;
 
     let payload_len = usize::try_from(payload_len).map_err(|_| {
         SnapshotError::Corrupt(format!("payload length {payload_len} does not fit usize"))
     })?;
-    let available = bytes.len() - HEADER_LEN;
+    let available = payload.len();
     if available < payload_len {
         return Err(SnapshotError::Truncated {
             needed: payload_len,
@@ -198,7 +203,6 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
             remaining: available - payload_len,
         });
     }
-    let payload = &bytes[HEADER_LEN..];
 
     // Section directory: count, then (length, checksum) per section. The
     // header checksum covers exactly these bytes, so a corrupt directory is
@@ -211,13 +215,12 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
     let dir_len = 4 + count
         .checked_mul(16)
         .ok_or_else(|| SnapshotError::Corrupt(format!("section count {count} overflows")))?;
-    if dir_len > payload.len() {
+    let Some(directory) = payload.get(..dir_len) else {
         return Err(SnapshotError::Corrupt(format!(
             "section directory of {count} entries needs {dir_len} bytes, payload has {}",
             payload.len()
         )));
-    }
-    let directory = &payload[..dir_len];
+    };
     let computed = checksum64(directory);
     if computed != stored_checksum {
         return Err(SnapshotError::ChecksumMismatch {
@@ -232,8 +235,8 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
     }
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
-        let len = dir.read_u64().expect("directory length checked");
-        let checksum = dir.read_u64().expect("directory length checked");
+        let len = dir.read_u64()?;
+        let checksum = dir.read_u64()?;
         let len = usize::try_from(len).map_err(|_| {
             SnapshotError::Corrupt(format!("section length {len} does not fit usize"))
         })?;
@@ -252,11 +255,20 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
     let mut sections = Vec::with_capacity(count);
     let mut offset = dir_len;
     for (len, _) in &entries {
-        sections.push(&payload[offset..offset + len]);
+        // In-bounds by the exact-coverage check above; `get` keeps the
+        // no-panic guarantee even if that check ever regresses.
+        let end = offset.checked_add(*len);
+        let Some(section) = end.and_then(|end| payload.get(offset..end)) else {
+            return Err(SnapshotError::Corrupt(
+                "section extends past the payload".into(),
+            ));
+        };
+        sections.push(section);
         offset += len;
     }
 
     // Per-section integrity, verified on parallel build workers.
+    // fairnn-audit: allow(snapshot-index) — `i` ranges over `count == sections.len()` by construction
     let section_sums = fairnn_parallel::map_indexed(count, |i| checksum64(sections[i]));
     for (i, (computed, (_, stored))) in section_sums.iter().zip(&entries).enumerate() {
         if computed != stored {
@@ -277,37 +289,53 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
 /// checksum wall so it reaches the structural decoders; it is best-effort
 /// on malformed images (out-of-range lengths leave the image untouched).
 pub fn repair_checksums(bytes: &mut [u8]) {
-    if bytes.len() < HEADER_LEN + 4 {
+    let Some(count) = read_le_array::<4>(bytes, HEADER_LEN).map(u32::from_le_bytes) else {
         return;
-    }
-    let payload_len = bytes.len() - HEADER_LEN;
-    let count = u32::from_le_bytes(
-        bytes[HEADER_LEN..HEADER_LEN + 4]
-            .try_into()
-            .expect("4 bytes"),
-    ) as usize;
+    };
+    let count = count as usize;
     let Some(dir_len) = count.checked_mul(16).and_then(|n| n.checked_add(4)) else {
         return;
     };
-    if dir_len > payload_len {
+    if dir_len > bytes.len() - HEADER_LEN {
         return;
     }
     let mut offset = HEADER_LEN + dir_len;
     for i in 0..count {
         let entry = HEADER_LEN + 4 + i * 16;
-        let len = u64::from_le_bytes(bytes[entry..entry + 8].try_into().expect("8 bytes")) as usize;
-        let Some(end) = offset.checked_add(len) else {
+        let Some(len) = read_le_array::<8>(bytes, entry).map(u64::from_le_bytes) else {
             return;
         };
-        if end > bytes.len() {
+        let Some(end) = offset.checked_add(len as usize) else {
             return;
-        }
-        let checksum = checksum64(&bytes[offset..end]);
-        bytes[entry + 8..entry + 16].copy_from_slice(&checksum.to_le_bytes());
+        };
+        let Some(section) = bytes.get(offset..end) else {
+            return;
+        };
+        let checksum = checksum64(section).to_le_bytes();
+        let Some(slot) = bytes.get_mut(entry + 8..entry + 16) else {
+            return;
+        };
+        slot.copy_from_slice(&checksum);
         offset = end;
     }
-    let directory = checksum64(&bytes[HEADER_LEN..HEADER_LEN + dir_len]);
-    bytes[32..40].copy_from_slice(&directory.to_le_bytes());
+    let Some(directory) = bytes.get(HEADER_LEN..HEADER_LEN + dir_len) else {
+        return;
+    };
+    let checksum = checksum64(directory).to_le_bytes();
+    if let Some(slot) = bytes.get_mut(32..40) {
+        slot.copy_from_slice(&checksum);
+    }
+}
+
+/// Reads `N` bytes at `at` as a fixed array, without indexing (`None` when
+/// the slice is short or the range overflows).
+fn read_le_array<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
+    let slice = bytes.get(at..at.checked_add(N)?)?;
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(slice) {
+        *dst = *src;
+    }
+    Some(out)
 }
 
 /// Writes `value` as a snapshot file at `path` (atomically replaced via a
@@ -560,6 +588,48 @@ mod tests {
         let mut absurd = bytes;
         absurd[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         repair_checksums(&mut absurd);
+    }
+
+    #[test]
+    fn lying_directory_lengths_are_corrupt_not_panics() {
+        // vec![1u64, 2, 3] encodes to one 32-byte section (8-byte length
+        // prefix + 3×8 payload). Misdeclare its directory length in both
+        // directions; repair_checksums pushes the lie past the checksum
+        // wall, and the exact-coverage check must reject it structurally.
+        let bytes = to_bytes(SnapshotKind::LshIndex, &vec![1u64, 2, 3]);
+        // Shrunk lengths pass repair, so the exact-coverage check fires;
+        // an inflated length makes repair bail early (best-effort), so the
+        // stale directory checksum rejects it instead. Either way: an
+        // error, never a panic.
+        for lied_len in [1u8, 31, 33] {
+            let mut mutated = bytes.clone();
+            mutated[HEADER_LEN + 4] = lied_len;
+            repair_checksums(&mut mutated);
+            assert!(
+                matches!(
+                    from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &mutated),
+                    Err(SnapshotError::Corrupt(_) | SnapshotError::ChecksumMismatch { .. })
+                ),
+                "declared section length {lied_len} must be structurally rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_sweep_never_panics() {
+        // Flip low and high bits at every byte offset — header, directory
+        // and payload — both behind and past the checksum wall. Every
+        // outcome must be a Result, never a panic.
+        let bytes = to_bytes(SnapshotKind::LshIndex, &vec![0xABu64; 4]);
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= bit;
+                let _ = from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &mutated);
+                repair_checksums(&mut mutated);
+                let _ = from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &mutated);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Thin CLI entry for the workspace auditor (the logic lives in
+//! `fairnn-audit`; this file only forwards arguments and the exit code).
+//!
+//! ```text
+//! cargo run --release -p fairnn-audit --bin fairnn-audit -- --json AUDIT_report.json
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(fairnn_audit::run_cli(&args));
+}
