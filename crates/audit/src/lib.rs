@@ -16,12 +16,16 @@
 //!   non-test code of the deterministic crates (space, sketch, lsh, core,
 //!   engine, snapshot).
 //! * `wall-clock` — deny `Instant`/`SystemTime`/`available_parallelism`/
-//!   ambient entropy outside `fairnn-bench` and `fairnn-parallel`.
+//!   ambient entropy outside `fairnn-bench`, `fairnn-parallel` and
+//!   `fairnn-obs`.
 //! * `snapshot-panic` / `snapshot-index` — deny `unwrap`/`expect`/`panic!`
 //!   and direct slice indexing in `fairnn-snapshot`; decoders return typed
 //!   `SnapshotError`s.
 //! * `raw-thread` — deny `std::thread::{spawn, scope}` outside
 //!   `fairnn-parallel`.
+//! * `direct-instant` — deny `Instant::now()`/`SystemTime::now()` outside
+//!   `fairnn-obs` and `fairnn-bench`; timing goes through the
+//!   `fairnn_obs::Clock` seam so tests can inject a manual clock.
 //! * `nested-parallel` — warn on nested substrate calls (they run
 //!   serially by design).
 //! * `waiver-reason` — waivers must be well-formed and carry a reason.

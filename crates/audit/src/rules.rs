@@ -50,9 +50,16 @@ const DETERMINISM_CRATES: &[&str] = &[
     "fairnn-snapshot",
 ];
 
-/// Wall-clock and ambient entropy are allowed only in benchmarking code
-/// and in the parallel substrate (which owns the thread-count knob).
-const WALL_CLOCK_EXEMPT: &[&str] = &["fairnn-bench", "fairnn-parallel"];
+/// Wall-clock and ambient entropy are allowed only in benchmarking code,
+/// in the parallel substrate (which owns the thread-count knob), and in
+/// the observability crate (which owns the audited clock seam).
+const WALL_CLOCK_EXEMPT: &[&str] = &["fairnn-bench", "fairnn-parallel", "fairnn-obs"];
+
+/// Only the observability crate's `Clock` seam and benchmark binaries may
+/// read the raw OS clocks; everything else routes timing through
+/// `fairnn_obs::monotonic_ns`/`wall_unix_ns` so tests can inject a
+/// `ManualClock`.
+const DIRECT_INSTANT_EXEMPT: &[&str] = &["fairnn-obs", "fairnn-bench"];
 
 /// Only the parallel substrate may create OS threads.
 const THREAD_EXEMPT: &[&str] = &["fairnn-parallel"];
@@ -114,6 +121,12 @@ pub const RULES: &[(&str, Severity, &str)] = &[
         "no std::thread::spawn/scope outside fairnn-parallel",
     ),
     (
+        "direct-instant",
+        Severity::Deny,
+        "no Instant::now/SystemTime::now outside fairnn-obs and fairnn-bench: \
+         time flows through the fairnn-obs Clock seam",
+    ),
+    (
         "nested-parallel",
         Severity::Warn,
         "nested fairnn-parallel substrate calls run serially — flag them for restructuring",
@@ -132,6 +145,7 @@ pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
         "wall-clock" => !WALL_CLOCK_EXEMPT.contains(&crate_name),
         "snapshot-panic" | "snapshot-index" => crate_name == "fairnn-snapshot",
         "raw-thread" => !THREAD_EXEMPT.contains(&crate_name),
+        "direct-instant" => !DIRECT_INSTANT_EXEMPT.contains(&crate_name),
         "nested-parallel" => crate_name != "fairnn-parallel",
         "waiver-reason" => true,
         _ => false,
@@ -159,6 +173,9 @@ pub fn audit_tokens(path: &str, crate_name: &str, tokens: &[Token]) -> Vec<Findi
     }
     if rule_applies("raw-thread", crate_name) {
         check_raw_thread(&fc, &mut findings);
+    }
+    if rule_applies("direct-instant", crate_name) {
+        check_direct_instant(&fc, &mut findings);
     }
     if rule_applies("nested-parallel", crate_name) {
         check_nested_parallel(&fc, &mut findings);
@@ -434,6 +451,34 @@ fn check_raw_thread(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
     }
 }
 
+fn check_direct_instant(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
+    let code = &fc.code;
+    for i in 0..code.len() {
+        if fc.in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && code.get(i + 1).is_some_and(|a| a.is_punct(b':'))
+            && code.get(i + 2).is_some_and(|b| b.is_punct(b':'))
+            && code.get(i + 3).is_some_and(|m| m.is_ident("now"))
+            && code.get(i + 4).is_some_and(|p| p.is_punct(b'('))
+        {
+            out.push(raw(
+                "direct-instant",
+                Severity::Deny,
+                t,
+                format!(
+                    "`{}::now()` reads the OS clock directly; use \
+                     `fairnn_obs::monotonic_ns`/`wall_unix_ns` so the Clock seam \
+                     stays the single audited timing source",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 fn check_nested_parallel(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
     let code = &fc.code;
     let mut paren_depth = 0usize;
@@ -529,6 +574,7 @@ mod tests {
     const BENCH: &str = "crates/bench/src/x.rs";
     const SNAPSHOT: &str = "crates/snapshot/src/x.rs";
     const PARALLEL: &str = "crates/parallel/src/x.rs";
+    const OBS: &str = "crates/obs/src/x.rs";
 
     // ---- unordered-iter -------------------------------------------------
 
@@ -693,6 +739,49 @@ mod tests {
                        let handle = std::thread::current();\n\
                    }\n";
         assert!(unwaived(&findings(ENGINE, src), "raw-thread").is_empty());
+    }
+
+    // ---- direct-instant -------------------------------------------------
+
+    #[test]
+    fn direct_instant_flags_now_outside_obs_and_bench() {
+        let src = "fn f() {\n\
+                       let t = std::time::Instant::now();\n\
+                       let w = std::time::SystemTime::now();\n\
+                   }\n";
+        // Parallel is wall-clock-exempt but NOT direct-instant-exempt: it may
+        // read core counts, but its timing must go through the Clock seam.
+        let fs = findings(PARALLEL, src);
+        assert_eq!(unwaived(&fs, "direct-instant").len(), 2, "{fs:?}");
+        assert!(unwaived(&findings(OBS, src), "direct-instant").is_empty());
+        assert!(unwaived(&findings(BENCH, src), "direct-instant").is_empty());
+    }
+
+    #[test]
+    fn direct_instant_ignores_other_instant_items_and_tests() {
+        // Type positions, durations since an Instant, comments, strings and
+        // test modules must all stay silent.
+        let src = "fn f(anchor: std::time::Instant) -> u64 {\n\
+                       // Instant::now() in a comment is fine\n\
+                       let s = \"SystemTime::now()\";\n\
+                       anchor.elapsed().as_nanos() as u64\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() { let _ = std::time::Instant::now(); }\n\
+                   }\n";
+        assert!(unwaived(&findings(ENGINE, src), "direct-instant").is_empty());
+    }
+
+    #[test]
+    fn direct_instant_honors_waivers() {
+        let src = "fn f() {\n\
+                       // fairnn-audit: allow(direct-instant) — one-shot startup stamp\n\
+                       let t = std::time::Instant::now();\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        assert!(unwaived(&fs, "direct-instant").is_empty(), "{fs:?}");
+        assert_eq!(fs.iter().filter(|f| f.waived).count(), 1);
     }
 
     // ---- nested-parallel ------------------------------------------------

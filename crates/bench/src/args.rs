@@ -24,6 +24,10 @@ pub struct CommonArgs {
     /// report to this path (`--json <path>`); used by CI to track the
     /// performance trajectory as build artifacts.
     pub json: Option<String>,
+    /// When set, the binary dumps the full `fairnn-obs` metrics registry
+    /// (counters, gauges, histogram buckets) as JSON to this path after
+    /// its instrumented runs (`--metrics-json <path>`).
+    pub metrics_json: Option<String>,
 }
 
 impl Default for CommonArgs {
@@ -36,6 +40,7 @@ impl Default for CommonArgs {
             threads: 1,
             shards: 1,
             json: None,
+            metrics_json: None,
         }
     }
 }
@@ -81,6 +86,9 @@ impl CommonArgs {
                 }
                 "--json" => {
                     out.json = iter.next();
+                }
+                "--metrics-json" => {
+                    out.metrics_json = iter.next();
                 }
                 "--paper-scale" => {
                     out.scale = 1.0;
@@ -178,6 +186,19 @@ mod tests {
     fn ignores_unknown_flags() {
         let a = CommonArgs::parse(to_args(&["--unknown", "3", "--queries", "4"]));
         assert_eq!(a.queries, 4);
+    }
+
+    #[test]
+    fn parses_report_paths() {
+        let a = CommonArgs::parse(to_args(&[
+            "--json",
+            "BENCH.json",
+            "--metrics-json",
+            "METRICS.json",
+        ]));
+        assert_eq!(a.json.as_deref(), Some("BENCH.json"));
+        assert_eq!(a.metrics_json.as_deref(), Some("METRICS.json"));
+        assert_eq!(CommonArgs::default().metrics_json, None);
     }
 
     #[test]

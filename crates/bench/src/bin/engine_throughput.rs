@@ -11,7 +11,14 @@
 //!    check: identical seeds must yield identical answers across thread
 //!    counts;
 //! 3. **Rank-swap fast path** — batch throughput on a repeated-query
-//!    workload with the cache enabled (Theorem 5 path).
+//!    workload with the cache enabled (Theorem 5 path);
+//! 4. **Observability overhead** — the cache-disabled pipeline with
+//!    `fairnn-obs` metrics and span tracing fully enabled vs fully
+//!    disabled. The CI gate requires the instrumented engine to stay
+//!    within 3 % of the uninstrumented one, and the answers are asserted
+//!    bit-identical (instrumentation must not perturb RNG streams or
+//!    commit order). `--metrics-json <path>` additionally dumps the full
+//!    metrics registry collected during the instrumented runs.
 //!
 //! Usage: `cargo run -p fairnn-bench --release --bin engine_throughput --
 //!         [--scale 0.25] [--repetitions 2000] [--seed 42]
@@ -19,7 +26,7 @@
 //! (`--repetitions` is reused as the batch size.)
 
 use fairnn_bench::figures::{paper_lsh_params, SetShardedSampler};
-use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
+use fairnn_bench::{json_fixed, CommonArgs, SetWorkload, WorkloadKind};
 use fairnn_core::{FairNnis, FairNns, FairSampler, NaiveFairLsh, SimilarityAtLeast};
 use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndexConfig};
 use fairnn_lsh::{LshHasher, LshIndex, OneBitMinHash, QueryScratch};
@@ -246,14 +253,88 @@ fn main() {
         answers.iter().filter(|a| a.via_cache).count()
     );
 
+    // 4. Observability overhead: two fresh cache-disabled engines driven
+    //    through identical call sequences, one with fairnn-obs fully off,
+    //    one with metrics + span tracing fully on. Identical seeds and call
+    //    order mean the answers must match bit for bit; best-of-rounds
+    //    throughput feeds the CI gate's 3 % overhead budget.
+    let mut plain_engine = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        engine_config(args.threads),
+    );
+    let mut instr_engine = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        engine_config(args.threads),
+    );
+    let _ = plain_engine.run_batch(&warmup);
+    fairnn_obs::set_enabled(true);
+    fairnn_obs::set_tracing_enabled(true);
+    let _ = instr_engine.run_batch(&warmup);
+    fairnn_obs::set_enabled(false);
+    fairnn_obs::set_tracing_enabled(false);
+
+    const OBS_ROUNDS: usize = 3;
+    let mut plain_best_qps = 0.0f64;
+    let mut instr_best_qps = 0.0f64;
+    let mut obs_measured_s = 0.0f64;
+    for _ in 0..OBS_ROUNDS {
+        let start = Instant::now();
+        let plain_answers = plain_engine.run_batch(&batch);
+        let plain_secs = start.elapsed().as_secs_f64();
+
+        fairnn_obs::set_enabled(true);
+        fairnn_obs::set_tracing_enabled(true);
+        let start = Instant::now();
+        let instr_answers = instr_engine.run_batch(&batch);
+        let instr_secs = start.elapsed().as_secs_f64();
+        fairnn_obs::set_enabled(false);
+        fairnn_obs::set_tracing_enabled(false);
+
+        assert_eq!(
+            plain_answers, instr_answers,
+            "instrumentation perturbed the engine output: identical seeds must \
+             yield identical answers with metrics and tracing enabled"
+        );
+        plain_best_qps = plain_best_qps.max(batch.len() as f64 / plain_secs);
+        instr_best_qps = instr_best_qps.max(batch.len() as f64 / instr_secs);
+        obs_measured_s += plain_secs + instr_secs;
+    }
+    let obs_overhead_pct = (1.0 - instr_best_qps / plain_best_qps) * 100.0;
+    println!(
+        "\nobservability overhead (metrics + tracing on): uninstrumented {} q/s, \
+         instrumented {} q/s, overhead {}% (answers bit-identical over {OBS_ROUNDS} rounds)",
+        fmt_f64(plain_best_qps, 0),
+        fmt_f64(instr_best_qps, 0),
+        fmt_f64(obs_overhead_pct, 2),
+    );
+
+    // Full metrics registry dump collected during the instrumented runs.
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, fairnn_obs::global().render_json()).expect("write metrics JSON");
+        println!("wrote metrics registry dump to {path}");
+    }
+
     // Machine-readable report for CI's perf-trajectory artifact.
     if let Some(path) = &args.json {
+        // Canonical fixed precision for every timing row: q/s and ns at one
+        // decimal, percentages at two, seconds at three (see `json_fixed`).
         let baselines_json: Vec<String> = baseline_qps
             .iter()
-            .map(|(name, qps)| format!("    {{\"sampler\": \"{name}\", \"qps\": {qps:.1}}}"))
+            .map(|(name, qps)| {
+                format!(
+                    "    {{\"sampler\": \"{name}\", \"qps\": {}}}",
+                    json_fixed(*qps, 1)
+                )
+            })
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {:.1}, \"per_row\": {:.1}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {:.1}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {:.1}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {:.1}\n}}\n",
+            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {}, \"per_row\": {}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {},\n  \"obs_overhead\": {{\"uninstrumented_qps\": {}, \"instrumented_qps\": {}, \"overhead_pct\": {}, \"measured_s\": {}}}\n}}\n",
             args.scale,
             batch_size,
             args.seed,
@@ -262,14 +343,18 @@ fn main() {
             dataset.len(),
             params.k,
             params.l,
-            hash_batched_ns,
-            hash_per_row_ns,
+            json_fixed(hash_batched_ns, 1),
+            json_fixed(hash_per_row_ns, 1),
             baselines_json.join(",\n"),
-            serial_qps,
+            json_fixed(serial_qps, 1),
             args.threads,
-            threaded_qps,
+            json_fixed(threaded_qps, 1),
             hardware_limited,
-            rank_swap_qps,
+            json_fixed(rank_swap_qps, 1),
+            json_fixed(plain_best_qps, 1),
+            json_fixed(instr_best_qps, 1),
+            json_fixed(obs_overhead_pct, 2),
+            json_fixed(obs_measured_s, 3),
         );
         std::fs::write(path, json).expect("write JSON report");
         println!("\nwrote machine-readable report to {path}");

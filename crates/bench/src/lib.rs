@@ -20,7 +20,9 @@
 
 pub mod args;
 pub mod figures;
+pub mod report;
 pub mod workload;
 
 pub use args::CommonArgs;
+pub use report::json_fixed;
 pub use workload::{SetWorkload, WorkloadKind};

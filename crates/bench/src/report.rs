@@ -1,0 +1,39 @@
+//! Canonical number formatting for the machine-readable JSON reports.
+//!
+//! Every timing figure the binaries emit goes through [`json_fixed`], so
+//! reports carry one fixed precision per figure kind and never contain
+//! `NaN`/`inf` tokens (which are not valid JSON and would break the CI
+//! gate's parser).
+
+/// Formats `value` with exactly `places` decimal places for a JSON report.
+///
+/// Non-finite values (a zero-duration measurement divides by zero) become
+/// `0.0` so the report stays parseable; the gate treats a zero figure as a
+/// missing measurement rather than crashing on `NaN`.
+pub fn json_fixed(value: f64, places: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.places$}")
+    } else {
+        format!("{:.places$}", 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_precision_is_canonical() {
+        assert_eq!(json_fixed(1234.567, 1), "1234.6");
+        assert_eq!(json_fixed(0.5, 2), "0.50");
+        assert_eq!(json_fixed(-3.65432, 3), "-3.654");
+        assert_eq!(json_fixed(7.0, 0), "7");
+    }
+
+    #[test]
+    fn non_finite_values_stay_valid_json() {
+        assert_eq!(json_fixed(f64::NAN, 1), "0.0");
+        assert_eq!(json_fixed(f64::INFINITY, 2), "0.00");
+        assert_eq!(json_fixed(f64::NEG_INFINITY, 1), "0.0");
+    }
+}

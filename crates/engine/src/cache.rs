@@ -18,10 +18,25 @@
 //! invalidated wholesale on insert/delete, since an update may change any
 //! neighborhood.
 
+use fairnn_obs::LazyCounter;
 use fairnn_space::PointId;
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+
+/// Rank-swap cache lookups that found an entry. Together with the miss
+/// counter this gives the live hit rate (the per-generation counters on
+/// [`ResultCache::stats`] reset on every cache clear; these never do).
+static CACHE_HITS: LazyCounter = LazyCounter::new(
+    "engine_cache_hits_total",
+    "rank-swap result cache lookups that found an entry",
+);
+
+/// Rank-swap cache lookups that fell through to the full pipeline.
+static CACHE_MISSES: LazyCounter = LazyCounter::new(
+    "engine_cache_misses_total",
+    "rank-swap result cache lookups that fell through to the full pipeline",
+);
 
 /// The cached neighborhood of one query, stored as a uniformly random
 /// permutation that is re-randomized rank-swap style after every draw.
@@ -117,8 +132,14 @@ impl<P: Hash + Eq + Clone> ResultCache<P> {
     pub fn entry_mut(&mut self, query: &P) -> Option<&mut CacheEntry> {
         let entry = self.map.get_mut(query);
         match entry {
-            Some(_) => self.hits += 1,
-            None => self.misses += 1,
+            Some(_) => {
+                self.hits += 1;
+                CACHE_HITS.inc();
+            }
+            None => {
+                self.misses += 1;
+                CACHE_MISSES.inc();
+            }
         }
         entry
     }
@@ -132,8 +153,14 @@ impl<P: Hash + Eq + Clone> ResultCache<P> {
     pub fn take(&mut self, query: &P) -> Option<CacheEntry> {
         let entry = self.map.remove(query);
         match entry {
-            Some(_) => self.hits += 1,
-            None => self.misses += 1,
+            Some(_) => {
+                self.hits += 1;
+                CACHE_HITS.inc();
+            }
+            None => {
+                self.misses += 1;
+                CACHE_MISSES.inc();
+            }
         }
         entry
     }

@@ -26,12 +26,35 @@ use crate::sharded::{ShardedIndex, ShardedIndexConfig};
 use fairnn_core::predicate::Nearness;
 use fairnn_core::{NeighborSampler, QueryStats};
 use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshParams};
+use fairnn_obs::{LazyCounter, LazyGauge, LazyHistogram, Timer};
 use fairnn_parallel::ThreadPool;
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{mpsc, Arc, Mutex, RwLock};
+
+/// Wall time of one [`QueryEngine::run_batch`] call, grouping, dispatch and
+/// cache commit included.
+static BATCH_NS: LazyHistogram = LazyHistogram::new(
+    "engine_batch_ns",
+    "wall time of one run_batch call in nanoseconds",
+);
+
+/// Queries served across all batches (batch sizes are `count` of the batch
+/// histogram away).
+static QUERIES_TOTAL: LazyCounter = LazyCounter::new(
+    "engine_queries_total",
+    "queries answered by run_batch across all batches",
+);
+
+/// Group chunks dispatched to the pool and not yet completed: the engine's
+/// view of its per-batch backlog (the pool's own queue depth is
+/// `parallel_pool_queue_depth`).
+static INFLIGHT_CHUNKS: LazyGauge = LazyGauge::new(
+    "engine_inflight_chunks",
+    "group chunks dispatched to the serving pool and not yet completed",
+);
 
 /// Configuration of a [`QueryEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -496,6 +519,8 @@ where
     /// `queries[i]`; for a fixed engine seed and index state the result is
     /// identical for every thread count.
     pub fn run_batch(&mut self, queries: &[P]) -> Vec<Answer> {
+        let _timer = Timer::start(&BATCH_NS);
+        QUERIES_TOTAL.add(queries.len() as u64);
         let batch_seed = split_seed(
             self.config.index.seed,
             STREAM_BATCH_BASE.wrapping_add(self.batches),
@@ -538,6 +563,7 @@ where
                     let index = Arc::clone(&self.index);
                     let cache = Arc::clone(&self.cache);
                     let tx = tx.clone();
+                    INFLIGHT_CHUNKS.add(1);
                     pool.execute(move || {
                         let index = index.read().expect("index lock poisoned");
                         let results: Vec<_> = chunk
@@ -549,6 +575,7 @@ where
                                 )
                             })
                             .collect();
+                        INFLIGHT_CHUNKS.add(-1);
                         tx.send(results).expect("batch receiver alive");
                     });
                 }

@@ -41,9 +41,26 @@ use fairnn_core::predicate::Nearness;
 use fairnn_core::{NeighborSampler, QueryStats};
 use fairnn_data::partition;
 use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshParams};
+use fairnn_obs::{LazyCounter, LazyHistogram};
 use fairnn_sketch::CardinalityEstimator;
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
+
+/// Rejection rounds spent per draw (one observation per
+/// [`PreparedQuery::sample`] call). The paper's protocol terminates in
+/// `O(κ)` expected rounds; a drifting distribution here means the sketch
+/// estimates have degraded (e.g. deletion staleness).
+static REJECTION_ROUNDS: LazyHistogram = LazyHistogram::new(
+    "engine_rejection_rounds",
+    "rejection-sampling rounds spent per draw of the two-level protocol",
+);
+
+/// Draws that exhausted the round budget or detected a sketch failure and
+/// took the exhaustive uniform fallback.
+static FALLBACK_EXHAUSTIVE: LazyCounter = LazyCounter::new(
+    "engine_fallback_exhaustive_total",
+    "draws that fell back to the exhaustive uniform scan",
+);
 
 /// Configuration of a [`ShardedIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -531,6 +548,7 @@ where
 
     fn shard_neighborhood(&mut self, shard: usize) -> &Vec<PointId> {
         if self.cached[shard].is_none() {
+            let _span = fairnn_obs::span!("shard.sample", shard = shard);
             let keys = &self.keys[shard * self.key_stride..(shard + 1) * self.key_stride];
             self.cached[shard] = Some(self.index.shards[shard].colliding_near_points_with_keys(
                 self.query,
@@ -544,6 +562,13 @@ where
     /// Draws one uniform sample (steps 2–4 of the two-level protocol, with
     /// the exhaustive fallback on round-budget overrun or sketch failure).
     pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PointId> {
+        let rounds_before = self.stats.rounds;
+        let out = self.sample_inner(rng);
+        REJECTION_ROUNDS.record((self.stats.rounds - rounds_before) as u64);
+        out
+    }
+
+    fn sample_inner<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PointId> {
         if self.total <= 0.0 {
             // No shard has any colliding point (estimates are exact at 0).
             return None;
@@ -584,6 +609,7 @@ where
         // this keeps the output exactly uniform (every earlier round had the
         // same constant per-point return probability); after a detected
         // sketch failure it is the best available draw (module docs).
+        FALLBACK_EXHAUSTIVE.inc();
         for shard in 0..num_shards {
             self.shard_neighborhood(shard);
         }

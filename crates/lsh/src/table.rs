@@ -16,10 +16,27 @@ use crate::family::{LshFamily, LshHasher};
 use crate::frozen::FrozenTable;
 use crate::params::LshParams;
 use crate::scratch::QueryScratch;
+use fairnn_obs::{HistogramShard, LazyHistogram, Timer};
 use fairnn_space::PointId;
 use rand::Rng;
 use std::cell::RefCell;
 use std::collections::HashMap;
+
+/// Bucket-size distribution, recorded at [`LshTable::freeze`] time (one
+/// observation per non-empty bucket). The tail of this histogram is what
+/// drives worst-case query cost and the fair samplers' rejection rates.
+static BUCKET_SIZE: LazyHistogram = LazyHistogram::new(
+    "lsh_bucket_size",
+    "bucket sizes observed when tables freeze (entries per non-empty bucket)",
+);
+
+/// Wall time of one batched `K x L` hash-bank evaluation — one observation
+/// per hashed point, so mean(= sum/count) is the hash-bank ns/point figure
+/// the benches track.
+static HASH_BANK_NS: LazyHistogram = LazyHistogram::new(
+    "lsh_hash_bank_ns",
+    "batched K x L hash-bank evaluation time per point in nanoseconds",
+);
 
 thread_local! {
     /// Per-thread scratch for the convenience query methods
@@ -63,7 +80,18 @@ impl LshTable {
     pub fn freeze(&mut self) {
         if self.frozen.is_none() {
             // fairnn-audit: allow(unordered-iter) — from_buckets key-sorts the drained pairs
-            self.frozen = Some(FrozenTable::from_buckets(self.staging.drain()));
+            let frozen = FrozenTable::from_buckets(self.staging.drain());
+            if fairnn_obs::enabled() {
+                // Shard locally, merge once: tables freeze on parallel
+                // build workers, and per-bucket atomic adds would serialize
+                // them on the histogram cache lines.
+                let mut sizes = HistogramShard::new();
+                for (_, bucket) in frozen.buckets() {
+                    sizes.record(bucket.len() as u64);
+                }
+                BUCKET_SIZE.merge_shard(&sizes);
+            }
+            self.frozen = Some(frozen);
         }
     }
 
@@ -364,6 +392,7 @@ impl<H> LshIndex<H> {
     where
         H: LshHasher<P>,
     {
+        let _timer = Timer::start(&HASH_BANK_NS);
         keys.clear();
         keys.resize(self.hashers.len(), 0);
         H::hash_all(&self.hashers, query, keys);

@@ -1,0 +1,457 @@
+//! The metrics registry: named metrics, per-site lazy handles, and the
+//! Prometheus-text / JSON exporters.
+//!
+//! Call sites hold `static` [`LazyCounter`]/[`LazyGauge`]/[`LazyHistogram`]
+//! handles: a `const` name/help pair plus a `OnceLock` that registers the
+//! metric in the global registry on first recording. Recording is therefore
+//! one relaxed `enabled()` load when observability is off, and one
+//! `OnceLock` load plus one relaxed atomic add when it is on — no locks,
+//! no allocation, on any hot path.
+//!
+//! Rendering walks a `BTreeMap`, so exporter output is sorted by metric
+//! name and stable across runs — the property the CI artifact diffing and
+//! the aggregation-determinism tests rely on.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{bucket_bound, Counter, Gauge, Histogram, BUCKETS};
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous signed value.
+    Gauge,
+    /// Log-scale histogram.
+    Histogram,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A point-in-time copy of one metric, for programmatic consumers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name (`snake_case`, Prometheus-compatible).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// Counter / gauge / histogram.
+    pub kind: MetricKind,
+    /// Counter total or gauge value (histograms: observation count).
+    pub value: i64,
+    /// Histogram sum of observations (0 otherwise).
+    pub sum: u64,
+    /// Histogram `(inclusive upper bound, count)` pairs for non-empty
+    /// buckets (empty otherwise).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A named collection of metrics with exporters.
+///
+/// Most code uses the process-global registry via the lazy handles; a
+/// fresh registry is only for tests that need isolation.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        let entry = entries.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is already registered as a non-counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        let entry = entries.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is already registered as a non-gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        let entry = entries.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Histogram(Arc::new(Histogram::new())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is already registered as a non-histogram"),
+        }
+    }
+
+    /// A sorted point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        entries
+            .iter()
+            .map(|(name, entry)| {
+                let (kind, value, sum, buckets) = match &entry.metric {
+                    Metric::Counter(c) => (
+                        MetricKind::Counter,
+                        i64::try_from(c.get()).unwrap_or(i64::MAX),
+                        0,
+                        Vec::new(),
+                    ),
+                    Metric::Gauge(g) => (MetricKind::Gauge, g.get(), 0, Vec::new()),
+                    Metric::Histogram(h) => {
+                        let counts = h.buckets();
+                        let buckets: Vec<(u64, u64)> = (0..BUCKETS)
+                            .filter(|&i| counts[i] != 0)
+                            .map(|i| (bucket_bound(i), counts[i]))
+                            .collect();
+                        (
+                            MetricKind::Histogram,
+                            i64::try_from(h.count()).unwrap_or(i64::MAX),
+                            h.sum(),
+                            buckets,
+                        )
+                    }
+                };
+                MetricSnapshot {
+                    name: name.to_string(),
+                    help: entry.help.to_string(),
+                    kind,
+                    value,
+                    sum,
+                    buckets,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}` rows for
+    /// histograms), sorted by name.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in self.snapshot() {
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            match m.kind {
+                MetricKind::Counter => {
+                    out.push_str(&format!(
+                        "# TYPE {} counter\n{} {}\n",
+                        m.name, m.name, m.value
+                    ));
+                }
+                MetricKind::Gauge => {
+                    out.push_str(&format!(
+                        "# TYPE {} gauge\n{} {}\n",
+                        m.name, m.name, m.value
+                    ));
+                }
+                MetricKind::Histogram => {
+                    out.push_str(&format!("# TYPE {} histogram\n", m.name));
+                    let mut cumulative = 0u64;
+                    for (bound, count) in &m.buckets {
+                        cumulative += count;
+                        out.push_str(&format!(
+                            "{}_bucket{{le=\"{bound}\"}} {cumulative}\n",
+                            m.name
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"+Inf\"}} {}\n{}_sum {}\n{}_count {}\n",
+                        m.name, m.value, m.name, m.sum, m.name, m.value
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as a JSON document: an object with a sorted
+    /// `"metrics"` array. Histogram buckets appear as `[bound, count]`
+    /// pairs for non-empty buckets only. All numbers are integers, so the
+    /// encoding is exact and byte-stable.
+    pub fn render_json(&self) -> String {
+        let mut rows = Vec::new();
+        for m in self.snapshot() {
+            let kind = match m.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            let mut row = format!(
+                "    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"help\": \"{}\", \"value\": {}",
+                m.name,
+                m.help.replace('"', "'"),
+                m.value
+            );
+            if m.kind == MetricKind::Histogram {
+                let buckets: Vec<String> = m
+                    .buckets
+                    .iter()
+                    .map(|(bound, count)| format!("[{bound}, {count}]"))
+                    .collect();
+                row.push_str(&format!(
+                    ", \"sum\": {}, \"buckets\": [{}]",
+                    m.sum,
+                    buckets.join(", ")
+                ));
+            }
+            row.push('}');
+            rows.push(row);
+        }
+        format!("{{\n  \"metrics\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+    }
+
+    /// Resets every registered metric to zero (tests and the bench
+    /// overhead harness; racing concurrent recorders lose increments).
+    pub fn reset(&self) {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        for entry in entries.values() {
+            match &entry.metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-global registry all lazy handles register into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// A per-site counter handle: `const`-constructible, registers in the
+/// global registry on first recording, records only when [`crate::enabled`].
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Declares a counter site (no registration until first use).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying counter, registering it on first call.
+    pub fn metric(&self) -> &Arc<Counter> {
+        self.cell
+            .get_or_init(|| global().counter(self.name, self.help))
+    }
+
+    /// Adds one when observability is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` when observability is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.metric().add(n);
+        }
+    }
+}
+
+/// A per-site gauge handle (see [`LazyCounter`]).
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// Declares a gauge site.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying gauge, registering it on first call.
+    pub fn metric(&self) -> &Arc<Gauge> {
+        self.cell
+            .get_or_init(|| global().gauge(self.name, self.help))
+    }
+
+    /// Adds `n` (negative to decrease) when observability is enabled.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if crate::enabled() {
+            self.metric().add(n);
+        }
+    }
+
+    /// Sets the gauge when observability is enabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.metric().set(v);
+        }
+    }
+}
+
+/// A per-site histogram handle (see [`LazyCounter`]).
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram site.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying histogram, registering it on first call.
+    pub fn metric(&self) -> &Arc<Histogram> {
+        self.cell
+            .get_or_init(|| global().histogram(self.name, self.help))
+    }
+
+    /// Records one observation when observability is enabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if crate::enabled() {
+            self.metric().record(value);
+        }
+    }
+
+    /// Merges a local shard when observability is enabled.
+    pub fn merge_shard(&self, shard: &crate::metrics::HistogramShard) {
+        if crate::enabled() && !shard.is_empty() {
+            self.metric().merge_shard(shard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_creates_and_reuses_named_metrics() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("test_total", "a test counter");
+        let b = reg.counter("test_total", "a test counter");
+        a.add(3);
+        assert_eq!(b.get(), 3, "same name returns the same counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_conflicts() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("conflict", "counter first");
+        let _ = reg.gauge("conflict", "gauge second");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total", "last by name").add(2);
+        reg.gauge("a_depth", "first by name").set(-3);
+        let h = reg.histogram("m_ns", "histogram in the middle");
+        h.record(3);
+        h.record(3);
+        h.record(900);
+        let text = reg.render_prometheus();
+        let a = text.find("a_depth").expect("gauge rendered");
+        let m = text.find("m_ns").expect("histogram rendered");
+        let z = text.find("z_total").expect("counter rendered");
+        assert!(a < m && m < z, "sorted by name:\n{text}");
+        assert!(text.contains("# TYPE a_depth gauge"));
+        assert!(text.contains("a_depth -3"));
+        assert!(text.contains("m_ns_bucket{le=\"3\"} 2"), "{text}");
+        assert!(text.contains("m_ns_bucket{le=\"1023\"} 3"), "{text}");
+        assert!(text.contains("m_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("m_ns_sum 906"));
+        assert!(text.contains("m_ns_count 3"));
+        assert!(text.contains("z_total 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_integer_only() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total", "cache hits").add(7);
+        reg.histogram("lat_ns", "latency").record(100);
+        let one = reg.render_json();
+        let two = reg.render_json();
+        assert_eq!(one, two, "rendering is a pure snapshot");
+        assert!(one.contains("\"name\": \"hits_total\""));
+        assert!(one.contains("\"value\": 7"));
+        assert!(one.contains("\"buckets\": [[127, 1]]"), "{one}");
+        assert!(!one.contains('.'), "integers only: {one}");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", "c");
+        let h = reg.histogram("h_ns", "h");
+        c.add(5);
+        h.record(5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn lazy_handles_gate_on_the_enabled_switch() {
+        static SITE: LazyCounter = LazyCounter::new("lazy_gate_total", "gate test");
+        let before = crate::enabled();
+        crate::set_enabled(false);
+        SITE.inc();
+        crate::set_enabled(true);
+        SITE.inc();
+        SITE.inc();
+        crate::set_enabled(before);
+        assert_eq!(SITE.metric().get(), 2, "disabled increments are dropped");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the histogram-shard merge discipline.
+//!
+//! Per-thread shards are merged into the shared histogram with the same
+//! contract the KMV sketches established for shard estimates: the merge is
+//! a commutative, associative fold, so the aggregate is a pure function of
+//! the *multiset* of recorded values — independent of how work was split
+//! across threads and of the order the shards came back in.
+
+use fairnn_obs::{Histogram, HistogramShard};
+use proptest::prelude::*;
+
+/// Records each slice of `groups` into its own shard.
+fn shards_of(groups: &[Vec<u64>]) -> Vec<HistogramShard> {
+    groups
+        .iter()
+        .map(|values| {
+            let mut shard = HistogramShard::new();
+            for &v in values {
+                shard.record(v);
+            }
+            shard
+        })
+        .collect()
+}
+
+/// Folds `shards` left-to-right into one accumulator shard.
+fn fold(shards: &[HistogramShard]) -> HistogramShard {
+    let mut acc = HistogramShard::new();
+    for shard in shards {
+        acc.merge(shard);
+    }
+    acc
+}
+
+fn arb_groups() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..=u64::MAX, 0..40), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): shards may be combined pairwise in any
+    /// grouping (e.g. a merge tree) without changing the aggregate.
+    #[test]
+    fn merge_is_associative(groups in proptest::collection::vec(
+        proptest::collection::vec(0u64..=u64::MAX, 0..40), 3..4))
+    {
+        let s = shards_of(&groups);
+        let mut left = s[0].clone();
+        left.merge(&s[1]);
+        left.merge(&s[2]);
+
+        let mut right_tail = s[1].clone();
+        right_tail.merge(&s[2]);
+        let mut right = s[0].clone();
+        right.merge(&right_tail);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging the shards in any permutation yields the same aggregate:
+    /// thread completion order must not show up in the totals.
+    #[test]
+    fn merge_is_order_independent(groups in arb_groups(), rotate in 0usize..8) {
+        let shards = shards_of(&groups);
+        let forward = fold(&shards);
+
+        let mut reversed: Vec<HistogramShard> = shards.clone();
+        reversed.reverse();
+        prop_assert_eq!(&fold(&reversed), &forward);
+
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotate % shards.len().max(1));
+        prop_assert_eq!(&fold(&rotated), &forward);
+    }
+
+    /// Sharded recording is invisible: N shards merged into the shared
+    /// atomic histogram equal one thread recording every value directly,
+    /// bucket for bucket, regardless of how values were split into groups.
+    #[test]
+    fn sharded_and_direct_recording_agree(groups in arb_groups()) {
+        let sharded = Histogram::new();
+        for shard in &shards_of(&groups) {
+            sharded.merge_shard(shard);
+        }
+
+        let direct = Histogram::new();
+        for values in &groups {
+            for &v in values {
+                direct.record(v);
+            }
+        }
+
+        prop_assert_eq!(sharded.count(), direct.count());
+        prop_assert_eq!(sharded.sum(), direct.sum());
+        prop_assert_eq!(sharded.buckets(), direct.buckets());
+    }
+}

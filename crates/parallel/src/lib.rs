@@ -37,6 +37,15 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+/// Per-chunk wall time of the fork/join helpers. Each worker times its own
+/// chunk, so the histogram shows the balance of the split (a wide spread
+/// means chunk sizes or per-item costs are skewed). Recording is atomic and
+/// commutative, so totals are identical at any thread count.
+static CHUNK_NS: fairnn_obs::LazyHistogram = fairnn_obs::LazyHistogram::new(
+    "parallel_chunk_ns",
+    "per-chunk wall time of the fork/join build helpers in nanoseconds",
+);
+
 /// Process-wide build-parallelism knob; 0 means "auto" (use
 /// [`available_parallelism`]).
 static BUILD_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -114,7 +123,10 @@ where
     if bounds.len() <= 1 || in_parallel_region() {
         return bounds
             .into_iter()
-            .map(|(start, end)| f(start..end))
+            .map(|(start, end)| {
+                let _timer = fairnn_obs::Timer::start(&CHUNK_NS);
+                f(start..end)
+            })
             .collect();
     }
     thread::scope(|scope| {
@@ -124,6 +136,7 @@ where
             .map(|(start, end)| {
                 scope.spawn(move || {
                     IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    let _timer = fairnn_obs::Timer::start(&CHUNK_NS);
                     f(start..end)
                 })
             })
@@ -176,6 +189,7 @@ where
 {
     let bounds = chunk_bounds(items.len(), 1);
     if bounds.len() <= 1 || in_parallel_region() {
+        let _timer = fairnn_obs::Timer::start(&CHUNK_NS);
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
         }
@@ -191,6 +205,7 @@ where
             consumed = end;
             scope.spawn(move || {
                 IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                let _timer = fairnn_obs::Timer::start(&CHUNK_NS);
                 for (offset, item) in chunk.iter_mut().enumerate() {
                     f(start + offset, item);
                 }

@@ -13,6 +13,14 @@ use std::thread;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Jobs submitted but not yet started: the serving pool's backlog. A
+/// persistently positive depth means batches arrive faster than the
+/// workers drain them.
+static QUEUE_DEPTH: fairnn_obs::LazyGauge = fairnn_obs::LazyGauge::new(
+    "parallel_pool_queue_depth",
+    "jobs submitted to the serving thread pool and not yet started",
+);
+
 /// A fixed set of worker threads consuming jobs from one shared queue.
 /// Dropping the pool closes the queue and joins every worker.
 #[derive(Debug)]
@@ -33,7 +41,10 @@ impl ThreadPool {
                 thread::spawn(move || loop {
                     let job = receiver.lock().expect("pool receiver poisoned").recv();
                     match job {
-                        Ok(job) => job(),
+                        Ok(job) => {
+                            QUEUE_DEPTH.add(-1);
+                            job()
+                        }
                         Err(_) => break, // pool dropped
                     }
                 })
@@ -47,6 +58,7 @@ impl ThreadPool {
 
     /// Enqueues one job.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        QUEUE_DEPTH.add(1);
         self.sender
             .as_ref()
             .expect("pool is live")

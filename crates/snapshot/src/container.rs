@@ -41,7 +41,40 @@
 
 use crate::codec::{Codec, Decoder};
 use crate::error::SnapshotError;
+use fairnn_obs::{LazyCounter, LazyHistogram, Timer};
 use std::path::Path;
+
+/// Wall time of [`save`] end to end (encode + checksum + write + rename).
+static SAVE_NS: LazyHistogram = LazyHistogram::new(
+    "snapshot_save_ns",
+    "wall time of snapshot save (encode, checksum, write, rename) in nanoseconds",
+);
+
+/// Wall time of [`load`] end to end (read + verify + decode).
+static LOAD_NS: LazyHistogram = LazyHistogram::new(
+    "snapshot_load_ns",
+    "wall time of snapshot load (read, verify, decode) in nanoseconds",
+);
+
+/// Total snapshot bytes written by [`save`].
+static BYTES_WRITTEN: LazyCounter = LazyCounter::new(
+    "snapshot_bytes_written_total",
+    "total snapshot bytes written by save",
+);
+
+/// Total snapshot bytes read by [`load`].
+static BYTES_READ: LazyCounter = LazyCounter::new(
+    "snapshot_bytes_read_total",
+    "total snapshot bytes read by load",
+);
+
+/// Per-section checksum cost, encode and verify sides both — the term the
+/// sectioned format parallelises, so the distribution shows whether
+/// sections are balanced.
+static SECTION_CHECKSUM_NS: LazyHistogram = LazyHistogram::new(
+    "snapshot_section_checksum_ns",
+    "per-section FNV-1a checksum time (encode and verify) in nanoseconds",
+);
 
 /// Magic bytes at offset 0 of every snapshot.
 pub const MAGIC: [u8; 8] = *b"FAIRNNSS";
@@ -109,8 +142,11 @@ pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
         !sections.is_empty(),
         "a snapshot needs at least one section"
     );
-    // fairnn-audit: allow(snapshot-index) — encode side: `i` ranges over `sections.len()` by construction
-    let checksums = fairnn_parallel::map_indexed(sections.len(), |i| checksum64(&sections[i]));
+    let checksums = fairnn_parallel::map_indexed(sections.len(), |i| {
+        let _timer = Timer::start(&SECTION_CHECKSUM_NS);
+        // fairnn-audit: allow(snapshot-index) — encode side: `i` ranges over `sections.len()` by construction
+        checksum64(&sections[i])
+    });
 
     let mut directory = Vec::with_capacity(4 + sections.len() * 16);
     directory.extend_from_slice(
@@ -268,8 +304,11 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
     }
 
     // Per-section integrity, verified on parallel build workers.
-    // fairnn-audit: allow(snapshot-index) — `i` ranges over `count == sections.len()` by construction
-    let section_sums = fairnn_parallel::map_indexed(count, |i| checksum64(sections[i]));
+    let section_sums = fairnn_parallel::map_indexed(count, |i| {
+        let _timer = Timer::start(&SECTION_CHECKSUM_NS);
+        // fairnn-audit: allow(snapshot-index) — `i` ranges over `count == sections.len()` by construction
+        checksum64(sections[i])
+    });
     for (i, (computed, (_, stored))) in section_sums.iter().zip(&entries).enumerate() {
         if computed != stored {
             debug_assert!(i < count);
@@ -346,8 +385,10 @@ pub fn save<T: Codec, P: AsRef<Path>>(
     value: &T,
     path: P,
 ) -> Result<(), SnapshotError> {
+    let _timer = Timer::start(&SAVE_NS);
     let path = path.as_ref();
     let bytes = to_bytes(kind, value);
+    BYTES_WRITTEN.add(bytes.len() as u64);
     // The temp name appends to the *full* file name (never replaces an
     // extension — sibling snapshots sharing a stem must not collide) and
     // carries the pid so concurrent saves from different processes do not
@@ -368,7 +409,9 @@ pub fn save<T: Codec, P: AsRef<Path>>(
 
 /// Reads a snapshot file written by [`save`].
 pub fn load<T: Codec, P: AsRef<Path>>(kind: SnapshotKind, path: P) -> Result<T, SnapshotError> {
+    let _timer = Timer::start(&LOAD_NS);
     let bytes = std::fs::read(path)?;
+    BYTES_READ.add(bytes.len() as u64);
     from_bytes(kind, &bytes)
 }
 

@@ -20,7 +20,11 @@
 //!   `build_scaling`) whose `(structure, scale, threads)` coordinate
 //!   appears in both files, with the same `hardware_limited` skip — the
 //!   single-thread rows always compare, so a serial build regression fails
-//!   the gate even on a 1-core runner.
+//!   the gate even on a 1-core runner;
+//! * the fresh report's `obs_overhead` row — an **absolute** budget, not a
+//!   baseline comparison: the fairnn-obs-instrumented engine pipeline must
+//!   stay within 3 % of the uninstrumented one. Runs too short to measure
+//!   reliably (`measured_s` below 50 ms) do not gate.
 //!
 //! Usage: `bench_gate <fresh.json>... <baseline.json>
 //!         [--max-regression 0.35]`
@@ -404,6 +408,45 @@ fn build_throughput(report: &Json) -> BTreeMap<String, f64> {
     out
 }
 
+/// Instrumentation may cost at most this much engine-pipeline throughput
+/// (absolute budget from the observability PR's acceptance criteria).
+const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
+
+/// Overhead rows measured over less total wall time than this are
+/// scheduler noise on a shared runner and do not gate.
+const MIN_OBS_MEASURED_S: f64 = 0.05;
+
+/// Checks the fresh report's `obs_overhead` row against the absolute
+/// budget. Returns `Ok(Some(description))` when the row was gated and
+/// passed, `Ok(None)` when absent or too short to judge, `Err(message)`
+/// when over budget.
+fn check_obs_overhead(fresh: &Json) -> Result<Option<String>, String> {
+    let Some(row) = fresh.get("obs_overhead") else {
+        return Ok(None);
+    };
+    let Some(pct) = row.get("overhead_pct").and_then(Json::as_f64) else {
+        return Err("obs_overhead row lacks a numeric overhead_pct".into());
+    };
+    let measured_s = row
+        .get("measured_s")
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::INFINITY);
+    if measured_s < MIN_OBS_MEASURED_S {
+        return Ok(Some(format!(
+            "obs-overhead: measured over only {measured_s:.3} s — too noisy to gate, skipped"
+        )));
+    }
+    if pct > MAX_OBS_OVERHEAD_PCT {
+        return Err(format!(
+            "instrumented engine pipeline is {pct:.2}% slower than uninstrumented \
+             (budget {MAX_OBS_OVERHEAD_PCT:.0}%)"
+        ));
+    }
+    Ok(Some(format!(
+        "obs-overhead: {pct:+.2}% (budget {MAX_OBS_OVERHEAD_PCT:.0}%)"
+    )))
+}
+
 /// Builds the full comparison list between two reports.
 fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
     let mut comparisons = Vec::new();
@@ -519,10 +562,28 @@ fn run(args: &[String]) -> Result<bool, String> {
         println!("  {c}");
     }
 
+    let obs_failure = match check_obs_overhead(&fresh) {
+        Ok(status) => {
+            if let Some(line) = status {
+                println!("  {line}");
+            }
+            None
+        }
+        Err(message) => Some(message),
+    };
+
     let failures = gate(&comparisons, max_regression);
-    if failures.is_empty() {
+    if failures.is_empty() && obs_failure.is_none() {
         println!("bench gate: PASS");
         Ok(true)
+    } else if failures.is_empty() {
+        println!("\nbench gate: FAIL — {}", obs_failure.unwrap_or_default());
+        println!(
+            "\nInstrumentation must stay within its overhead budget; make the hot-path \
+             hooks cheaper (or gate them behind fairnn_obs::enabled()) rather than \
+             raising the budget."
+        );
+        Ok(false)
     } else {
         println!(
             "\nbench gate: FAIL — regression beyond {:.0}% on:",
@@ -530,6 +591,9 @@ fn run(args: &[String]) -> Result<bool, String> {
         );
         for c in &failures {
             println!("  {c}");
+        }
+        if let Some(message) = obs_failure {
+            println!("  {message}");
         }
         println!(
             "\nIf this slowdown is intended, apply the 'perf-override' label to the PR \
@@ -715,6 +779,41 @@ mod tests {
         assert!(comparisons.iter().any(|c| c.name.starts_with("sampler/")));
         assert!(comparisons.iter().any(|c| c.name.starts_with("build/")));
         assert!(gate(&comparisons, 0.35).is_empty());
+    }
+
+    fn obs_report(overhead_pct: f64, measured_s: f64) -> Json {
+        let text = format!(
+            r#"{{"obs_overhead": {{"uninstrumented_qps": 1000.0, "instrumented_qps": 980.0,
+                 "overhead_pct": {overhead_pct}, "measured_s": {measured_s}}}}}"#
+        );
+        Parser::parse(&text).expect("valid obs report")
+    }
+
+    #[test]
+    fn obs_overhead_within_budget_passes() {
+        assert!(check_obs_overhead(&obs_report(2.0, 1.0)).is_ok());
+        // Negative overhead (instrumented measured faster) is fine.
+        assert!(check_obs_overhead(&obs_report(-1.5, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn obs_overhead_over_budget_fails() {
+        assert!(check_obs_overhead(&obs_report(3.5, 1.0)).is_err());
+    }
+
+    #[test]
+    fn obs_overhead_noise_and_absence_do_not_gate() {
+        // Too short to measure: skipped, not failed.
+        let skipped = check_obs_overhead(&obs_report(50.0, 0.01)).expect("skip");
+        assert!(skipped.is_some_and(|s| s.contains("skipped")));
+        // Reports without the row (build_scaling, older baselines): silent.
+        assert_eq!(check_obs_overhead(&Parser::parse("{}").unwrap()), Ok(None));
+    }
+
+    #[test]
+    fn obs_overhead_without_a_number_is_an_error() {
+        let bad = Parser::parse(r#"{"obs_overhead": {"measured_s": 1.0}}"#).unwrap();
+        assert!(check_obs_overhead(&bad).is_err());
     }
 
     #[test]
