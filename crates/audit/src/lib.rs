@@ -28,6 +28,10 @@
 //!   `fairnn_obs::Clock` seam so tests can inject a manual clock.
 //! * `nested-parallel` — warn on nested substrate calls (they run
 //!   serially by design).
+//! * `zero-copy-unsafe` — deny `unsafe`, `transmute` and raw-pointer
+//!   casts everywhere except the blessed byte-view module
+//!   `crates/snapshot/src/bytes.rs`, where each use must carry a written
+//!   waiver; outside that module waivers for this rule are ignored.
 //! * `waiver-reason` — waivers must be well-formed and carry a reason.
 //!
 //! Waiver syntax, on the finding's line or the line above:

@@ -92,6 +92,13 @@ const WALL_CLOCK_IDENTS: &[&str] = &[
 /// The parallel substrate's fork/join entry points (for nesting detection).
 const SUBSTRATE_CALLS: &[&str] = &["map_ranges", "map_slices", "map_indexed", "for_each_mut"];
 
+/// The one module blessed to contain `unsafe` code: the snapshot crate's
+/// byte-view layer (aligned buffers, Pod reinterpretation, the SIMD
+/// dispatcher and the prefetch shim). `zero-copy-unsafe` waivers are
+/// honored only at this path; everywhere else the rule is unconditional,
+/// so a waiver comment cannot smuggle `unsafe` into another crate.
+pub const ZERO_COPY_BLESSED_PATH: &str = "crates/snapshot/src/bytes.rs";
+
 /// Every rule id the tool knows, with its severity and one-line summary
 /// (the README and `--help` render this table).
 pub const RULES: &[(&str, Severity, &str)] = &[
@@ -132,6 +139,12 @@ pub const RULES: &[(&str, Severity, &str)] = &[
         "nested fairnn-parallel substrate calls run serially — flag them for restructuring",
     ),
     (
+        "zero-copy-unsafe",
+        Severity::Deny,
+        "no unsafe/transmute/raw-pointer casts outside the blessed fairnn-snapshot \
+         byte-view module; every use there carries a written waiver",
+    ),
+    (
         "waiver-reason",
         Severity::Deny,
         "every waiver must be well-formed, name known rules, and carry a non-empty reason",
@@ -147,6 +160,7 @@ pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
         "raw-thread" => !THREAD_EXEMPT.contains(&crate_name),
         "direct-instant" => !DIRECT_INSTANT_EXEMPT.contains(&crate_name),
         "nested-parallel" => crate_name != "fairnn-parallel",
+        "zero-copy-unsafe" => true,
         "waiver-reason" => true,
         _ => false,
     }
@@ -180,6 +194,9 @@ pub fn audit_tokens(path: &str, crate_name: &str, tokens: &[Token]) -> Vec<Findi
     if rule_applies("nested-parallel", crate_name) {
         check_nested_parallel(&fc, &mut findings);
     }
+    if rule_applies("zero-copy-unsafe", crate_name) {
+        check_zero_copy_unsafe(&fc, &mut findings);
+    }
     check_waivers(&waivers, &mut findings);
 
     let mut out: Vec<Finding> = findings
@@ -210,8 +227,11 @@ fn raw(rule: &'static str, severity: Severity, t: &Token, message: String) -> Ra
 }
 
 fn resolve(path: &str, f: Raw, waivers: &[Waiver]) -> Finding {
-    // Waivers never cover the waiver hygiene rule itself.
-    let waiver = if f.rule == "waiver-reason" {
+    // Waivers never cover the waiver hygiene rule itself, and waivers for
+    // the unsafe rule only count inside the blessed byte-view module.
+    let unwaivable = f.rule == "waiver-reason"
+        || (f.rule == "zero-copy-unsafe" && !path.ends_with(ZERO_COPY_BLESSED_PATH));
+    let waiver = if unwaivable {
         None
     } else {
         waivers.iter().find(|w| w.covers(f.rule, f.line))
@@ -515,6 +535,52 @@ fn check_nested_parallel(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
     }
 }
 
+fn check_zero_copy_unsafe(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
+    let code = &fc.code;
+    // Memory safety applies to test code too: no `in_test` skip here.
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.is_ident("unsafe") {
+            out.push(raw(
+                "zero-copy-unsafe",
+                Severity::Deny,
+                t,
+                "`unsafe` lives only in the blessed fairnn-snapshot byte-view module \
+                 (crates/snapshot/src/bytes.rs), where each use carries a written waiver"
+                    .to_string(),
+            ));
+        } else if t.is_ident("transmute") {
+            out.push(raw(
+                "zero-copy-unsafe",
+                Severity::Deny,
+                t,
+                "`transmute` reinterprets memory without layout checks; use the blessed \
+                 Pod byte-view helpers in crates/snapshot/src/bytes.rs instead"
+                    .to_string(),
+            ));
+        } else if t.is_ident("as")
+            && code.get(i + 1).is_some_and(|s| s.is_punct(b'*'))
+            && code
+                .get(i + 2)
+                .is_some_and(|m| m.is_ident("const") || m.is_ident("mut"))
+        {
+            out.push(raw(
+                "zero-copy-unsafe",
+                Severity::Deny,
+                t,
+                format!(
+                    "`as *{}` raw-pointer cast belongs in the blessed fairnn-snapshot \
+                     byte-view module, not in safe crates",
+                    code[i + 2].text
+                ),
+            ));
+        }
+    }
+}
+
 fn check_waivers(waivers: &[Waiver], out: &mut Vec<Raw>) {
     for w in waivers {
         let at = Token {
@@ -803,6 +869,84 @@ mod tests {
         let warns = unwaived(&fs, "nested-parallel");
         assert_eq!(warns.len(), 1, "{fs:?}");
         assert_eq!(warns[0].severity, Severity::Warn);
+    }
+
+    // ---- zero-copy-unsafe -----------------------------------------------
+
+    #[test]
+    fn zero_copy_flags_unsafe_transmute_and_raw_casts_everywhere() {
+        let src = "fn f(x: &u64) -> u32 {\n\
+                       let p = x as *const u64;\n\
+                       let y: u32 = unsafe { std::mem::transmute(3.0f32) };\n\
+                       y\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        // `as *const`, `unsafe`, `transmute` — three findings, all deny.
+        assert_eq!(unwaived(&fs, "zero-copy-unsafe").len(), 3, "{fs:?}");
+        // The rule applies in every crate, including bench and parallel.
+        assert_eq!(unwaived(&findings(BENCH, src), "zero-copy-unsafe").len(), 3);
+        assert_eq!(
+            unwaived(&findings(PARALLEL, src), "zero-copy-unsafe").len(),
+            3
+        );
+    }
+
+    #[test]
+    fn zero_copy_applies_inside_test_modules_too() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn f() { unsafe { std::hint::unreachable_unchecked() } }\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        assert_eq!(unwaived(&fs, "zero-copy-unsafe").len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn zero_copy_ignores_lookalikes_comments_and_strings() {
+        // `unsafe_code` (the lint name), plain `as` casts, and mentions in
+        // comments/strings are all out of scope.
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn f(x: u64) -> u32 {\n\
+                       // unsafe { } in a comment is fine\n\
+                       let s = \"unsafe transmute as *const\";\n\
+                       let _ = s;\n\
+                       x as u32\n\
+                   }\n";
+        assert!(unwaived(&findings(ENGINE, src), "zero-copy-unsafe").is_empty());
+    }
+
+    #[test]
+    fn zero_copy_waivers_count_only_in_the_blessed_module() {
+        let src = "fn f(b: &[u8]) -> &[u8] {\n\
+                       // fairnn-audit: allow(zero-copy-unsafe) — reinterprets its own allocation\n\
+                       unsafe { std::slice::from_raw_parts(b.as_ptr(), b.len()) }\n\
+                   }\n";
+        // In the blessed byte-view module the waiver silences the finding…
+        let blessed = findings(ZERO_COPY_BLESSED_PATH, src);
+        assert!(
+            unwaived(&blessed, "zero-copy-unsafe").is_empty(),
+            "{blessed:?}"
+        );
+        assert_eq!(blessed.iter().filter(|f| f.waived).count(), 1);
+        // …anywhere else the identical waiver is ignored.
+        let elsewhere = findings(ENGINE, src);
+        assert_eq!(
+            unwaived(&elsewhere, "zero-copy-unsafe").len(),
+            1,
+            "{elsewhere:?}"
+        );
+        // Even elsewhere in the snapshot crate the waiver does not count.
+        let snapshot_other = findings(SNAPSHOT, src);
+        assert_eq!(unwaived(&snapshot_other, "zero-copy-unsafe").len(), 1);
+    }
+
+    #[test]
+    fn zero_copy_unwaived_unsafe_in_blessed_module_still_fails() {
+        let src = "fn f(b: &[u8]) -> &[u8] {\n\
+                       unsafe { std::slice::from_raw_parts(b.as_ptr(), b.len()) }\n\
+                   }\n";
+        let fs = findings(ZERO_COPY_BLESSED_PATH, src);
+        assert_eq!(unwaived(&fs, "zero-copy-unsafe").len(), 1, "{fs:?}");
     }
 
     // ---- waiver-reason --------------------------------------------------

@@ -22,16 +22,22 @@
 //! to the valid range).
 
 use fairnn_bench::figures::paper_lsh_params;
-use fairnn_bench::{CommonArgs, SetWorkload, WorkloadKind};
+use fairnn_bench::{json_fixed, CommonArgs, SetWorkload, WorkloadKind};
 use fairnn_core::{FairNnis, NeighborSampler, SimilarityAtLeast};
 use fairnn_engine::{EngineConfig, QueryEngine};
 use fairnn_lsh::{ConcatenatedHasher, OneBitMinHash, OneBitMinHasher};
+use fairnn_snapshot::CountingAlloc;
 use fairnn_space::{Jaccard, SparseSet};
 use fairnn_stats::{table::fmt_f64, TextTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Meters ≥ 64 KiB allocations so the load phase can assert the image
+/// path's O(1)-large-allocation promise in the emitted report.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const R: f64 = 0.2;
 
@@ -47,6 +53,9 @@ struct Cycle {
     build_s: f64,
     save_s: f64,
     load_s: f64,
+    /// Allocations of at least [`fairnn_snapshot::LARGE_ALLOC_THRESHOLD`]
+    /// bytes during the load call — O(1) under the one-buffer image path.
+    load_large_allocs: u64,
     snapshot_bytes: u64,
 }
 
@@ -88,7 +97,9 @@ fn cycle_fair_nnis(workload: &SetWorkload, scale: f64, seed: u64) -> Cycle {
     let path = snapshot_path("fair-nnis", scale);
     let ((), save_s) = timed(|| sampler.save(&path).expect("save fair-nnis snapshot"));
     let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+    CountingAlloc::reset();
     let (mut loaded, load_s) = timed(|| SetNnis::load(&path).expect("load fair-nnis snapshot"));
+    let load_large_allocs = CountingAlloc::large_allocs();
     let _ = std::fs::remove_file(&path);
 
     let queries = workload.query_points();
@@ -109,6 +120,7 @@ fn cycle_fair_nnis(workload: &SetWorkload, scale: f64, seed: u64) -> Cycle {
         build_s,
         save_s,
         load_s,
+        load_large_allocs,
         snapshot_bytes,
     }
 }
@@ -138,7 +150,9 @@ fn cycle_engine(workload: &SetWorkload, scale: f64, args: &CommonArgs) -> Cycle 
     let path = snapshot_path("query-engine", scale);
     let ((), save_s) = timed(|| engine.save(&path).expect("save engine snapshot"));
     let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+    CountingAlloc::reset();
     let (mut loaded, load_s) = timed(|| SetEngine::load(&path).expect("load engine snapshot"));
+    let load_large_allocs = CountingAlloc::large_allocs();
     let _ = std::fs::remove_file(&path);
 
     for _ in 0..2 {
@@ -156,6 +170,7 @@ fn cycle_engine(workload: &SetWorkload, scale: f64, args: &CommonArgs) -> Cycle 
         build_s,
         save_s,
         load_s,
+        load_large_allocs,
         snapshot_bytes,
     }
 }
@@ -203,6 +218,7 @@ fn main() {
             "build s",
             "save s",
             "load s",
+            "lg allocs",
             "bytes",
             "build/load",
         ],
@@ -215,6 +231,7 @@ fn main() {
             fmt_f64(c.build_s, 3),
             fmt_f64(c.save_s, 3),
             fmt_f64(c.load_s, 3),
+            c.load_large_allocs.to_string(),
             c.snapshot_bytes.to_string(),
             fmt_f64(c.build_over_load(), 1),
         ]);
@@ -231,16 +248,18 @@ fn main() {
             .iter()
             .map(|c| {
                 format!(
-                    "    {{\"scale\": {}, \"structure\": \"{}\", \"dataset_points\": {}, \"threads\": {}, \"build_s\": {:.6}, \"save_s\": {:.6}, \"load_s\": {:.6}, \"snapshot_bytes\": {}, \"build_over_load\": {:.1}, \"hardware_limited\": {}}}",
+                    "    {{\"scale\": {}, \"structure\": \"{}\", \"dataset_points\": {}, \"threads\": {}, \"build_s\": {}, \"save_s\": {}, \"load_s\": {}, \"load_ns\": {}, \"load_large_allocs\": {}, \"snapshot_bytes\": {}, \"build_over_load\": {}, \"hardware_limited\": {}}}",
                     c.scale,
                     c.structure,
                     c.dataset_points,
                     args.threads,
-                    c.build_s,
-                    c.save_s,
-                    c.load_s,
+                    json_fixed(c.build_s, 6),
+                    json_fixed(c.save_s, 6),
+                    json_fixed(c.load_s, 6),
+                    json_fixed(c.load_s * 1e9, 1),
+                    c.load_large_allocs,
                     c.snapshot_bytes,
-                    c.build_over_load(),
+                    json_fixed(c.build_over_load(), 1),
                     hardware_limited,
                 )
             })

@@ -26,7 +26,7 @@
 //! independence. The expected query time is
 //! `O((n^ρ + b_S(q, cr)/(b_S(q, r)+1)) · polylog n)`.
 
-use crate::predicate::Nearness;
+use crate::predicate::{build_screen_rows, Nearness};
 use crate::rank::RankPermutation;
 use crate::sampler::{NeighborSampler, QueryStats};
 use fairnn_lsh::{
@@ -35,8 +35,12 @@ use fairnn_lsh::{
 use fairnn_sketch::{
     CardinalityEstimator, DistinctSketch, DistinctSketchParams, DistinctValueTable,
 };
-use fairnn_space::{Dataset, PointId};
+use fairnn_space::{Dataset, PointId, ScreenRow};
 use rand::Rng;
+
+/// Active screening state of one query: the per-point rows and the query's
+/// own row. `None` while the predicate has no pre-screen.
+type ActiveScreen<'a> = Option<(&'a [ScreenRow], &'a ScreenRow)>;
 
 /// Tuning knobs of the Section 4 query algorithm. The defaults follow the
 /// paper's asymptotic choices with explicit constants.
@@ -171,6 +175,9 @@ pub struct FairNnis<P, H, N> {
     tables: Vec<RankedTable>,
     ranks: RankPermutation,
     near: N,
+    /// Admissible per-point pre-screen rows of `near` (derived state,
+    /// rebuilt on load; `None` when the predicate has no screen).
+    screens: Option<Vec<ScreenRow>>,
     params: LshParams,
     config: FairNnisConfig,
     sketch_seed: u64,
@@ -188,6 +195,7 @@ pub struct FairNnis<P, H, N> {
 impl<P: Clone + Sync, BH, N> FairNnis<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
+    N: Nearness<P>,
 {
     /// Builds the data structure with default configuration.
     pub fn build<F, R>(
@@ -228,6 +236,7 @@ where
 impl<P: Clone, H, N> FairNnis<P, H, N>
 where
     H: LshHasher<P>,
+    N: Nearness<P>,
 {
     /// Builds the structure from an existing index, permutation and sketch
     /// seed (full control for tests).
@@ -272,12 +281,15 @@ where
                 .collect();
             RankedTable { buckets, sketches }
         });
+        let points = dataset.points().to_vec();
+        let screens = build_screen_rows(&near, &points);
         Self {
-            points: dataset.points().to_vec(),
+            points,
             hashers,
             tables,
             ranks,
             near,
+            screens,
             params,
             config,
             sketch_seed,
@@ -341,6 +353,10 @@ where
     /// instead of re-running `L` binary searches per round.
     fn resolve_buckets(tables: &[RankedTable], keys: &[u64], indices: &mut Vec<u32>) {
         indices.clear();
+        // Warm each table's slot-index cache line before the probes run.
+        for (table, &key) in tables.iter().zip(keys.iter()) {
+            table.buckets.prefetch(key);
+        }
         indices.extend(tables.iter().zip(keys.iter()).map(|(table, &key)| {
             table
                 .buckets
@@ -421,6 +437,7 @@ where
         points: &[P],
         near: &N,
         query: &P,
+        screen: ActiveScreen<'_>,
         bucket_idx: &[u32],
         lo: u32,
         hi: u32,
@@ -436,13 +453,22 @@ where
             if idx == Self::NO_BUCKET {
                 continue;
             }
-            for &(_, id) in rank_range(table.buckets.bucket_at(idx as usize), lo, hi) {
+            let in_range = rank_range(table.buckets.bucket_at(idx as usize), lo, hi);
+            for (pos, &(_, id)) in in_range.iter().enumerate() {
                 stats.entries_scanned += 1;
                 if !visited.insert(id.index()) {
                     continue; // duplicate across tables
                 }
+                if let Some(&(_, ahead)) = in_range.get(pos + 1) {
+                    fairnn_snapshot::prefetch_read(points, ahead.index());
+                }
                 let is_near = memo.get_or_insert_with(id.index(), || {
                     stats.distance_computations += 1;
+                    if let Some((rows, qrow)) = screen {
+                        if !near.may_be_near(qrow, &rows[id.index()]) {
+                            return false;
+                        }
+                    }
                     near.is_near(query, &points[id.index()])
                 });
                 if is_near {
@@ -460,6 +486,7 @@ where
             hashers,
             tables,
             near,
+            screens,
             scratch,
             ..
         } = self;
@@ -467,12 +494,18 @@ where
         scratch.compute_keys(hashers, query);
         Self::resolve_buckets(tables, &scratch.keys, &mut scratch.indices);
         scratch.memo.reset(points.len());
+        let query_row = screens.as_ref().and_then(|_| near.screen_row(query));
+        let screen = match (screens.as_deref(), query_row.as_ref()) {
+            (Some(rows), Some(qrow)) => Some((rows, qrow)),
+            _ => None,
+        };
         let n = points.len() as u32;
         Self::collect_near_in_range(
             tables,
             points,
             near,
             query,
+            screen,
             &scratch.indices,
             0,
             n,
@@ -523,7 +556,10 @@ fn validate_ranked_table(
     Ok(())
 }
 
-impl<P, H, N> FairNnis<P, H, N> {
+impl<P, H, N> FairNnis<P, H, N>
+where
+    N: Nearness<P>,
+{
     /// Shared tail of the inline and sectioned decoders: every cross-field
     /// invariant of the wire format lives here, exactly once, so the two
     /// container forms cannot drift apart in what they accept.
@@ -573,12 +609,14 @@ impl<P, H, N> FairNnis<P, H, N> {
         for table in &tables {
             validate_ranked_table(table, points.len(), &merged)?;
         }
+        let screens = build_screen_rows(&near, &points);
         Ok(Self {
             points,
             hashers,
             tables,
             ranks,
             near,
+            screens,
             params,
             config,
             sketch_seed,
@@ -595,7 +633,7 @@ impl<P, H, N> fairnn_snapshot::Codec for FairNnis<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
         self.points.encode(enc);
@@ -670,14 +708,16 @@ where
         sections
     }
 
-    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+    fn decode_sections(
+        sections: &[fairnn_snapshot::Section<'_>],
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
         let Some((head, rest)) = sections.split_first() else {
             return Err(SnapshotError::Corrupt(
                 "fair-nnis snapshot has no head section".into(),
             ));
         };
-        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let mut dec = head.decoder();
         let points = Vec::<P>::decode(&mut dec)?;
         let hashers = H::decode_bank(&mut dec)?;
         let ranks = RankPermutation::decode(&mut dec)?;
@@ -703,7 +743,7 @@ where
             )));
         }
         let decoded = fairnn_parallel::map_indexed(table_sections.len(), |t| {
-            let mut dec = fairnn_snapshot::Decoder::new(table_sections[t]);
+            let mut dec = table_sections[t].decoder();
             let table = RankedTable::decode(&mut dec)?;
             dec.finish()?;
             Ok::<RankedTable, SnapshotError>(table)
@@ -712,7 +752,7 @@ where
         for table in decoded {
             tables.push(table?);
         }
-        let mut dec = fairnn_snapshot::Decoder::new(value_section);
+        let mut dec = value_section.decoder();
         let sketch_values = DistinctValueTable::decode(&mut dec)?;
         dec.finish()?;
         // All cross-field invariants live in the shared `assemble` tail.
@@ -735,7 +775,7 @@ impl<P, H, N> FairNnis<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     /// Writes the whole Section 4 structure — points, hasher bank, ranked
     /// CSR tables with their per-bucket sketches, rank permutation, and the
@@ -769,6 +809,7 @@ where
             hashers,
             tables,
             near,
+            screens,
             config,
             scratch,
             merged,
@@ -781,6 +822,11 @@ where
             self.stats = stats;
             return None;
         }
+        let query_row = screens.as_ref().and_then(|_| near.screen_row(query));
+        let screen = match (screens.as_deref(), query_row.as_ref()) {
+            (Some(rows), Some(qrow)) => Some((rows, qrow)),
+            _ => None,
+        };
         // One batched hash pass, then one bucket resolution: the keys and
         // per-table bucket indices feed the sketch merge *and* every
         // rejection round below (the query is never hashed again, and no
@@ -843,6 +889,7 @@ where
                     points,
                     near,
                     query,
+                    screen,
                     &scratch.indices,
                     lo,
                     hi,
@@ -883,6 +930,7 @@ where
                 points,
                 near,
                 query,
+                screen,
                 &scratch.indices,
                 0,
                 n as u32,

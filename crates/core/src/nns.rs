@@ -18,13 +18,13 @@
 //! The same structure supports sampling `k` points **without replacement**
 //! (Section 3.1): return the `k` near points of smallest rank.
 
-use crate::predicate::Nearness;
+use crate::predicate::{build_screen_rows, Nearness};
 use crate::rank::RankPermutation;
 use crate::sampler::{NeighborSampler, QueryStats};
 use fairnn_lsh::{
     ConcatenatedHasher, FrozenTable, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch,
 };
-use fairnn_space::{Dataset, PointId};
+use fairnn_space::{Dataset, PointId, ScreenRow};
 use rand::Rng;
 
 /// The Section 3 fair r-NNS data structure.
@@ -46,6 +46,9 @@ pub struct FairNns<P, H, N> {
     buckets: Vec<FrozenTable<(u32, PointId)>>,
     ranks: RankPermutation,
     near: N,
+    /// Admissible per-point pre-screen rows of `near` (derived state,
+    /// rebuilt on load; `None` when the predicate has no screen).
+    screens: Option<Vec<ScreenRow>>,
     params: LshParams,
     stats: QueryStats,
     scratch: QueryScratch,
@@ -54,6 +57,7 @@ pub struct FairNns<P, H, N> {
 impl<P: Clone + Sync, BH, N> FairNns<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
+    N: Nearness<P>,
 {
     /// Builds the data structure: LSH index plus random rank permutation.
     pub fn build<F, R>(
@@ -76,6 +80,7 @@ where
 impl<P: Clone, H, N> FairNns<P, H, N>
 where
     H: LshHasher<P>,
+    N: Nearness<P>,
 {
     /// Builds the structure from an existing LSH index and rank permutation
     /// (used by tests that need to control the randomness and by the
@@ -104,12 +109,15 @@ where
                 (key, sorted)
             }))
         });
+        let points = dataset.points().to_vec();
+        let screens = build_screen_rows(&near, &points);
         Self {
-            points: dataset.points().to_vec(),
+            points,
             hashers,
             buckets,
             ranks,
             near,
+            screens,
             params,
             stats: QueryStats::default(),
             scratch: QueryScratch::new(),
@@ -161,6 +169,7 @@ where
             hashers,
             buckets,
             near,
+            screens,
             scratch,
             ..
         } = self;
@@ -169,10 +178,17 @@ where
         scratch.compute_keys(hashers, query);
         scratch.memo.reset(points.len());
         let memo = &mut scratch.memo;
+        // Warm the slot index of every table while the first probe is still
+        // in flight, and compute the query's screen row once.
+        for (table, &key) in buckets.iter().zip(scratch.keys.iter()) {
+            table.prefetch(key);
+        }
+        let query_row = screens.as_ref().and_then(|_| near.screen_row(query));
         let mut best: Option<(u32, PointId)> = None;
         for (table, &key) in buckets.iter().zip(scratch.keys.iter()) {
             stats.buckets_inspected += 1;
-            for &(rank, id) in table.bucket(key) {
+            let bucket = table.bucket(key);
+            for (pos, &(rank, id)) in bucket.iter().enumerate() {
                 stats.entries_scanned += 1;
                 // Skip points that cannot improve the current minimum: the
                 // bucket is rank-sorted, so once we pass the current best we
@@ -182,8 +198,16 @@ where
                         break;
                     }
                 }
+                if let Some(&(_, ahead)) = bucket.get(pos + 1) {
+                    fairnn_snapshot::prefetch_read(points, ahead.index());
+                }
                 let is_near = memo.get_or_insert_with(id.index(), || {
                     stats.distance_computations += 1;
+                    if let (Some(rows), Some(qrow)) = (screens.as_ref(), query_row.as_ref()) {
+                        if !near.may_be_near(qrow, &rows[id.index()]) {
+                            return false;
+                        }
+                    }
                     near.is_near(query, &points[id.index()])
                 });
                 if is_near {
@@ -206,6 +230,7 @@ where
             hashers,
             buckets,
             near,
+            screens,
             scratch,
             ..
         } = self;
@@ -213,15 +238,28 @@ where
         scratch.compute_keys(hashers, query);
         scratch.memo.reset(points.len());
         let memo = &mut scratch.memo;
+        for (table, &key) in buckets.iter().zip(scratch.keys.iter()) {
+            table.prefetch(key);
+        }
+        let query_row = screens.as_ref().and_then(|_| near.screen_row(query));
         // Collect the k smallest-rank near points of each bucket, then merge.
         let mut candidates: Vec<(u32, PointId)> = Vec::new();
         for (table, &key) in buckets.iter().zip(scratch.keys.iter()) {
             stats.buckets_inspected += 1;
             let mut found = 0usize;
-            for &(rank, id) in table.bucket(key) {
+            let bucket = table.bucket(key);
+            for (pos, &(rank, id)) in bucket.iter().enumerate() {
                 stats.entries_scanned += 1;
+                if let Some(&(_, ahead)) = bucket.get(pos + 1) {
+                    fairnn_snapshot::prefetch_read(points, ahead.index());
+                }
                 let is_near = memo.get_or_insert_with(id.index(), || {
                     stats.distance_computations += 1;
+                    if let (Some(rows), Some(qrow)) = (screens.as_ref(), query_row.as_ref()) {
+                        if !near.may_be_near(qrow, &rows[id.index()]) {
+                            return false;
+                        }
+                    }
                     near.is_near(query, &points[id.index()])
                 });
                 if is_near {
@@ -288,7 +326,7 @@ impl<P, H, N> fairnn_snapshot::Codec for FairNns<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
         self.points.encode(enc);
@@ -343,12 +381,14 @@ where
                 }
             }
         }
+        let screens = build_screen_rows(&near, &points);
         Ok(Self {
             points,
             hashers,
             buckets,
             ranks,
             near,
+            screens,
             params,
             stats: QueryStats::default(),
             scratch: QueryScratch::new(),
@@ -360,7 +400,7 @@ impl<P, H, N> FairNns<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     /// Writes the whole structure — points, hasher bank, rank-sorted frozen
     /// buckets, rank permutation — as a versioned, checksummed snapshot.

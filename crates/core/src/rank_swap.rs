@@ -33,6 +33,7 @@ pub struct RankSwapSampler<P, H, N> {
 impl<P: Clone + Sync, BH, N> RankSwapSampler<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
+    N: Nearness<P>,
 {
     /// Builds the data structure (same construction as [`FairNns`]).
     pub fn build<F, R>(
@@ -55,6 +56,7 @@ where
 impl<P: Clone, H, N> RankSwapSampler<P, H, N>
 where
     H: LshHasher<P>,
+    N: Nearness<P>,
 {
     /// Builds the sampler from an existing index and permutation.
     pub fn from_index(
@@ -85,7 +87,7 @@ impl<P, H, N> fairnn_snapshot::Codec for RankSwapSampler<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
         self.inner.encode(enc);
@@ -104,7 +106,7 @@ impl<P, H, N> RankSwapSampler<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     /// Writes the sampler (including the *current* rank permutation — the
     /// swap state survives the round trip) as a snapshot file.

@@ -146,6 +146,7 @@ impl<P: Clone + Send + Sync, BH, N> QueryEngine<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
     P: Hash + Eq,
+    N: Nearness<P>,
 {
     /// Builds the index and the worker pool: the shards build concurrently
     /// on the build workers (see [`ShardedIndex::build`]), with output
@@ -300,7 +301,7 @@ impl<P, H, N> fairnn_snapshot::Codec for QueryEngine<P, H, N>
 where
     P: Hash + Eq + Clone + fairnn_snapshot::Codec + Send + Sync,
     H: fairnn_lsh::HasherBankCodec + Send + Sync,
-    N: fairnn_snapshot::Codec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync + Nearness<P>,
 {
     /// Persists the engine's complete serving state: configuration (thread
     /// count, cache capacity, index topology and root seed), the batch
@@ -348,14 +349,16 @@ where
         sections
     }
 
-    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+    fn decode_sections(
+        sections: &[fairnn_snapshot::Section<'_>],
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
         let Some((head, index_sections)) = sections.split_first() else {
             return Err(SnapshotError::Corrupt(
                 "engine snapshot has no head section".into(),
             ));
         };
-        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let mut dec = head.decoder();
         let config = EngineConfig::decode(&mut dec)?;
         let batches = dec.read_u64()?;
         let cache = ResultCache::<P>::decode(&mut dec)?;
@@ -403,7 +406,7 @@ impl<P, H, N> QueryEngine<P, H, N>
 where
     P: Hash + Eq + Clone + fairnn_snapshot::Codec + Send + Sync,
     H: fairnn_lsh::HasherBankCodec + Send + Sync,
-    N: fairnn_snapshot::Codec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync + Nearness<P>,
 {
     /// Writes the engine as a versioned, checksummed snapshot file — the
     /// build-once/serve-many handoff: one process builds and saves, any

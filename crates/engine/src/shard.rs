@@ -20,11 +20,11 @@
 //! itself locally (same hashers, compacted ids, fresh sketches). No update
 //! ever requires touching another shard, let alone a global rebuild.
 
-use fairnn_core::predicate::Nearness;
+use fairnn_core::predicate::{build_screen_rows, Nearness};
 use fairnn_core::QueryStats;
 use fairnn_lsh::{ConcatenatedHasher, LshFamily, LshHasher, LshIndex, LshParams, QueryScratch};
 use fairnn_sketch::{BottomKSketch, CardinalityEstimator};
-use fairnn_space::PointId;
+use fairnn_space::{PointId, ScreenRow};
 use rand::Rng;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -101,6 +101,10 @@ pub struct Shard<P, H, N> {
     live: usize,
     tombstones: usize,
     near: N,
+    /// Admissible per-point pre-screen rows of `near`, parallel to `points`
+    /// (tombstoned slots keep a stale row that is never consulted). Derived
+    /// state: rebuilt on load and after compaction, extended on insert.
+    screens: Option<Vec<ScreenRow>>,
     /// Per-table map from bucket key to the bucket's sketch (large buckets
     /// only). Sketch elements are **global** point ids so sketches from
     /// different shards merge into estimates over the whole dataset.
@@ -112,6 +116,7 @@ pub struct Shard<P, H, N> {
 impl<P: Clone + Sync, BH, N> Shard<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
+    N: Nearness<P>,
 {
     /// Builds a shard over `points` (with their global ids) from the shared
     /// parameters; the hashers are drawn from `rng`, which the sharded index
@@ -133,6 +138,7 @@ where
     {
         assert_eq!(points.len(), global_ids.len());
         let index = LshIndex::build(family, params, &points, rng);
+        let screens = build_screen_rows(&near, &points);
         let mut shard = Self {
             index,
             alive: vec![true; points.len()],
@@ -144,6 +150,7 @@ where
             live: points.len(),
             tombstones: 0,
             near,
+            screens,
             sketches: Vec::new(),
             sketch_seed,
             config,
@@ -346,19 +353,32 @@ where
         keys: &[u64],
         stats: &mut QueryStats,
     ) -> Vec<PointId> {
+        let query_row = self
+            .screens
+            .as_ref()
+            .and_then(|_| self.near.screen_row(query));
         SHARD_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             scratch.visited.reset(self.points.len());
             let mut found = Vec::new();
             for (i, &key) in keys.iter().enumerate() {
                 stats.buckets_inspected += 1;
-                for &lid in self.index.table(i).bucket(key) {
+                let bucket = self.index.table(i).bucket(key);
+                for (pos, &lid) in bucket.iter().enumerate() {
                     stats.entries_scanned += 1;
                     let l = lid.index();
                     if !self.alive[l] || !scratch.visited.insert(l) {
                         continue;
                     }
+                    if let Some(&ahead) = bucket.get(pos + 1) {
+                        fairnn_snapshot::prefetch_read(&self.points, ahead.index());
+                    }
                     stats.distance_computations += 1;
+                    if let (Some(rows), Some(qrow)) = (self.screens.as_ref(), query_row.as_ref()) {
+                        if !self.near.may_be_near(qrow, &rows[l]) {
+                            continue; // admissible screen: certainly not near
+                        }
+                    }
                     if self.near.is_near(query, &self.points[l]) {
                         found.push(self.global_ids[l]);
                     }
@@ -372,6 +392,7 @@ where
 impl<P: Clone, H, N> Shard<P, H, N>
 where
     H: LshHasher<P>,
+    N: Nearness<P>,
 {
     /// Inserts a new point with the given global id: appends it to the
     /// local tables and feeds every affected bucket sketch (promoting
@@ -387,6 +408,12 @@ where
         self.alive.push(true);
         self.local_of.insert(global, lid);
         self.live += 1;
+        if self.screens.is_some() {
+            match self.near.screen_row(&self.points[lid as usize]) {
+                Some(row) => self.screens.as_mut().expect("checked above").push(row),
+                None => self.screens = None,
+            }
+        }
         let assigned = self.index.insert_point(&self.points[lid as usize]);
         assert_eq!(assigned.index(), lid as usize, "local ids must stay dense");
 
@@ -456,6 +483,7 @@ where
             .collect();
         self.tombstones = 0;
         self.index.compact_retain(&new_id_of, self.points.len());
+        self.screens = build_screen_rows(&self.near, &self.points);
         self.rebuild_sketches();
         self.debug_assert_occupancy_invariants();
     }
@@ -465,7 +493,7 @@ impl<P, H, N> fairnn_snapshot::Codec for Shard<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     /// Persists the shard's LSH index, its points with their global ids and
     /// tombstone flags, and — because a KMV sketch cannot be rebuilt after
@@ -569,6 +597,7 @@ where
             }
         }
         let tombstones = points.len() - live;
+        let screens = build_screen_rows(&near, &points);
         let shard = Self {
             index,
             points,
@@ -578,6 +607,7 @@ where
             live,
             tombstones,
             near,
+            screens,
             sketches,
             sketch_seed,
             config,
@@ -591,7 +621,7 @@ impl<P, H, N> Shard<P, H, N>
 where
     P: fairnn_snapshot::Codec,
     H: fairnn_lsh::HasherBankCodec,
-    N: fairnn_snapshot::Codec,
+    N: fairnn_snapshot::Codec + Nearness<P>,
 {
     /// Writes this shard alone as a snapshot file (the sharded index and
     /// engine snapshots embed the same encoding per shard).

@@ -164,6 +164,7 @@ pub struct ShardedIndex<P, H, N> {
 impl<P: Clone + Send + Sync, BH, N> ShardedIndex<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
+    N: Nearness<P>,
 {
     /// Partitions `dataset` round-robin across `config.shards` shards and
     /// builds each shard's tables from the shared `params`. Shards are
@@ -374,7 +375,7 @@ impl<P, H, N> fairnn_snapshot::Codec for ShardedIndex<P, H, N>
 where
     P: fairnn_snapshot::Codec + Send + Sync,
     H: fairnn_lsh::HasherBankCodec + Send + Sync,
-    N: fairnn_snapshot::Codec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync + Nearness<P>,
 {
     /// Persists the full topology: every shard (each with its own hasher
     /// bank, frozen tables and sketches), the global id → shard partition
@@ -418,14 +419,16 @@ where
         sections
     }
 
-    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+    fn decode_sections(
+        sections: &[fairnn_snapshot::Section<'_>],
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
         let Some((head, shard_sections)) = sections.split_first() else {
             return Err(SnapshotError::Corrupt(
                 "sharded index snapshot has no head section".into(),
             ));
         };
-        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let mut dec = head.decoder();
         let shard_of = Vec::<u32>::decode(&mut dec)?;
         let params = LshParams::decode(&mut dec)?;
         let config = ShardedIndexConfig::decode(&mut dec)?;
@@ -441,7 +444,7 @@ where
             )));
         }
         let decoded = fairnn_parallel::map_indexed(shard_sections.len(), |s| {
-            let mut dec = fairnn_snapshot::Decoder::new(shard_sections[s]);
+            let mut dec = shard_sections[s].decoder();
             let shard = Shard::<P, H, N>::decode(&mut dec)?;
             dec.finish()?;
             Ok::<Shard<P, H, N>, SnapshotError>(shard)
@@ -491,7 +494,7 @@ impl<P, H, N> ShardedIndex<P, H, N>
 where
     P: fairnn_snapshot::Codec + Send + Sync,
     H: fairnn_lsh::HasherBankCodec + Send + Sync,
-    N: fairnn_snapshot::Codec + Send + Sync,
+    N: fairnn_snapshot::Codec + Send + Sync + Nearness<P>,
 {
     /// Writes the sharded index as a versioned, checksummed snapshot file.
     pub fn save<Q: AsRef<std::path::Path>>(
@@ -636,6 +639,7 @@ where
 impl<P: Clone, H, N> ShardedIndex<P, H, N>
 where
     H: LshHasher<P>,
+    N: Nearness<P>,
 {
     /// Inserts a new point into the least-loaded shard (ties broken toward
     /// the lowest shard index, so routing is deterministic) and returns its
@@ -705,6 +709,7 @@ impl<P, H, N> ShardedSampler<P, H, N> {
 impl<P: Clone + Send + Sync, BH, N> ShardedSampler<P, ConcatenatedHasher<BH>, N>
 where
     BH: LshHasher<P> + Send + Sync,
+    N: Nearness<P>,
 {
     /// Builds the index and wraps it (mirrors `FairNns::build` ergonomics).
     pub fn build<F>(

@@ -162,11 +162,11 @@ impl<P, H: LshHasher<P>> LshHasher<P> for ConcatenatedHasher<H> {
 const BANK_SHARED: u8 = 1;
 const BANK_INDEPENDENT: u8 = 0;
 
-impl<H: fairnn_snapshot::Codec> crate::snapshot::HasherBankCodec for ConcatenatedHasher<H> {
+impl<H: crate::snapshot::RowCodec> crate::snapshot::HasherBankCodec for ConcatenatedHasher<H> {
     /// Writes the table hashers either as one flat shared bank (the layout
     /// [`ConcatenatedHasher::bank`] produces — each row written exactly
-    /// once) or, for independently built hashers, as one row vector per
-    /// table.
+    /// once, in bulk via [`crate::snapshot::RowCodec`]) or, for
+    /// independently built hashers, as one row vector per table.
     fn encode_bank(tables: &[Self], enc: &mut fairnn_snapshot::Encoder) {
         let uniform_arity = tables
             .first()
@@ -176,9 +176,7 @@ impl<H: fairnn_snapshot::Codec> crate::snapshot::HasherBankCodec for Concatenate
                 enc.write_u8(BANK_SHARED);
                 enc.write_len(tables.len());
                 enc.write_u64(tables[0].arity as u64);
-                for row in flat {
-                    row.encode(enc);
-                }
+                H::encode_rows(flat, enc);
             }
             _ => {
                 enc.write_u8(BANK_INDEPENDENT);
@@ -212,9 +210,12 @@ impl<H: fairnn_snapshot::Codec> crate::snapshot::HasherBankCodec for Concatenate
                         "hasher bank of {num_tables} tables x {arity} rows overflows"
                     ))
                 })?;
-                let mut rows = Vec::with_capacity(total.min(dec.remaining()));
-                for _ in 0..total {
-                    rows.push(H::decode(dec)?);
+                let rows = H::decode_rows(dec, total)?;
+                if rows.len() != total {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "hasher bank stores {} rows but its header promises {total}",
+                        rows.len()
+                    )));
                 }
                 Ok(Self::bank(rows, arity))
             }

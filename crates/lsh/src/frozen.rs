@@ -20,6 +20,7 @@
 //! entries, the Section 4 structure stores `(rank, id)` pairs with a
 //! parallel sketch array.
 
+use fairnn_snapshot::{ArcSlice, SliceCodec};
 use std::collections::HashMap;
 
 /// Sentinel for an empty slot of the open-addressing key index.
@@ -30,27 +31,34 @@ const EMPTY_SLOT: u32 = u32::MAX;
 /// bucket position (Fibonacci hashing + linear probing over a power-of-two
 /// slot array) so a lookup costs a couple of dependent loads instead of a
 /// branchy binary search. See the module docs for the layout rationale.
+///
+/// Every array is an [`ArcSlice`]: owned when built in memory, a zero-copy
+/// borrow of the snapshot image when decoded from a
+/// [`fairnn_snapshot::SnapshotImage`]. The slot index is persisted alongside
+/// the CSR triplet (and fully validated on decode), so loading a table
+/// performs no per-entry work at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrozenTable<E> {
-    keys: Vec<u64>,
+    keys: ArcSlice<u64>,
     /// `offsets[i]..offsets[i + 1]` is the entry range of bucket `i`.
-    offsets: Vec<u32>,
-    entries: Vec<E>,
+    offsets: ArcSlice<u32>,
+    entries: ArcSlice<E>,
     /// Open-addressing slots holding bucket indices ([`EMPTY_SLOT`] = free);
     /// `slots.len()` is a power of two of at least `2 × keys.len()`.
-    slots: Vec<u32>,
+    slots: ArcSlice<u32>,
     /// Right-shift applied to the Fibonacci-multiplied key to obtain a slot.
     slot_shift: u32,
 }
 
 impl<E> Default for FrozenTable<E> {
     fn default() -> Self {
+        let (slots, slot_shift) = build_slots(&[]);
         Self {
-            keys: Vec::new(),
-            offsets: vec![0],
-            entries: Vec::new(),
-            slots: Vec::new(),
-            slot_shift: 0,
+            keys: ArcSlice::default(),
+            offsets: ArcSlice::from_vec(vec![0]),
+            entries: ArcSlice::default(),
+            slots: ArcSlice::from_vec(slots),
+            slot_shift,
         }
     }
 }
@@ -60,6 +68,32 @@ impl<E> Default for FrozenTable<E> {
 fn first_slot(key: u64, shift: u32) -> usize {
     // Fibonacci hashing: multiply by 2^64 / φ and keep the top bits.
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+}
+
+/// Capacity of the open-addressing slot array for `num_keys` buckets
+/// (load factor ≤ 1/2, minimum 4).
+#[inline]
+fn slot_capacity(num_keys: usize) -> usize {
+    (num_keys * 2).next_power_of_two().max(4)
+}
+
+/// Builds the open-addressing key index of a sorted, distinct key array.
+/// Deterministic in the keys alone; both the freeze path and the staging
+/// snapshot writer (`LshTable`'s canonical wire form) use this, which is
+/// what keeps the two encodings byte-identical.
+pub(crate) fn build_slots(keys: &[u64]) -> (Vec<u32>, u32) {
+    let capacity = slot_capacity(keys.len());
+    let slot_shift = 64 - capacity.trailing_zeros();
+    let mut slots = vec![EMPTY_SLOT; capacity];
+    let mask = capacity - 1;
+    for (i, &key) in keys.iter().enumerate() {
+        let mut slot = first_slot(key, slot_shift);
+        while slots[slot] != EMPTY_SLOT {
+            slot = (slot + 1) & mask;
+        }
+        slots[slot] = i as u32;
+    }
+    (slots, slot_shift)
 }
 
 impl<E> FrozenTable<E> {
@@ -87,15 +121,15 @@ impl<E> FrozenTable<E> {
             entries.extend(bucket);
             offsets.push(u32::try_from(entries.len()).expect("table exceeds u32 entries"));
         }
-        let mut table = Self {
-            keys,
-            offsets,
-            entries,
-            slots: Vec::new(),
-            slot_shift: 0,
+        let (slots, slot_shift) = build_slots(&keys);
+        let table = Self {
+            keys: keys.into(),
+            offsets: offsets.into(),
+            entries: entries.into(),
+            slots: slots.into(),
+            slot_shift,
         };
         table.debug_assert_csr_invariants();
-        table.rebuild_slots();
         table
     }
 
@@ -132,30 +166,15 @@ impl<E> FrozenTable<E> {
         );
     }
 
-    /// Builds the open-addressing key index (load factor ≤ 1/2).
-    fn rebuild_slots(&mut self) {
-        let capacity = (self.keys.len() * 2).next_power_of_two().max(4);
-        self.slot_shift = 64 - capacity.trailing_zeros();
-        self.slots.clear();
-        self.slots.resize(capacity, EMPTY_SLOT);
-        let mask = capacity - 1;
-        for (i, &key) in self.keys.iter().enumerate() {
-            let mut slot = first_slot(key, self.slot_shift);
-            while self.slots[slot] != EMPTY_SLOT {
-                slot = (slot + 1) & mask;
-            }
-            self.slots[slot] = i as u32;
-        }
-    }
-
     /// Thaws the table back into its staging (`HashMap`) form, preserving
     /// per-bucket entry order.
-    pub fn into_buckets(mut self) -> HashMap<u64, Vec<E>> {
+    pub fn into_buckets(self) -> HashMap<u64, Vec<E>>
+    where
+        E: Clone,
+    {
         let mut map = HashMap::with_capacity(self.keys.len());
-        // Drain buckets back to front so each split_off is O(bucket).
-        for i in (0..self.keys.len()).rev() {
-            let bucket = self.entries.split_off(self.offsets[i] as usize);
-            map.insert(self.keys[i], bucket);
+        for i in 0..self.keys.len() {
+            map.insert(self.keys[i], self.bucket_at(i).to_vec());
         }
         map
     }
@@ -178,6 +197,15 @@ impl<E> FrozenTable<E> {
         }
     }
 
+    /// Issues a software prefetch for the cache line a lookup of `key`
+    /// probes first (its home slot of the key index), so candidate walks
+    /// can overlap the probe's memory latency with work on the previous
+    /// table. Purely a hint; a no-op off x86_64.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        fairnn_snapshot::prefetch_read(&self.slots, first_slot(key, self.slot_shift));
+    }
+
     /// The bucket for `key` (empty slice if absent).
     #[inline]
     pub fn bucket(&self, key: u64) -> &[E] {
@@ -196,10 +224,16 @@ impl<E> FrozenTable<E> {
     /// Mutable view of the bucket for `key`. The *contents* of a frozen
     /// bucket may be rearranged in place (the rank-swap structure re-sorts
     /// buckets after a rank exchange); the bucket structure itself is fixed.
+    /// On a table borrowing a snapshot image this is copy-on-write: the
+    /// first mutation detaches the entry array into an owned vector.
     #[inline]
-    pub fn bucket_mut(&mut self, key: u64) -> Option<&mut [E]> {
+    pub fn bucket_mut(&mut self, key: u64) -> Option<&mut [E]>
+    where
+        E: Clone,
+    {
         let i = self.find(key)?;
-        Some(&mut self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        Some(&mut self.entries.to_mut()[start..end])
     }
 
     /// The key of bucket `i`.
@@ -233,23 +267,28 @@ impl<E> FrozenTable<E> {
     }
 }
 
-impl<E: fairnn_snapshot::Codec> fairnn_snapshot::Codec for FrozenTable<E> {
-    /// Persists the CSR triplet `(keys, offsets, entries)`; the
-    /// open-addressing key index is derived state and is rebuilt on load
-    /// (deterministically, from the keys alone).
+impl<E: fairnn_snapshot::SliceCodec> fairnn_snapshot::Codec for FrozenTable<E> {
+    /// Persists the CSR triplet `(keys, offsets, entries)` **and** the
+    /// open-addressing slot index, each as a v3 aligned array
+    /// ([`fairnn_snapshot::SliceCodec`]). When decoded from a snapshot
+    /// image every array is a zero-copy borrow, and because the slot index
+    /// travels with the data (validated below) the load performs no
+    /// per-entry hashing or copying at all.
     fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
-        self.keys.encode(enc);
-        self.offsets.encode(enc);
-        self.entries.encode(enc);
+        u64::encode_slice(&self.keys, enc);
+        u32::encode_slice(&self.offsets, enc);
+        E::encode_slice(&self.entries, enc);
+        u32::encode_slice(&self.slots, enc);
     }
 
     fn decode(
         dec: &mut fairnn_snapshot::Decoder<'_>,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
-        let keys = Vec::<u64>::decode(dec)?;
-        let offsets = Vec::<u32>::decode(dec)?;
-        let entries = Vec::<E>::decode(dec)?;
+        let keys = u64::decode_slice(dec)?;
+        let offsets = u32::decode_slice(dec)?;
+        let entries = E::decode_slice(dec)?;
+        let slots = u32::decode_slice(dec)?;
         if offsets.len() != keys.len() + 1 {
             return Err(SnapshotError::Corrupt(format!(
                 "frozen table has {} keys but {} offsets (expected one more than keys)",
@@ -279,15 +318,64 @@ impl<E: fairnn_snapshot::Codec> fairnn_snapshot::Codec for FrozenTable<E> {
                 "frozen table keys are not strictly increasing".into(),
             ));
         }
-        let mut table = Self {
+        // Slot-index validation. The stored index must be exactly the one
+        // `build_slots` derives: correct capacity (this also fixes the
+        // shift), every occupied slot naming a real bucket, no bucket
+        // missing or duplicated, and every key reachable by its probe
+        // sequence. After these checks a lookup can trust the index
+        // blindly — including that probe loops terminate (load factor
+        // ≤ 1/2 guarantees an empty slot on every probe path).
+        if slots.len() != slot_capacity(keys.len()) {
+            return Err(SnapshotError::Corrupt(format!(
+                "frozen table slot index has {} slots but {} keys require {}",
+                slots.len(),
+                keys.len(),
+                slot_capacity(keys.len())
+            )));
+        }
+        let slot_shift = 64 - slots.len().trailing_zeros();
+        let mut occupied = 0usize;
+        for &slot in slots.iter() {
+            if slot != EMPTY_SLOT {
+                occupied += 1;
+                if slot as usize >= keys.len() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "frozen table slot names bucket {slot} of {}",
+                        keys.len()
+                    )));
+                }
+            }
+        }
+        if occupied != keys.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "frozen table slot index holds {occupied} entries for {} keys",
+                keys.len()
+            )));
+        }
+        let mask = slots.len() - 1;
+        for (i, &key) in keys.iter().enumerate() {
+            let mut slot = first_slot(key, slot_shift);
+            loop {
+                let bucket = slots[slot];
+                if bucket == i as u32 {
+                    break;
+                }
+                if bucket == EMPTY_SLOT {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "frozen table slot index cannot reach bucket {i}"
+                    )));
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        let table = Self {
             keys,
             offsets,
             entries,
-            slots: Vec::new(),
-            slot_shift: 0,
+            slots,
+            slot_shift,
         };
         table.debug_assert_csr_invariants();
-        table.rebuild_slots();
         Ok(table)
     }
 }
@@ -345,6 +433,78 @@ mod tests {
         assert_eq!(map[&400], vec![9, 9, 2, 4]);
         let refrozen = FrozenTable::from_buckets(map);
         assert_eq!(refrozen, table);
+    }
+
+    #[test]
+    fn snapshot_decode_from_an_owning_buffer_is_zero_copy() {
+        use fairnn_snapshot::{ArcBytes, Codec, Section};
+        let table = sample_table();
+        let mut enc = fairnn_snapshot::Encoder::new();
+        table.encode(&mut enc);
+        let owner = ArcBytes::copy_from_slice(&enc.into_bytes()).expect("buffer");
+        let section = Section::with_owner(owner.as_slice(), &owner, 0);
+        let mut dec = section.decoder();
+        let loaded = FrozenTable::<u32>::decode(&mut dec).expect("decode");
+        dec.finish().expect("fully consumed");
+        assert_eq!(loaded, table);
+        assert!(loaded.keys.is_borrowed(), "keys must borrow the image");
+        assert!(
+            loaded.offsets.is_borrowed(),
+            "offsets must borrow the image"
+        );
+        assert!(
+            loaded.entries.is_borrowed(),
+            "entries must borrow the image"
+        );
+        assert!(loaded.slots.is_borrowed(), "slots must borrow the image");
+        assert_eq!(loaded.bucket(9), &[7, 3, 5]);
+        assert_eq!(loaded.find(400), Some(2));
+    }
+
+    #[test]
+    fn corrupt_slot_indexes_are_rejected() {
+        use fairnn_snapshot::{Codec, Decoder, Encoder, SliceCodec, SnapshotError};
+        let table = sample_table();
+        let encode_with_slots = |slots: &[u32]| {
+            let mut enc = Encoder::new();
+            u64::encode_slice(&table.keys, &mut enc);
+            u32::encode_slice(&table.offsets, &mut enc);
+            u32::encode_slice(&table.entries, &mut enc);
+            u32::encode_slice(slots, &mut enc);
+            enc.into_bytes()
+        };
+        let decode = |bytes: &[u8]| FrozenTable::<u32>::decode(&mut Decoder::new(bytes));
+
+        // Three keys need capacity 8.
+        let wrong_capacity = encode_with_slots(&[EMPTY_SLOT; 4]);
+        assert!(matches!(
+            decode(&wrong_capacity),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("slot index has")
+        ));
+
+        let mut out_of_range = vec![EMPTY_SLOT; 8];
+        out_of_range[0] = 7; // only buckets 0..3 exist
+        let out_of_range = encode_with_slots(&out_of_range);
+        assert!(matches!(
+            decode(&out_of_range),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("names bucket")
+        ));
+
+        let under_occupied = encode_with_slots(&[EMPTY_SLOT; 8]);
+        assert!(matches!(
+            decode(&under_occupied),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("holds 0 entries")
+        ));
+
+        // Right capacity and occupancy, but bucket 2 never appears, so its
+        // key is unreachable by its probe sequence.
+        let mut unreachable = vec![EMPTY_SLOT; 8];
+        (unreachable[0], unreachable[1], unreachable[2]) = (0, 0, 1);
+        let unreachable = encode_with_slots(&unreachable);
+        assert!(matches!(
+            decode(&unreachable),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("cannot reach")
+        ));
     }
 
     #[test]

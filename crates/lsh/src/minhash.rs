@@ -65,6 +65,11 @@ const MIN_BLOCK: usize = 8;
 /// one — a minimum is order-independent — while loading the set
 /// `rows.len() / MIN_BLOCK` times instead of `rows.len()` times and keeping
 /// eight independent hash/min chains in flight per item.
+///
+/// On x86-64 CPUs with AVX-512DQ the block kernel runs eight lanes wide
+/// ([`kernel::min_block_avx512`]); everywhere else (and on the remainder
+/// rows) the scalar block kernel runs. The two produce identical bits —
+/// [`kernel`]'s docs spell out why, and the equality tests pin it.
 #[inline]
 fn min_values_blocked<T>(
     rows: &[T],
@@ -83,13 +88,11 @@ fn min_values_blocked<T>(
         let coeff: [(u64, u64); MIN_BLOCK] =
             std::array::from_fn(|j| perm_of(&row_block[j]).coefficients());
         let mut mins = [u64::MAX; MIN_BLOCK];
-        for &item in items {
-            let x = item as u64;
-            for j in 0..MIN_BLOCK {
-                let (a, b) = coeff[j];
-                mins[j] = mins[j].min(splitmix64(a.wrapping_mul(x).wrapping_add(b)));
-            }
-        }
+        fairnn_snapshot::dispatch_x86_feature!(
+            ["avx512f", "avx512dq", "avx2"],
+            kernel::min_block_avx512(&coeff, items, &mut mins),
+            min_block_scalar(&coeff, items, &mut mins)
+        );
         out_block.copy_from_slice(&mins);
     }
     for (row, slot) in row_blocks
@@ -103,6 +106,105 @@ fn min_values_blocked<T>(
             min = min.min(splitmix64(perm.hash(item as u64)));
         }
         *slot = min;
+    }
+}
+
+/// Scalar form of the block kernel: eight independent multiply-shift →
+/// SplitMix64 → running-min chains advance per item load.
+#[inline]
+fn min_block_scalar(coeff: &[(u64, u64); MIN_BLOCK], items: &[u32], mins: &mut [u64; MIN_BLOCK]) {
+    for &item in items {
+        let x = item as u64;
+        for j in 0..MIN_BLOCK {
+            let (a, b) = coeff[j];
+            mins[j] = mins[j].min(splitmix64(a.wrapping_mul(x).wrapping_add(b)));
+        }
+    }
+}
+
+/// The AVX-512 lane kernel behind [`min_values_blocked`].
+///
+/// One 512-bit vector holds all eight lanes of a [`MIN_BLOCK`] row block,
+/// so the multiply-shift evaluation, the full SplitMix64 finalizer, and the
+/// running-minimum update each execute once per item instead of eight
+/// times. Every step is a lane-wise exact image of the scalar arithmetic
+/// (`vpmullq` *is* 64-bit wrapping multiply, `vpminuq` *is* unsigned min),
+/// so the minima — and therefore the sampling output — are bit-for-bit
+/// identical to the scalar kernel; the `scalar_and_simd_kernels_agree` test
+/// pins this on hardware that runs both.
+#[cfg(target_arch = "x86_64")]
+mod kernel {
+    use super::MIN_BLOCK;
+    use std::arch::x86_64::{
+        _mm256_extract_epi64, _mm512_add_epi64, _mm512_extracti64x4_epi64, _mm512_min_epu64,
+        _mm512_mullo_epi64, _mm512_set1_epi64, _mm512_set_epi64, _mm512_srli_epi64,
+        _mm512_xor_epi64,
+    };
+
+    /// SplitMix64's golden-ratio increment, folded into the `b` addends up
+    /// front so the per-item loop starts directly at the finalizer.
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    const MIX_1: i64 = 0xBF58_476D_1CE4_E5B9_u64 as i64;
+    const MIX_2: i64 = 0x94D0_49BB_1331_11EB_u64 as i64;
+
+    /// `mins[j] = min(mins[j], splitmix64(a_j * x + b_j))` over all items
+    /// `x`, eight lanes at a time. Safe-bodied: only value-based intrinsics
+    /// (no pointer loads), callable through
+    /// [`fairnn_snapshot::dispatch_x86_feature!`] once `avx512f`,
+    /// `avx512dq` and `avx2` are detected.
+    #[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx2")]
+    pub(super) fn min_block_avx512(
+        coeff: &[(u64, u64); MIN_BLOCK],
+        items: &[u32],
+        mins: &mut [u64; MIN_BLOCK],
+    ) {
+        // `_mm512_set_epi64` takes its arguments from lane 7 down to lane 0.
+        let va = _mm512_set_epi64(
+            coeff[7].0 as i64,
+            coeff[6].0 as i64,
+            coeff[5].0 as i64,
+            coeff[4].0 as i64,
+            coeff[3].0 as i64,
+            coeff[2].0 as i64,
+            coeff[1].0 as i64,
+            coeff[0].0 as i64,
+        );
+        let vb = _mm512_set_epi64(
+            coeff[7].1.wrapping_add(GOLDEN) as i64,
+            coeff[6].1.wrapping_add(GOLDEN) as i64,
+            coeff[5].1.wrapping_add(GOLDEN) as i64,
+            coeff[4].1.wrapping_add(GOLDEN) as i64,
+            coeff[3].1.wrapping_add(GOLDEN) as i64,
+            coeff[2].1.wrapping_add(GOLDEN) as i64,
+            coeff[1].1.wrapping_add(GOLDEN) as i64,
+            coeff[0].1.wrapping_add(GOLDEN) as i64,
+        );
+        let mix1 = _mm512_set1_epi64(MIX_1);
+        let mix2 = _mm512_set1_epi64(MIX_2);
+        let mut vmin = _mm512_set1_epi64(-1); // u64::MAX in every lane
+        for &item in items {
+            // Items are u32, so the i64 widening never sign-extends.
+            let vx = _mm512_set1_epi64(item as i64);
+            let z = _mm512_add_epi64(_mm512_mullo_epi64(va, vx), vb);
+            let z = _mm512_mullo_epi64(_mm512_xor_epi64(z, _mm512_srli_epi64::<30>(z)), mix1);
+            let z = _mm512_mullo_epi64(_mm512_xor_epi64(z, _mm512_srli_epi64::<27>(z)), mix2);
+            let z = _mm512_xor_epi64(z, _mm512_srli_epi64::<31>(z));
+            vmin = _mm512_min_epu64(vmin, z);
+        }
+        let (lo, hi) = (
+            _mm512_extracti64x4_epi64::<0>(vmin),
+            _mm512_extracti64x4_epi64::<1>(vmin),
+        );
+        *mins = [
+            _mm256_extract_epi64::<0>(lo) as u64,
+            _mm256_extract_epi64::<1>(lo) as u64,
+            _mm256_extract_epi64::<2>(lo) as u64,
+            _mm256_extract_epi64::<3>(lo) as u64,
+            _mm256_extract_epi64::<0>(hi) as u64,
+            _mm256_extract_epi64::<1>(hi) as u64,
+            _mm256_extract_epi64::<2>(hi) as u64,
+            _mm256_extract_epi64::<3>(hi) as u64,
+        ];
     }
 }
 
@@ -121,6 +223,68 @@ impl fairnn_snapshot::Codec for MinHasher {
             ));
         }
         Ok(Self { perm })
+    }
+}
+
+/// Writes a MinHash bank as one aligned `[a0, b0, a1, b1, …]` coefficient
+/// array — the snapshot-v3 bulk layout shared by [`MinHasher`] and
+/// [`OneBitMinHasher`] row banks.
+fn encode_coefficient_rows(
+    perms: impl ExactSizeIterator<Item = MultiplyShift>,
+    enc: &mut fairnn_snapshot::Encoder,
+) {
+    let mut coefficients = Vec::with_capacity(perms.len() * 2);
+    for perm in perms {
+        let (a, b) = perm.coefficients();
+        coefficients.push(a);
+        coefficients.push(b);
+    }
+    fairnn_snapshot::encode_pod_slice(&coefficients, enc, |enc, v| enc.write_u64(*v));
+}
+
+/// Reads a coefficient array written by [`encode_coefficient_rows`] back
+/// into `count` full-width multiply-shift permutations. The array is
+/// borrowed zero-copy from a snapshot image when one backs the decoder;
+/// the permutations themselves are rebuilt in a single pass.
+fn decode_coefficient_rows(
+    dec: &mut fairnn_snapshot::Decoder<'_>,
+    count: usize,
+) -> Result<Vec<MultiplyShift>, fairnn_snapshot::SnapshotError> {
+    use fairnn_snapshot::SnapshotError;
+    let coefficients = fairnn_snapshot::decode_pod_slice(dec, |dec| dec.read_u64())?;
+    if coefficients.len() != count * 2 {
+        return Err(SnapshotError::Corrupt(format!(
+            "MinHash bank stores {} coefficients but {count} rows require {}",
+            coefficients.len(),
+            count * 2
+        )));
+    }
+    let mut perms = Vec::with_capacity(count);
+    for pair in coefficients.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a & 1 == 0 {
+            return Err(SnapshotError::Corrupt(
+                "multiply-shift multiplier must be odd".into(),
+            ));
+        }
+        perms.push(MultiplyShift::from_coefficients(a, b));
+    }
+    Ok(perms)
+}
+
+impl crate::snapshot::RowCodec for MinHasher {
+    fn encode_rows(rows: &[Self], enc: &mut fairnn_snapshot::Encoder) {
+        encode_coefficient_rows(rows.iter().map(|r| r.perm), enc);
+    }
+
+    fn decode_rows(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+        count: usize,
+    ) -> Result<Vec<Self>, fairnn_snapshot::SnapshotError> {
+        Ok(decode_coefficient_rows(dec, count)?
+            .into_iter()
+            .map(|perm| Self { perm })
+            .collect())
     }
 }
 
@@ -184,6 +348,24 @@ impl fairnn_snapshot::Codec for OneBitMinHasher {
         Ok(Self {
             inner: MinHasher::decode(dec)?,
         })
+    }
+}
+
+impl crate::snapshot::RowCodec for OneBitMinHasher {
+    fn encode_rows(rows: &[Self], enc: &mut fairnn_snapshot::Encoder) {
+        encode_coefficient_rows(rows.iter().map(|r| r.inner.perm), enc);
+    }
+
+    fn decode_rows(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+        count: usize,
+    ) -> Result<Vec<Self>, fairnn_snapshot::SnapshotError> {
+        Ok(decode_coefficient_rows(dec, count)?
+            .into_iter()
+            .map(|perm| Self {
+                inner: MinHasher { perm },
+            })
+            .collect())
     }
 }
 
@@ -315,6 +497,34 @@ mod tests {
         for _ in 0..50 {
             let h = OneBitMinHash.sample(&mut rng);
             assert!(h.hash(&set) <= 1);
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_kernels_agree() {
+        // On hardware with AVX-512DQ this compares the lane kernel against
+        // the scalar one bit for bit; elsewhere it degenerates to scalar ==
+        // scalar and only exercises the dispatch plumbing.
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        for trial in 0..50 {
+            let rows: Vec<MinHasher> = (0..MIN_BLOCK).map(|_| MinHash.sample(&mut rng)).collect();
+            let coeff: [(u64, u64); MIN_BLOCK] =
+                std::array::from_fn(|j| rows[j].perm.coefficients());
+            let items: Vec<u32> = (0..(trial % 40)).map(|_| rng.random()).collect();
+            let set = SparseSet::from_items(items);
+            let mut scalar = [u64::MAX; MIN_BLOCK];
+            min_block_scalar(&coeff, set.items(), &mut scalar);
+            let mut dispatched = [u64::MAX; MIN_BLOCK];
+            fairnn_snapshot::dispatch_x86_feature!(
+                ["avx512f", "avx512dq", "avx2"],
+                kernel::min_block_avx512(&coeff, set.items(), &mut dispatched),
+                min_block_scalar(&coeff, set.items(), &mut dispatched)
+            );
+            assert_eq!(scalar, dispatched, "trial {trial}");
+            // And both match the definitional one-row-at-a-time path.
+            for (j, row) in rows.iter().enumerate() {
+                assert_eq!(scalar[j], row.min_value(&set), "trial {trial} row {j}");
+            }
         }
     }
 

@@ -97,6 +97,10 @@ impl fairnn_snapshot::Codec for PStableHasher {
     }
 }
 
+/// Row-at-a-time bank serialization (the default): each row carries a
+/// variable-width projection vector, so there is no fixed-stride bulk form.
+impl crate::snapshot::RowCodec for PStableHasher {}
+
 impl LshHasher<DenseVector> for PStableHasher {
     fn hash(&self, point: &DenseVector) -> u64 {
         let bucket = (self.projection(point) / self.width).floor() as i64;

@@ -59,6 +59,10 @@ impl fairnn_snapshot::Codec for SimHasher {
     }
 }
 
+/// Row-at-a-time bank serialization (the default): each row carries a
+/// variable-width projection vector, so there is no fixed-stride bulk form.
+impl crate::snapshot::RowCodec for SimHasher {}
+
 impl LshHasher<DenseVector> for SimHasher {
     fn hash(&self, point: &DenseVector) -> u64 {
         u64::from(self.normal.dot(point) >= 0.0)

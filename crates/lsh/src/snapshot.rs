@@ -16,7 +16,7 @@
 //! the exact memory layout — and therefore the exact performance — of a
 //! freshly built one.
 
-use fairnn_snapshot::{Decoder, Encoder, SnapshotError};
+use fairnn_snapshot::{Codec, Decoder, Encoder, SnapshotError};
 
 /// Slice-level hasher serialization (see the module docs for why this is
 /// not simply `Codec` on the hasher type).
@@ -27,4 +27,32 @@ pub trait HasherBankCodec: Sized {
     /// Decodes a slice written by [`HasherBankCodec::encode_bank`],
     /// reconstructing the shared bank layout when one was written.
     fn decode_bank(dec: &mut Decoder<'_>) -> Result<Vec<Self>, SnapshotError>;
+}
+
+/// Row-level bulk serialization inside a shared hasher bank.
+///
+/// The default methods serialize rows one [`Codec`] value at a time, which
+/// is right for hashers carrying variable-width state (projection vectors).
+/// Fixed-coefficient families (the MinHash family: each row is a full-width
+/// multiply-shift `(a, b)` pair) override them to write the whole bank as
+/// one 64-byte-aligned coefficient array — the snapshot-v3 layout that a
+/// loaded [`fairnn_snapshot::SnapshotImage`] reads back through a zero-copy
+/// [`fairnn_snapshot::ArcSlice`] view before materializing the in-memory
+/// bank in a single pass.
+pub trait RowCodec: Codec {
+    /// Encodes `rows` (the flat table-major bank, each row exactly once).
+    fn encode_rows(rows: &[Self], enc: &mut Encoder) {
+        for row in rows {
+            row.encode(enc);
+        }
+    }
+
+    /// Decodes `count` rows written by [`RowCodec::encode_rows`].
+    fn decode_rows(dec: &mut Decoder<'_>, count: usize) -> Result<Vec<Self>, SnapshotError> {
+        let mut rows = Vec::with_capacity(count.min(dec.remaining()));
+        for _ in 0..count {
+            rows.push(Self::decode(dec)?);
+        }
+        Ok(rows)
+    }
 }

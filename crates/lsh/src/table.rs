@@ -196,19 +196,22 @@ impl fairnn_snapshot::Codec for LshTable {
         match &self.frozen {
             Some(frozen) => frozen.encode(enc),
             None => {
-                // Write the canonical CSR image straight from the staging
-                // map — byte-identical to freezing first (the unit tests
-                // pin this), without cloning every bucket or building the
-                // frozen form's hash index only to discard it.
+                // Write the canonical frozen wire form — four aligned v3
+                // arrays: keys, offsets, entries, slots (see `FrozenTable`'s
+                // `Codec` impl) — straight from the staging map,
+                // byte-identical to freezing first (the unit tests pin
+                // this), without cloning every bucket. The slot index is
+                // derived from the keys by the same `build_slots` the
+                // freeze path uses.
+                use fairnn_snapshot::SliceCodec;
                 // fairnn-audit: allow(unordered-iter) — collected and key-sorted below
                 let pairs = self.staging.iter().map(|(k, v)| (*k, v));
                 let mut buckets: Vec<(u64, &Vec<PointId>)> = pairs.collect();
                 buckets.sort_unstable_by_key(|(key, _)| *key);
-                enc.write_len(buckets.len());
-                for (key, _) in &buckets {
-                    enc.write_u64(*key);
-                }
+                let keys: Vec<u64> = buckets.iter().map(|(key, _)| *key).collect();
+                u64::encode_slice(&keys, enc);
                 enc.write_len(buckets.len() + 1);
+                enc.align64();
                 let mut offset = 0u32;
                 enc.write_u32(offset);
                 for (_, bucket) in &buckets {
@@ -218,11 +221,14 @@ impl fairnn_snapshot::Codec for LshTable {
                     enc.write_u32(offset);
                 }
                 enc.write_len(offset as usize);
+                enc.align64();
                 for (_, bucket) in &buckets {
                     for id in *bucket {
                         id.encode(enc);
                     }
                 }
+                let (slots, _) = crate::frozen::build_slots(&keys);
+                u32::encode_slice(&slots, enc);
             }
         }
     }
@@ -663,14 +669,16 @@ impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H>
         sections
     }
 
-    fn decode_sections(sections: &[&[u8]]) -> Result<Self, fairnn_snapshot::SnapshotError> {
+    fn decode_sections(
+        sections: &[fairnn_snapshot::Section<'_>],
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
         use fairnn_snapshot::SnapshotError;
         let Some((head, table_sections)) = sections.split_first() else {
             return Err(SnapshotError::Corrupt(
                 "LSH index snapshot has no head section".into(),
             ));
         };
-        let mut dec = fairnn_snapshot::Decoder::new(head);
+        let mut dec = head.decoder();
         let hashers = H::decode_bank(&mut dec)?;
         let num_points = usize::decode(&mut dec)?;
         let params = LshParams::decode(&mut dec)?;
@@ -686,7 +694,7 @@ impl<H: crate::snapshot::HasherBankCodec> fairnn_snapshot::Codec for LshIndex<H>
             )));
         }
         let decoded = fairnn_parallel::map_indexed(table_sections.len(), |t| {
-            let mut dec = fairnn_snapshot::Decoder::new(table_sections[t]);
+            let mut dec = table_sections[t].decoder();
             let table = LshTable::decode(&mut dec)?;
             dec.finish()?;
             Ok::<LshTable, SnapshotError>(table)

@@ -285,7 +285,9 @@ impl DistinctSketch {
 #[derive(Debug, Clone)]
 pub struct DistinctValueTable {
     rows: usize,
-    values: Vec<u64>,
+    /// Row-major `universe × rows` value matrix; a zero-copy borrow of the
+    /// snapshot image when the table was decoded from one.
+    values: fairnn_snapshot::ArcSlice<u64>,
 }
 
 impl DistinctValueTable {
@@ -311,7 +313,10 @@ impl DistinctValueTable {
         for chunk in chunks {
             values.extend(chunk);
         }
-        Self { rows, values }
+        Self {
+            rows,
+            values: values.into(),
+        }
     }
 
     /// Number of rows `Δ` (matches the sketches this table feeds).
@@ -406,17 +411,21 @@ impl fairnn_snapshot::Codec for DistinctSketch {
 }
 
 impl fairnn_snapshot::Codec for DistinctValueTable {
+    /// The value matrix is a v3 aligned array
+    /// ([`fairnn_snapshot::SliceCodec`]): `Θ(n Δ)` words read back as a
+    /// zero-copy borrow when the decoder is backed by a snapshot image.
     fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        use fairnn_snapshot::SliceCodec;
         enc.write_u64(self.rows as u64);
-        self.values.encode(enc);
+        u64::encode_slice(&self.values, enc);
     }
 
     fn decode(
         dec: &mut fairnn_snapshot::Decoder<'_>,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
-        use fairnn_snapshot::SnapshotError;
+        use fairnn_snapshot::{SliceCodec, SnapshotError};
         let rows = usize::decode(dec)?;
-        let values = Vec::<u64>::decode(dec)?;
+        let values = u64::decode_slice(dec)?;
         if rows == 0 && !values.is_empty() {
             return Err(SnapshotError::Corrupt(
                 "distinct value table has values but zero rows".into(),

@@ -76,6 +76,20 @@ impl MultiplyShift {
         Self { a, b, out_bits }
     }
 
+    /// Reassembles a full-width (`out_bits == 64`) function from raw
+    /// `(a, b)` coefficients, the inverse of [`MultiplyShift::coefficients`].
+    /// Snapshot bank decoders use this to rebuild hashers from a flat
+    /// coefficient array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` is even (the multiply-shift analysis requires an odd
+    /// multiplier); callers deserializing untrusted bytes must check first.
+    pub fn from_coefficients(a: u64, b: u64) -> Self {
+        assert!(a & 1 == 1, "multiply-shift multiplier must be odd");
+        Self { a, b, out_bits: 64 }
+    }
+
     /// Number of output bits.
     pub fn out_bits(&self) -> u32 {
         self.out_bits

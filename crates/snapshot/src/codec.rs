@@ -8,6 +8,7 @@
 //! sanity-checked against the remaining input so corrupt lengths cannot
 //! trigger absurd allocations.
 
+use crate::bytes::{pod_bytes, ArcBytes, ArcSlice, Pod, SECTION_ALIGN};
 use crate::error::SnapshotError;
 
 /// Append-only byte sink for encoding (always little-endian).
@@ -67,19 +68,54 @@ impl Encoder {
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
     }
+
+    /// Pads with zero bytes so the next write lands on a
+    /// [`SECTION_ALIGN`]-byte boundary *relative to the section start*.
+    /// Format v3 places every section at a 64-byte-aligned image offset,
+    /// so a section-relative boundary is also an absolute one — which is
+    /// what lets [`decode_pod_slice`] hand out in-place views.
+    pub fn align64(&mut self) {
+        let rem = self.buf.len() % SECTION_ALIGN;
+        if rem != 0 {
+            let target = self.buf.len() + (SECTION_ALIGN - rem);
+            self.buf.resize(target, 0);
+        }
+    }
 }
 
 /// Bounds-checked cursor over an encoded payload.
+///
+/// A decoder can optionally carry the [`ArcBytes`] buffer its input slice
+/// lives in (plus the slice's byte offset within that buffer). When it
+/// does, [`decode_pod_slice`] returns zero-copy [`ArcSlice`] views into
+/// the buffer instead of copied vectors; without an owner every decode
+/// falls back to the owned element-wise path.
 #[derive(Debug)]
 pub struct Decoder<'a> {
     bytes: &'a [u8],
     pos: usize,
+    owner: Option<(&'a ArcBytes, usize)>,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
+        Self {
+            bytes,
+            pos: 0,
+            owner: None,
+        }
+    }
+
+    /// Creates a decoder whose input is `bytes`, known to live at byte
+    /// `offset` inside `owner` — the zero-copy entry point a
+    /// [`Section`] with an owner produces.
+    fn with_owner(bytes: &'a [u8], owner: &'a ArcBytes, offset: usize) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            owner: Some((owner, offset)),
+        }
     }
 
     /// Number of bytes not yet consumed.
@@ -155,6 +191,22 @@ impl<'a> Decoder<'a> {
         Ok(len)
     }
 
+    /// Skips the zero padding up to the next [`SECTION_ALIGN`]-byte
+    /// boundary (section-relative), rejecting nonzero padding bytes — the
+    /// read-side counterpart of [`Encoder::align64`].
+    pub fn skip_align64(&mut self) -> Result<(), SnapshotError> {
+        let rem = self.pos % SECTION_ALIGN;
+        if rem != 0 {
+            let pad = self.take(SECTION_ALIGN - rem)?;
+            if pad.iter().any(|&b| b != 0) {
+                return Err(SnapshotError::Corrupt(
+                    "alignment padding must be zero".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Asserts that the payload was fully consumed.
     pub fn finish(&self) -> Result<(), SnapshotError> {
         if self.remaining() != 0 {
@@ -163,6 +215,170 @@ impl<'a> Decoder<'a> {
             });
         }
         Ok(())
+    }
+}
+
+/// One independently checksummed slice of a snapshot image, as handed to
+/// [`Codec::decode_sections`]. Carries the backing [`ArcBytes`] buffer
+/// (and this section's offset within it) when the image was loaded through
+/// a [`crate::SnapshotImage`], which is what enables zero-copy decodes;
+/// sections built from a plain byte slice decode element-wise instead.
+#[derive(Debug, Clone, Copy)]
+pub struct Section<'a> {
+    bytes: &'a [u8],
+    owner: Option<(&'a ArcBytes, usize)>,
+}
+
+impl<'a> Section<'a> {
+    /// A section over plain bytes (owned decode only).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, owner: None }
+    }
+
+    /// A section over `bytes` known to start at byte `offset` inside
+    /// `owner` — decodes may borrow from the buffer.
+    pub fn with_owner(bytes: &'a [u8], owner: &'a ArcBytes, offset: usize) -> Self {
+        Self {
+            bytes,
+            owner: Some((owner, offset)),
+        }
+    }
+
+    /// The section payload.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// A decoder over the payload, carrying the owner when present.
+    pub fn decoder(&self) -> Decoder<'a> {
+        match self.owner {
+            Some((owner, offset)) => Decoder::with_owner(self.bytes, owner, offset),
+            None => Decoder::new(self.bytes),
+        }
+    }
+}
+
+/// Encodes `items` as a v3 pod slice: a length prefix, zero padding to the
+/// next 64-byte boundary, then the elements as one contiguous
+/// little-endian array — the exact in-memory image on little-endian
+/// targets, written with a single `memcpy`. On big-endian hosts (where the
+/// in-memory image is not the wire format) `write_elem` serializes each
+/// element instead; the bytes produced are identical either way.
+pub fn encode_pod_slice<T, F>(items: &[T], enc: &mut Encoder, mut write_elem: F)
+where
+    T: Pod,
+    F: FnMut(&mut Encoder, &T),
+{
+    enc.write_len(items.len());
+    enc.align64();
+    match pod_bytes(items) {
+        Some(raw) => enc.write_bytes(raw),
+        None => {
+            for item in items {
+                write_elem(enc, item);
+            }
+        }
+    }
+}
+
+/// Decodes a pod slice written by [`encode_pod_slice`]. When the decoder
+/// carries an owning buffer and the array lands aligned, this is O(1): the
+/// returned [`ArcSlice`] borrows the file bytes in place. Otherwise
+/// `read_elem` decodes each element into an owned vector (same values —
+/// `T: Pod` guarantees a fixed-width little-endian image with no invalid
+/// bit patterns, so the two paths cannot disagree).
+pub fn decode_pod_slice<T, F>(
+    dec: &mut Decoder<'_>,
+    mut read_elem: F,
+) -> Result<ArcSlice<T>, SnapshotError>
+where
+    T: Pod,
+    F: FnMut(&mut Decoder<'_>) -> Result<T, SnapshotError>,
+{
+    let len = dec.read_len()?;
+    dec.skip_align64()?;
+    let byte_len = len.checked_mul(std::mem::size_of::<T>()).ok_or_else(|| {
+        SnapshotError::Corrupt(format!("pod slice of {len} elements overflows usize"))
+    })?;
+    let start = dec.pos;
+    let raw = dec.take(byte_len)?;
+    if let Some((owner, base)) = dec.owner {
+        if let Some(offset) = base.checked_add(start) {
+            if let Some(view) = ArcSlice::borrowed(owner, offset, len) {
+                return Ok(view);
+            }
+        }
+    }
+    let mut elems = Decoder::new(raw);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_elem(&mut elems)?);
+    }
+    elems.finish()?;
+    Ok(ArcSlice::from_vec(out))
+}
+
+/// Element types whose slices use the aligned v3 array layout, borrowed in
+/// place from a loaded image when possible ([`ArcSlice`]). Distinct from
+/// `Vec<T>`'s [`Codec`] impl, which keeps the dense element-wise layout
+/// for nested and non-pod data.
+pub trait SliceCodec: Sized {
+    /// Appends the canonical aligned-array encoding of `items`.
+    fn encode_slice(items: &[Self], enc: &mut Encoder);
+
+    /// Reads a slice written by [`SliceCodec::encode_slice`], borrowing
+    /// from the decoder's backing buffer when possible.
+    fn decode_slice(dec: &mut Decoder<'_>) -> Result<ArcSlice<Self>, SnapshotError>;
+}
+
+macro_rules! impl_pod_slice_codec {
+    ($ty:ty, $write:ident, $read:ident) => {
+        impl SliceCodec for $ty {
+            fn encode_slice(items: &[Self], enc: &mut Encoder) {
+                encode_pod_slice(items, enc, |enc, v| enc.$write(*v));
+            }
+            fn decode_slice(dec: &mut Decoder<'_>) -> Result<ArcSlice<Self>, SnapshotError> {
+                decode_pod_slice(dec, |dec| dec.$read())
+            }
+        }
+    };
+}
+
+impl_pod_slice_codec!(u8, write_u8, read_u8);
+impl_pod_slice_codec!(u32, write_u32, read_u32);
+impl_pod_slice_codec!(u64, write_u64, read_u64);
+impl_pod_slice_codec!(f64, write_f64, read_f64);
+
+/// Tuples store element-wise (their in-memory layout has padding and is
+/// not a wire format), but keep the same length-prefix + alignment frame
+/// so mixed pod/tuple columns share one layout discipline. Always owned.
+impl<A: Codec, B: Codec> SliceCodec for (A, B) {
+    fn encode_slice(items: &[Self], enc: &mut Encoder) {
+        enc.write_len(items.len());
+        enc.align64();
+        for (a, b) in items {
+            a.encode(enc);
+            b.encode(enc);
+        }
+    }
+    fn decode_slice(dec: &mut Decoder<'_>) -> Result<ArcSlice<Self>, SnapshotError> {
+        let len = dec.read_len()?;
+        dec.skip_align64()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(<(A, B)>::decode(dec)?);
+        }
+        Ok(ArcSlice::from_vec(out))
     }
 }
 
@@ -188,8 +404,9 @@ pub trait Codec: Sized {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError>;
 
     /// Splits this value's **container image** into independently decodable
-    /// sections (the version-2 container stores one length and checksum per
-    /// section; see `crate::container`). The default is a single section
+    /// sections (the container stores one length and checksum per section
+    /// and, since format v3, places each section payload at a 64-byte-
+    /// aligned image offset; see `crate::container`). The default is a single section
     /// holding the plain [`Codec::encode`] bytes. Large structures override
     /// this with one section per shard or per table, so encode, checksum
     /// and decode all run on parallel build workers — with the emitted
@@ -208,15 +425,16 @@ pub trait Codec: Sized {
     /// Reassembles a value from the container sections written by
     /// [`Codec::encode_sections`]. Implementations must reject a section
     /// count they did not produce, and every section must be fully
-    /// consumed.
-    fn decode_sections(sections: &[&[u8]]) -> Result<Self, SnapshotError> {
+    /// consumed. Sections loaded through a [`crate::SnapshotImage`] carry
+    /// their backing buffer, so [`SliceCodec`] columns decode zero-copy.
+    fn decode_sections(sections: &[Section<'_>]) -> Result<Self, SnapshotError> {
         let [payload] = sections else {
             return Err(SnapshotError::Corrupt(format!(
                 "expected a single snapshot section, found {}",
                 sections.len()
             )));
         };
-        let mut dec = Decoder::new(payload);
+        let mut dec = payload.decoder();
         let value = Self::decode(&mut dec)?;
         dec.finish()?;
         Ok(value)
@@ -456,5 +674,92 @@ mod tests {
             dec.finish(),
             Err(SnapshotError::TrailingBytes { remaining: 2 })
         ));
+    }
+
+    #[test]
+    fn align64_pads_with_zeros_and_skip_verifies() {
+        let mut enc = Encoder::new();
+        enc.write_u8(0xFF);
+        enc.align64();
+        assert_eq!(enc.len(), SECTION_ALIGN);
+        let bytes = enc.into_bytes();
+        assert!(bytes[1..].iter().all(|&b| b == 0));
+
+        let mut dec = Decoder::new(&bytes);
+        dec.read_u8().unwrap();
+        dec.skip_align64().unwrap();
+        dec.finish().unwrap();
+
+        // Nonzero padding is rejected.
+        let mut corrupt = bytes.clone();
+        corrupt[7] = 1;
+        let mut dec = Decoder::new(&corrupt);
+        dec.read_u8().unwrap();
+        assert!(matches!(dec.skip_align64(), Err(SnapshotError::Corrupt(_))));
+
+        // Already aligned: a no-op.
+        let mut dec = Decoder::new(&bytes);
+        dec.skip_align64().unwrap();
+        assert_eq!(dec.remaining(), bytes.len());
+    }
+
+    #[test]
+    fn pod_slice_roundtrips_without_owner() {
+        let values: Vec<u64> = (0..100).map(|i| i * 31).collect();
+        let mut enc = Encoder::new();
+        u64::encode_slice(&values, &mut enc);
+        // Length prefix, padding to 64, then 8 bytes per element.
+        assert_eq!(enc.len(), SECTION_ALIGN + values.len() * 8);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = u64::decode_slice(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.as_slice(), &values[..]);
+        assert!(!back.is_borrowed(), "no owner: must decode owned");
+    }
+
+    #[test]
+    fn pod_slice_borrows_from_an_owning_buffer() {
+        let values: Vec<f64> = (0..32).map(|i| i as f64 * 0.5).collect();
+        let mut enc = Encoder::new();
+        f64::encode_slice(&values, &mut enc);
+        let owner = crate::ArcBytes::copy_from_slice(&enc.into_bytes()).unwrap();
+        let section = Section::with_owner(owner.as_slice(), &owner, 0);
+        let mut dec = section.decoder();
+        let back = f64::decode_slice(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.as_slice(), &values[..]);
+        assert!(
+            back.is_borrowed(),
+            "aligned owner-backed decode must borrow"
+        );
+        // The view points into the owner's allocation.
+        let base = owner.as_slice().as_ptr() as usize;
+        let view = back.as_slice().as_ptr() as usize;
+        assert!(view >= base && view < base + owner.len());
+    }
+
+    #[test]
+    fn tuple_slices_are_owned_but_framed_identically() {
+        let values: Vec<(u32, u64)> = vec![(1, 10), (2, 20), (3, 30)];
+        let mut enc = Encoder::new();
+        <(u32, u64)>::encode_slice(&values, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = <(u32, u64)>::decode_slice(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.as_slice(), &values[..]);
+        assert!(!back.is_borrowed());
+    }
+
+    #[test]
+    fn empty_pod_slice_roundtrips() {
+        let mut enc = Encoder::new();
+        u32::encode_slice(&[], &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = u32::decode_slice(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert!(back.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! The on-disk container: header, section directory, checksums, and the
 //! save/load entry points.
 //!
-//! Layout of format version 2 (all integers little-endian):
+//! Layout of format version 3 (all integers little-endian):
 //!
 //! ```text
 //! offset  size  field
@@ -12,13 +12,17 @@
 //!                                ever emitted native big-endian)
 //!     16     4  kind tag         which structure the payload holds
 //!     20     4  reserved         zero; room for future flags
-//!     24     8  payload length   bytes following the header
+//!     24     8  payload length   bytes following the header (incl. padding)
 //!     32     8  checksum         FNV-1a 64 over the section directory
 //!     40     4  section count    ≥ 1           ┐
 //!     44    16  len + checksum   of section 0  │ the section directory
 //!      …    16  len + checksum   of section k  ┘ (covered by the header
 //!                                                 checksum above)
-//!      …     …  section payloads, concatenated in directory order
+//!      …     …  zero padding to the next 64-byte image offset
+//!   64·a  len0  section 0 payload                ┐ every section payload
+//!      …     …  zero padding to a 64-byte offset │ starts 64-byte aligned;
+//!   64·b  len1  section 1 payload                │ no padding after the
+//!      …     …  …                                ┘ last section
 //! ```
 //!
 //! **Why sections?** Version 1 stored one flat payload under one checksum,
@@ -27,19 +31,30 @@
 //! ([`Codec::encode_sections`]) — one per shard, one per LSH table — so
 //! encode, checksum and decode all run on parallel build workers. The
 //! bytes are identical at every thread count (sections are concatenated in
-//! a fixed order), and a single-section file is exactly the old flat
-//! payload plus a 20-byte directory.
+//! a fixed order).
+//!
+//! **Why alignment?** Version 3 places every section payload at a 64-byte-
+//! aligned image offset, and the large fixed-width columns inside sections
+//! use the aligned little-endian array layout of
+//! [`crate::SliceCodec`] — byte-identical to the in-memory CSR/bank
+//! representations. Loading through a [`SnapshotImage`] (one aligned
+//! read-to-end, [`crate::ArcBytes`]) then lets those columns *borrow* the
+//! image in place: a warm engine load performs O(1) large allocations and
+//! zero per-element copies. Checksums cover exactly the section payloads;
+//! the padding is required to be zero (a nonzero pad byte is rejected as
+//! [`SnapshotError::Corrupt`]).
 //!
 //! The header is fully validated before a single payload byte is decoded:
 //! magic → version → byte order → kind → length → directory checksum, each
 //! failure a distinct [`SnapshotError`] variant; each section's checksum is
 //! verified before that section is decoded. Version bumps are deliberate
 //! breaks — the format has no migration shims; a reader accepts exactly one
-//! version, and files written by other versions are rejected with an
-//! upgrade hint (rebuild from raw data and re-save, or re-save with the
-//! build that wrote them).
+//! version, and files written by other versions (including v2) are rejected
+//! with an upgrade hint (rebuild from raw data and re-save, or re-save with
+//! the build that wrote them).
 
-use crate::codec::{Codec, Decoder};
+use crate::bytes::{ArcBytes, SECTION_ALIGN};
+use crate::codec::{Codec, Decoder, Section};
 use crate::error::SnapshotError;
 use fairnn_obs::{LazyCounter, LazyHistogram, Timer};
 use std::path::Path;
@@ -81,8 +96,10 @@ pub const MAGIC: [u8; 8] = *b"FAIRNNSS";
 
 /// The single format version this build writes and reads.
 /// Version history: 1 = flat single-checksum payload; 2 = sectioned payload
-/// with a per-section checksum directory (parallel encode/decode).
-pub const FORMAT_VERSION: u32 = 2;
+/// with a per-section checksum directory (parallel encode/decode); 3 =
+/// sections placed at 64-byte-aligned image offsets with aligned
+/// little-endian array columns (zero-copy [`SnapshotImage`] loads).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Byte-order marker: written little-endian, so a conforming file always
 /// reads back as this value.
@@ -132,10 +149,20 @@ pub fn checksum64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Rounds `offset` up to the next [`SECTION_ALIGN`]-byte boundary, or
+/// `None` on overflow (only reachable from a corrupt directory).
+fn align_up(offset: usize) -> Option<usize> {
+    offset
+        .checked_add(SECTION_ALIGN - 1)
+        .map(|v| v & !(SECTION_ALIGN - 1))
+}
+
 /// Serializes `value` into a complete snapshot byte image (header +
-/// section directory + section payloads). Sections are produced by
+/// section directory + aligned section payloads). Sections are produced by
 /// [`Codec::encode_sections`] and checksummed on parallel build workers;
-/// the assembled image is identical at every thread count.
+/// the assembled image is identical at every thread count. Each section
+/// payload is placed at a 64-byte-aligned image offset (zero padding,
+/// excluded from the checksums); nothing follows the last section.
 pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
     let sections = value.encode_sections();
     assert!(
@@ -159,9 +186,23 @@ pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
         directory.extend_from_slice(&(section.len() as u64).to_le_bytes());
         directory.extend_from_slice(&checksum.to_le_bytes());
     }
-    let payload_len = directory.len() + sections.iter().map(Vec::len).sum::<usize>();
 
-    let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
+    // Aligned placement: each section starts at the next 64-byte image
+    // offset after the directory (or the previous section); the image ends
+    // exactly where the last section does. Offsets here are absolute
+    // (from the magic), which is what makes an aligned-buffer load see
+    // aligned section payloads.
+    let mut offsets = Vec::with_capacity(sections.len());
+    let mut cursor = HEADER_LEN + directory.len();
+    for section in &sections {
+        // fairnn-audit: allow(snapshot-panic) — encode side: image sizes come from in-memory values, far from usize overflow
+        let aligned = align_up(cursor).expect("image size fits usize");
+        offsets.push(aligned);
+        cursor = aligned + section.len();
+    }
+    let payload_len = cursor - HEADER_LEN;
+
+    let mut out = Vec::with_capacity(cursor);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
@@ -170,17 +211,29 @@ pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
     out.extend_from_slice(&(payload_len as u64).to_le_bytes());
     out.extend_from_slice(&checksum64(&directory).to_le_bytes());
     out.extend_from_slice(&directory);
-    for section in &sections {
+    for (offset, section) in offsets.iter().zip(&sections) {
+        out.resize(*offset, 0); // zero padding up to the aligned offset
         out.extend_from_slice(section);
     }
+    debug_assert_eq!(out.len(), cursor);
     out
 }
 
-/// Parses a snapshot byte image produced by [`to_bytes`], validating the
-/// full header chain and the section directory before decoding; section
-/// checksums are verified (in parallel) before the sections reach
-/// [`Codec::decode_sections`].
-pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, SnapshotError> {
+/// A parsed-and-verified snapshot image: the kind tag plus each section's
+/// absolute `(offset, len)`. Producing one runs the complete validation
+/// chain — header, directory checksum, alignment/padding, exact coverage,
+/// and every section checksum (in parallel) — so holders may decode
+/// sections without further integrity checks.
+struct ParsedImage {
+    kind_tag: u32,
+    sections: Vec<(usize, usize)>,
+}
+
+/// Runs the full validation chain over a snapshot byte image. When
+/// `expected` is set, the kind tag is checked in the canonical header
+/// order (between byte order and payload length); [`SnapshotImage`] passes
+/// `None` and re-checks the tag at decode time instead.
+fn parse_image(bytes: &[u8], expected: Option<SnapshotKind>) -> Result<ParsedImage, SnapshotError> {
     // Magic first, so "not a snapshot at all" is distinguished from
     // "header cut short" even on sub-header inputs.
     if let Some(magic) = bytes.get(..8) {
@@ -213,12 +266,14 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
     if endian != ENDIAN_MARK {
         return Err(SnapshotError::EndiannessMismatch { found: endian });
     }
-    let found_kind = header.read_u32()?;
-    if found_kind != kind.tag() {
-        return Err(SnapshotError::KindMismatch {
-            found: found_kind,
-            expected: kind.tag(),
-        });
+    let kind_tag = header.read_u32()?;
+    if let Some(kind) = expected {
+        if kind_tag != kind.tag() {
+            return Err(SnapshotError::KindMismatch {
+                found: kind_tag,
+                expected: kind.tag(),
+            });
+        }
     }
     let _reserved = header.read_u32()?;
     let payload_len = header.read_u64()?;
@@ -278,40 +333,51 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
         })?;
         entries.push((len, checksum));
     }
-    let sections_len: usize = entries
-        .iter()
-        .try_fold(0usize, |acc, (len, _)| acc.checked_add(*len))
-        .ok_or_else(|| SnapshotError::Corrupt("section lengths overflow".into()))?;
-    if dir_len + sections_len != payload.len() {
+
+    // Aligned placement (absolute offsets, mirroring the writer), exact
+    // coverage, and all-zero padding. Checked arithmetic throughout: a
+    // repaired-checksum directory can carry absurd lengths.
+    let mut sections = Vec::with_capacity(count);
+    let mut cursor = HEADER_LEN + dir_len;
+    for (len, _) in &entries {
+        let aligned = align_up(cursor)
+            .ok_or_else(|| SnapshotError::Corrupt("section offsets overflow".into()))?;
+        sections.push((aligned, *len));
+        cursor = aligned
+            .checked_add(*len)
+            .ok_or_else(|| SnapshotError::Corrupt("section lengths overflow".into()))?;
+    }
+    if cursor - HEADER_LEN != payload.len() {
         return Err(SnapshotError::Corrupt(format!(
-            "sections cover {sections_len} bytes, payload holds {} after the directory",
-            payload.len() - dir_len
+            "sections end at image offset {cursor}, image holds {} bytes",
+            HEADER_LEN + payload.len()
         )));
     }
-    let mut sections = Vec::with_capacity(count);
-    let mut offset = dir_len;
-    for (len, _) in &entries {
-        // In-bounds by the exact-coverage check above; `get` keeps the
-        // no-panic guarantee even if that check ever regresses.
-        let end = offset.checked_add(*len);
-        let Some(section) = end.and_then(|end| payload.get(offset..end)) else {
+    let mut prev_end = HEADER_LEN + dir_len;
+    for (offset, len) in &sections {
+        let Some(pad) = bytes.get(prev_end..*offset) else {
             return Err(SnapshotError::Corrupt(
-                "section extends past the payload".into(),
+                "section padding extends past the image".into(),
             ));
         };
-        sections.push(section);
-        offset += len;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(SnapshotError::Corrupt(
+                "alignment padding must be zero".into(),
+            ));
+        }
+        prev_end = offset + len;
     }
 
     // Per-section integrity, verified on parallel build workers.
     let section_sums = fairnn_parallel::map_indexed(count, |i| {
         let _timer = Timer::start(&SECTION_CHECKSUM_NS);
         // fairnn-audit: allow(snapshot-index) — `i` ranges over `count == sections.len()` by construction
-        checksum64(sections[i])
+        let (offset, len) = sections[i];
+        let section = bytes.get(offset..offset + len).unwrap_or(&[]);
+        checksum64(section)
     });
-    for (i, (computed, (_, stored))) in section_sums.iter().zip(&entries).enumerate() {
+    for (computed, (_, stored)) in section_sums.iter().zip(&entries) {
         if computed != stored {
-            debug_assert!(i < count);
             return Err(SnapshotError::ChecksumMismatch {
                 stored: *stored,
                 computed: *computed,
@@ -319,7 +385,123 @@ pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, Snaps
         }
     }
 
+    Ok(ParsedImage { kind_tag, sections })
+}
+
+/// Parses a snapshot byte image produced by [`to_bytes`], validating the
+/// full header chain and the section directory before decoding; section
+/// checksums are verified (in parallel) before the sections reach
+/// [`Codec::decode_sections`]. Decoding from a plain slice always copies;
+/// use a [`SnapshotImage`] for the zero-copy path.
+pub fn from_bytes<T: Codec>(kind: SnapshotKind, bytes: &[u8]) -> Result<T, SnapshotError> {
+    let image = parse_image(bytes, Some(kind))?;
+    let mut sections = Vec::with_capacity(image.sections.len());
+    for (offset, len) in &image.sections {
+        // In-bounds by the coverage checks in `parse_image`; `get` keeps
+        // the no-panic guarantee even if those ever regress.
+        let slice = offset
+            .checked_add(*len)
+            .and_then(|end| bytes.get(*offset..end));
+        let Some(slice) = slice else {
+            return Err(SnapshotError::Corrupt(
+                "section extends past the payload".into(),
+            ));
+        };
+        sections.push(Section::new(slice));
+    }
     T::decode_sections(&sections)
+}
+
+/// A fully verified snapshot held in one 64-byte-aligned allocation — the
+/// zero-copy load path.
+///
+/// [`SnapshotImage::open`] performs a single read-to-end into an
+/// [`ArcBytes`] buffer and validates everything up front (header chain,
+/// directory checksum, alignment padding, every section checksum).
+/// [`SnapshotImage::decode`] then hands the structural decoders sections
+/// that *carry the buffer*, so every [`crate::SliceCodec`] column in the
+/// value borrows the image in place: O(1) large allocations, zero
+/// per-element copies, and any number of decoded structures share the one
+/// buffer until the last of them drops.
+pub struct SnapshotImage {
+    bytes: ArcBytes,
+    kind_tag: u32,
+    sections: Vec<(usize, usize)>,
+}
+
+impl SnapshotImage {
+    /// Reads and fully verifies the snapshot file at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let bytes = ArcBytes::read_file(path.as_ref())?;
+        BYTES_READ.add(bytes.len() as u64);
+        Self::from_arc_bytes(bytes)
+    }
+
+    /// Verifies an already-loaded aligned buffer as a snapshot image.
+    pub fn from_arc_bytes(bytes: ArcBytes) -> Result<Self, SnapshotError> {
+        let parsed = parse_image(bytes.as_slice(), None)?;
+        Ok(Self {
+            bytes,
+            kind_tag: parsed.kind_tag,
+            sections: parsed.sections,
+        })
+    }
+
+    /// The header's structure tag (compare with [`SnapshotKind::tag`]).
+    pub fn kind_tag(&self) -> u32 {
+        self.kind_tag
+    }
+
+    /// Total image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image holds zero bytes (never true for a verified
+    /// image, which has at least a header).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The backing buffer.
+    pub fn as_bytes(&self) -> &ArcBytes {
+        &self.bytes
+    }
+
+    /// Decodes the image as a `T`, borrowing fixed-width columns from the
+    /// backing buffer. Integrity was verified at construction; only the
+    /// kind tag and structural invariants are checked here.
+    pub fn decode<T: Codec>(&self, kind: SnapshotKind) -> Result<T, SnapshotError> {
+        if self.kind_tag != kind.tag() {
+            return Err(SnapshotError::KindMismatch {
+                found: self.kind_tag,
+                expected: kind.tag(),
+            });
+        }
+        let mut sections = Vec::with_capacity(self.sections.len());
+        for (offset, len) in &self.sections {
+            let slice = offset
+                .checked_add(*len)
+                .and_then(|end| self.bytes.as_slice().get(*offset..end));
+            let Some(slice) = slice else {
+                return Err(SnapshotError::Corrupt(
+                    "section extends past the payload".into(),
+                ));
+            };
+            sections.push(Section::with_owner(slice, &self.bytes, *offset));
+        }
+        T::decode_sections(&sections)
+    }
+}
+
+impl std::fmt::Debug for SnapshotImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotImage")
+            .field("kind_tag", &self.kind_tag)
+            .field("bytes", &self.bytes.len())
+            .field("sections", &self.sections.len())
+            .finish()
+    }
 }
 
 /// Recomputes every checksum of a snapshot image in place — each section's
@@ -340,14 +522,18 @@ pub fn repair_checksums(bytes: &mut [u8]) {
     }
     let mut offset = HEADER_LEN + dir_len;
     for i in 0..count {
+        // Sections sit at aligned image offsets (v3); mirror the writer.
+        let Some(aligned) = align_up(offset) else {
+            return;
+        };
         let entry = HEADER_LEN + 4 + i * 16;
         let Some(len) = read_le_array::<8>(bytes, entry).map(u64::from_le_bytes) else {
             return;
         };
-        let Some(end) = offset.checked_add(len as usize) else {
+        let Some(end) = aligned.checked_add(len as usize) else {
             return;
         };
-        let Some(section) = bytes.get(offset..end) else {
+        let Some(section) = bytes.get(aligned..end) else {
             return;
         };
         let checksum = checksum64(section).to_le_bytes();
@@ -407,12 +593,13 @@ pub fn save<T: Codec, P: AsRef<Path>>(
     Ok(())
 }
 
-/// Reads a snapshot file written by [`save`].
+/// Reads a snapshot file written by [`save`], through the zero-copy
+/// [`SnapshotImage`] path: one aligned read-to-end, up-front verification,
+/// and in-place column borrows for [`crate::SliceCodec`] data.
 pub fn load<T: Codec, P: AsRef<Path>>(kind: SnapshotKind, path: P) -> Result<T, SnapshotError> {
     let _timer = Timer::start(&LOAD_NS);
-    let bytes = std::fs::read(path)?;
-    BYTES_READ.add(bytes.len() as u64);
-    from_bytes(kind, &bytes)
+    let image = SnapshotImage::open(path)?;
+    image.decode(kind)
 }
 
 #[cfg(test)]
@@ -550,15 +737,15 @@ mod tests {
             self.tail.encode(&mut tail);
             vec![head.into_bytes(), tail.into_bytes()]
         }
-        fn decode_sections(sections: &[&[u8]]) -> Result<Self, SnapshotError> {
+        fn decode_sections(sections: &[Section<'_>]) -> Result<Self, SnapshotError> {
             let [head, tail] = sections else {
                 return Err(SnapshotError::Corrupt(format!(
                     "expected 2 sections, found {}",
                     sections.len()
                 )));
             };
-            let mut head_dec = Decoder::new(head);
-            let mut tail_dec = Decoder::new(tail);
+            let mut head_dec = head.decoder();
+            let mut tail_dec = tail.decoder();
             let out = Self {
                 head: Vec::decode(&mut head_dec)?,
                 tail: Vec::decode(&mut tail_dec)?,
@@ -584,8 +771,12 @@ mod tests {
             u32::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap()),
             2
         );
-        // Corrupting either section trips its own checksum.
-        for offset in [HEADER_LEN + 4 + 32, bytes.len() - 1] {
+        // Corrupting either section trips its own checksum: the first byte
+        // of section 0 (at the first aligned offset after the directory)
+        // and the last byte of section 1 (the final image byte — v3 never
+        // pads after the last section).
+        let section0 = align_up(HEADER_LEN + 4 + 2 * 16).unwrap();
+        for offset in [section0, bytes.len() - 1] {
             let mut corrupt = bytes.clone();
             corrupt[offset] ^= 0x01;
             assert!(matches!(
@@ -673,6 +864,170 @@ mod tests {
                 let _ = from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &mutated);
             }
         }
+    }
+
+    #[test]
+    fn sections_start_at_aligned_offsets() {
+        let value = TwoPart {
+            head: vec![1, 2, 3],
+            tail: (0..50).collect(),
+        };
+        let bytes = to_bytes(SnapshotKind::Shard, &value);
+        // Recompute the writer's placement and check each section really
+        // sits at a 64-byte image offset, with the image ending at the
+        // last section's final byte.
+        let dir_len = 4 + 2 * 16;
+        let len0 = u64::from_le_bytes(bytes[HEADER_LEN + 4..HEADER_LEN + 12].try_into().unwrap());
+        let len1 = u64::from_le_bytes(bytes[HEADER_LEN + 20..HEADER_LEN + 28].try_into().unwrap());
+        let off0 = align_up(HEADER_LEN + dir_len).unwrap();
+        let off1 = align_up(off0 + len0 as usize).unwrap();
+        assert_eq!(off0 % SECTION_ALIGN, 0);
+        assert_eq!(off1 % SECTION_ALIGN, 0);
+        assert_eq!(bytes.len(), off1 + len1 as usize);
+        // Padding bytes are zero.
+        assert!(bytes[HEADER_LEN + dir_len..off0].iter().all(|&b| b == 0));
+        assert!(bytes[off0 + len0 as usize..off1].iter().all(|&b| b == 0));
+        // Header payload length covers padding exactly.
+        let payload_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        assert_eq!(payload_len, bytes.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn nonzero_padding_is_corrupt() {
+        let mut bytes = to_bytes(SnapshotKind::LshIndex, &vec![1u64, 2, 3]);
+        // The gap between the 20-byte directory and the first aligned
+        // section is padding: not covered by any checksum, so it must be
+        // structurally required to be zero.
+        bytes[HEADER_LEN + 20] = 0xAA;
+        assert!(matches!(
+            from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &bytes),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("padding")
+        ));
+    }
+
+    #[test]
+    fn v2_files_are_rejected_with_an_upgrade_hint() {
+        // A minimal genuine v2 image: directory immediately followed by
+        // the (unaligned) section payload, version field = 2.
+        let mut section = Encoder::new();
+        vec![7u64].encode(&mut section);
+        let section = section.into_bytes();
+        let mut directory = Vec::new();
+        directory.extend_from_slice(&1u32.to_le_bytes());
+        directory.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        directory.extend_from_slice(&checksum64(&section).to_le_bytes());
+        let payload_len = directory.len() + section.len();
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&MAGIC);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
+        v2.extend_from_slice(&SnapshotKind::LshIndex.tag().to_le_bytes());
+        v2.extend_from_slice(&0u32.to_le_bytes());
+        v2.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        v2.extend_from_slice(&checksum64(&directory).to_le_bytes());
+        v2.extend_from_slice(&directory);
+        v2.extend_from_slice(&section);
+
+        let err = from_bytes::<Vec<u64>>(SnapshotKind::LshIndex, &v2)
+            .expect_err("a v2 file must not load");
+        assert!(matches!(
+            err,
+            SnapshotError::UnsupportedVersion {
+                found: 2,
+                supported: FORMAT_VERSION
+            }
+        ));
+        // The error text documents the upgrade path.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("version 2") && msg.contains(&format!("version {FORMAT_VERSION}")),
+            "upgrade hint must name both versions: {msg}"
+        );
+    }
+
+    /// A single-column type exercising the zero-copy [`SliceCodec`] path.
+    #[derive(Debug, PartialEq)]
+    struct PodColumn {
+        values: crate::ArcSlice<u64>,
+    }
+
+    impl Codec for PodColumn {
+        fn encode(&self, enc: &mut Encoder) {
+            crate::SliceCodec::encode_slice(self.values.as_slice(), enc);
+        }
+        fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+            Ok(Self {
+                values: <u64 as crate::SliceCodec>::decode_slice(dec)?,
+            })
+        }
+    }
+
+    #[test]
+    fn snapshot_image_decodes_zero_copy_and_from_bytes_copies() {
+        let value = PodColumn {
+            values: crate::ArcSlice::from_vec((0..1000u64).collect()),
+        };
+        let bytes = to_bytes(SnapshotKind::LshIndex, &value);
+
+        // Plain-slice decode: owned column.
+        let copied: PodColumn = from_bytes(SnapshotKind::LshIndex, &bytes).unwrap();
+        assert_eq!(copied, value);
+        assert!(!copied.values.is_borrowed());
+
+        // Image decode: the column borrows the image buffer in place.
+        let image =
+            SnapshotImage::from_arc_bytes(ArcBytes::copy_from_slice(&bytes).unwrap()).unwrap();
+        assert_eq!(image.kind_tag(), SnapshotKind::LshIndex.tag());
+        let borrowed: PodColumn = image.decode(SnapshotKind::LshIndex).unwrap();
+        assert_eq!(borrowed, value);
+        assert!(borrowed.values.is_borrowed());
+        let base = image.as_bytes().as_slice().as_ptr() as usize;
+        let col = borrowed.values.as_slice().as_ptr() as usize;
+        assert!(col > base && col < base + image.len());
+        assert_eq!(col % SECTION_ALIGN, 0, "column must land 64-byte aligned");
+
+        // Wrong kind at decode time.
+        assert!(matches!(
+            image.decode::<PodColumn>(SnapshotKind::Shard),
+            Err(SnapshotError::KindMismatch { .. })
+        ));
+
+        // The decoded structure keeps the buffer alive after the image
+        // handle drops.
+        drop(image);
+        assert_eq!(borrowed.values.len(), 1000);
+        assert_eq!(borrowed.values[999], 999);
+    }
+
+    #[test]
+    fn snapshot_image_open_verifies_and_borrows_from_disk() {
+        let path = std::env::temp_dir().join(format!(
+            "fairnn-snapshot-image-test-{}.snap",
+            std::process::id()
+        ));
+        let value = PodColumn {
+            values: crate::ArcSlice::from_vec((0..256u64).rev().collect()),
+        };
+        save(SnapshotKind::Shard, &value, &path).unwrap();
+        let image = SnapshotImage::open(&path).unwrap();
+        let back: PodColumn = image.decode(SnapshotKind::Shard).unwrap();
+        assert_eq!(back, value);
+        assert!(back.values.is_borrowed());
+
+        // Corrupt the file: open() must reject it up front.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            SnapshotImage::open(&path),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            SnapshotImage::open(&path),
+            Err(SnapshotError::Io(_))
+        ));
     }
 
     #[test]

@@ -30,17 +30,39 @@
 //! The format is canonical: unordered containers are encoded in sorted
 //! order, so `save → load → save` is byte-identical — which is also what
 //! makes snapshot files meaningfully diffable and checksummable in CI.
+//!
+//! Format **v3** adds the servable layout: every section payload is placed
+//! at a 64-byte-aligned image offset and the large fixed-width columns
+//! inside are written as contiguous little-endian arrays ([`SliceCodec`]),
+//! exactly the in-memory CSR/bank representation. A [`SnapshotImage`]
+//! reads the whole file into one aligned allocation ([`ArcBytes`]),
+//! verifies the header chain and every section checksum up front, and
+//! then decodes structures whose columns ([`ArcSlice`]) *borrow* the image
+//! in place — a warm engine load is O(1) large allocations and zero
+//! per-element copies, and N processes can serve one page-cache-resident
+//! image.
+//!
+//! This crate also hosts the workspace's **one blessed unsafe module**
+//! ([`mod@bytes`]): aligned buffers, pod byte views, the SIMD feature
+//! dispatcher and the software-prefetch shim. The `zero-copy-unsafe` rule
+//! in `fairnn-audit` denies `unsafe` everywhere else in the workspace and
+//! requires a written waiver on every use inside the module.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // lifted to allow() inside `bytes`, the blessed module
 #![warn(missing_docs)]
 
+pub mod bytes;
 mod codec;
 mod container;
 mod error;
 
-pub use codec::{Codec, Decoder, Encoder};
+pub use bytes::{
+    pod_bytes, prefetch_read, ArcBytes, ArcSlice, CountingAlloc, Pod, LARGE_ALLOC_THRESHOLD,
+    SECTION_ALIGN,
+};
+pub use codec::{decode_pod_slice, encode_pod_slice, Codec, Decoder, Encoder, Section, SliceCodec};
 pub use container::{
-    checksum64, from_bytes, load, repair_checksums, save, to_bytes, SnapshotKind, ENDIAN_MARK,
-    FORMAT_VERSION, HEADER_LEN, MAGIC,
+    checksum64, from_bytes, load, repair_checksums, save, to_bytes, SnapshotImage, SnapshotKind,
+    ENDIAN_MARK, FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
 pub use error::SnapshotError;

@@ -40,6 +40,7 @@
 pub mod dataset;
 pub mod metric;
 pub mod point;
+pub mod prefilter;
 pub mod snapshot;
 
 pub use dataset::Dataset;
@@ -47,3 +48,4 @@ pub use metric::{
     Cosine, Distance, Euclidean, Hamming, InnerProduct, Jaccard, Similarity, SquaredEuclidean,
 };
 pub use point::{BitVector, DenseVector, PointId, SparseSet};
+pub use prefilter::{ScreenRow, SetScreen, VectorScreen};

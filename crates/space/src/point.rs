@@ -18,6 +18,7 @@ use std::fmt;
 /// stored once and referenced with constant-size pointers (Section 2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(transparent)]
 pub struct PointId(pub u32);
 
 impl PointId {

@@ -1,0 +1,309 @@
+//! Admissible candidate pre-screens.
+//!
+//! Exact predicate evaluation — a sorted-set merge for Jaccard, a full
+//! `O(d)` pass for Euclidean — is the dominant per-candidate cost of every
+//! sampler walk. A [`ScreenRow`] is a small precomputed summary of a point
+//! (16 saturating bucket counts for a set, a cached norm plus an 8-bit
+//! quantized coordinate row for a vector) from which a *bound* on the
+//! similarity or distance can be computed with far less memory traffic.
+//!
+//! Every screen here is **admissible by construction**: it may only answer
+//! "certainly not near" when the exact predicate would also answer false.
+//! Candidates that pass the screen still go through the exact evaluation,
+//! so screened sampling is bit-for-bit identical to unscreened sampling —
+//! the screen only removes exact evaluations that were going to fail.
+
+use crate::point::{DenseVector, SparseSet};
+
+/// Number of item buckets in a [`SetScreen`] histogram.
+const SET_BUCKETS: usize = 16;
+
+/// Multiplicative relative slack applied to floating-point bounds before a
+/// rejection. The real-number bounds below are exact; the slack absorbs the
+/// ulp-level rounding of evaluating them in `f64`, keeping rejections
+/// conservative by many orders of magnitude more than the rounding error.
+const FLOAT_SLACK: f64 = 1e-9;
+
+/// A precomputed screening summary of one point. Built once per indexed
+/// point (and once per query), consulted before each exact evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScreenRow {
+    /// Summary of a [`SparseSet`]: see [`SetScreen`].
+    Set(SetScreen),
+    /// Summary of a [`DenseVector`]: see [`VectorScreen`].
+    Vector(VectorScreen),
+}
+
+/// Jaccard screen for a [`SparseSet`]: the set size plus a 16-bucket
+/// saturating histogram of its items (16 bytes per point).
+///
+/// For two sets the per-bucket minima bound the intersection size from
+/// above, and Jaccard similarity is increasing in the intersection size, so
+/// `Σ min(hᵃᵢ, hᵇᵢ) / (|a| + |b| − Σ min(hᵃᵢ, hᵇᵢ))` is an upper bound on
+/// `J(a, b)`. A bucket where *both* counts saturate contributes the trivial
+/// bound `min(|a|, |b|)` instead (a saturated count only says "at least
+/// 255"), which keeps the bound admissible for arbitrarily large sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetScreen {
+    len: u32,
+    histogram: [u8; SET_BUCKETS],
+}
+
+impl SetScreen {
+    /// Builds the screen of a set.
+    pub fn of(set: &SparseSet) -> Self {
+        let mut histogram = [0u8; SET_BUCKETS];
+        for &item in set.items() {
+            // Multiplicative mix, top 4 bits: consecutive item ids spread
+            // over distinct buckets instead of piling into `item % 16`.
+            let bucket = (item.wrapping_mul(0x9E37_79B9) >> 28) as usize;
+            histogram[bucket] = histogram[bucket].saturating_add(1);
+        }
+        Self {
+            len: u32::try_from(set.len()).expect("set exceeds u32 items"),
+            histogram,
+        }
+    }
+
+    /// An upper bound on `|a ∩ b|`.
+    fn intersection_upper_bound(&self, other: &Self) -> u64 {
+        let smaller = u64::from(self.len.min(other.len));
+        let mut bound = 0u64;
+        for (&x, &y) in self.histogram.iter().zip(other.histogram.iter()) {
+            bound += if x == u8::MAX && y == u8::MAX {
+                smaller
+            } else {
+                u64::from(x.min(y))
+            };
+        }
+        bound.min(smaller)
+    }
+
+    /// Returns `false` only when `jaccard(a, b) >= threshold` is certainly
+    /// false.
+    pub fn may_reach_jaccard(&self, other: &Self, threshold: f64) -> bool {
+        let total = u64::from(self.len) + u64::from(other.len);
+        if total == 0 {
+            return true; // two empty sets have Jaccard 1
+        }
+        let cap = self.intersection_upper_bound(other);
+        // Jaccard is increasing in the intersection size, so the capped
+        // ratio bounds it from above; union_lb = total − cap ≥ max(|a|, |b|)
+        // − ... ≥ 1 whenever total ≥ 1 because cap ≤ min(|a|, |b|).
+        let upper = cap as f64 / (total - cap) as f64;
+        upper >= threshold
+    }
+}
+
+/// Euclidean screen for a [`DenseVector`]: its cached norm plus an 8-bit
+/// quantized coordinate row with the per-row dequantization parameters and
+/// the *measured* maximum quantization error.
+///
+/// Two lower bounds on `‖a − b‖` are available from the rows alone:
+/// `|‖a‖ − ‖b‖|` (reverse triangle inequality) and the coordinate-wise
+/// bound `Σ max(0, |âᵢ − b̂ᵢ| − εₐ − ε_b)²` over the dequantized values —
+/// each dequantized coordinate is within its row's measured `ε` of the true
+/// one. If either bound exceeds the radius, the exact distance does too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorScreen {
+    norm: f64,
+    lo: f64,
+    step: f64,
+    /// Measured `max_i |vᵢ − (lo + qᵢ·step)|` of this row — an exact bound
+    /// on its dequantization error, whatever rounding produced `q`.
+    eps: f64,
+    q: Vec<u8>,
+}
+
+impl VectorScreen {
+    /// Builds the screen of a vector.
+    pub fn of(v: &DenseVector) -> Self {
+        let values = v.values();
+        let norm = v.norm();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in values {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        // `f64::min`/`max` skip NaN operands, so `lo`/`hi` can look finite
+        // for a row containing NaN — check every coordinate explicitly.
+        if values.is_empty() || !values.iter().all(|x| x.is_finite()) {
+            // Empty or non-finite input: a row with infinite error never
+            // rejects, so the exact path keeps full authority.
+            return Self {
+                norm,
+                lo: 0.0,
+                step: 0.0,
+                eps: f64::INFINITY,
+                q: vec![0; values.len()],
+            };
+        }
+        let step = (hi - lo) / f64::from(u8::MAX);
+        let q: Vec<u8> = if step > 0.0 {
+            values
+                .iter()
+                .map(|&x| ((x - lo) / step).round().clamp(0.0, 255.0) as u8)
+                .collect()
+        } else {
+            vec![0; values.len()]
+        };
+        // The error bound is measured, not derived: whatever the rounding
+        // above did, `eps` is exact for this row.
+        let eps = values
+            .iter()
+            .zip(q.iter())
+            .map(|(&x, &qi)| (x - (lo + f64::from(qi) * step)).abs())
+            .fold(0.0f64, f64::max);
+        Self {
+            norm,
+            lo,
+            step,
+            eps,
+            q,
+        }
+    }
+
+    /// Dequantized coordinate `i`.
+    #[inline]
+    fn coord(&self, i: usize) -> f64 {
+        self.lo + f64::from(self.q[i]) * self.step
+    }
+
+    /// A lower bound on `‖a − b‖²`, or `0.0` when the rows are incomparable
+    /// (dimension mismatch — the exact path keeps its panic behavior).
+    fn squared_distance_lower_bound(&self, other: &Self) -> f64 {
+        if self.q.len() != other.q.len() {
+            return 0.0;
+        }
+        let slack = self.eps + other.eps;
+        let mut acc = 0.0f64;
+        for i in 0..self.q.len() {
+            let gap = (self.coord(i) - other.coord(i)).abs() - slack;
+            if gap > 0.0 {
+                acc += gap * gap;
+            }
+        }
+        let norm_gap = (self.norm - other.norm).abs();
+        acc.max(norm_gap * norm_gap)
+    }
+
+    /// Returns `false` only when `‖a − b‖ ≤ radius` is certainly false.
+    pub fn may_be_within(&self, other: &Self, radius: f64) -> bool {
+        let r = radius.max(0.0);
+        self.may_be_within_squared(other, r * r)
+    }
+
+    /// Returns `false` only when `‖a − b‖² ≤ squared_radius` is certainly
+    /// false.
+    pub fn may_be_within_squared(&self, other: &Self, squared_radius: f64) -> bool {
+        let lb = self.squared_distance_lower_bound(other);
+        if !lb.is_finite() {
+            return true;
+        }
+        lb * (1.0 - FLOAT_SLACK) <= squared_radius.max(0.0) * (1.0 + FLOAT_SLACK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: Vec<u32>) -> (SparseSet, SetScreen) {
+        let s = SparseSet::from_items(items);
+        let screen = SetScreen::of(&s);
+        (s, screen)
+    }
+
+    #[test]
+    fn set_screen_is_admissible_on_fixed_examples() {
+        let (a, sa) = set(vec![1, 2, 3, 4]);
+        let (b, sb) = set(vec![1, 2, 3, 5]);
+        let (c, sc) = set(vec![900, 901, 902]);
+        for threshold in [0.0, 0.3, 0.5, 0.6, 0.99, 1.0] {
+            if a.jaccard(&b) >= threshold {
+                assert!(sa.may_reach_jaccard(&sb, threshold));
+            }
+            if a.jaccard(&c) >= threshold {
+                assert!(sa.may_reach_jaccard(&sc, threshold));
+            }
+        }
+    }
+
+    #[test]
+    fn set_screen_rejects_disjoint_ranges() {
+        let (_, sa) = set((0..40).collect());
+        let (_, sb) = set((10_000..10_040).collect());
+        // Disjoint sets with clashing histogram buckets can still pass, but
+        // the size screen must at minimum reject wildly mismatched sizes.
+        let (_, tiny) = set(vec![1]);
+        assert!(!sa.may_reach_jaccard(&tiny, 0.5), "1/40 cannot reach 0.5");
+        let _ = sb;
+    }
+
+    #[test]
+    fn set_screen_saturated_buckets_stay_admissible() {
+        // 600 consecutive ids saturate several buckets; identical sets have
+        // Jaccard 1 and must always pass.
+        let (_, s) = set((0..600).collect());
+        assert!(s.may_reach_jaccard(&s, 1.0));
+    }
+
+    #[test]
+    fn empty_sets_always_pass() {
+        let (_, e) = set(vec![]);
+        assert!(e.may_reach_jaccard(&e, 1.0));
+    }
+
+    #[test]
+    fn vector_screen_is_admissible_on_fixed_examples() {
+        let a = DenseVector::new(vec![0.0, 0.0, 1.0]);
+        let b = DenseVector::new(vec![0.1, -0.05, 0.9]);
+        let c = DenseVector::new(vec![5.0, 5.0, 5.0]);
+        let (va, vb, vc) = (
+            VectorScreen::of(&a),
+            VectorScreen::of(&b),
+            VectorScreen::of(&c),
+        );
+        for r in [0.0, 0.05, 0.2, 1.0, 10.0] {
+            if a.distance(&b) <= r {
+                assert!(va.may_be_within(&vb, r), "false reject at r={r}");
+            }
+            if a.distance(&c) <= r {
+                assert!(va.may_be_within(&vc, r), "false reject at r={r}");
+            }
+        }
+        // And the screen does reject what it can prove far.
+        assert!(!va.may_be_within(&vc, 1.0));
+    }
+
+    #[test]
+    fn vector_screen_identical_vectors_pass_radius_zero() {
+        let a = DenseVector::new(vec![0.25, -0.75, 0.5, 0.125]);
+        let s = VectorScreen::of(&a);
+        assert!(s.may_be_within(&s.clone(), 0.0));
+        assert!(s.may_be_within_squared(&s.clone(), 0.0));
+    }
+
+    #[test]
+    fn vector_screen_constant_and_empty_vectors() {
+        let flat = VectorScreen::of(&DenseVector::new(vec![2.0; 8]));
+        assert!(flat.may_be_within(&flat.clone(), 0.0));
+        let empty = VectorScreen::of(&DenseVector::new(vec![]));
+        assert!(empty.may_be_within(&empty.clone(), 0.0));
+    }
+
+    #[test]
+    fn vector_screen_non_finite_inputs_never_reject() {
+        let weird = VectorScreen::of(&DenseVector::new(vec![f64::NAN, 1.0]));
+        let normal = VectorScreen::of(&DenseVector::new(vec![0.0, 0.0]));
+        assert!(weird.may_be_within(&normal, 0.0));
+        assert!(normal.may_be_within(&weird, 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_never_rejects() {
+        let a = VectorScreen::of(&DenseVector::new(vec![0.0, 100.0]));
+        let b = VectorScreen::of(&DenseVector::new(vec![0.0]));
+        assert!(a.may_be_within(&b, 0.0), "exact path owns the panic");
+    }
+}

@@ -9,7 +9,10 @@
 
 use crate::metric::{Cosine, Euclidean, Hamming, InnerProduct, Jaccard, SquaredEuclidean};
 use crate::point::{DenseVector, PointId, SparseSet};
-use fairnn_snapshot::{Codec, Decoder, Encoder, SnapshotError};
+use fairnn_snapshot::{
+    decode_pod_slice, encode_pod_slice, ArcSlice, Codec, Decoder, Encoder, SliceCodec,
+    SnapshotError,
+};
 
 impl Codec for PointId {
     fn encode(&self, enc: &mut Encoder) {
@@ -18,6 +21,21 @@ impl Codec for PointId {
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
         Ok(PointId(dec.read_u32()?))
+    }
+}
+
+// `PointId` is a `#[repr(transparent)]` wrapper over `u32`, so id columns
+// (bucket entry arrays, shard maps) can be viewed in place from a loaded
+// snapshot image instead of being decoded element by element.
+fairnn_snapshot::impl_pod!(PointId, u32);
+
+impl SliceCodec for PointId {
+    fn encode_slice(items: &[Self], enc: &mut Encoder) {
+        encode_pod_slice(items, enc, |enc, id| id.encode(enc));
+    }
+
+    fn decode_slice(dec: &mut Decoder<'_>) -> Result<ArcSlice<Self>, SnapshotError> {
+        decode_pod_slice(dec, PointId::decode)
     }
 }
 

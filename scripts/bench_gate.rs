@@ -21,6 +21,19 @@
 //!   appears in both files, with the same `hardware_limited` skip — the
 //!   single-thread rows always compare, so a serial build regression fails
 //!   the gate even on a 1-core runner;
+//! * the `hash_ns_per_point` rows (`batched` and `per_row`): ns/point is
+//!   lower-is-better, so the gate converts each to points/sec (`1e9 / ns`)
+//!   and applies the same regression math. A baseline row missing from the
+//!   fresh report fails the gate (that silent drop is exactly how the
+//!   7.9 µs → 11.6 µs drift landed unnoticed), unless the fresh object is
+//!   marked `hardware_limited`;
+//! * every snapshot `cycles` row (written by `snapshot_cycle`) whose
+//!   `(structure, scale, threads)` coordinate appears in both files:
+//!   **load time** gates as a rate (`1e9 / load_ns`, same skip rules as
+//!   builds — `hardware_limited` rows and loads under 5 ms don't gate) and
+//!   **`load_large_allocs`** gates on an absolute budget: the count is
+//!   deterministic under the one-buffer image path, so any fresh count more
+//!   than 2 above baseline fails regardless of the percentage threshold;
 //! * the fresh report's `obs_overhead` row — an **absolute** budget, not a
 //!   baseline comparison: the fairnn-obs-instrumented engine pipeline must
 //!   stay within 3 % of the uninstrumented one. Runs too short to measure
@@ -29,9 +42,9 @@
 //! Usage: `bench_gate <fresh.json>... <baseline.json>
 //!         [--max-regression 0.35]`
 //!
-//! Several fresh reports may be passed (engine + build); their top-level
-//! keys are merged, later files winning, and compared against the single
-//! baseline (the last path).
+//! Several fresh reports may be passed (engine + build + snapshot); their
+//! top-level keys are merged, later files winning, and compared against the
+//! single baseline (the last path).
 //!
 //! Exit code 0 = within budget, 1 = regression (or unreadable input). To
 //! land a PR with a known, accepted slowdown, apply the `perf-override`
@@ -408,6 +421,130 @@ fn build_throughput(report: &Json) -> BTreeMap<String, f64> {
     out
 }
 
+/// Extracts gated hashing figures from the `hash_ns_per_point` object.
+/// ns/point is lower-is-better, so each row is converted to points/sec
+/// (`1e9 / ns`) to reuse the higher-is-better regression math. An object
+/// marked `hardware_limited` contributes nothing (the current measurement
+/// is serial and never sets the flag, but the skip convention is uniform).
+fn hash_throughput(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(row) = report.get("hash_ns_per_point") {
+        if hash_hardware_limited(report) {
+            return out;
+        }
+        for key in ["batched", "per_row"] {
+            if let Some(ns) = row.get(key).and_then(Json::as_f64) {
+                if ns > 0.0 {
+                    out.insert(key.to_string(), 1e9 / ns);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the report's `hash_ns_per_point` object is flagged
+/// `hardware_limited`. When the *fresh* side is limited, its baseline rows
+/// are skipped rather than counted as missing.
+fn hash_hardware_limited(report: &Json) -> bool {
+    report
+        .get("hash_ns_per_point")
+        .and_then(|row| row.get("hardware_limited"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+}
+
+/// Snapshot loads measured below this wall time do not gate on throughput:
+/// a sub-5-ms image load swings with scheduler noise, not code. The
+/// large-allocation count still gates — it is deterministic at any speed.
+const MIN_GATED_LOAD_S: f64 = 0.005;
+
+/// Extracts `(structure, scale, threads) → loads-equivalent rate`
+/// (`1e9 / load_ns`) from a snapshot `cycles` array, dropping rows marked
+/// `hardware_limited` and loads too short to time reliably.
+fn snapshot_load_rates(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for (key, row) in snapshot_cycle_rows(report) {
+        let limited = row
+            .get("hardware_limited")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let too_short = row
+            .get("load_s")
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s < MIN_GATED_LOAD_S);
+        if limited || too_short {
+            continue;
+        }
+        if let Some(ns) = row.get("load_ns").and_then(Json::as_f64) {
+            if ns > 0.0 {
+                out.insert(key, 1e9 / ns);
+            }
+        }
+    }
+    out
+}
+
+/// A fresh load may take at most this many more ≥ 64 KiB allocations than
+/// the baseline's. The count is a deterministic property of the load path
+/// (one image buffer, O(1) bookkeeping), so the budget is absolute: a
+/// return to per-section copies blows through it at any scale, while
+/// adding a couple of intentional buffers forces a baseline refresh.
+const MAX_EXTRA_LARGE_ALLOCS: f64 = 2.0;
+
+/// Extracts `(structure, scale, threads) → load_large_allocs` from a
+/// snapshot `cycles` array. No noise filtering: allocation counts are
+/// exact regardless of runner speed or oversubscription.
+fn snapshot_large_allocs(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for (key, row) in snapshot_cycle_rows(report) {
+        if let Some(count) = row.get("load_large_allocs").and_then(Json::as_f64) {
+            out.insert(key, count);
+        }
+    }
+    out
+}
+
+/// Iterates a report's snapshot `cycles` rows as
+/// `("structure/scale-S/Tt", row)` pairs.
+fn snapshot_cycle_rows(report: &Json) -> Vec<(String, &Json)> {
+    let mut out = Vec::new();
+    if let Some(rows) = report.get("cycles").and_then(Json::as_array) {
+        for row in rows {
+            if let (Some(structure), Some(scale), Some(threads)) = (
+                row.get("structure").and_then(Json::as_str),
+                row.get("scale").and_then(Json::as_f64),
+                row.get("threads").and_then(Json::as_f64),
+            ) {
+                out.push((
+                    format!("{structure}/scale-{scale}/{}t", threads as u64),
+                    row,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Checks the deterministic large-allocation budget on every co-measured
+/// snapshot cycle coordinate; returns the failure descriptions.
+fn check_snapshot_allocs(fresh: &Json, baseline: &Json) -> Vec<String> {
+    let fresh_allocs = snapshot_large_allocs(fresh);
+    let mut failures = Vec::new();
+    for (key, base) in snapshot_large_allocs(baseline) {
+        if let Some(&count) = fresh_allocs.get(&key) {
+            if count > base + MAX_EXTRA_LARGE_ALLOCS {
+                failures.push(format!(
+                    "snapshot-load/{key}: {count:.0} large allocation(s) vs baseline {base:.0} \
+                     (budget +{MAX_EXTRA_LARGE_ALLOCS:.0}) — the O(1) image load regressed \
+                     toward per-section copies"
+                ));
+            }
+        }
+    }
+    failures
+}
+
 /// Instrumentation may cost at most this much engine-pipeline throughput
 /// (absolute budget from the observability PR's acceptance criteria).
 const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
@@ -480,6 +617,34 @@ fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
             baseline_qps: base_qps,
             fresh_qps: fresh.get("rank_swap_qps").and_then(Json::as_f64),
         });
+    }
+
+    // Hashing kernel: a baseline row missing from the fresh report IS a
+    // failure (the `fresh_qps: None` total-regression path), because a
+    // silently dropped hash measurement is exactly how the last drift
+    // landed. Only a fresh run flagged hardware_limited skips instead.
+    if !hash_hardware_limited(fresh) {
+        let fresh_hash = hash_throughput(fresh);
+        for (key, base_rate) in hash_throughput(baseline) {
+            comparisons.push(Comparison {
+                fresh_qps: fresh_hash.get(&key).copied(),
+                name: format!("hash/{key}"),
+                baseline_qps: base_rate,
+            });
+        }
+    }
+
+    // Snapshot load time, as a rate like every other figure. Co-measured,
+    // non-limited, non-trivial coordinates only (same policy as builds).
+    let fresh_loads = snapshot_load_rates(fresh);
+    for (key, base_rate) in snapshot_load_rates(baseline) {
+        if let Some(&fresh_rate) = fresh_loads.get(&key) {
+            comparisons.push(Comparison {
+                name: format!("snapshot-load/{key}"),
+                baseline_qps: base_rate,
+                fresh_qps: Some(fresh_rate),
+            });
+        }
     }
 
     // Build throughput: points/sec behaves exactly like queries/sec in the
@@ -571,17 +736,23 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
         Err(message) => Some(message),
     };
+    let mut absolute_failures: Vec<String> = check_snapshot_allocs(&fresh, &baseline);
+    if let Some(message) = obs_failure {
+        absolute_failures.push(message);
+    }
 
     let failures = gate(&comparisons, max_regression);
-    if failures.is_empty() && obs_failure.is_none() {
+    if failures.is_empty() && absolute_failures.is_empty() {
         println!("bench gate: PASS");
         Ok(true)
     } else if failures.is_empty() {
-        println!("\nbench gate: FAIL — {}", obs_failure.unwrap_or_default());
+        println!("\nbench gate: FAIL — absolute budget exceeded:");
+        for message in &absolute_failures {
+            println!("  {message}");
+        }
         println!(
-            "\nInstrumentation must stay within its overhead budget; make the hot-path \
-             hooks cheaper (or gate them behind fairnn_obs::enabled()) rather than \
-             raising the budget."
+            "\nAbsolute budgets (obs overhead, load allocation counts) don't move with \
+             the baseline; make the hot path cheaper rather than raising the budget."
         );
         Ok(false)
     } else {
@@ -592,7 +763,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         for c in &failures {
             println!("  {c}");
         }
-        if let Some(message) = obs_failure {
+        for message in &absolute_failures {
             println!("  {message}");
         }
         println!(
@@ -779,6 +950,110 @@ mod tests {
         assert!(comparisons.iter().any(|c| c.name.starts_with("sampler/")));
         assert!(comparisons.iter().any(|c| c.name.starts_with("build/")));
         assert!(gate(&comparisons, 0.35).is_empty());
+    }
+
+    fn hash_report(batched_ns: f64, per_row_ns: f64, limited: bool) -> Json {
+        let text = format!(
+            r#"{{"hash_ns_per_point": {{"batched": {batched_ns}, "per_row": {per_row_ns},
+                 "hardware_limited": {limited}}}}}"#
+        );
+        Parser::parse(&text).expect("valid hash report")
+    }
+
+    #[test]
+    fn hash_rows_gate_as_rates() {
+        let baseline = hash_report(8000.0, 16000.0, false);
+        // 20% more ns/point ≈ 17% rate regression: within budget.
+        let fresh = hash_report(9600.0, 16000.0, false);
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert_eq!(comparisons.len(), 2, "{:?}", comparisons.len());
+        assert!(gate(&comparisons, 0.35).is_empty());
+        // 8000 → 14000 ns is a 43% rate regression: fails.
+        let slow = hash_report(14000.0, 16000.0, false);
+        let slow_comparisons = compare_reports(&slow, &baseline);
+        let failures = gate(&slow_comparisons, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "hash/batched");
+    }
+
+    #[test]
+    fn missing_hash_row_fails_the_gate() {
+        // The drift scenario: the fresh report silently stops emitting the
+        // hash figure. That must read as a total regression, not a pass.
+        let baseline = hash_report(8000.0, 16000.0, false);
+        let fresh = Parser::parse("{}").unwrap();
+        let comparisons = compare_reports(&fresh, &baseline);
+        assert_eq!(gate(&comparisons, 0.35).len(), 2);
+    }
+
+    #[test]
+    fn hardware_limited_hash_rows_skip_instead_of_fail() {
+        let baseline = hash_report(8000.0, 16000.0, false);
+        let fresh = hash_report(99999.0, 99999.0, true);
+        assert!(compare_reports(&fresh, &baseline)
+            .iter()
+            .all(|c| !c.name.starts_with("hash/")));
+    }
+
+    fn snapshot_report(load_ns: f64, load_s: f64, allocs: f64, limited: bool) -> Json {
+        let text = format!(
+            r#"{{
+              "bench": "snapshot_cycle",
+              "cycles": [
+                {{"scale": 0.2, "structure": "query-engine", "dataset_points": 4000,
+                  "threads": 1, "build_s": 0.5, "save_s": 0.01, "load_s": {load_s},
+                  "load_ns": {load_ns}, "load_large_allocs": {allocs},
+                  "snapshot_bytes": 1000000, "build_over_load": 10.0,
+                  "hardware_limited": {limited}}}
+              ]
+            }}"#
+        );
+        Parser::parse(&text).expect("valid snapshot report")
+    }
+
+    #[test]
+    fn snapshot_load_time_gates_as_a_rate() {
+        let baseline = snapshot_report(50e6, 0.05, 1.0, false);
+        let ok = snapshot_report(60e6, 0.06, 1.0, false); // -17% rate
+        let ok_comparisons = compare_reports(&ok, &baseline);
+        assert!(gate(&ok_comparisons, 0.35).is_empty());
+        let slow = snapshot_report(100e6, 0.1, 1.0, false); // -50% rate
+        let slow_comparisons = compare_reports(&slow, &baseline);
+        let failures = gate(&slow_comparisons, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "snapshot-load/query-engine/scale-0.2/1t");
+    }
+
+    #[test]
+    fn trivial_or_limited_snapshot_loads_do_not_gate_on_time() {
+        // Sub-5-ms loads and hardware-limited rows: no time comparison...
+        let baseline = snapshot_report(1e6, 0.001, 1.0, false);
+        let fresh = snapshot_report(4e6, 0.004, 1.0, false);
+        assert!(compare_reports(&fresh, &baseline)
+            .iter()
+            .all(|c| !c.name.starts_with("snapshot-load/")));
+        let baseline = snapshot_report(50e6, 0.05, 1.0, false);
+        let limited = snapshot_report(500e6, 0.5, 1.0, true);
+        assert!(compare_reports(&limited, &baseline)
+            .iter()
+            .all(|c| !c.name.starts_with("snapshot-load/")));
+        // ...but the allocation budget still applies to both.
+        let bloated = snapshot_report(1e6, 0.001, 40.0, true);
+        let base_small = snapshot_report(1e6, 0.001, 1.0, false);
+        assert_eq!(check_snapshot_allocs(&bloated, &base_small).len(), 1);
+    }
+
+    #[test]
+    fn large_alloc_budget_is_absolute() {
+        let baseline = snapshot_report(50e6, 0.05, 1.0, false);
+        // One or two extra buffers: an intentional change, within slack.
+        let ok = snapshot_report(50e6, 0.05, 3.0, false);
+        assert!(check_snapshot_allocs(&ok, &baseline).is_empty());
+        // O(sections) or O(points) allocations: fails however fast it ran.
+        let copies = snapshot_report(10e6, 0.01, 12.0, false);
+        let failures = check_snapshot_allocs(&copies, &baseline);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("query-engine/scale-0.2/1t"));
     }
 
     fn obs_report(overhead_pct: f64, measured_s: f64) -> Json {

@@ -1,0 +1,95 @@
+//! The zero-copy acceptance criterion: a warm [`QueryEngine`] load through
+//! [`SnapshotImage`] performs **O(1) large allocations** — the number of
+//! ≥ 64 KiB allocations must not grow with the dataset, because every
+//! fixed-width column borrows the one verified image buffer instead of
+//! being copied out per section.
+//!
+//! This test lives in its own integration binary because it installs the
+//! [`CountingAlloc`] global allocator (one per binary), the same meter the
+//! `snapshot_cycle` bench reports through `BENCH_snapshot.json`.
+
+use fairnn_core::SimilarityAtLeast;
+use fairnn_engine::{EngineConfig, QueryEngine};
+use fairnn_integration_tests::test_dataset;
+use fairnn_lsh::{ConcatenatedHasher, OneBitMinHash, OneBitMinHasher};
+use fairnn_snapshot::{CountingAlloc, SnapshotImage, SnapshotKind};
+use fairnn_space::{Dataset, Jaccard, SparseSet};
+use std::path::PathBuf;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+type SetEngine =
+    QueryEngine<SparseSet, ConcatenatedHasher<OneBitMinHasher>, SimilarityAtLeast<Jaccard>>;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fairnn-load-allocs-{}-{name}.snap",
+        std::process::id()
+    ))
+}
+
+/// Builds an engine over `data`, saves it, and counts the large
+/// allocations of the image-open + decode path. Returns the count and the
+/// snapshot size so callers can confirm the workload actually scaled.
+fn large_allocs_for_load(data: &Dataset<SparseSet>, name: &str) -> (u64, u64) {
+    let near = SimilarityAtLeast::new(Jaccard, 0.3);
+    let params = fairnn_lsh::ParamsBuilder::new(data.len(), 0.3, 0.05)
+        .with_recall(0.9)
+        .empirical(&OneBitMinHash);
+    let mut engine: SetEngine = QueryEngine::build(
+        &OneBitMinHash,
+        params,
+        data,
+        near,
+        EngineConfig::default().with_seed(7).with_shards(2),
+    );
+    // Warm the rank-swap cache so the snapshot carries serving state.
+    let batch: Vec<SparseSet> = data.points().iter().take(8).cloned().collect();
+    let _ = engine.run_batch(&batch);
+
+    let path = temp_path(name);
+    engine.save(&path).expect("save engine snapshot");
+    let snapshot_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+
+    CountingAlloc::reset();
+    let image = SnapshotImage::open(&path).expect("open snapshot image");
+    let mut loaded: SetEngine = image.decode(SnapshotKind::QueryEngine).expect("decode");
+    let count = CountingAlloc::large_allocs();
+    let _ = std::fs::remove_file(&path);
+
+    // The loaded engine must actually serve (the count would be
+    // meaningless for a lazily-decoded husk).
+    assert_eq!(engine.run_batch(&batch), loaded.run_batch(&batch));
+    (count, snapshot_bytes)
+}
+
+#[test]
+fn image_load_performs_constant_large_allocations() {
+    let small = test_dataset(11);
+    let mut sets: Vec<SparseSet> = small.points().to_vec();
+    for seed in 12..18u64 {
+        sets.extend(test_dataset(seed).points().iter().cloned());
+    }
+    let big = Dataset::new(sets);
+
+    let (small_count, small_bytes) = large_allocs_for_load(&small, "small");
+    let (big_count, big_bytes) = large_allocs_for_load(&big, "big");
+
+    assert!(
+        big_bytes > small_bytes * 3,
+        "the big snapshot ({big_bytes} B) must dwarf the small one ({small_bytes} B) \
+         for the O(1) claim to be tested"
+    );
+    // O(1): the count must not grow with the dataset. (A per-section or
+    // per-element copy path scales with points and blows well past this.)
+    assert_eq!(
+        big_count, small_count,
+        "large allocations grew with the dataset: {small_count} → {big_count}"
+    );
+    // And the constant is small: the image buffer plus O(1) bookkeeping.
+    assert!(
+        small_count <= 4,
+        "expected a handful of large allocations per load, got {small_count}"
+    );
+}

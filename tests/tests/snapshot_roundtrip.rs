@@ -22,7 +22,7 @@ use fairnn_integration_tests::{
 };
 use fairnn_lsh::{ConcatenatedHasher, MinHash, MinHasher};
 use fairnn_snapshot::{
-    from_bytes, to_bytes, SnapshotError, SnapshotKind, FORMAT_VERSION, HEADER_LEN,
+    from_bytes, to_bytes, SnapshotError, SnapshotImage, SnapshotKind, FORMAT_VERSION, HEADER_LEN,
 };
 use fairnn_space::{Jaccard, PointId, SparseSet};
 use proptest::prelude::*;
@@ -185,6 +185,104 @@ fn loaded_query_engine_reproduces_the_golden_batches() {
     let batch: Vec<SparseSet> = (0..10u32).map(|i| data.point(PointId(i)).clone()).collect();
     let first: Vec<Option<PointId>> = loaded.run_batch(&batch).iter().map(|a| a.id).collect();
     let second: Vec<Option<PointId>> = loaded.run_batch(&batch).iter().map(|a| a.id).collect();
+    assert_eq!(ids(&first), GOLDEN_ENGINE_FIRST);
+    assert_eq!(ids(&second), GOLDEN_ENGINE_SECOND);
+}
+
+/// Saves via the structure's own `save`, reopens through the explicit
+/// [`SnapshotImage`] path (one verified buffer, borrowed columns), decodes.
+fn via_image<T, S>(value: &T, name: &str, kind: SnapshotKind, save: S) -> T
+where
+    T: fairnn_snapshot::Codec,
+    S: FnOnce(&T, &PathBuf),
+{
+    let path = temp_path(name);
+    save(value, &path);
+    let image = SnapshotImage::open(&path).expect("open snapshot image");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(image.kind_tag(), kind.tag(), "header kind tag");
+    image.decode(kind).expect("decode from image")
+}
+
+#[test]
+fn snapshot_image_decoded_structures_replay_every_golden_sequence() {
+    // The explicit zero-copy path — `SnapshotImage::open` → `decode`, all
+    // columns borrowing the one image buffer — must replay all four
+    // seed-pinned golden sequences and both engine batches byte-identically
+    // to the live structures. (`load()` routes through the same image, but
+    // this pins the public API an embedding process would use to share one
+    // page-cache-resident image across consumers.)
+    let data = golden_dataset();
+    let p = params(data.len());
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let nns: SetNns = FairNns::build(&MinHash, p, &data, near(), &mut rng);
+    let mut nns = via_image(&nns, "image-nns", SnapshotKind::FairNns, |s, path| {
+        s.save(path).expect("save")
+    });
+    let mut qrng = StdRng::seed_from_u64(5);
+    let got: Vec<Option<PointId>> = [0u32, 3, 7, 10, 13, 16, 19, 22, 25, 28]
+        .iter()
+        .map(|&qi| nns.sample(&data.point(PointId(qi)).clone(), &mut qrng))
+        .collect();
+    assert_eq!(ids(&got), GOLDEN_FAIR_NNS);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let nnis: SetNnis = FairNnis::build(&MinHash, p, &data, near(), &mut rng);
+    let mut nnis = via_image(&nnis, "image-nnis", SnapshotKind::FairNnis, |s, path| {
+        s.save(path).expect("save")
+    });
+    let query = data.point(PointId(0)).clone();
+    let mut qrng = StdRng::seed_from_u64(99);
+    let got: Vec<Option<PointId>> = (0..20).map(|_| nnis.sample(&query, &mut qrng)).collect();
+    assert_eq!(ids(&got), GOLDEN_FAIR_NNIS);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let swap: SetRankSwap = RankSwapSampler::build(&MinHash, p, &data, near(), &mut rng);
+    let mut swap = via_image(&swap, "image-swap", SnapshotKind::RankSwap, |s, path| {
+        s.save(path).expect("save")
+    });
+    let query = data.point(PointId(4)).clone();
+    let mut qrng = StdRng::seed_from_u64(7);
+    let got: Vec<Option<PointId>> = (0..20).map(|_| swap.sample(&query, &mut qrng)).collect();
+    assert_eq!(ids(&got), GOLDEN_RANK_SWAP);
+
+    let sharded: SetSharded = ShardedIndex::build(
+        &MinHash,
+        p,
+        &data,
+        near(),
+        ShardedIndexConfig::with_shards(3).seeded(17),
+    );
+    let sharded = via_image(
+        &sharded,
+        "image-sharded",
+        SnapshotKind::ShardedIndex,
+        |s, path| s.save(path).expect("save"),
+    );
+    let query = data.point(PointId(0)).clone();
+    let mut qrng = StdRng::seed_from_u64(11);
+    let got: Vec<Option<PointId>> = (0..20)
+        .map(|_| sharded.sample(&query, &mut qrng).0)
+        .collect();
+    assert_eq!(ids(&got), GOLDEN_SHARDED);
+
+    let engine: SetEngine = QueryEngine::build(
+        &MinHash,
+        p,
+        &data,
+        near(),
+        EngineConfig::default().with_seed(23).with_shards(4),
+    );
+    let mut engine = via_image(
+        &engine,
+        "image-engine",
+        SnapshotKind::QueryEngine,
+        |s, path| s.save(path).expect("save"),
+    );
+    let batch: Vec<SparseSet> = (0..10u32).map(|i| data.point(PointId(i)).clone()).collect();
+    let first: Vec<Option<PointId>> = engine.run_batch(&batch).iter().map(|a| a.id).collect();
+    let second: Vec<Option<PointId>> = engine.run_batch(&batch).iter().map(|a| a.id).collect();
     assert_eq!(ids(&first), GOLDEN_ENGINE_FIRST);
     assert_eq!(ids(&second), GOLDEN_ENGINE_SECOND);
 }
@@ -384,20 +482,25 @@ fn corrupted_truncated_and_version_bumped_snapshots_fail_typed() {
             if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
     ));
 
-    // Old-version file (the pre-sectioning flat v1 layout) → the same typed
-    // rejection, and the message tells the operator how to move forward.
-    let mut old = bytes.clone();
-    old[8..12].copy_from_slice(&1u32.to_le_bytes());
-    let err = load_small(&old).expect_err("a v1 file must not load");
-    assert!(matches!(
-        err,
-        SnapshotError::UnsupportedVersion { found: 1, supported } if supported == FORMAT_VERSION
-    ));
-    let message = err.to_string();
-    assert!(
-        message.contains("re-sav") && message.contains(&format!("version {FORMAT_VERSION}")),
-        "version error must carry an upgrade hint, got: {message}"
-    );
+    // Old-version files — the flat v1 layout and the unaligned v2 sections
+    // — get the same typed rejection (no migration shims), and the message
+    // tells the operator how to move forward: re-save with a current
+    // binary to produce the aligned v3 image.
+    for found in [1u32, 2] {
+        let mut old = bytes.clone();
+        old[8..12].copy_from_slice(&found.to_le_bytes());
+        let err = load_small(&old).expect_err("an old-version file must not load");
+        assert!(matches!(
+            err,
+            SnapshotError::UnsupportedVersion { found: f, supported }
+                if f == found && supported == FORMAT_VERSION
+        ));
+        let message = err.to_string();
+        assert!(
+            message.contains("re-sav") && message.contains(&format!("version {FORMAT_VERSION}")),
+            "v{found} error must carry an upgrade hint, got: {message}"
+        );
+    }
 
     // Wrong magic → BadMagic.
     let mut wrong_magic = bytes.clone();
