@@ -99,6 +99,18 @@ const SUBSTRATE_CALLS: &[&str] = &["map_ranges", "map_slices", "map_indexed", "f
 /// so a waiver comment cannot smuggle `unsafe` into another crate.
 pub const ZERO_COPY_BLESSED_PATH: &str = "crates/snapshot/src/bytes.rs";
 
+/// The only files allowed to call the sealed index-mutation entry points
+/// (`insert_point`/`remove_point`/`compact_retain`/`thaw`): the LSH table
+/// module that defines them and the engine shard that wraps them. Every
+/// other call site must mutate through `fairnn_engine::EngineWriter`,
+/// whose commits are write-ahead-logged and published as immutable
+/// generations — a direct call would thaw structures readers may be
+/// serving and leave no WAL record to replay.
+pub const THAW_BLESSED_PATHS: &[&str] = &["crates/lsh/src/table.rs", "crates/engine/src/shard.rs"];
+
+/// The sealed mutation entry points the `thaw-outside-writer` rule watches.
+const THAW_SEALED_CALLS: &[&str] = &["insert_point", "remove_point", "compact_retain", "thaw"];
+
 /// Every rule id the tool knows, with its severity and one-line summary
 /// (the README and `--help` render this table).
 pub const RULES: &[(&str, Severity, &str)] = &[
@@ -145,6 +157,12 @@ pub const RULES: &[(&str, Severity, &str)] = &[
          byte-view module; every use there carries a written waiver",
     ),
     (
+        "thaw-outside-writer",
+        Severity::Deny,
+        "no direct index mutation (insert_point/remove_point/compact_retain/thaw) outside \
+         the LSH table module and the engine shard: mutate through EngineWriter::commit",
+    ),
+    (
         "waiver-reason",
         Severity::Deny,
         "every waiver must be well-formed, name known rules, and carry a non-empty reason",
@@ -161,6 +179,7 @@ pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
         "direct-instant" => !DIRECT_INSTANT_EXEMPT.contains(&crate_name),
         "nested-parallel" => crate_name != "fairnn-parallel",
         "zero-copy-unsafe" => true,
+        "thaw-outside-writer" => true,
         "waiver-reason" => true,
         _ => false,
     }
@@ -196,6 +215,11 @@ pub fn audit_tokens(path: &str, crate_name: &str, tokens: &[Token]) -> Vec<Findi
     }
     if rule_applies("zero-copy-unsafe", crate_name) {
         check_zero_copy_unsafe(&fc, &mut findings);
+    }
+    if rule_applies("thaw-outside-writer", crate_name)
+        && !THAW_BLESSED_PATHS.iter().any(|p| path.ends_with(p))
+    {
+        check_thaw_outside_writer(&fc, &mut findings);
     }
     check_waivers(&waivers, &mut findings);
 
@@ -581,6 +605,37 @@ fn check_zero_copy_unsafe(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
     }
 }
 
+fn check_thaw_outside_writer(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
+    let code = &fc.code;
+    for i in 0..code.len() {
+        if fc.in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident || !THAW_SEALED_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !code.get(i + 1).is_some_and(|n| n.is_punct(b'(')) {
+            continue; // not a call (a definition's generics open with `<`)
+        }
+        let method_call = i >= 1 && code[i - 1].is_punct(b'.');
+        let path_call = i >= 2 && code[i - 1].is_punct(b':') && code[i - 2].is_punct(b':');
+        if method_call || path_call {
+            out.push(raw(
+                "thaw-outside-writer",
+                Severity::Deny,
+                t,
+                format!(
+                    "`{}` mutates frozen index structures directly, thawing tables readers \
+                     may be serving and bypassing the write-ahead log; route the mutation \
+                     through `fairnn_engine::EngineWriter::commit`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 fn check_waivers(waivers: &[Waiver], out: &mut Vec<Raw>) {
     for w in waivers {
         let at = Token {
@@ -947,6 +1002,79 @@ mod tests {
                    }\n";
         let fs = findings(ZERO_COPY_BLESSED_PATH, src);
         assert_eq!(unwaived(&fs, "zero-copy-unsafe").len(), 1, "{fs:?}");
+    }
+
+    // ---- thaw-outside-writer --------------------------------------------
+
+    #[test]
+    fn thaw_outside_writer_flags_sealed_calls_in_every_crate() {
+        let src = "fn f(index: &mut fairnn_lsh::LshIndex<H>, p: &P) {\n\
+                       let id = index.insert_point(p);\n\
+                       index.remove_point(p, id);\n\
+                       index.compact_retain(&[0], 1);\n\
+                       LshIndex::thaw(index);\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        assert_eq!(unwaived(&fs, "thaw-outside-writer").len(), 4, "{fs:?}");
+        // The rule has no crate exemption — only blessed paths.
+        assert_eq!(
+            unwaived(&findings(BENCH, src), "thaw-outside-writer").len(),
+            4
+        );
+        assert_eq!(
+            unwaived(
+                &findings("crates/lsh/src/other.rs", src),
+                "thaw-outside-writer"
+            )
+            .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn thaw_outside_writer_blesses_the_table_and_shard_modules() {
+        let src = "fn f(index: &mut LshIndex<H>, p: &P) {\n\
+                       index.insert_point(p);\n\
+                   }\n";
+        for blessed in THAW_BLESSED_PATHS {
+            let fs = findings(blessed, src);
+            assert!(
+                unwaived(&fs, "thaw-outside-writer").is_empty(),
+                "{blessed}: {fs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thaw_outside_writer_ignores_definitions_tests_and_lookalikes() {
+        // Definitions (generic or not), test modules, comments and strings
+        // are out of scope; so is an unrelated `thaw` identifier that is
+        // not a call.
+        let src = "pub fn insert_point<P>(p: &P) -> u32 { 0 }\n\
+                   pub fn compact_retain(ids: &[u32], n: usize) {}\n\
+                   fn g() {\n\
+                       // index.insert_point(p) in a comment is fine\n\
+                       let s = \"index.remove_point(p, id)\";\n\
+                       let thaw = 3;\n\
+                       let _ = (s, thaw);\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn h(index: &mut LshIndex<H>, p: &P) { index.insert_point(p); }\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        assert!(unwaived(&fs, "thaw-outside-writer").is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn thaw_outside_writer_honors_waivers() {
+        let src = "fn f(index: &mut LshIndex<H>, p: &P) {\n\
+                       // fairnn-audit: allow(thaw-outside-writer) — migration shim, tracked\n\
+                       index.insert_point(p);\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        assert!(unwaived(&fs, "thaw-outside-writer").is_empty(), "{fs:?}");
+        assert_eq!(fs.iter().filter(|f| f.waived).count(), 1);
     }
 
     // ---- waiver-reason --------------------------------------------------

@@ -18,7 +18,13 @@
 //!    within 3 % of the uninstrumented one, and the answers are asserted
 //!    bit-identical (instrumentation must not perturb RNG streams or
 //!    commit order). `--metrics-json <path>` additionally dumps the full
-//!    metrics registry collected during the instrumented runs.
+//!    metrics registry collected during the instrumented runs;
+//! 5. **Concurrent churn** — `--threads` reader threads pin epochs and
+//!    run batches through `EngineReader` while the main thread commits
+//!    generational `WriteBatch`es through `EngineWriter` (WAL append,
+//!    fsync, publish). Reports sustained reader queries/sec under churn
+//!    and the mean commit→publish latency; `hardware_limited` when the
+//!    runner has fewer cores than readers + writer.
 //!
 //! Usage: `cargo run -p fairnn-bench --release --bin engine_throughput --
 //!         [--scale 0.25] [--repetitions 2000] [--seed 42]
@@ -28,7 +34,9 @@
 use fairnn_bench::figures::{paper_lsh_params, SetShardedSampler};
 use fairnn_bench::{json_fixed, CommonArgs, SetWorkload, WorkloadKind};
 use fairnn_core::{FairNnis, FairNns, FairSampler, NaiveFairLsh, SimilarityAtLeast};
-use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndexConfig};
+use fairnn_engine::{
+    EngineConfig, EngineWriter, QueryEngine, QueryRequest, ShardedIndexConfig, WriteBatch,
+};
 use fairnn_lsh::{LshHasher, LshIndex, OneBitMinHash, QueryScratch};
 use fairnn_space::{Jaccard, SparseSet};
 use fairnn_stats::{table::fmt_f64, TextTable};
@@ -314,6 +322,100 @@ fn main() {
         fmt_f64(obs_overhead_pct, 2),
     );
 
+    // 5. Concurrent churn: reader threads pin epochs and run batches while
+    //    the main thread commits write batches (WAL append + fsync +
+    //    generation publish). The readers never block on the writer — each
+    //    iteration pins whatever generation is current — so this measures
+    //    the query path's immunity to live updates, plus the full
+    //    durability cost of a commit.
+    let reader_threads = args.threads.max(1);
+    let churn_dir = std::env::temp_dir().join(format!(
+        "fairnn-bench-churn-{}-{}",
+        args.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&churn_dir);
+    let mut writer: EngineWriter<SparseSet, _, _> = EngineWriter::bootstrap(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        ShardedIndexConfig::with_shards(args.shards).seeded(args.seed),
+        &churn_dir,
+    )
+    .expect("bootstrap churn engine");
+    let reader = writer.reader();
+    let churn_batch: Vec<SparseSet> = (0..64)
+        .map(|i| dataset.points()[i % dataset.len()].clone())
+        .collect();
+
+    const MIN_CHURN_COMMITS: usize = 32;
+    const MIN_CHURN_WINDOW_S: f64 = 0.2;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pool = fairnn_parallel::ThreadPool::new(reader_threads);
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    for worker in 0..reader_threads {
+        let reader = reader.clone();
+        let churn_batch = churn_batch.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        let tx = tx.clone();
+        pool.execute(move || {
+            let mut served = 0u64;
+            let mut round = worker as u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let request = QueryRequest::new(churn_batch.clone()).with_batch(round);
+                let pin = reader.pin();
+                served += pin.run_batch(&request).answers.len() as u64;
+                round += reader_threads as u64;
+            }
+            tx.send(served).expect("report served count");
+        });
+    }
+    drop(tx);
+
+    let churn_start = Instant::now();
+    let mut commits = 0usize;
+    let mut commit_secs = 0.0f64;
+    let mut last_inserted = None;
+    while commits < MIN_CHURN_COMMITS || churn_start.elapsed().as_secs_f64() < MIN_CHURN_WINDOW_S {
+        // Alternate insert / delete-what-we-inserted so the index size (and
+        // therefore per-commit work) stays bounded over the whole window.
+        let batch = match last_inserted.take() {
+            None => WriteBatch::new().insert(dataset.points()[commits % dataset.len()].clone()),
+            Some(id) => WriteBatch::new().delete(id),
+        };
+        let start = Instant::now();
+        let receipt = writer.commit(batch).expect("churn commit");
+        commit_secs += start.elapsed().as_secs_f64();
+        last_inserted = receipt.assigned.first().copied();
+        commits += 1;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let served: u64 = rx.iter().sum();
+    let churn_secs = churn_start.elapsed().as_secs_f64();
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&churn_dir);
+
+    let churn_qps = served as f64 / churn_secs;
+    let publish_ms = commit_secs / commits as f64 * 1e3;
+    // Readers + the committing main thread need cores of their own for the
+    // q/s figure to measure the engine rather than the scheduler.
+    let churn_limited = cores < reader_threads + 1;
+    println!(
+        "\nconcurrent churn: {} reader thread(s) sustained {} q/s over {} commits \
+         (mean commit→publish {} ms, final generation {}{})",
+        reader_threads,
+        fmt_f64(churn_qps, 0),
+        commits,
+        fmt_f64(publish_ms, 3),
+        writer.generation(),
+        if churn_limited {
+            format!("; hardware-limited, {cores} core(s)")
+        } else {
+            String::new()
+        },
+    );
+
     // Full metrics registry dump collected during the instrumented runs.
     if let Some(path) = &args.metrics_json {
         std::fs::write(path, fairnn_obs::global().render_json()).expect("write metrics JSON");
@@ -334,7 +436,7 @@ fn main() {
             })
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {}, \"per_row\": {}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {},\n  \"obs_overhead\": {{\"uninstrumented_qps\": {}, \"instrumented_qps\": {}, \"overhead_pct\": {}, \"measured_s\": {}}}\n}}\n",
+            "{{\n  \"bench\": \"engine_throughput\",\n  \"scale\": {},\n  \"batch\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"k\": {},\n  \"l\": {},\n  \"hash_ns_per_point\": {{\"batched\": {}, \"per_row\": {}}},\n  \"baselines_qps\": [\n{}\n  ],\n  \"pipeline_qps\": [\n    {{\"threads\": 1, \"qps\": {}, \"hardware_limited\": false}},\n    {{\"threads\": {}, \"qps\": {}, \"hardware_limited\": {}}}\n  ],\n  \"rank_swap_qps\": {},\n  \"churn\": {{\"reader_threads\": {}, \"commits\": {}, \"qps\": {}, \"publish_ms\": {}, \"hardware_limited\": {}}},\n  \"obs_overhead\": {{\"uninstrumented_qps\": {}, \"instrumented_qps\": {}, \"overhead_pct\": {}, \"measured_s\": {}}}\n}}\n",
             args.scale,
             batch_size,
             args.seed,
@@ -351,6 +453,11 @@ fn main() {
             json_fixed(threaded_qps, 1),
             hardware_limited,
             json_fixed(rank_swap_qps, 1),
+            reader_threads,
+            commits,
+            json_fixed(churn_qps, 1),
+            json_fixed(publish_ms, 3),
+            churn_limited,
             json_fixed(plain_best_qps, 1),
             json_fixed(instr_best_qps, 1),
             json_fixed(obs_overhead_pct, 2),

@@ -16,9 +16,11 @@
 //!    batch, in group order, keeping the cache state (and therefore future
 //!    hit/miss patterns and evictions) deterministic too.
 //!
-//! Updates ([`QueryEngine::insert`] / [`QueryEngine::delete`]) take the
-//! write side of the index lock and invalidate the cache; they never rebuild
-//! more than the affected shard.
+//! The engine serves a fixed index state. Live updates go through the
+//! generational reader/writer API instead ([`crate::EngineWriter`] /
+//! [`crate::EngineReader`]): a writer stages mutations, write-ahead-logs
+//! them and atomically publishes a fresh frozen generation, while readers
+//! pin an epoch and keep serving the previous one.
 
 use crate::cache::{CacheEntry, ResultCache};
 use crate::seed::{split_seed, stream_rng};
@@ -120,7 +122,9 @@ pub struct Answer {
 }
 
 /// RNG stream tag for batches (domain-separated from the index streams).
-const STREAM_BATCH_BASE: u64 = 3 << 32;
+/// Shared with the generational reader ([`crate::EpochPin::run_batch`]),
+/// which derives batch seeds by exactly the same scheme.
+pub(crate) const STREAM_BATCH_BASE: u64 = 3 << 32;
 
 /// One unit of work: a distinct query and the batch positions asking it.
 struct Group<P> {
@@ -225,43 +229,6 @@ where
             .read()
             .expect("index lock poisoned")
             .estimate_colliding(query)
-    }
-}
-
-impl<P, H, N> QueryEngine<P, H, N>
-where
-    P: Hash + Eq + Clone,
-    H: LshHasher<P>,
-    N: Nearness<P>,
-{
-    /// Inserts a point (write-locks the index, invalidates the cache).
-    /// Returns the assigned global id.
-    pub fn insert(&mut self, point: P) -> PointId {
-        let id = self
-            .index
-            .write()
-            .expect("index lock poisoned")
-            .insert(point);
-        self.cache.lock().expect("cache lock poisoned").clear();
-        id
-    }
-
-    /// Deletes a point by id (write-locks the index, invalidates the
-    /// cache). Returns `false` for unknown ids.
-    pub fn delete(&mut self, id: PointId) -> bool {
-        let deleted = self.index.write().expect("index lock poisoned").delete(id);
-        if deleted {
-            self.cache.lock().expect("cache lock poisoned").clear();
-        }
-        deleted
-    }
-
-    /// Freezes every shard back into the read-optimized CSR bucket layout.
-    /// Inserts thaw the tables they touch into the mutable staging form;
-    /// calling this after an update burst restores the contiguous layout
-    /// the query hot path is fastest on. Queries are correct either way.
-    pub fn freeze(&mut self) {
-        self.index.write().expect("index lock poisoned").freeze();
     }
 }
 
@@ -813,42 +780,6 @@ mod tests {
     }
 
     #[test]
-    fn updates_invalidate_the_cache_and_reach_queries() {
-        let (data, mut engine) = build(EngineConfig::default().with_seed(8));
-        let query = data.point(PointId(0)).clone();
-        let _ = engine.run_batch(std::slice::from_ref(&query));
-        let (_, misses_before) = engine.cache_stats();
-        assert!(misses_before > 0);
-
-        // Insert a twin of the query; the cache must forget the old answer.
-        let mut items: Vec<u32> = (0..25).collect();
-        items.push(100);
-        items.push(200);
-        items.push(999);
-        let id = engine.insert(SparseSet::from_items(items));
-        assert_eq!(engine.cache_stats(), (0, 0), "insert must clear the cache");
-        assert_eq!(engine.len(), data.len() + 1);
-
-        let mut seen = false;
-        for _ in 0..40 {
-            let answers = engine.run_batch(&vec![query.clone(); 50]);
-            if answers.iter().any(|a| a.id == Some(id)) {
-                seen = true;
-                break;
-            }
-        }
-        assert!(seen, "inserted twin never sampled after invalidation");
-
-        assert!(engine.delete(id));
-        assert!(!engine.delete(id));
-        let answers = engine.run_batch(&vec![query.clone(); 50]);
-        assert!(
-            answers.iter().all(|a| a.id != Some(id)),
-            "deleted point still sampled"
-        );
-    }
-
-    #[test]
     fn engine_is_a_neighbor_sampler_too() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
@@ -888,9 +819,5 @@ mod tests {
         for _ in 0..2 {
             assert_eq!(restored.run_batch(&batch), engine.run_batch(&batch));
         }
-
-        // And updates keep working on the restored instance.
-        let id = restored.insert(data.point(PointId(0)).clone());
-        assert!(restored.delete(id));
     }
 }

@@ -1,0 +1,73 @@
+//! The published-generation cell shared by the writer and its readers.
+//!
+//! A [`Generation`] is an immutable, fully frozen [`ShardedIndex`] stamped
+//! with a monotonically increasing number (equal to the write-ahead-log
+//! sequence number of the commit that published it). `Shared` is the
+//! single point of hand-off: the writer replaces the current `Arc` under a
+//! short mutex critical section (publish), readers clone it out (pin).
+//! Nothing is ever mutated in place, so a pinned reader keeps its
+//! generation alive for as long as it holds the `Arc` — an RCU scheme
+//! where the reclamation is plain `Arc` reference counting.
+
+use crate::sharded::ShardedIndex;
+use std::sync::{Arc, Mutex};
+
+/// One immutable published state of the index.
+#[derive(Debug)]
+pub struct Generation<P, H, N> {
+    /// Generation number == the WAL sequence number after the publishing
+    /// commit (generation 0 is the bootstrap build).
+    pub(crate) number: u64,
+    /// The frozen index of this generation.
+    pub(crate) index: ShardedIndex<P, H, N>,
+}
+
+impl<P, H, N> Generation<P, H, N> {
+    /// The generation number.
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The frozen index (read-only).
+    pub fn index(&self) -> &ShardedIndex<P, H, N> {
+        &self.index
+    }
+}
+
+/// The writer↔readers hand-off cell: holds the current generation.
+///
+/// The mutex guards only the `Arc` swap/clone — never a query and never an
+/// index mutation — so publishes and pins are both O(1) and neither side
+/// can block the other for longer than a pointer copy.
+#[derive(Debug)]
+pub(crate) struct Shared<P, H, N> {
+    current: Mutex<Arc<Generation<P, H, N>>>,
+}
+
+impl<P, H, N> Shared<P, H, N> {
+    /// A cell starting at the given generation.
+    pub(crate) fn new(generation: Arc<Generation<P, H, N>>) -> Self {
+        Self {
+            current: Mutex::new(generation),
+        }
+    }
+
+    /// Clones out the current generation (a reader pinning an epoch).
+    pub(crate) fn pin(&self) -> Arc<Generation<P, H, N>> {
+        match self.current.lock() {
+            Ok(guard) => Arc::clone(&guard),
+            // A writer cannot panic inside the critical section (it only
+            // swaps an Arc), but stay defensive: the stored value is still
+            // a coherent generation.
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Atomically replaces the current generation (the writer publishing).
+    pub(crate) fn publish(&self, generation: Arc<Generation<P, H, N>>) {
+        match self.current.lock() {
+            Ok(mut guard) => *guard = generation,
+            Err(poisoned) => *poisoned.into_inner() = generation,
+        }
+    }
+}

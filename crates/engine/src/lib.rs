@@ -25,7 +25,14 @@
 //!   results for every thread count), and the Theorem 5 rank-swap result
 //!   cache for repeated identical queries;
 //! * [`cache`] — that cache;
-//! * [`seed`] — the deterministic stream-splitting helpers.
+//! * [`seed`] — the deterministic stream-splitting helpers;
+//! * [`api_types`] / [`reader`] / [`writer`] / [`generation`] — the live-
+//!   update layer: an [`EngineWriter`] stages [`WriteBatch`] mutations,
+//!   write-ahead-logs them and atomically publishes immutable
+//!   generations, while cheap-to-clone [`EngineReader`]s pin an epoch
+//!   ([`EpochPin`]) and keep serving it — queries never observe a thaw,
+//!   and crash recovery (checkpoint + WAL replay) is bit-identical to the
+//!   live path.
 //!
 //! # Quick example
 //!
@@ -62,13 +69,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api_types;
 pub mod cache;
 pub mod engine;
+pub mod generation;
+pub mod reader;
 pub mod seed;
 pub mod shard;
 pub mod sharded;
+pub mod writer;
 
+pub use api_types::{BatchResponse, CommitReceipt, EngineError, QueryRequest, WriteBatch, WriteOp};
 pub use cache::{CacheEntry, ResultCache};
 pub use engine::{Answer, EngineConfig, QueryEngine};
+pub use generation::Generation;
+pub use reader::{EngineReader, EpochPin};
 pub use shard::{Shard, ShardConfig};
 pub use sharded::{PreparedQuery, ShardedIndex, ShardedIndexConfig, ShardedSampler};
+pub use writer::{Checkpoint, EngineWriter, CHECKPOINT_FILE, WAL_FILE};

@@ -1,0 +1,149 @@
+//! The read half of the generational engine: cheap-to-clone handles that
+//! pin an epoch and query it.
+//!
+//! An [`EngineReader`] is a pointer-sized handle onto the writer's shared
+//! generation cell — clone one per serving thread. Calling
+//! [`EngineReader::pin`] takes an [`EpochPin`]: a snapshot-in-time of the
+//! published generation, guaranteed immutable and fully frozen for the
+//! pin's whole lifetime, no matter how many generations the writer
+//! publishes meanwhile. Queries on a pin are pure functions of the pinned
+//! index and the request, so two readers pinning the same generation
+//! always return bit-identical answers — and a reader pinned before a
+//! publish keeps answering from the old generation until it re-pins.
+
+use crate::api_types::{BatchResponse, QueryRequest};
+use crate::engine::{Answer, STREAM_BATCH_BASE};
+use crate::generation::{Generation, Shared};
+use crate::seed::{split_seed, stream_rng};
+use crate::sharded::{PreparedQuery, ShardedIndex};
+use fairnn_core::predicate::Nearness;
+use fairnn_lsh::LshHasher;
+use fairnn_obs::LazyGauge;
+use std::sync::Arc;
+
+/// Epochs currently pinned by readers across the process: each live
+/// [`EpochPin`] holds one unit. A persistently high value with an active
+/// writer means old generations (and their memory) are being kept alive.
+static PINNED_EPOCHS: LazyGauge = LazyGauge::new(
+    "engine_pinned_epochs",
+    "reader epoch pins currently alive (old generations they keep reachable)",
+);
+
+/// A cheap-to-clone handle for querying the live engine.
+///
+/// Obtained from [`crate::EngineWriter::reader`]; clone freely across
+/// threads (it is `Send + Sync` whenever the point/hasher/nearness types
+/// are).
+#[derive(Debug)]
+pub struct EngineReader<P, H, N> {
+    shared: Arc<Shared<P, H, N>>,
+}
+
+// Manual impl: `#[derive(Clone)]` would demand `P: Clone` etc., but the
+// handle only clones the `Arc`.
+impl<P, H, N> Clone for EngineReader<P, H, N> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<P, H, N> EngineReader<P, H, N> {
+    pub(crate) fn new(shared: Arc<Shared<P, H, N>>) -> Self {
+        Self { shared }
+    }
+
+    /// Pins the currently published generation.
+    ///
+    /// The returned pin serves that exact generation until dropped:
+    /// concurrent commits publish *new* generations but never touch
+    /// pinned ones. Pin per batch (or per request burst) — a pin held
+    /// across many publishes keeps every superseded generation's memory
+    /// alive.
+    pub fn pin(&self) -> EpochPin<P, H, N> {
+        PINNED_EPOCHS.add(1);
+        EpochPin {
+            generation: self.shared.pin(),
+        }
+    }
+
+    /// Number of the currently published generation (pin-free peek).
+    pub fn generation(&self) -> u64 {
+        self.shared.pin().number
+    }
+}
+
+/// A pinned epoch: one immutable generation held for querying.
+///
+/// Dropping the pin releases the generation (memory is reclaimed once no
+/// pin and not the writer's checkpoint cache references its shards).
+#[derive(Debug)]
+pub struct EpochPin<P, H, N> {
+    generation: Arc<Generation<P, H, N>>,
+}
+
+impl<P, H, N> Drop for EpochPin<P, H, N> {
+    fn drop(&mut self) {
+        PINNED_EPOCHS.add(-1);
+    }
+}
+
+impl<P, H, N> EpochPin<P, H, N> {
+    /// The pinned generation's number.
+    pub fn generation(&self) -> u64 {
+        self.generation.number
+    }
+
+    /// The pinned index (read-only; always fully frozen).
+    pub fn index(&self) -> &ShardedIndex<P, H, N> {
+        &self.generation.index
+    }
+}
+
+impl<P, H, N> EpochPin<P, H, N>
+where
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    /// Prepares one query for repeated sampling against the pinned
+    /// generation (see [`ShardedIndex::prepare`]).
+    pub fn prepare<'a>(&'a self, query: &'a P) -> PreparedQuery<'a, P, H, N> {
+        self.generation.index.prepare(query)
+    }
+
+    /// Answers a batch of queries against the pinned generation.
+    ///
+    /// Deterministic serving contract: the response is a pure function of
+    /// `(engine seed, pinned generation, request)`. Every position draws
+    /// from its own RNG stream split off the root seed by
+    /// `(request.batch, position)` — the same scheme as
+    /// [`crate::QueryEngine::run_batch`] — so a generational reader and a
+    /// fixed-index engine serving the same index state return
+    /// bit-identical answers for the same batch number.
+    pub fn run_batch(&self, request: &QueryRequest<P>) -> BatchResponse {
+        let index = &self.generation.index;
+        let batch_seed = split_seed(
+            index.config().seed,
+            STREAM_BATCH_BASE.wrapping_add(request.batch),
+        );
+        let answers = request
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(pos, query)| {
+                let mut rng = stream_rng(batch_seed, pos as u64);
+                let (id, stats) = index.sample(query, &mut rng);
+                Answer {
+                    id,
+                    stats,
+                    via_cache: false,
+                }
+            })
+            .collect();
+        BatchResponse {
+            answers,
+            generation: self.generation.number,
+        }
+    }
+}

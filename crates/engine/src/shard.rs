@@ -231,9 +231,10 @@ impl<P, H, N> Shard<P, H, N> {
 
     /// Freezes the shard's tables back into their read-optimized CSR form
     /// (see [`fairnn_lsh::LshTable::freeze`]). Builds and compactions
-    /// freeze automatically; call this after a burst of incremental inserts
-    /// to restore the contiguous layout for the query hot path.
-    pub fn freeze(&mut self) {
+    /// freeze automatically; the engine writer calls this on staged
+    /// shards after an update burst so a published generation is always
+    /// fully frozen (crate-private — queries never observe a thaw).
+    pub(crate) fn freeze(&mut self) {
         self.index.freeze();
     }
 
@@ -396,8 +397,9 @@ where
 {
     /// Inserts a new point with the given global id: appends it to the
     /// local tables and feeds every affected bucket sketch (promoting
-    /// buckets that cross the size threshold).
-    pub fn insert(&mut self, global: PointId, point: P) {
+    /// buckets that cross the size threshold). Crate-private: mutations
+    /// enter through the engine writer's `WriteBatch`.
+    pub(crate) fn insert(&mut self, global: PointId, point: P) {
         assert!(
             !self.local_of.contains_key(&global),
             "global id {global} already present in shard"
@@ -436,7 +438,8 @@ where
 
     /// Deletes the point with the given global id. Returns `false` when the
     /// shard does not own it. May trigger a local compaction.
-    pub fn delete(&mut self, global: PointId) -> bool {
+    /// Crate-private like [`Shard::insert`].
+    pub(crate) fn delete(&mut self, global: PointId) -> bool {
         let Some(lid) = self.local_of.remove(&global) else {
             return false;
         };
@@ -461,6 +464,12 @@ where
     /// per-table id remap of the already-recorded bucket keys, so no point
     /// is re-run through the hasher bank — which is bit-identical to the
     /// old rebuild-based compaction at a fraction of the cost.
+    /// Compacts immediately regardless of the `rebuild_fraction` trigger
+    /// (the writer's explicit `WriteOp::Compact` path).
+    pub(crate) fn force_compact(&mut self) {
+        self.compact();
+    }
+
     fn compact(&mut self) {
         let mut new_id_of = vec![u32::MAX; self.points.len()];
         let mut points = Vec::with_capacity(self.live);

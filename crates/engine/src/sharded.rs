@@ -45,6 +45,7 @@ use fairnn_obs::{LazyCounter, LazyHistogram};
 use fairnn_sketch::CardinalityEstimator;
 use fairnn_space::{Dataset, PointId};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Rejection rounds spent per draw (one observation per
 /// [`PreparedQuery::sample`] call). The paper's protocol terminates in
@@ -152,9 +153,15 @@ const STREAM_SKETCH: u64 = 1 << 32;
 const STREAM_SHARD_BASE: u64 = 2 << 32;
 
 /// A dataset partitioned across shards with a uniform two-level sampler.
+///
+/// Shards are held behind [`Arc`]s: cloning the index (what the
+/// generational writer does to stage the next generation) shares every
+/// shard, and a mutation copies only the one shard it touches
+/// ([`Arc::make_mut`]) — readers pinned on an older generation keep their
+/// original frozen shards untouched.
 #[derive(Debug, Clone)]
 pub struct ShardedIndex<P, H, N> {
-    shards: Vec<Shard<P, H, N>>,
+    shards: Vec<Arc<Shard<P, H, N>>>,
     /// Global id → owning shard (dense; [`UNASSIGNED`] for deleted ids).
     shard_of: Vec<u32>,
     params: LshParams,
@@ -201,7 +208,7 @@ where
                 .collect();
             let globals: Vec<PointId> = indices.iter().map(|&i| PointId::from_index(i)).collect();
             let mut rng = stream_rng(config.seed, STREAM_SHARD_BASE + s as u64);
-            Shard::build(
+            Arc::new(Shard::build(
                 family,
                 params,
                 points,
@@ -210,7 +217,7 @@ where
                 sketch_seed,
                 config.shard,
                 &mut rng,
-            )
+            ))
         });
         Self {
             shards,
@@ -229,7 +236,7 @@ impl<P, H, N> ShardedIndex<P, H, N> {
 
     /// Total number of live points across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Shard::live_points).sum()
+        self.shards.iter().map(|s| s.live_points()).sum()
     }
 
     /// Whether no live point remains.
@@ -247,8 +254,9 @@ impl<P, H, N> ShardedIndex<P, H, N> {
         self.config
     }
 
-    /// The shards themselves (read-only; for accounting and tests).
-    pub fn shards(&self) -> &[Shard<P, H, N>] {
+    /// The shards themselves (read-only; for accounting, tests, and the
+    /// checkpointer's [`Arc::ptr_eq`] change detection).
+    pub fn shards(&self) -> &[Arc<Shard<P, H, N>>] {
         &self.shards
     }
 
@@ -261,16 +269,25 @@ impl<P, H, N> ShardedIndex<P, H, N> {
 
     /// Freezes every shard's tables into their read-optimized CSR form
     /// (inserts thaw the affected tables to the mutable staging form; see
-    /// [`Shard::freeze`]).
-    pub fn freeze(&mut self) {
+    /// [`Shard::freeze`]). Crate-private: the engine writer freezes the
+    /// staging generation before publishing, so a published generation is
+    /// always fully frozen and readers never observe a thaw.
+    pub(crate) fn freeze(&mut self)
+    where
+        P: Clone,
+        H: Clone,
+        N: Clone,
+    {
         for shard in &mut self.shards {
-            shard.freeze();
+            if !shard.is_frozen() {
+                Arc::make_mut(shard).freeze();
+            }
         }
     }
 
     /// Whether every shard is fully frozen.
     pub fn is_frozen(&self) -> bool {
-        self.shards.iter().all(Shard::is_frozen)
+        self.shards.iter().all(|s| s.is_frozen())
     }
 }
 
@@ -391,7 +408,7 @@ where
     fn decode(
         dec: &mut fairnn_snapshot::Decoder<'_>,
     ) -> Result<Self, fairnn_snapshot::SnapshotError> {
-        let shards = Vec::<Shard<P, H, N>>::decode(dec)?;
+        let shards = Vec::<Arc<Shard<P, H, N>>>::decode(dec)?;
         let shard_of = Vec::<u32>::decode(dec)?;
         let params = LshParams::decode(dec)?;
         let config = ShardedIndexConfig::decode(dec)?;
@@ -404,17 +421,10 @@ where
     /// CSR key indexes and re-verifying its sketches) all run on parallel
     /// build workers. Bytes are identical at every thread count.
     fn encode_sections(&self) -> Vec<Vec<u8>> {
-        let mut head = fairnn_snapshot::Encoder::new();
-        self.shard_of.encode(&mut head);
-        self.params.encode(&mut head);
-        self.config.encode(&mut head);
-        head.write_u64(self.shards.len() as u64);
         let mut sections = Vec::with_capacity(self.shards.len() + 1);
-        sections.push(head.into_bytes());
+        sections.push(self.head_section());
         sections.extend(fairnn_parallel::map_indexed(self.shards.len(), |s| {
-            let mut enc = fairnn_snapshot::Encoder::new();
-            self.shards[s].encode(&mut enc);
-            enc.into_bytes()
+            self.shard_section(s)
         }));
         sections
     }
@@ -447,7 +457,7 @@ where
             let mut dec = shard_sections[s].decoder();
             let shard = Shard::<P, H, N>::decode(&mut dec)?;
             dec.finish()?;
-            Ok::<Shard<P, H, N>, SnapshotError>(shard)
+            Ok::<Arc<Shard<P, H, N>>, SnapshotError>(Arc::new(shard))
         });
         let mut shards = Vec::with_capacity(num_shards);
         for shard in decoded {
@@ -461,7 +471,7 @@ impl<P, H, N> ShardedIndex<P, H, N> {
     /// Shared tail of the inline and sectioned decoders: cross-shard
     /// validation and assembly.
     fn assemble(
-        shards: Vec<Shard<P, H, N>>,
+        shards: Vec<Arc<Shard<P, H, N>>>,
         shard_of: Vec<u32>,
         params: LshParams,
         config: ShardedIndexConfig,
@@ -496,6 +506,29 @@ where
     H: fairnn_lsh::HasherBankCodec + Send + Sync,
     N: fairnn_snapshot::Codec + Send + Sync + Nearness<P>,
 {
+    /// The head section of the sectioned image: partition map, shared
+    /// parameters, configuration, shard count. Split out so the engine's
+    /// incremental checkpointer can re-encode it without re-encoding
+    /// unchanged shard sections.
+    pub(crate) fn head_section(&self) -> Vec<u8> {
+        use fairnn_snapshot::Codec;
+        let mut head = fairnn_snapshot::Encoder::new();
+        self.shard_of.encode(&mut head);
+        self.params.encode(&mut head);
+        self.config.encode(&mut head);
+        head.write_u64(self.shards.len() as u64);
+        head.into_bytes()
+    }
+
+    /// Section bytes of shard `s` (one entry of
+    /// [`fairnn_snapshot::Codec::encode_sections`]).
+    pub(crate) fn shard_section(&self, s: usize) -> Vec<u8> {
+        use fairnn_snapshot::Codec;
+        let mut enc = fairnn_snapshot::Encoder::new();
+        self.shards[s].encode(&mut enc);
+        enc.into_bytes()
+    }
+
     /// Writes the sharded index as a versioned, checksummed snapshot file.
     pub fn save<Q: AsRef<std::path::Path>>(
         &self,
@@ -636,38 +669,53 @@ where
     }
 }
 
-impl<P: Clone, H, N> ShardedIndex<P, H, N>
+impl<P: Clone, H: Clone, N: Clone> ShardedIndex<P, H, N>
 where
     H: LshHasher<P>,
     N: Nearness<P>,
 {
     /// Inserts a new point into the least-loaded shard (ties broken toward
     /// the lowest shard index, so routing is deterministic) and returns its
-    /// freshly assigned global id.
-    pub fn insert(&mut self, point: P) -> PointId {
+    /// freshly assigned global id. Crate-private: external callers go
+    /// through the engine writer's `WriteBatch`, which write-ahead-logs
+    /// the mutation and publishes a fresh generation.
+    pub(crate) fn insert(&mut self, point: P) -> PointId {
         let id = PointId::from_index(self.shard_of.len());
         let target = (0..self.shards.len())
             .min_by_key(|&s| self.shards[s].live_points())
             .expect("at least one shard");
         self.shard_of.push(target as u32);
-        self.shards[target].insert(id, point);
+        Arc::make_mut(&mut self.shards[target]).insert(id, point);
         id
     }
 
     /// Deletes a point by global id; returns `false` for unknown or already
     /// deleted ids. Purely shard-local (may trigger that shard's
-    /// compaction).
-    pub fn delete(&mut self, id: PointId) -> bool {
+    /// compaction). Crate-private like [`ShardedIndex::insert`].
+    pub(crate) fn delete(&mut self, id: PointId) -> bool {
         let Some(&s) = self.shard_of.get(id.index()) else {
             return false;
         };
         if s == UNASSIGNED {
             return false;
         }
-        let deleted = self.shards[s as usize].delete(id);
+        let deleted = Arc::make_mut(&mut self.shards[s as usize]).delete(id);
         debug_assert!(deleted, "routing table out of sync");
         self.shard_of[id.index()] = UNASSIGNED;
         deleted
+    }
+
+    /// Force-compacts every shard that carries tombstones (drops them,
+    /// re-densifies local ids, refreshes sketches), without waiting for
+    /// the `rebuild_fraction` trigger. Crate-private: reachable through
+    /// `WriteOp::Compact` on the writer, which runs it on the staging
+    /// generation — never on a published one.
+    pub(crate) fn compact(&mut self) {
+        for shard in &mut self.shards {
+            if shard.tombstones() > 0 {
+                Arc::make_mut(shard).force_compact();
+            }
+        }
     }
 }
 
@@ -693,11 +741,6 @@ impl<P, H, N> ShardedSampler<P, H, N> {
     /// The underlying index.
     pub fn index(&self) -> &ShardedIndex<P, H, N> {
         &self.index
-    }
-
-    /// Mutable access to the underlying index (insert/delete).
-    pub fn index_mut(&mut self) -> &mut ShardedIndex<P, H, N> {
-        &mut self.index
     }
 
     /// Unwraps the index.

@@ -1,0 +1,581 @@
+//! The write half of the generational engine: WAL-durable commits that
+//! publish immutable generations.
+//!
+//! One [`EngineWriter`] owns an engine directory holding exactly two
+//! files: a checkpoint (`checkpoint.snap`, a [`Checkpoint`] in the
+//! sectioned v3 container format) and a write-ahead log (`engine.wal`).
+//! The commit protocol for a [`WriteBatch`]:
+//!
+//! 1. **validate** — every `Delete` must reference a live id in the
+//!    staging index; an invalid batch is rejected whole, before anything
+//!    touches the log;
+//! 2. **log** — the batch is encoded (prefixed with its sequence number)
+//!    and appended to the WAL as one checksummed, fsynced record;
+//! 3. **apply** — the ops run against the private staging index (copy-on-
+//!    write at shard granularity: only touched shards are copied), which
+//!    is then re-frozen;
+//! 4. **publish** — a clone of the staging index (an `Arc`-pointer copy
+//!    per shard plus one routing-table memcpy) becomes the next
+//!    [`Generation`], swapped into the shared cell for readers.
+//!
+//! Crash recovery ([`EngineWriter::open`]) loads the checkpoint and
+//! replays the WAL tail through the *same* `apply_batch` the live path
+//! uses, so a recovered index is bit-identical to the pre-crash one — a
+//! property the integration tests assert by re-encoding both sides. A
+//! torn final record (the crash happened mid-append) is detected by
+//! checksum, dropped, and physically truncated away on resume.
+//!
+//! [`EngineWriter::checkpoint`] cuts a fresh checkpoint *incrementally*:
+//! shard sections whose `Arc` is unchanged since the last checkpoint are
+//! reused byte-for-byte instead of re-encoded, so checkpoint cost scales
+//! with the number of shards touched since the last cut, not index size.
+
+use crate::api_types::{CommitReceipt, EngineError, WriteBatch, WriteOp};
+use crate::generation::{Generation, Shared};
+use crate::reader::EngineReader;
+use crate::shard::Shard;
+use crate::sharded::{ShardedIndex, ShardedIndexConfig};
+use fairnn_core::predicate::Nearness;
+use fairnn_lsh::{ConcatenatedHasher, HasherBankCodec, LshFamily, LshHasher, LshParams};
+use fairnn_obs::{LazyHistogram, Timer};
+use fairnn_snapshot::{
+    image_from_sections, read_wal, save_image, Codec, Decoder, Encoder, SnapshotError,
+    SnapshotKind, WalWriter,
+};
+use fairnn_space::{Dataset, PointId};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Wall time of one generation publish: staging apply + freeze + clone +
+/// shared-cell swap (the WAL fsync is `snapshot_wal_fsync_ns`).
+static PUBLISH_NS: LazyHistogram = LazyHistogram::new(
+    "engine_generation_publish_ns",
+    "apply+freeze+publish time of one commit in nanoseconds",
+);
+
+/// File name of the checkpoint inside an engine directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.snap";
+/// File name of the write-ahead log inside an engine directory.
+pub const WAL_FILE: &str = "engine.wal";
+
+/// A durable cut of the engine: the WAL sequence number it was taken at
+/// plus the sharded index state with every commit `< seq` applied.
+///
+/// Replay applies exactly the WAL records with sequence number `>= seq`
+/// (older records may legitimately remain in the log if the process died
+/// between checkpoint save and log reset — they are skipped).
+#[derive(Debug, Clone)]
+pub struct Checkpoint<P, H, N> {
+    /// First WAL sequence number *not* contained in `index`.
+    pub seq: u64,
+    /// The index state at the cut.
+    pub index: ShardedIndex<P, H, N>,
+}
+
+impl<P, H, N> Codec for Checkpoint<P, H, N>
+where
+    P: Codec + Send + Sync,
+    H: HasherBankCodec + Send + Sync,
+    N: Codec + Send + Sync + Nearness<P>,
+{
+    fn encode(&self, enc: &mut Encoder) {
+        enc.write_u64(self.seq);
+        self.index.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let seq = dec.read_u64()?;
+        let index = ShardedIndex::decode(dec)?;
+        Ok(Self { seq, index })
+    }
+
+    /// The sequence number gets its own leading section, so the index's
+    /// shard sections keep their 64-byte image alignment — and so the
+    /// incremental checkpointer can reuse unchanged shard sections
+    /// byte-for-byte.
+    fn encode_sections(&self) -> Vec<Vec<u8>> {
+        let mut head = Encoder::new();
+        head.write_u64(self.seq);
+        let mut sections = vec![head.into_bytes()];
+        sections.extend(self.index.encode_sections());
+        sections
+    }
+
+    fn decode_sections(sections: &[fairnn_snapshot::Section<'_>]) -> Result<Self, SnapshotError> {
+        let Some((head, index_sections)) = sections.split_first() else {
+            return Err(SnapshotError::Corrupt(
+                "checkpoint snapshot has no head section".into(),
+            ));
+        };
+        let mut dec = head.decoder();
+        let seq = dec.read_u64()?;
+        dec.finish()?;
+        let index = ShardedIndex::decode_sections(index_sections)?;
+        Ok(Self { seq, index })
+    }
+}
+
+/// The single writer of a generational engine.
+///
+/// Owns the staging index, the engine directory (checkpoint + WAL) and
+/// the shared generation cell. All mutation flows through
+/// [`EngineWriter::commit`]; readers are handed out by
+/// [`EngineWriter::reader`] and never block the writer (nor vice versa).
+#[derive(Debug)]
+pub struct EngineWriter<P, H, N> {
+    shared: Arc<Shared<P, H, N>>,
+    /// The writer's private next-generation state; published by cloning.
+    staging: ShardedIndex<P, H, N>,
+    /// Number of the currently published generation (== `next_seq`).
+    generation: u64,
+    /// Sequence number the next commit's WAL record will carry.
+    next_seq: u64,
+    wal: WalWriter,
+    dir: PathBuf,
+    /// Shard `Arc`s as of the last checkpoint — [`Arc::ptr_eq`] against
+    /// the staging shards detects which sections must be re-encoded.
+    last_ckpt_shards: Vec<Arc<Shard<P, H, N>>>,
+    /// The encoded shard sections of the last checkpoint, index-aligned
+    /// with `last_ckpt_shards`.
+    last_ckpt_sections: Vec<Vec<u8>>,
+}
+
+/// Applies a batch to an index and re-freezes it, returning the global
+/// ids assigned to the batch's `Insert` ops in op order.
+///
+/// This is the **one** mutation path of the engine: the live commit and
+/// WAL replay both call it, which is what makes a replayed index
+/// bit-identical to the live one.
+pub(crate) fn apply_batch<P, H, N>(
+    index: &mut ShardedIndex<P, H, N>,
+    batch: &WriteBatch<P>,
+) -> Vec<PointId>
+where
+    P: Clone,
+    H: LshHasher<P> + Clone,
+    N: Nearness<P> + Clone,
+{
+    let mut assigned = Vec::new();
+    for op in batch.ops() {
+        match op {
+            WriteOp::Insert(point) => assigned.push(index.insert(point.clone())),
+            WriteOp::Delete(id) => {
+                index.delete(*id);
+            }
+            WriteOp::Compact => index.compact(),
+        }
+    }
+    index.freeze();
+    assigned
+}
+
+impl<P, BH, N> EngineWriter<P, ConcatenatedHasher<BH>, N>
+where
+    P: Codec + Clone + Send + Sync,
+    BH: LshHasher<P> + Send + Sync,
+    ConcatenatedHasher<BH>: HasherBankCodec + LshHasher<P> + Clone + Send + Sync,
+    N: Codec + Nearness<P> + Clone + Send + Sync,
+{
+    /// Builds the generation-0 index from a dataset and makes the engine
+    /// directory durable: checkpoint at `seq = 0`, empty WAL, generation 0
+    /// published. Fails without side effects on the shared cell if the
+    /// directory cannot be written.
+    pub fn bootstrap<F>(
+        family: &F,
+        params: LshParams,
+        dataset: &Dataset<P>,
+        near: N,
+        config: ShardedIndexConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, EngineError>
+    where
+        F: LshFamily<P, Hasher = BH> + Sync,
+    {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(SnapshotError::Io)?;
+        let index = ShardedIndex::build(family, params, dataset, near, config);
+        debug_assert!(index.is_frozen(), "a fresh build is fully frozen");
+
+        // Durable before visible: checkpoint first, then the WAL, then
+        // publish generation 0.
+        let checkpoint = Checkpoint {
+            seq: 0,
+            index: index.clone(),
+        };
+        let sections = checkpoint.encode_sections();
+        let image = image_from_sections(SnapshotKind::Checkpoint, sections.clone());
+        save_image(&image, dir.join(CHECKPOINT_FILE))?;
+        let wal = WalWriter::create(dir.join(WAL_FILE))?;
+
+        let shared = Arc::new(Shared::new(Arc::new(Generation {
+            number: 0,
+            index: index.clone(),
+        })));
+        // Prime the incremental-checkpoint cache from the sections just
+        // written: sections[0] is the checkpoint head, sections[1] the
+        // index head, shard sections follow.
+        let last_ckpt_sections = sections.into_iter().skip(2).collect();
+        Ok(Self {
+            shared,
+            last_ckpt_shards: index.shards().to_vec(),
+            last_ckpt_sections,
+            staging: index,
+            generation: 0,
+            next_seq: 0,
+            wal,
+            dir,
+        })
+    }
+}
+
+impl<P, H, N> EngineWriter<P, H, N>
+where
+    P: Codec + Clone + Send + Sync,
+    H: HasherBankCodec + LshHasher<P> + Clone + Send + Sync,
+    N: Codec + Nearness<P> + Clone + Send + Sync,
+{
+    /// Recovers an engine from its directory: loads the checkpoint,
+    /// replays the WAL tail through `apply_batch`, truncates any torn
+    /// final record, and publishes the recovered state.
+    ///
+    /// Records older than the checkpoint (left behind by a crash between
+    /// checkpoint save and WAL reset) are skipped; a gap in the sequence
+    /// numbers is corruption and fails the recovery.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        let checkpoint: Checkpoint<P, H, N> =
+            fairnn_snapshot::load(SnapshotKind::Checkpoint, dir.join(CHECKPOINT_FILE))?;
+        let Checkpoint { seq, mut index } = checkpoint;
+
+        let replay = read_wal(dir.join(WAL_FILE))?;
+        let mut next_seq = seq;
+        for record in &replay.records {
+            let mut dec = Decoder::new(record);
+            let record_seq = dec.read_u64()?;
+            let batch = WriteBatch::<P>::decode(&mut dec)?;
+            dec.finish()?;
+            if record_seq < seq {
+                continue; // applied before the checkpoint was cut
+            }
+            if record_seq != next_seq {
+                return Err(EngineError::Snapshot(SnapshotError::Corrupt(format!(
+                    "WAL skips from sequence {next_seq} to {record_seq}"
+                ))));
+            }
+            apply_batch(&mut index, &batch);
+            next_seq += 1;
+        }
+        let wal = WalWriter::resume(dir.join(WAL_FILE), replay.valid_len)?;
+
+        let shared = Arc::new(Shared::new(Arc::new(Generation {
+            number: next_seq,
+            index: index.clone(),
+        })));
+        Ok(Self {
+            shared,
+            staging: index,
+            generation: next_seq,
+            next_seq,
+            wal,
+            dir,
+            // Left empty: the first checkpoint after a recovery re-encodes
+            // every shard (the on-disk sections were not read back).
+            last_ckpt_shards: Vec::new(),
+            last_ckpt_sections: Vec::new(),
+        })
+    }
+
+    /// Commits a batch: validates it, appends it to the WAL (fsynced),
+    /// applies it to the staging index and publishes the result as the
+    /// next generation. Atomic from every reader's point of view — a pin
+    /// taken at any moment sees either none of the batch or all of it.
+    ///
+    /// `Delete` ops must reference ids live in the *current* state;
+    /// deleting an id inserted earlier in the same batch is rejected
+    /// (split it into two commits). A rejected batch leaves the log and
+    /// the published generation untouched.
+    pub fn commit(&mut self, batch: WriteBatch<P>) -> Result<CommitReceipt, EngineError> {
+        for op in batch.ops() {
+            if let WriteOp::Delete(id) = op {
+                if !self.staging.contains(*id) {
+                    return Err(EngineError::UnknownId(*id));
+                }
+            }
+        }
+
+        let seq = self.next_seq;
+        let mut enc = Encoder::new();
+        enc.write_u64(seq);
+        batch.encode(&mut enc);
+        let wal_bytes = self.wal.append(&enc.into_bytes())?;
+
+        let timer = Timer::start(&PUBLISH_NS);
+        let assigned = apply_batch(&mut self.staging, &batch);
+        self.next_seq = seq + 1;
+        self.generation = self.next_seq;
+        self.shared.publish(Arc::new(Generation {
+            number: self.generation,
+            index: self.staging.clone(),
+        }));
+        drop(timer);
+
+        Ok(CommitReceipt {
+            seq,
+            generation: self.generation,
+            assigned,
+            wal_bytes,
+        })
+    }
+
+    /// Cuts a durable checkpoint at the current state and resets the WAL.
+    ///
+    /// Incremental: shard sections unchanged since the last checkpoint
+    /// (same `Arc`, detected by [`Arc::ptr_eq`]) are written back from the
+    /// cached bytes instead of re-encoded. Crash-safe at every step — the
+    /// checkpoint replaces the old one atomically (write-to-temp +
+    /// rename), and until the WAL reset lands, replay simply skips the
+    /// pre-checkpoint records.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        let seq = self.next_seq;
+        let shards = self.staging.shards();
+
+        let mut head = Encoder::new();
+        head.write_u64(seq);
+        let mut sections = Vec::with_capacity(shards.len() + 2);
+        sections.push(head.into_bytes());
+        sections.push(self.staging.head_section());
+        for (s, shard) in shards.iter().enumerate() {
+            let cached = self
+                .last_ckpt_shards
+                .get(s)
+                .filter(|old| Arc::ptr_eq(old, shard))
+                .and_then(|_| self.last_ckpt_sections.get(s));
+            sections.push(match cached {
+                Some(bytes) => bytes.clone(),
+                None => self.staging.shard_section(s),
+            });
+        }
+
+        self.last_ckpt_shards = shards.to_vec();
+        self.last_ckpt_sections = sections[2..].to_vec();
+
+        let image = image_from_sections(SnapshotKind::Checkpoint, sections);
+        save_image(&image, self.dir.join(CHECKPOINT_FILE))?;
+        // Checkpoint durable — every logged record is now `< seq`, so the
+        // log can restart empty. A crash before this create leaves stale
+        // records that replay skips.
+        self.wal = WalWriter::create(self.dir.join(WAL_FILE))?;
+        Ok(())
+    }
+}
+
+impl<P, H, N> EngineWriter<P, H, N> {
+    /// A new reader handle onto this engine's published generations.
+    pub fn reader(&self) -> EngineReader<P, H, N> {
+        EngineReader::new(Arc::clone(&self.shared))
+    }
+
+    /// Number of the currently published generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sequence number the next commit will log.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total bytes currently in the write-ahead log (header included).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// The engine directory this writer owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read-only view of the staging index (what the next generation will
+    /// contain; equal to the published generation between commits).
+    pub fn staging(&self) -> &ShardedIndex<P, H, N> {
+        &self.staging
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api_types::QueryRequest;
+    use fairnn_core::SimilarityAtLeast;
+    use fairnn_lsh::{MinHash, ParamsBuilder};
+    use fairnn_space::{Dataset, Jaccard, SparseSet};
+
+    type Writer = EngineWriter<
+        SparseSet,
+        ConcatenatedHasher<fairnn_lsh::MinHasher>,
+        SimilarityAtLeast<Jaccard>,
+    >;
+
+    fn clustered_dataset() -> Dataset<SparseSet> {
+        let mut sets = Vec::new();
+        for j in 0..10u32 {
+            let mut items: Vec<u32> = (0..25).collect();
+            items.push(100 + j);
+            items.push(200 + j);
+            sets.push(SparseSet::from_items(items));
+        }
+        for j in 0..20u32 {
+            sets.push(SparseSet::from_items(
+                (1000 + j * 40..1000 + j * 40 + 15).collect(),
+            ));
+        }
+        Dataset::new(sets)
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fairnn-writer-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bootstrap(tag: &str, seed: u64) -> (Dataset<SparseSet>, Writer, PathBuf) {
+        let data = clustered_dataset();
+        let params = ParamsBuilder::new(data.len(), 0.5, 0.05).empirical(&MinHash);
+        let near = SimilarityAtLeast::new(Jaccard, 0.5);
+        let dir = scratch_dir(tag);
+        let config = ShardedIndexConfig::with_shards(3).seeded(seed);
+        let writer =
+            Writer::bootstrap(&MinHash, params, &data, near, config, &dir).expect("bootstrap");
+        (data, writer, dir)
+    }
+
+    fn twin(data: &Dataset<SparseSet>, extra: u32) -> SparseSet {
+        let mut items: Vec<u32> = (0..25).collect();
+        items.push(100);
+        items.push(200);
+        items.push(extra);
+        let _ = data;
+        SparseSet::from_items(items)
+    }
+
+    #[test]
+    fn commits_publish_and_reach_queries_while_pins_hold_the_past() {
+        let (data, mut writer, dir) = bootstrap("publish", 8);
+        let reader = writer.reader();
+        let query = data.point(PointId(0)).clone();
+
+        let old_pin = reader.pin();
+        assert_eq!(old_pin.generation(), 0);
+        let before = old_pin.run_batch(&QueryRequest::new(vec![query.clone()]));
+
+        let receipt = writer
+            .commit(WriteBatch::new().insert(twin(&data, 999)))
+            .expect("commit");
+        assert_eq!(receipt.seq, 0);
+        assert_eq!(receipt.generation, 1);
+        assert_eq!(receipt.assigned, vec![PointId::from_index(data.len())]);
+        let id = receipt.assigned[0];
+
+        // The pinned epoch still serves generation 0, bit for bit.
+        let after = old_pin.run_batch(&QueryRequest::new(vec![query.clone()]));
+        assert_eq!(before, after);
+        assert!(!old_pin.index().contains(id));
+
+        // A fresh pin sees the twin, and repeated batches eventually draw it.
+        let pin = reader.pin();
+        assert_eq!(pin.generation(), 1);
+        assert!(pin.index().contains(id));
+        let seen = (0..40u64).any(|batch| {
+            pin.run_batch(&QueryRequest::new(vec![query.clone(); 50]).with_batch(batch))
+                .answers
+                .iter()
+                .any(|a| a.id == Some(id))
+        });
+        assert!(seen, "inserted twin never sampled from the new generation");
+
+        // Delete it again: gone from the next generation.
+        writer
+            .commit(WriteBatch::new().delete(id))
+            .expect("delete commit");
+        let pin = reader.pin();
+        assert_eq!(pin.generation(), 2);
+        assert!(!pin.index().contains(id));
+        let response = pin.run_batch(&QueryRequest::new(vec![query.clone(); 50]).with_batch(7));
+        assert!(response.answers.iter().all(|a| a.id != Some(id)));
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_delete_is_rejected_before_logging() {
+        let (data, mut writer, dir) = bootstrap("reject", 9);
+        let wal_before = writer.wal_bytes();
+        let bogus = PointId::from_index(data.len() + 17);
+        let err = writer
+            .commit(WriteBatch::new().insert(twin(&data, 777)).delete(bogus))
+            .expect_err("unknown id must be rejected");
+        assert!(matches!(err, EngineError::UnknownId(id) if id == bogus));
+        assert_eq!(writer.wal_bytes(), wal_before, "rejected batch was logged");
+        assert_eq!(writer.generation(), 0, "rejected batch was published");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reopened_engine_matches_the_live_one_bit_for_bit() {
+        let (data, mut writer, dir) = bootstrap("reopen", 10);
+        writer
+            .commit(
+                WriteBatch::new()
+                    .insert(twin(&data, 300))
+                    .insert(twin(&data, 301))
+                    .delete(PointId(3)),
+            )
+            .expect("first commit");
+        writer
+            .commit(WriteBatch::new().delete(PointId(5)).compact())
+            .expect("second commit");
+
+        let reopened = Writer::open(&dir).expect("open");
+        assert_eq!(reopened.generation(), writer.generation());
+        assert_eq!(reopened.next_seq(), writer.next_seq());
+        let live = fairnn_snapshot::to_bytes(SnapshotKind::ShardedIndex, writer.staging());
+        let replayed = fairnn_snapshot::to_bytes(SnapshotKind::ShardedIndex, reopened.staging());
+        assert_eq!(live, replayed, "replayed state differs from live state");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn incremental_checkpoint_equals_a_full_reencode() {
+        let (data, mut writer, dir) = bootstrap("ckpt", 11);
+        writer
+            .commit(WriteBatch::new().insert(twin(&data, 400)))
+            .expect("commit");
+        writer.checkpoint().expect("first checkpoint");
+        assert_eq!(writer.wal_bytes(), fairnn_snapshot::WAL_HEADER_LEN as u64);
+
+        // Touch (at most) one shard, then checkpoint incrementally.
+        writer
+            .commit(WriteBatch::new().insert(twin(&data, 401)))
+            .expect("commit");
+        writer.checkpoint().expect("incremental checkpoint");
+
+        let incremental = std::fs::read(dir.join(CHECKPOINT_FILE)).expect("read checkpoint");
+        let full = fairnn_snapshot::to_bytes(
+            SnapshotKind::Checkpoint,
+            &Checkpoint {
+                seq: writer.next_seq(),
+                index: writer.staging().clone(),
+            },
+        );
+        assert_eq!(incremental, full, "cached sections drifted from re-encode");
+
+        // And the checkpoint alone (empty WAL) recovers the same state.
+        let reopened = Writer::open(&dir).expect("open");
+        assert_eq!(
+            fairnn_snapshot::to_bytes(SnapshotKind::ShardedIndex, reopened.staging()),
+            fairnn_snapshot::to_bytes(SnapshotKind::ShardedIndex, writer.staging()),
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -428,6 +428,14 @@ impl<H> LshIndex<H> {
     /// This is the incremental half of the sharded serving layer: a shard
     /// can grow without rebuilding its tables, because each table is just a
     /// key → ids map and the hashers are fixed at construction time.
+    ///
+    /// Hidden: an engine-internal entry point, not part of the public
+    /// mutation API. Applications mutate through
+    /// `fairnn_engine::EngineWriter::commit`, which write-ahead-logs the
+    /// change and publishes a fresh generation; calling this directly
+    /// bypasses durability and thaws tables readers may be serving (the
+    /// `thaw-outside-writer` audit rule rejects new call sites).
+    #[doc(hidden)]
     pub fn insert_point<P>(&mut self, point: &P) -> PointId
     where
         H: LshHasher<P>,
@@ -446,6 +454,10 @@ impl<H> LshIndex<H> {
     /// table contained the id. `num_points` is *not* decremented: ids stay
     /// dense and the vacated id is simply never handed out again until
     /// [`LshIndex::rebuild`] compacts the index.
+    ///
+    /// Hidden: engine-internal, like [`LshIndex::insert_point`] — mutate
+    /// through `fairnn_engine::EngineWriter::commit` instead.
+    #[doc(hidden)]
     pub fn remove_point<P>(&mut self, point: &P, id: PointId) -> bool
     where
         H: LshHasher<P>,
@@ -489,6 +501,10 @@ impl<H> LshIndex<H> {
     /// in new-id order: per-bucket entries are re-sorted by their new ids,
     /// which is exactly the order a fresh point-order build would insert
     /// them in. Tables remap and freeze concurrently.
+    ///
+    /// Hidden: engine-internal, like [`LshIndex::insert_point`] — request
+    /// compaction through `WriteOp::Compact` on the engine writer instead.
+    #[doc(hidden)]
     pub fn compact_retain(&mut self, new_id_of: &[u32], new_num_points: usize) {
         assert!(
             new_id_of.len() >= self.num_points,

@@ -558,6 +558,18 @@ impl<T: Codec> Codec for Vec<T> {
     }
 }
 
+/// Transparent wrapper: an `Arc<T>` encodes exactly like its `T` (the
+/// generational engine shares frozen shards between generations through
+/// `Arc`s without changing the wire format).
+impl<T: Codec> Codec for std::sync::Arc<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        (**self).encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        Ok(std::sync::Arc::new(T::decode(dec)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -128,6 +128,10 @@ pub enum SnapshotKind {
     ShardedIndex = 6,
     /// A full `fairnn_engine::QueryEngine` (index + cache + batch counter).
     QueryEngine = 7,
+    /// A `fairnn_engine::Checkpoint`: a WAL sequence number plus the
+    /// sharded index it was cut at (the durable base the write-ahead log
+    /// tail replays on top of).
+    Checkpoint = 8,
 }
 
 impl SnapshotKind {
@@ -164,7 +168,16 @@ fn align_up(offset: usize) -> Option<usize> {
 /// payload is placed at a 64-byte-aligned image offset (zero padding,
 /// excluded from the checksums); nothing follows the last section.
 pub fn to_bytes<T: Codec>(kind: SnapshotKind, value: &T) -> Vec<u8> {
-    let sections = value.encode_sections();
+    image_from_sections(kind, value.encode_sections())
+}
+
+/// Assembles a complete snapshot image from already-encoded sections —
+/// the tail of [`to_bytes`], exposed so incremental writers (the engine's
+/// checkpointer) can reuse cached per-section bytes for sections whose
+/// source structure has not changed since the last image was cut. The
+/// output is byte-identical to [`to_bytes`] over a value whose
+/// `encode_sections` returns `sections`.
+pub fn image_from_sections(kind: SnapshotKind, sections: Vec<Vec<u8>>) -> Vec<u8> {
     assert!(
         !sections.is_empty(),
         "a snapshot needs at least one section"
@@ -572,8 +585,16 @@ pub fn save<T: Codec, P: AsRef<Path>>(
     path: P,
 ) -> Result<(), SnapshotError> {
     let _timer = Timer::start(&SAVE_NS);
-    let path = path.as_ref();
     let bytes = to_bytes(kind, value);
+    save_image(&bytes, path)
+}
+
+/// Atomically writes an already-assembled snapshot image (from
+/// [`to_bytes`] or [`image_from_sections`]) to `path` — the write+rename
+/// tail of [`save`], exposed for incremental writers that assemble their
+/// own images.
+pub fn save_image<P: AsRef<Path>>(bytes: &[u8], path: P) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
     BYTES_WRITTEN.add(bytes.len() as u64);
     // The temp name appends to the *full* file name (never replaces an
     // extension — sibling snapshots sharing a stem must not collide) and
@@ -588,7 +609,7 @@ pub fn save<T: Codec, P: AsRef<Path>>(
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(format!(".tmp.{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, &bytes)?;
+    std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)?;
     Ok(())
 }

@@ -55,6 +55,7 @@ pub mod bytes;
 mod codec;
 mod container;
 mod error;
+mod wal;
 
 pub use bytes::{
     pod_bytes, prefetch_read, ArcBytes, ArcSlice, CountingAlloc, Pod, LARGE_ALLOC_THRESHOLD,
@@ -62,7 +63,8 @@ pub use bytes::{
 };
 pub use codec::{decode_pod_slice, encode_pod_slice, Codec, Decoder, Encoder, Section, SliceCodec};
 pub use container::{
-    checksum64, from_bytes, load, repair_checksums, save, to_bytes, SnapshotImage, SnapshotKind,
-    ENDIAN_MARK, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    checksum64, from_bytes, image_from_sections, load, repair_checksums, save, save_image,
+    to_bytes, SnapshotImage, SnapshotKind, ENDIAN_MARK, FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
 pub use error::SnapshotError;
+pub use wal::{parse_wal, read_wal, WalReplay, WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};

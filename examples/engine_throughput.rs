@@ -6,7 +6,10 @@
 
 use fairnn_core::{NeighborSampler, SimilarityAtLeast};
 use fairnn_data::setdata::small_test_config;
-use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndexConfig, ShardedSampler};
+use fairnn_engine::{
+    EngineConfig, EngineWriter, QueryEngine, QueryRequest, ShardedIndexConfig, ShardedSampler,
+    WriteBatch,
+};
 use fairnn_lsh::{OneBitMinHash, ParamsBuilder};
 use fairnn_space::{Jaccard, PointId, Similarity};
 use rand::rngs::StdRng;
@@ -70,14 +73,43 @@ fn main() {
     let (hits, misses) = engine.cache_stats();
     println!("cache: {hits} hits, {misses} misses");
 
-    // 4. Incremental updates: insert a twin of query 0, then delete it.
-    let id = engine.insert(query.clone());
+    // 4. Incremental updates go through the generational writer: commits
+    //    are write-ahead-logged, then published as a new immutable
+    //    generation; readers pin an epoch and never observe a thaw.
+    let dir = std::env::temp_dir().join(format!("fairnn-example-engine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = EngineWriter::bootstrap(
+        &OneBitMinHash,
+        params,
+        &dataset,
+        near,
+        ShardedIndexConfig::with_shards(4).seeded(7),
+        &dir,
+    )
+    .expect("bootstrap engine directory");
+    let reader = writer.reader();
+    let receipt = writer
+        .commit(WriteBatch::new().insert(query.clone()))
+        .expect("insert commit");
+    let id = receipt.assigned[0];
+    let pin = reader.pin();
     println!(
-        "\ninserted twin as {id}; engine now has {} points",
-        engine.len()
+        "\ninserted twin as {id} (generation {}, WAL seq {}); pinned index has {} points",
+        receipt.generation,
+        receipt.seq,
+        pin.index().len()
     );
-    assert!(engine.delete(id));
-    println!("deleted {id} again; back to {} points", engine.len());
+    let response = pin.run_batch(&QueryRequest::new(vec![query.clone()]));
+    assert_eq!(response.generation, receipt.generation);
+    writer
+        .commit(WriteBatch::new().delete(id))
+        .expect("delete commit");
+    println!(
+        "deleted {id} again; fresh pin back to {} points (old pin still serves {})",
+        reader.pin().index().len(),
+        pin.index().len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 
     // 5. Throughput: repeated hot queries through the cache fast path vs the
     //    single-shot sharded sampler.

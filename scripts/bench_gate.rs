@@ -16,6 +16,11 @@
 //!   runner with fewer cores than threads the row measures scheduling
 //!   noise, not the engine);
 //! * the `rank_swap_qps` fast-path figure;
+//! * the `churn` row (concurrent reader throughput and commit→publish
+//!   latency while the generational writer commits): `qps` gates directly
+//!   and `publish_ms` gates as a rate (`1e3 / ms`, lower-is-better), both
+//!   only when the row is co-measured and neither side is marked
+//!   `hardware_limited` (readers + the writer need cores of their own);
 //! * every `builds` row (build throughput in points/sec from
 //!   `build_scaling`) whose `(structure, scale, threads)` coordinate
 //!   appears in both files, with the same `hardware_limited` skip — the
@@ -378,6 +383,33 @@ fn pipeline_qps(report: &Json) -> BTreeMap<u64, f64> {
     out
 }
 
+/// Extracts the gated figures from a report's `churn` row (concurrent
+/// reader q/s under generational commits, and the commit→publish latency
+/// converted to commits/sec so the shared higher-is-better regression math
+/// applies). A row marked `hardware_limited` contributes nothing: with
+/// fewer cores than readers + writer the q/s measures the scheduler.
+fn churn_rates(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(row) = report.get("churn") {
+        let limited = row
+            .get("hardware_limited")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        if limited {
+            return out;
+        }
+        if let Some(qps) = row.get("qps").and_then(Json::as_f64) {
+            out.insert("concurrent-qps".to_string(), qps);
+        }
+        if let Some(ms) = row.get("publish_ms").and_then(Json::as_f64) {
+            if ms > 0.0 {
+                out.insert("publish-rate".to_string(), 1e3 / ms);
+            }
+        }
+    }
+    out
+}
+
 /// Builds measured below this wall time do not gate: a sub-millisecond
 /// smoke build is dominated by scheduler noise on a shared runner, so its
 /// points/sec would trip the 35 % threshold without any code change. The
@@ -617,6 +649,20 @@ fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
             baseline_qps: base_qps,
             fresh_qps: fresh.get("rank_swap_qps").and_then(Json::as_f64),
         });
+    }
+
+    // Concurrent churn: like the pipeline rows, only co-measured figures
+    // gate — a fresh run marked hardware_limited (1-core PR runner) or an
+    // older baseline without the row skips rather than fails.
+    let fresh_churn = churn_rates(fresh);
+    for (key, base_rate) in churn_rates(baseline) {
+        if let Some(&fresh_rate) = fresh_churn.get(&key) {
+            comparisons.push(Comparison {
+                name: format!("churn/{key}"),
+                baseline_qps: base_rate,
+                fresh_qps: Some(fresh_rate),
+            });
+        }
     }
 
     // Hashing kernel: a baseline row missing from the fresh report IS a
@@ -1054,6 +1100,46 @@ mod tests {
         let failures = check_snapshot_allocs(&copies, &baseline);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("query-engine/scale-0.2/1t"));
+    }
+
+    fn churn_report(qps: f64, publish_ms: f64, limited: bool) -> Json {
+        let text = format!(
+            r#"{{"churn": {{"reader_threads": 2, "commits": 64, "qps": {qps},
+                 "publish_ms": {publish_ms}, "hardware_limited": {limited}}}}}"#
+        );
+        Parser::parse(&text).expect("valid churn report")
+    }
+
+    #[test]
+    fn churn_gates_qps_and_publish_latency_as_rates() {
+        let baseline = churn_report(20_000.0, 1.0, false);
+        // -15% q/s, +20% latency: both within the 35% budget.
+        let ok = churn_report(17_000.0, 1.2, false);
+        let comparisons = compare_reports(&ok, &baseline);
+        assert_eq!(comparisons.len(), 2);
+        assert!(gate(&comparisons, 0.35).is_empty());
+        // Publish latency doubled: a 50% rate regression fails.
+        let slow = churn_report(19_000.0, 2.0, false);
+        let failures_owner = compare_reports(&slow, &baseline);
+        let failures = gate(&failures_owner, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "churn/publish-rate");
+    }
+
+    #[test]
+    fn hardware_limited_churn_rows_do_not_gate() {
+        let baseline = churn_report(20_000.0, 1.0, false);
+        // A 1-core PR runner marks the row limited; its numbers must not
+        // gate no matter how bad they look.
+        let fresh = churn_report(500.0, 50.0, true);
+        assert!(compare_reports(&fresh, &baseline)
+            .iter()
+            .all(|c| !c.name.starts_with("churn/")));
+        // And an old baseline without the row is simply not compared.
+        let no_row = Parser::parse("{}").unwrap();
+        assert!(compare_reports(&churn_report(1.0, 1.0, false), &no_row)
+            .iter()
+            .all(|c| !c.name.starts_with("churn/")));
     }
 
     fn obs_report(overhead_pct: f64, measured_s: f64) -> Json {

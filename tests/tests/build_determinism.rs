@@ -19,7 +19,9 @@
 //! counts it names.
 
 use fairnn_core::{FairNnis, NeighborSampler, SimilarityAtLeast};
-use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndex, ShardedIndexConfig};
+use fairnn_engine::{
+    EngineConfig, EngineWriter, QueryEngine, ShardedIndex, ShardedIndexConfig, WriteBatch,
+};
 use fairnn_integration_tests::{golden_dataset, golden_params as params};
 use fairnn_lsh::{ConcatenatedHasher, LshIndex, MinHash, MinHasher};
 use fairnn_snapshot::{from_bytes, to_bytes, SnapshotKind};
@@ -204,21 +206,34 @@ fn snapshot_encode_and_decode_are_thread_count_independent() {
 fn compaction_stays_in_lockstep_across_thread_counts() {
     // Delete enough points to trigger shard compaction (the no-rehash
     // compact_retain path) under each thread count; the surviving structure
-    // and its answers must agree bit for bit.
+    // and its answers must agree bit for bit. Mutations go through the
+    // generational writer, so this also pins the WAL-logged commit path.
     let data = golden_dataset();
+    let mut round = 0u32;
     let images = sweep(|| {
-        let mut index: SetSharded = ShardedIndex::build(
+        round += 1;
+        let dir = std::env::temp_dir().join(format!(
+            "fairnn-compaction-sweep-{round}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer: EngineWriter<SparseSet, Hasher, Near> = EngineWriter::bootstrap(
             &MinHash,
             params(data.len()),
             &data,
             near(),
             ShardedIndexConfig::with_shards(3).seeded(17),
-        );
+            &dir,
+        )
+        .expect("bootstrap");
+        let mut batch = WriteBatch::new();
         for id in 0..8u32 {
-            assert!(index.delete(PointId(id)));
+            batch = batch.delete(PointId(id));
         }
-        index.freeze();
-        to_bytes(SnapshotKind::ShardedIndex, &index)
+        writer.commit(batch.compact()).expect("commit");
+        let image = to_bytes(SnapshotKind::ShardedIndex, writer.staging());
+        let _ = std::fs::remove_dir_all(dir);
+        image
     });
     assert!(images.windows(2).all(|w| w[0] == w[1]));
 }

@@ -5,7 +5,10 @@
 //! fixtures.
 
 use fairnn_core::{ExactSampler, NeighborSampler, SimilarityAtLeast};
-use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndex, ShardedIndexConfig, ShardedSampler};
+use fairnn_engine::{
+    EngineConfig, EngineWriter, QueryEngine, QueryRequest, ShardedIndex, ShardedIndexConfig,
+    ShardedSampler, WriteBatch,
+};
 use fairnn_integration_tests::{test_dataset, test_params};
 use fairnn_lsh::OneBitMinHash;
 use fairnn_space::{Jaccard, PointId, SparseSet};
@@ -218,23 +221,50 @@ fn serving_lifecycle_batch_cache_insert_delete() {
         assert!(support.contains(&a.id.unwrap()));
     }
 
-    // Insert a twin of the query and make sure serving picks it up.
-    let id = engine.insert(query.clone());
-    assert_eq!(engine.len(), dataset.len() + 1);
+    // Live updates go through the generational writer: insert a twin of
+    // the query and make sure a fresh pin serves it.
+    let dir = std::env::temp_dir().join(format!("fairnn-serving-lifecycle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = EngineWriter::bootstrap(
+        &OneBitMinHash,
+        test_params(dataset.len(), R),
+        &dataset,
+        near,
+        ShardedIndexConfig::with_shards(3).seeded(5),
+        &dir,
+    )
+    .expect("bootstrap");
+    let reader = writer.reader();
+    let receipt = writer
+        .commit(WriteBatch::new().insert(query.clone()))
+        .expect("insert commit");
+    let id = receipt.assigned[0];
+    let pin = reader.pin();
+    assert_eq!(pin.index().len(), dataset.len() + 1);
     let mut found = false;
-    for _ in 0..60 {
-        if engine.run_batch(&batch).iter().any(|a| a.id == Some(id)) {
+    for b in 0..60u64 {
+        let request = QueryRequest::new(batch.clone()).with_batch(b);
+        if pin
+            .run_batch(&request)
+            .answers
+            .iter()
+            .any(|a| a.id == Some(id))
+        {
             found = true;
             break;
         }
     }
     assert!(found, "inserted twin never served");
 
-    // Delete it again; it must disappear from answers.
-    assert!(engine.delete(id));
-    let after = engine.run_batch(&batch);
-    assert!(after.iter().all(|a| a.id != Some(id)));
-    assert_eq!(engine.len(), dataset.len());
+    // Delete it again; it must disappear from fresh pins' answers.
+    writer
+        .commit(WriteBatch::new().delete(id))
+        .expect("delete commit");
+    let pin = reader.pin();
+    let after = pin.run_batch(&QueryRequest::new(batch.clone()));
+    assert!(after.answers.iter().all(|a| a.id != Some(id)));
+    assert_eq!(pin.index().len(), dataset.len());
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]

@@ -15,7 +15,10 @@
 //!    themselves) and require an error or a clean decode, never a panic.
 
 use fairnn_core::{FairNnis, FairNns, NeighborSampler, RankSwapSampler, SimilarityAtLeast};
-use fairnn_engine::{EngineConfig, QueryEngine, ShardedIndex, ShardedIndexConfig};
+use fairnn_engine::{
+    EngineConfig, EngineWriter, QueryEngine, QueryRequest, ShardedIndex, ShardedIndexConfig,
+    WriteBatch, CHECKPOINT_FILE, WAL_FILE,
+};
 use fairnn_integration_tests::{
     golden_dataset, golden_ids as ids, golden_params as params, GOLDEN_ENGINE_FIRST,
     GOLDEN_ENGINE_SECOND, GOLDEN_FAIR_NNIS, GOLDEN_FAIR_NNS, GOLDEN_RANK_SWAP, GOLDEN_SHARDED,
@@ -37,6 +40,7 @@ type SetNnis = FairNnis<SparseSet, Hasher, Near>;
 type SetRankSwap = RankSwapSampler<SparseSet, Hasher, Near>;
 type SetSharded = ShardedIndex<SparseSet, Hasher, Near>;
 type SetEngine = QueryEngine<SparseSet, Hasher, Near>;
+type SetWriter = EngineWriter<SparseSet, Hasher, Near>;
 
 fn near() -> Near {
     SimilarityAtLeast::new(Jaccard, 0.5)
@@ -347,36 +351,78 @@ fn save_load_save_is_byte_identical_for_every_structure() {
 
 #[test]
 fn updates_after_load_behave_like_updates_after_freeze() {
-    // Staging mutations on a loaded engine must thaw and answer exactly
-    // like the same mutations applied to the engine it was saved from.
+    // Staging mutations on a recovered engine must thaw and answer exactly
+    // like the same mutations applied to the writer it was saved from: the
+    // live path and checkpoint-recovery path share one apply routine.
     let data = golden_dataset();
-    let mut engine: SetEngine = QueryEngine::build(
+    let dir_live = std::env::temp_dir().join(format!(
+        "fairnn-roundtrip-writer-live-{}",
+        std::process::id()
+    ));
+    let dir_copy = std::env::temp_dir().join(format!(
+        "fairnn-roundtrip-writer-copy-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir_live);
+    let _ = std::fs::remove_dir_all(&dir_copy);
+    let mut writer: SetWriter = EngineWriter::bootstrap(
         &MinHash,
         params(data.len()),
         &data,
         near(),
-        EngineConfig::default().with_seed(23).with_shards(4),
-    );
-    let bytes = to_bytes(SnapshotKind::QueryEngine, &engine);
-    let mut loaded: SetEngine = from_bytes(SnapshotKind::QueryEngine, &bytes).expect("load");
+        ShardedIndexConfig::with_shards(4).seeded(23),
+        &dir_live,
+    )
+    .expect("bootstrap");
+    std::fs::create_dir_all(&dir_copy).expect("mkdir");
+    for file in [CHECKPOINT_FILE, WAL_FILE] {
+        std::fs::copy(dir_live.join(file), dir_copy.join(file)).expect("copy engine dir");
+    }
+    let mut loaded: SetWriter = EngineWriter::open(&dir_copy).expect("open");
 
     let mut items: Vec<u32> = (0..25).collect();
     items.push(100);
     items.push(777);
     let twin = SparseSet::from_items(items);
-    assert_eq!(engine.insert(twin.clone()), loaded.insert(twin.clone()));
+    let live_receipt = writer
+        .commit(WriteBatch::new().insert(twin.clone()))
+        .expect("live commit");
+    let loaded_receipt = loaded
+        .commit(WriteBatch::new().insert(twin.clone()))
+        .expect("loaded commit");
+    assert_eq!(live_receipt.assigned, loaded_receipt.assigned);
 
     let batch: Vec<SparseSet> = (0..10u32)
         .map(|i| data.point(PointId(i)).clone())
         .chain(std::iter::once(twin))
         .collect();
-    for _ in 0..3 {
-        assert_eq!(engine.run_batch(&batch), loaded.run_batch(&batch));
+    for b in 0..3u64 {
+        let request = QueryRequest::new(batch.clone()).with_batch(b);
+        assert_eq!(
+            writer.reader().pin().run_batch(&request),
+            loaded.reader().pin().run_batch(&request)
+        );
     }
 
     // Deletes (which may trigger shard compaction) stay in lockstep too.
-    assert_eq!(engine.delete(PointId(0)), loaded.delete(PointId(0)));
-    assert_eq!(engine.run_batch(&batch), loaded.run_batch(&batch));
+    writer
+        .commit(WriteBatch::new().delete(PointId(0)))
+        .expect("live delete");
+    loaded
+        .commit(WriteBatch::new().delete(PointId(0)))
+        .expect("loaded delete");
+    let request = QueryRequest::new(batch).with_batch(9);
+    assert_eq!(
+        writer.reader().pin().run_batch(&request),
+        loaded.reader().pin().run_batch(&request)
+    );
+    assert_eq!(
+        to_bytes(SnapshotKind::ShardedIndex, writer.staging()),
+        to_bytes(SnapshotKind::ShardedIndex, loaded.staging()),
+        "live and recovered staging diverged"
+    );
+    let _ = std::fs::remove_dir_all(dir_live);
+    let _ = std::fs::remove_dir_all(dir_copy);
 }
 
 /// A small FairNns snapshot image the corruption tests mutate.
