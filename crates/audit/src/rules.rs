@@ -111,6 +111,28 @@ pub const THAW_BLESSED_PATHS: &[&str] = &["crates/lsh/src/table.rs", "crates/eng
 /// The sealed mutation entry points the `thaw-outside-writer` rule watches.
 const THAW_SEALED_CALLS: &[&str] = &["insert_point", "remove_point", "compact_retain", "thaw"];
 
+/// The only places allowed to touch `std::net`: the server crate (the
+/// workspace's single network boundary — every socket behind it carries
+/// the bounded parser, admission control, and drain lifecycle) and the
+/// bench load generator that drives that server over loopback. A socket
+/// opened anywhere else would bypass all of that, so `net-outside-server`
+/// flags it. Paths are workspace-relative prefixes.
+pub const NET_BLESSED_PATHS: &[&str] = &[
+    "crates/server/",
+    "crates/bench/src/bin/server_throughput.rs",
+];
+
+/// The socket-opening types the `net-outside-server` rule watches (the
+/// `std::net` path segment itself is flagged separately, so address-only
+/// imports don't slip a listener in through a glob).
+const NET_SOCKET_TYPES: &[&str] = &[
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "UnixListener",
+    "UnixStream",
+];
+
 /// Every rule id the tool knows, with its severity and one-line summary
 /// (the README and `--help` render this table).
 pub const RULES: &[(&str, Severity, &str)] = &[
@@ -163,6 +185,12 @@ pub const RULES: &[(&str, Severity, &str)] = &[
          the LSH table module and the engine shard: mutate through EngineWriter::commit",
     ),
     (
+        "net-outside-server",
+        Severity::Deny,
+        "no std::net sockets outside fairnn-server and the bench load generator: \
+         the network boundary is one crate, behind its parser caps and admission control",
+    ),
+    (
         "waiver-reason",
         Severity::Deny,
         "every waiver must be well-formed, name known rules, and carry a non-empty reason",
@@ -180,6 +208,7 @@ pub fn rule_applies(rule: &str, crate_name: &str) -> bool {
         "nested-parallel" => crate_name != "fairnn-parallel",
         "zero-copy-unsafe" => true,
         "thaw-outside-writer" => true,
+        "net-outside-server" => true,
         "waiver-reason" => true,
         _ => false,
     }
@@ -220,6 +249,11 @@ pub fn audit_tokens(path: &str, crate_name: &str, tokens: &[Token]) -> Vec<Findi
         && !THAW_BLESSED_PATHS.iter().any(|p| path.ends_with(p))
     {
         check_thaw_outside_writer(&fc, &mut findings);
+    }
+    if rule_applies("net-outside-server", crate_name)
+        && !NET_BLESSED_PATHS.iter().any(|p| path.starts_with(p))
+    {
+        check_net_outside_server(&fc, &mut findings);
     }
     check_waivers(&waivers, &mut findings);
 
@@ -629,6 +663,45 @@ fn check_thaw_outside_writer(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
                     "`{}` mutates frozen index structures directly, thawing tables readers \
                      may be serving and bypassing the write-ahead log; route the mutation \
                      through `fairnn_engine::EngineWriter::commit`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `net-outside-server`: flags the socket types and the `std::net` path
+/// segment anywhere outside the blessed paths (the caller applies the
+/// path blessing). Test code is exempt — integration suites drive the
+/// server with raw client sockets on purpose.
+fn check_net_outside_server(fc: &FileContext<'_>, out: &mut Vec<Raw>) {
+    let code = &fc.code;
+    for i in 0..code.len() {
+        if fc.in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let socket_type = NET_SOCKET_TYPES.contains(&t.text.as_str());
+        // The `net` segment of a `std::net` path: idents are separated by
+        // two `:` punct tokens.
+        let std_net_path = t.text == "net"
+            && i >= 3
+            && code[i - 1].is_punct(b':')
+            && code[i - 2].is_punct(b':')
+            && code[i - 3].kind == TokenKind::Ident
+            && code[i - 3].text == "std";
+        if socket_type || std_net_path {
+            out.push(raw(
+                "net-outside-server",
+                Severity::Deny,
+                t,
+                format!(
+                    "`{}` opens a network path outside the server crate, bypassing the \
+                     bounded parser, admission control, and drain lifecycle; serve through \
+                     `fairnn-server` (or extend NET_BLESSED_PATHS with a written rationale)",
                     t.text
                 ),
             ));
@@ -1075,6 +1148,74 @@ mod tests {
         let fs = findings(ENGINE, src);
         assert!(unwaived(&fs, "thaw-outside-writer").is_empty(), "{fs:?}");
         assert_eq!(fs.iter().filter(|f| f.waived).count(), 1);
+    }
+
+    // ---- net-outside-server ---------------------------------------------
+
+    #[test]
+    fn net_outside_server_flags_sockets_and_std_net_paths() {
+        let src = "use std::net::TcpListener;\n\
+                   fn f() {\n\
+                       let l = TcpListener::bind(\"0.0.0.0:80\").unwrap();\n\
+                       let s = std::net::TcpStream::connect(\"127.0.0.1:80\");\n\
+                       let _ = (l, s);\n\
+                   }\n";
+        // The import line trips twice (`net` + the type), each raw socket
+        // use once more; the exact count matters less than "not zero, on
+        // the right lines".
+        for path in [ENGINE, OBS, PARALLEL, "src/main.rs"] {
+            let fs = findings(path, src);
+            let hits = unwaived(&fs, "net-outside-server");
+            assert!(hits.len() >= 3, "{path}: {fs:?}");
+            assert!(hits.iter().any(|f| f.line == 1), "{path}: {fs:?}");
+            assert!(hits.iter().any(|f| f.line == 3), "{path}: {fs:?}");
+            assert!(hits.iter().any(|f| f.line == 4), "{path}: {fs:?}");
+        }
+    }
+
+    #[test]
+    fn net_outside_server_blesses_the_server_crate_and_load_generator() {
+        let src = "use std::net::TcpListener;\n\
+                   fn f() { let _ = TcpListener::bind(\"127.0.0.1:0\"); }\n";
+        for path in [
+            "crates/server/src/server.rs",
+            "crates/server/src/http.rs",
+            "crates/bench/src/bin/server_throughput.rs",
+        ] {
+            let fs = findings(path, src);
+            assert!(
+                unwaived(&fs, "net-outside-server").is_empty(),
+                "{path}: {fs:?}"
+            );
+        }
+        // The rest of the bench crate is NOT blessed: only the server's
+        // own load generator may open sockets.
+        assert!(!unwaived(&findings(BENCH, src), "net-outside-server").is_empty());
+    }
+
+    #[test]
+    fn net_outside_server_ignores_tests_and_other_net_idents() {
+        // `net` not rooted at `std` (a local module) and lookalike idents
+        // must not trip the rule.
+        let src = "fn f() { let x = crate::net::helper(); let net = 3; use_(x, net); }\n";
+        assert!(unwaived(&findings(ENGINE, src), "net-outside-server").is_empty());
+        // Test modules drive servers with raw client sockets on purpose.
+        let test_src = "#[cfg(test)]\n\
+                        mod tests {\n\
+                            fn probe() { let _ = std::net::TcpStream::connect(\"x\"); }\n\
+                        }\n";
+        assert!(unwaived(&findings(ENGINE, test_src), "net-outside-server").is_empty());
+    }
+
+    #[test]
+    fn net_outside_server_honors_waivers() {
+        let src = "fn f() {\n\
+                       // fairnn-audit: allow(net-outside-server) — offline probe, tracked\n\
+                       let _ = std::net::TcpStream::connect(\"127.0.0.1:1\");\n\
+                   }\n";
+        let fs = findings(ENGINE, src);
+        assert!(unwaived(&fs, "net-outside-server").is_empty(), "{fs:?}");
+        assert!(fs.iter().any(|f| f.waived), "{fs:?}");
     }
 
     // ---- waiver-reason --------------------------------------------------

@@ -1,0 +1,229 @@
+//! End-to-end serving throughput of `fairnn-server` over loopback TCP.
+//!
+//! Boots a real engine (Last.FM-like workload), serves it on an
+//! ephemeral port, and drives it with `--threads` closed-loop keep-alive
+//! clients, each recording per-request wall latency into its own
+//! [`HistogramShard`]. The shards merge into one distribution — the
+//! merge-order-invariant path the obs proptests pin — and the report is
+//! queries/sec plus p50/p99/p999 tails.
+//!
+//! The run doubles as the CI smoke test for the server: it asserts
+//! `/healthz` and `/metrics` answer, every measured query returns `200`
+//! with a decodable [`BatchResponse`], a `/v1/commit` publishes a new
+//! generation mid-run, and the final `/admin/drain` + join finishes
+//! within its deadline with nothing force-closed.
+//!
+//! Usage: `cargo run -p fairnn-bench --release --bin server_throughput --
+//!         [--scale 0.25] [--repetitions 2000] [--seed 42] [--threads 4]
+//!         [--shards 4] [--json BENCH_server.json]`
+//! (`--repetitions` is the total request count across all clients.)
+
+use fairnn_bench::figures::paper_lsh_params;
+use fairnn_bench::{json_fixed, CommonArgs, SetWorkload, WorkloadKind};
+use fairnn_core::SimilarityAtLeast;
+use fairnn_engine::{BatchResponse, EngineWriter, QueryRequest, ShardedIndexConfig, WriteBatch};
+use fairnn_lsh::OneBitMinHash;
+use fairnn_obs::HistogramShard;
+use fairnn_server::{read_response, serve, ClientResponse, ServerConfig};
+use fairnn_snapshot::{Codec, Decoder, Encoder};
+use fairnn_space::{Jaccard, SparseSet};
+use fairnn_stats::table::fmt_f64;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+const R: f64 = 0.2;
+
+fn encode<T: Codec>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+fn request_bytes(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// One request/response exchange on a fresh connection (control plane).
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&request_bytes(method, path, body))
+        .expect("send");
+    read_response(&mut stream).expect("response")
+}
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let clients = args.threads.max(1);
+    let total_requests = args.repetitions.max(clients);
+    let per_client = total_requests / clients;
+    println!("Server throughput — closed-loop keep-alive clients over loopback TCP");
+    println!(
+        "scale = {}, clients = {clients}, requests = {} ({per_client}/client), seed = {}, shards = {}\n",
+        args.scale,
+        per_client * clients,
+        args.seed,
+        args.shards
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Clients, server workers, and the accept thread all need cores of
+    // their own before the q/s figure measures the server rather than
+    // the scheduler.
+    let hardware_limited = cores < 2 * clients + 1;
+    if hardware_limited {
+        println!(
+            "note: only {cores} hardware thread(s) for {clients} client(s) + {clients} worker(s); \
+             the tail latencies will include scheduling noise\n"
+        );
+    }
+
+    let workload = SetWorkload::generate(WorkloadKind::LastFm, args.scale, args.queries, args.seed);
+    let dataset = &workload.dataset;
+    let params = paper_lsh_params(dataset.len(), R);
+    let near = SimilarityAtLeast::new(Jaccard, R);
+
+    let dir = std::env::temp_dir().join(format!(
+        "fairnn-bench-server-{}-{}",
+        args.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let writer: EngineWriter<SparseSet, _, _> = EngineWriter::bootstrap(
+        &OneBitMinHash,
+        params,
+        dataset,
+        near,
+        ShardedIndexConfig::with_shards(args.shards).seeded(args.seed),
+        &dir,
+    )
+    .expect("bootstrap serving engine");
+
+    let config = ServerConfig::default()
+        .with_workers(clients)
+        .with_max_connections(clients + 4)
+        .with_deadlines_ms(0, 60_000)
+        .with_drain_deadline_ms(10_000);
+    let handle = serve(writer, config, ("127.0.0.1", 0)).expect("server binds");
+    let addr = handle.addr();
+    println!("serving on {addr} with {clients} worker(s)");
+
+    // Smoke: the control plane answers before any load is applied.
+    let health = roundtrip(addr, "GET", "/healthz", b"");
+    assert_eq!(health.status, 200, "healthz must answer before the run");
+    assert_eq!(roundtrip(addr, "GET", "/metrics", b"").status, 200);
+
+    // Each client cycles the dataset as queries, two per batch, with a
+    // unique batch number per request so every exchange exercises the
+    // full (uncached) pipeline deterministically.
+    let queries_per_request = 2usize;
+    let pool = fairnn_parallel::ThreadPool::new(clients);
+    let (tx, rx) = std::sync::mpsc::channel::<(HistogramShard, u64, u64)>();
+    let points: Vec<SparseSet> = dataset.points().to_vec();
+
+    let start = Instant::now();
+    for client in 0..clients {
+        let tx = tx.clone();
+        let points = points.clone();
+        pool.execute(move || {
+            let mut shard = HistogramShard::new();
+            let mut ok = 0u64;
+            let mut errors = 0u64;
+            let mut stream = TcpStream::connect(addr).expect("client connect");
+            for i in 0..per_client {
+                let base = (client * per_client + i) * queries_per_request;
+                let queries: Vec<SparseSet> = (0..queries_per_request)
+                    .map(|j| points[(base + j) % points.len()].clone())
+                    .collect();
+                let request =
+                    QueryRequest::new(queries).with_batch((client * per_client + i) as u64);
+                let bytes = request_bytes("POST", "/v1/query", &encode(&request));
+                let sent = Instant::now();
+                stream.write_all(&bytes).expect("send query");
+                let response = read_response(&mut stream).expect("read answer");
+                shard.record(sent.elapsed().as_nanos() as u64);
+                if response.status == 200 {
+                    let mut dec = Decoder::new(&response.body);
+                    match BatchResponse::decode(&mut dec) {
+                        Ok(decoded) if decoded.answers.len() == queries_per_request => ok += 1,
+                        _ => errors += 1,
+                    }
+                } else {
+                    errors += 1;
+                }
+            }
+            tx.send((shard, ok, errors)).expect("report client results");
+        });
+    }
+    drop(tx);
+
+    let mut merged = HistogramShard::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for (shard, client_ok, client_errors) in rx.iter() {
+        merged.merge(&shard);
+        ok += client_ok;
+        errors += client_errors;
+    }
+    let measured_s = start.elapsed().as_secs_f64();
+    drop(pool);
+
+    let requests = ok + errors;
+    let qps = requests as f64 / measured_s;
+    let (p50, p99, p999) = (merged.p50(), merged.p99(), merged.p999());
+    println!(
+        "\nserved {requests} requests in {} s: {} q/s, p50 {} µs, p99 {} µs, p999 {} µs ({errors} error(s))",
+        fmt_f64(measured_s, 3),
+        fmt_f64(qps, 0),
+        fmt_f64(p50 as f64 / 1e3, 1),
+        fmt_f64(p99 as f64 / 1e3, 1),
+        fmt_f64(p999 as f64 / 1e3, 1),
+    );
+    assert_eq!(errors, 0, "every measured request must succeed end to end");
+
+    // Smoke: a live commit publishes a new generation under load
+    // tooling's eyes, visible through healthz.
+    let batch = WriteBatch::new().insert(points[0].clone());
+    let receipt = roundtrip(addr, "POST", "/v1/commit", &encode(&batch));
+    assert_eq!(receipt.status, 200, "commit must succeed");
+    let health = roundtrip(addr, "GET", "/healthz", b"");
+    let health_text = String::from_utf8(health.body).expect("healthz is JSON text");
+    assert!(
+        health_text.contains("\"generation\":1"),
+        "commit must publish generation 1: {health_text}"
+    );
+
+    // Smoke: graceful drain over the wire, then a clean join.
+    assert_eq!(roundtrip(addr, "POST", "/admin/drain", b"").status, 202);
+    let report = handle.join();
+    assert!(
+        report.completed_within_deadline && report.forced_connections == 0,
+        "drain must complete cleanly: {report:?}"
+    );
+    println!("drain completed cleanly; all server threads joined");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Machine-readable report for CI's perf-trajectory artifact.
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"bench\": \"server_throughput\",\n  \"scale\": {},\n  \"seed\": {},\n  \"shards\": {},\n  \"clients\": {clients},\n  \"available_parallelism\": {cores},\n  \"dataset_points\": {},\n  \"server\": {{\"qps\": {}, \"p50_ns\": {p50}, \"p99_ns\": {p99}, \"p999_ns\": {p999}, \"requests\": {requests}, \"errors\": {errors}, \"measured_s\": {}, \"hardware_limited\": {hardware_limited}}}\n}}\n",
+            args.scale,
+            args.seed,
+            args.shards,
+            dataset.len(),
+            json_fixed(qps, 1),
+            json_fixed(measured_s, 3),
+        );
+        std::fs::write(path, json).expect("write JSON report");
+        println!("wrote machine-readable report to {path}");
+    }
+}

@@ -46,6 +46,22 @@ impl<P> QueryRequest<P> {
     }
 }
 
+impl<P: fairnn_snapshot::Codec> fairnn_snapshot::Codec for QueryRequest<P> {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.queries.encode(enc);
+        enc.write_u64(self.batch);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            queries: Vec::<P>::decode(dec)?,
+            batch: dec.read_u64()?,
+        })
+    }
+}
+
 /// The answers to one [`QueryRequest`], stamped with the generation that
 /// served them.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +70,119 @@ pub struct BatchResponse {
     pub answers: Vec<Answer>,
     /// Number of the pinned generation the batch ran against.
     pub generation: u64,
+}
+
+impl fairnn_snapshot::Codec for Answer {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.id.encode(enc);
+        // Plain u64s, not `write_len`: these are work *counters*, and the
+        // decoder's length-prefix sanity check (len <= remaining bytes)
+        // must not apply to them.
+        enc.write_u64(self.stats.entries_scanned as u64);
+        enc.write_u64(self.stats.distance_computations as u64);
+        enc.write_u64(self.stats.buckets_inspected as u64);
+        enc.write_u64(self.stats.rounds as u64);
+        enc.write_u8(self.via_cache as u8);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        let id = Option::<PointId>::decode(dec)?;
+        let mut counter = || -> Result<usize, fairnn_snapshot::SnapshotError> {
+            let raw = dec.read_u64()?;
+            usize::try_from(raw).map_err(|_| {
+                fairnn_snapshot::SnapshotError::Corrupt(format!(
+                    "query stat counter {raw} does not fit usize"
+                ))
+            })
+        };
+        let stats = fairnn_core::QueryStats {
+            entries_scanned: counter()?,
+            distance_computations: counter()?,
+            buckets_inspected: counter()?,
+            rounds: counter()?,
+        };
+        let via_cache = match dec.read_u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(fairnn_snapshot::SnapshotError::Corrupt(format!(
+                    "via_cache flag must be 0 or 1, found {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            id,
+            stats,
+            via_cache,
+        })
+    }
+}
+
+impl fairnn_snapshot::Codec for BatchResponse {
+    fn encode(&self, enc: &mut fairnn_snapshot::Encoder) {
+        self.answers.encode(enc);
+        enc.write_u64(self.generation);
+    }
+
+    fn decode(
+        dec: &mut fairnn_snapshot::Decoder<'_>,
+    ) -> Result<Self, fairnn_snapshot::SnapshotError> {
+        Ok(Self {
+            answers: Vec::<Answer>::decode(dec)?,
+            generation: dec.read_u64()?,
+        })
+    }
+}
+
+/// A per-request deadline budget on the injectable monotonic clock
+/// ([`fairnn_obs::monotonic_ns`]).
+///
+/// A budget is an absolute point on the monotonic timeline, fixed when
+/// the budget is created — passing it down a call chain never extends
+/// it, which is what makes it a *budget* rather than a per-hop timeout.
+/// [`crate::EpochPin::run_batch_within`] checks it between queries and
+/// fails fast with [`EngineError::DeadlineExceeded`] instead of serving
+/// an answer nobody is still waiting for. Built on the `fairnn-obs`
+/// clock seam, so tests drive it deterministically with a
+/// `ManualClock`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineBudget {
+    /// Absolute monotonic deadline in nanoseconds; `None` = no limit.
+    deadline_ns: Option<u64>,
+}
+
+impl DeadlineBudget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Self {
+        Self { deadline_ns: None }
+    }
+
+    /// A budget expiring `ms` milliseconds from now (saturating).
+    pub fn from_now_ms(ms: u64) -> Self {
+        Self::from_now_ns(ms.saturating_mul(1_000_000))
+    }
+
+    /// A budget expiring `ns` nanoseconds from now (saturating).
+    pub fn from_now_ns(ns: u64) -> Self {
+        Self {
+            deadline_ns: Some(fairnn_obs::monotonic_ns().saturating_add(ns)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline_ns
+            .is_some_and(|d| fairnn_obs::monotonic_ns() >= d)
+    }
+
+    /// Nanoseconds left before expiry (`None` for an unlimited budget,
+    /// 0 once expired).
+    pub fn remaining_ns(&self) -> Option<u64> {
+        self.deadline_ns
+            .map(|d| d.saturating_sub(fairnn_obs::monotonic_ns()))
+    }
 }
 
 /// One mutation inside a [`WriteBatch`].
@@ -200,6 +329,16 @@ pub enum EngineError {
     UnknownId(PointId),
     /// The engine directory or configuration is unusable.
     Config(String),
+    /// A [`DeadlineBudget`] expired mid-batch: `completed` of `total`
+    /// queries were answered before the budget ran out (the partial
+    /// answers are discarded — a deterministic response is all-or-
+    /// nothing).
+    DeadlineExceeded {
+        /// Queries answered before the deadline hit.
+        completed: usize,
+        /// Queries in the batch.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -210,6 +349,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "delete references unknown point id {id}")
             }
             EngineError::Config(msg) => write!(f, "engine configuration invalid: {msg}"),
+            EngineError::DeadlineExceeded { completed, total } => write!(
+                f,
+                "deadline budget expired after {completed} of {total} queries"
+            ),
         }
     }
 }
@@ -269,6 +412,89 @@ mod tests {
             WriteBatch::<u64>::decode(&mut dec),
             Err(SnapshotError::Corrupt(msg)) if msg.contains("tag")
         ));
+    }
+
+    #[test]
+    fn answer_and_response_roundtrip_for_the_wire() {
+        let response = BatchResponse {
+            answers: vec![
+                Answer {
+                    id: Some(PointId(12)),
+                    stats: fairnn_core::QueryStats {
+                        entries_scanned: 4,
+                        distance_computations: 3,
+                        buckets_inspected: 2,
+                        rounds: 1,
+                    },
+                    via_cache: false,
+                },
+                Answer {
+                    id: None,
+                    stats: fairnn_core::QueryStats::default(),
+                    via_cache: true,
+                },
+            ],
+            generation: 7,
+        };
+        let mut enc = Encoder::new();
+        response.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = BatchResponse::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, response);
+
+        let request = QueryRequest::new(vec![10u64, 20]).with_batch(9);
+        let mut enc = Encoder::new();
+        request.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(QueryRequest::<u64>::decode(&mut dec).unwrap(), request);
+    }
+
+    #[test]
+    fn bad_via_cache_flag_is_corrupt() {
+        let answer = Answer {
+            id: None,
+            stats: fairnn_core::QueryStats::default(),
+            via_cache: false,
+        };
+        let mut enc = Encoder::new();
+        answer.encode(&mut enc);
+        let mut bytes = enc.into_bytes();
+        *bytes.last_mut().unwrap() = 7; // corrupt the trailing bool tag
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            Answer::decode(&mut dec),
+            Err(SnapshotError::Corrupt(msg)) if msg.contains("via_cache")
+        ));
+    }
+
+    #[test]
+    fn deadline_budget_expiry_semantics() {
+        let unlimited = DeadlineBudget::unlimited();
+        assert!(!unlimited.expired());
+        assert_eq!(unlimited.remaining_ns(), None);
+
+        // A zero budget is expired by the time anyone checks it.
+        let spent = DeadlineBudget::from_now_ns(0);
+        assert!(spent.expired());
+        assert_eq!(spent.remaining_ns(), Some(0));
+
+        // A huge budget is live and reports a sane remainder.
+        let generous = DeadlineBudget::from_now_ms(1 << 40);
+        assert!(!generous.expired());
+        assert!(generous.remaining_ns().unwrap() > 0);
+
+        // Saturation instead of overflow at the extreme.
+        let forever = DeadlineBudget::from_now_ns(u64::MAX);
+        assert!(!forever.expired());
+
+        let err = EngineError::DeadlineExceeded {
+            completed: 3,
+            total: 8,
+        };
+        assert!(err.to_string().contains("3 of 8"));
     }
 
     #[test]

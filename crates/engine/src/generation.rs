@@ -20,9 +20,22 @@ pub struct Generation<P, H, N> {
     pub(crate) number: u64,
     /// The frozen index of this generation.
     pub(crate) index: ShardedIndex<P, H, N>,
+    /// Monotonic timestamp ([`fairnn_obs::monotonic_ns`]) taken when this
+    /// generation was published. Purely observational — it feeds the
+    /// generation-age health signal and never influences query results.
+    pub(crate) published_at_ns: u64,
 }
 
 impl<P, H, N> Generation<P, H, N> {
+    /// Stamps a new generation with the current monotonic time.
+    pub(crate) fn now(number: u64, index: ShardedIndex<P, H, N>) -> Self {
+        Self {
+            number,
+            index,
+            published_at_ns: fairnn_obs::monotonic_ns(),
+        }
+    }
+
     /// The generation number.
     pub fn number(&self) -> u64 {
         self.number
@@ -31,6 +44,18 @@ impl<P, H, N> Generation<P, H, N> {
     /// The frozen index (read-only).
     pub fn index(&self) -> &ShardedIndex<P, H, N> {
         &self.index
+    }
+
+    /// Monotonic publish timestamp in nanoseconds.
+    pub fn published_at_ns(&self) -> u64 {
+        self.published_at_ns
+    }
+
+    /// Nanoseconds since this generation was published (its *age*). A
+    /// growing age with an active writer means readers are pinned to a
+    /// stale state — the `/healthz` staleness signal.
+    pub fn age_ns(&self) -> u64 {
+        fairnn_obs::monotonic_ns().saturating_sub(self.published_at_ns)
     }
 }
 

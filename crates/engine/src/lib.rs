@@ -79,7 +79,9 @@ pub mod shard;
 pub mod sharded;
 pub mod writer;
 
-pub use api_types::{BatchResponse, CommitReceipt, EngineError, QueryRequest, WriteBatch, WriteOp};
+pub use api_types::{
+    BatchResponse, CommitReceipt, DeadlineBudget, EngineError, QueryRequest, WriteBatch, WriteOp,
+};
 pub use cache::{CacheEntry, ResultCache};
 pub use engine::{Answer, EngineConfig, QueryEngine};
 pub use generation::Generation;

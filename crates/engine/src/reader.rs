@@ -11,7 +11,7 @@
 //! always return bit-identical answers — and a reader pinned before a
 //! publish keeps answering from the old generation until it re-pins.
 
-use crate::api_types::{BatchResponse, QueryRequest};
+use crate::api_types::{BatchResponse, DeadlineBudget, EngineError, QueryRequest};
 use crate::engine::{Answer, STREAM_BATCH_BASE};
 use crate::generation::{Generation, Shared};
 use crate::seed::{split_seed, stream_rng};
@@ -95,6 +95,18 @@ impl<P, H, N> EpochPin<P, H, N> {
         self.generation.number
     }
 
+    /// Monotonic timestamp at which the pinned generation was published.
+    pub fn published_at_ns(&self) -> u64 {
+        self.generation.published_at_ns()
+    }
+
+    /// Nanoseconds since the pinned generation was published — the
+    /// staleness signal `/healthz` surfaces (see
+    /// [`crate::Generation::age_ns`]).
+    pub fn generation_age_ns(&self) -> u64 {
+        self.generation.age_ns()
+    }
+
     /// The pinned index (read-only; always fully frozen).
     pub fn index(&self) -> &ShardedIndex<P, H, N> {
         &self.generation.index
@@ -122,28 +134,55 @@ where
     /// fixed-index engine serving the same index state return
     /// bit-identical answers for the same batch number.
     pub fn run_batch(&self, request: &QueryRequest<P>) -> BatchResponse {
+        match self.run_batch_within(request, &DeadlineBudget::unlimited()) {
+            Ok(response) => response,
+            // Unreachable: an unlimited budget never expires, and the
+            // budget check is the only failure path.
+            Err(err) => unreachable!("unlimited budget failed: {err}"),
+        }
+    }
+
+    /// Answers a batch like [`EpochPin::run_batch`], but checks the
+    /// deadline budget between queries and fails fast with
+    /// [`EngineError::DeadlineExceeded`] once it expires.
+    ///
+    /// The check sits *between* positions, so an accepted response is
+    /// always complete and bit-identical to the unbudgeted run: each
+    /// position draws from its own RNG stream split by
+    /// `(request.batch, position)`, independent of how many positions
+    /// came before it under what budget. A rejected batch returns no
+    /// partial answers — the deterministic serving contract is
+    /// all-or-nothing.
+    pub fn run_batch_within(
+        &self,
+        request: &QueryRequest<P>,
+        budget: &DeadlineBudget,
+    ) -> Result<BatchResponse, EngineError> {
         let index = &self.generation.index;
         let batch_seed = split_seed(
             index.config().seed,
             STREAM_BATCH_BASE.wrapping_add(request.batch),
         );
-        let answers = request
-            .queries
-            .iter()
-            .enumerate()
-            .map(|(pos, query)| {
-                let mut rng = stream_rng(batch_seed, pos as u64);
-                let (id, stats) = index.sample(query, &mut rng);
-                Answer {
-                    id,
-                    stats,
-                    via_cache: false,
-                }
-            })
-            .collect();
-        BatchResponse {
+        let total = request.queries.len();
+        let mut answers = Vec::with_capacity(total);
+        for (pos, query) in request.queries.iter().enumerate() {
+            if budget.expired() {
+                return Err(EngineError::DeadlineExceeded {
+                    completed: pos,
+                    total,
+                });
+            }
+            let mut rng = stream_rng(batch_seed, pos as u64);
+            let (id, stats) = index.sample(query, &mut rng);
+            answers.push(Answer {
+                id,
+                stats,
+                via_cache: false,
+            });
+        }
+        Ok(BatchResponse {
             answers,
             generation: self.generation.number,
-        }
+        })
     }
 }

@@ -207,10 +207,7 @@ where
         save_image(&image, dir.join(CHECKPOINT_FILE))?;
         let wal = WalWriter::create(dir.join(WAL_FILE))?;
 
-        let shared = Arc::new(Shared::new(Arc::new(Generation {
-            number: 0,
-            index: index.clone(),
-        })));
+        let shared = Arc::new(Shared::new(Arc::new(Generation::now(0, index.clone()))));
         // Prime the incremental-checkpoint cache from the sections just
         // written: sections[0] is the checkpoint head, sections[1] the
         // index head, shard sections follow.
@@ -267,10 +264,10 @@ where
         }
         let wal = WalWriter::resume(dir.join(WAL_FILE), replay.valid_len)?;
 
-        let shared = Arc::new(Shared::new(Arc::new(Generation {
-            number: next_seq,
-            index: index.clone(),
-        })));
+        let shared = Arc::new(Shared::new(Arc::new(Generation::now(
+            next_seq,
+            index.clone(),
+        ))));
         Ok(Self {
             shared,
             staging: index,
@@ -313,10 +310,10 @@ where
         let assigned = apply_batch(&mut self.staging, &batch);
         self.next_seq = seq + 1;
         self.generation = self.next_seq;
-        self.shared.publish(Arc::new(Generation {
-            number: self.generation,
-            index: self.staging.clone(),
-        }));
+        self.shared.publish(Arc::new(Generation::now(
+            self.generation,
+            self.staging.clone(),
+        )));
         drop(timer);
 
         Ok(CommitReceipt {
@@ -457,6 +454,43 @@ mod tests {
         items.push(extra);
         let _ = data;
         SparseSet::from_items(items)
+    }
+
+    #[test]
+    fn budgeted_batches_match_unbudgeted_and_fail_fast_when_spent() {
+        use crate::api_types::{DeadlineBudget, EngineError};
+
+        let (data, writer, dir) = bootstrap("budget", 11);
+        let reader = writer.reader();
+        let pin = reader.pin();
+        let query = data.point(PointId(0)).clone();
+        let request = QueryRequest::new(vec![query.clone(), query]).with_batch(4);
+
+        // The budget check sits between positions and must not perturb
+        // the per-position RNG streams: a generous budget returns the
+        // bit-identical unbudgeted response.
+        let free = pin.run_batch(&request);
+        let budgeted = pin
+            .run_batch_within(&request, &DeadlineBudget::from_now_ms(1 << 40))
+            .expect("generous budget completes");
+        assert_eq!(budgeted, free);
+
+        // An already-spent budget fails before answering anything.
+        let spent = pin.run_batch_within(&request, &DeadlineBudget::from_now_ns(0));
+        assert!(matches!(
+            spent,
+            Err(EngineError::DeadlineExceeded {
+                completed: 0,
+                total: 2
+            })
+        ));
+
+        // Publish stamps are monotonic-clock readings; age never panics.
+        assert!(pin.published_at_ns() <= fairnn_obs::monotonic_ns());
+        let _age = pin.generation_age_ns();
+        drop(pin);
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,6 +33,31 @@ pub fn bucket_bound(i: usize) -> u64 {
     }
 }
 
+/// Upper-bound quantile estimate from a bucket-count snapshot.
+///
+/// The estimate is the inclusive upper bound ([`bucket_bound`]) of the
+/// first bucket whose cumulative count reaches `ceil(q · total)` (and at
+/// least 1), i.e. the smallest power-of-two bound guaranteed to be ≥ the
+/// true `q`-quantile of the recorded multiset. Because it reads only the
+/// bucket counts — a commutative sum — the estimate is invariant under
+/// shard merge order (pinned by the proptest suite).
+fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_bound(i);
+        }
+    }
+    bucket_bound(BUCKETS - 1)
+}
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -190,6 +215,33 @@ impl Histogram {
         }
     }
 
+    /// Upper-bound estimate of the `q`-quantile of the recorded values
+    /// (`q` clamped to `[0, 1]`; 0 for an empty histogram).
+    ///
+    /// Returns the inclusive upper bound of the first bucket whose
+    /// cumulative count reaches `ceil(q · count)` — the smallest
+    /// power-of-two bound guaranteed to be ≥ the true quantile. The
+    /// estimate is a pure function of the bucket counts, so it is
+    /// independent of recording thread count and shard merge order.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets(), q)
+    }
+
+    /// Median upper bound (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile upper bound (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound (`quantile(0.999)`).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Resets all buckets (tests and bench isolation only; not atomic with
     /// respect to concurrent recorders).
     pub fn reset(&self) {
@@ -266,6 +318,27 @@ impl HistogramShard {
     /// Whether nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (see
+    /// [`Histogram::quantile`] for the exact semantics).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets, q)
+    }
+
+    /// Median upper bound (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile upper bound (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile upper bound (`quantile(0.999)`).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 }
 
@@ -356,6 +429,70 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.sum(), 4104);
         assert_eq!(h.buckets()[bucket_of(4)], 2);
+    }
+
+    #[test]
+    fn quantile_reports_upper_bucket_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The true p50 is 50, which lands in bucket [32, 63]; the estimate
+        // is that bucket's inclusive upper bound.
+        assert_eq!(h.p50(), 63);
+        assert_eq!(h.quantile(0.5), bucket_bound(bucket_of(50)));
+        // p99 → rank 99 → value 99 → bucket [64, 127].
+        assert_eq!(h.p99(), bucket_bound(bucket_of(99)));
+        // p999 → rank ceil(99.9) = 100 → value 100, same bucket as 99.
+        assert_eq!(h.p999(), bucket_bound(bucket_of(100)));
+        // Extreme and out-of-range q are clamped.
+        assert_eq!(h.quantile(0.0), bucket_bound(bucket_of(1)));
+        assert_eq!(h.quantile(1.0), bucket_bound(bucket_of(100)));
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_never_underestimates() {
+        // For every q, the estimate must be >= the true quantile of the
+        // recorded multiset (upper-bucket-bound semantics).
+        let values = [0u64, 1, 1, 7, 8, 9, 1 << 20, u64::MAX];
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for (i, q) in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .enumerate()
+        {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            assert!(
+                h.quantile(*q) >= truth,
+                "case {i}: q={q} estimate {} below true {truth}",
+                h.quantile(*q)
+            );
+        }
+    }
+
+    #[test]
+    fn shard_quantile_matches_histogram_quantile() {
+        let h = Histogram::new();
+        let mut s = HistogramShard::new();
+        for v in [5u64, 90, 1000, 12, 3] {
+            h.record(v);
+            s.record(v);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), s.quantile(q));
+        }
+        assert_eq!(s.p50(), h.p50());
+        assert_eq!(s.p99(), h.p99());
+        assert_eq!(s.p999(), h.p999());
+        assert_eq!(HistogramShard::new().quantile(0.9), 0);
     }
 
     #[test]

@@ -95,4 +95,50 @@ proptest! {
         prop_assert_eq!(sharded.sum(), direct.sum());
         prop_assert_eq!(sharded.buckets(), direct.buckets());
     }
+
+    /// Quantile estimates are a pure function of the recorded multiset:
+    /// merging the shards in any permutation — or recording everything
+    /// directly — yields identical p50/p99/p999 and arbitrary-q answers.
+    #[test]
+    fn quantiles_are_merge_order_invariant(groups in arb_groups(), rotate in 0usize..8, q_permille in 0u64..=1000) {
+        let q = q_permille as f64 / 1000.0;
+        let shards = shards_of(&groups);
+        let forward = fold(&shards);
+
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotate % shards.len().max(1));
+        let mut reversed = shards.clone();
+        reversed.reverse();
+
+        for other in [fold(&rotated), fold(&reversed)] {
+            prop_assert_eq!(other.quantile(q), forward.quantile(q));
+            prop_assert_eq!(other.p50(), forward.p50());
+            prop_assert_eq!(other.p99(), forward.p99());
+            prop_assert_eq!(other.p999(), forward.p999());
+        }
+
+        // Sharded-then-merged equals one thread recording every value.
+        let direct = Histogram::new();
+        for values in &groups {
+            for &v in values {
+                direct.record(v);
+            }
+        }
+        prop_assert_eq!(direct.quantile(q), forward.quantile(q));
+    }
+
+    /// The estimate never undershoots: for any multiset and any q, the
+    /// reported bound is ≥ the true q-quantile (upper-bucket-bound
+    /// semantics).
+    #[test]
+    fn quantile_upper_bounds_the_truth(mut values in proptest::collection::vec(0u64..=u64::MAX, 1..200), q_permille in 0u64..=1000) {
+        let q = q_permille as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        prop_assert!(h.quantile(q) >= values[rank - 1]);
+    }
 }

@@ -1,0 +1,163 @@
+//! Server configuration: every robustness knob in one struct.
+//!
+//! The defaults are deliberately conservative — small caps, short
+//! deadlines — because every limit here is a promise the fault-injection
+//! suite holds the server to: a cap that does not exist cannot shed load.
+//! Tests shrink the timeouts to keep the suite fast; production fronts
+//! raise them.
+
+/// All tunables of the [`serve`](crate::serve) loop.
+///
+/// Build one with [`ServerConfig::default`] and override fields with the
+/// `with_*` builders. Sizes are bytes, times are milliseconds.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections (the accept loop runs on its
+    /// own extra thread).
+    pub workers: usize,
+    /// Hard cap on admitted connections (in-flight plus queued for a
+    /// worker). Beyond it the accept loop sheds with `503` +
+    /// `Retry-After` — the bounded admission queue.
+    pub max_connections: usize,
+    /// Maximum bytes of a request head (request line + headers); beyond
+    /// it the request is rejected with `431`.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of a request body; a larger `Content-Length` is
+    /// rejected with `413` before the body is read.
+    pub max_body_bytes: usize,
+    /// Budget for reading one request head, measured from its first
+    /// byte — a trickling (slowloris) head hits this and gets `408`.
+    pub head_timeout_ms: u64,
+    /// Budget for reading one request body after the head.
+    pub body_timeout_ms: u64,
+    /// How long a keep-alive connection may sit idle (no bytes of a next
+    /// request) before the server closes it quietly.
+    pub idle_timeout_ms: u64,
+    /// Socket write timeout for responses.
+    pub write_timeout_ms: u64,
+    /// Deadline budget applied to `/v1/query` batches when the client
+    /// sends no `x-deadline-ms` header.
+    pub default_deadline_ms: u64,
+    /// Upper bound on the client-requested `x-deadline-ms` (a client
+    /// cannot buy more time than the operator allows).
+    pub max_deadline_ms: u64,
+    /// How long a graceful drain waits for in-flight connections before
+    /// force-closing the stragglers.
+    pub drain_deadline_ms: u64,
+    /// Token-bucket refill rate per client IP, in requests per second.
+    /// `0` disables rate limiting.
+    pub rate_limit_per_sec: u64,
+    /// Token-bucket burst capacity per client IP.
+    pub rate_limit_burst: u64,
+    /// Granularity of the read poll loop: the connection re-checks its
+    /// deadlines and the drain flag at this cadence, so drains are
+    /// noticed promptly even by idle connections.
+    pub poll_slice_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_connections: 8,
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            head_timeout_ms: 2_000,
+            body_timeout_ms: 2_000,
+            idle_timeout_ms: 5_000,
+            write_timeout_ms: 2_000,
+            default_deadline_ms: 1_000,
+            max_deadline_ms: 10_000,
+            drain_deadline_ms: 5_000,
+            rate_limit_per_sec: 0,
+            rate_limit_burst: 8,
+            poll_slice_ms: 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Replaces the worker count (min 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the admitted-connection cap (min 1).
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Replaces the head/body size caps.
+    pub fn with_size_caps(mut self, head: usize, body: usize) -> Self {
+        self.max_head_bytes = head;
+        self.max_body_bytes = body;
+        self
+    }
+
+    /// Replaces the head/body/idle/write timeouts in one call (tests
+    /// shrink them all together to keep fault injection fast).
+    pub fn with_io_timeouts_ms(mut self, head: u64, body: u64, idle: u64, write: u64) -> Self {
+        self.head_timeout_ms = head;
+        self.body_timeout_ms = body;
+        self.idle_timeout_ms = idle;
+        self.write_timeout_ms = write;
+        self
+    }
+
+    /// Replaces the default and maximum per-request deadline budgets.
+    pub fn with_deadlines_ms(mut self, default: u64, max: u64) -> Self {
+        self.default_deadline_ms = default;
+        self.max_deadline_ms = max;
+        self
+    }
+
+    /// Replaces the drain deadline.
+    pub fn with_drain_deadline_ms(mut self, ms: u64) -> Self {
+        self.drain_deadline_ms = ms;
+        self
+    }
+
+    /// Enables per-IP token-bucket rate limiting.
+    pub fn with_rate_limit(mut self, per_sec: u64, burst: u64) -> Self {
+        self.rate_limit_per_sec = per_sec;
+        self.rate_limit_burst = burst.max(1);
+        self
+    }
+
+    /// Replaces the read-poll slice (min 1 ms).
+    pub fn with_poll_slice_ms(mut self, ms: u64) -> Self {
+        self.poll_slice_ms = ms.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_override_and_clamp() {
+        let cfg = ServerConfig::default()
+            .with_workers(0)
+            .with_max_connections(0)
+            .with_size_caps(100, 200)
+            .with_io_timeouts_ms(1, 2, 3, 4)
+            .with_deadlines_ms(5, 6)
+            .with_drain_deadline_ms(7)
+            .with_rate_limit(9, 0)
+            .with_poll_slice_ms(0);
+        assert_eq!(cfg.workers, 1, "worker floor");
+        assert_eq!(cfg.max_connections, 1, "connection floor");
+        assert_eq!((cfg.max_head_bytes, cfg.max_body_bytes), (100, 200));
+        assert_eq!(cfg.head_timeout_ms, 1);
+        assert_eq!(cfg.body_timeout_ms, 2);
+        assert_eq!(cfg.idle_timeout_ms, 3);
+        assert_eq!(cfg.write_timeout_ms, 4);
+        assert_eq!((cfg.default_deadline_ms, cfg.max_deadline_ms), (5, 6));
+        assert_eq!(cfg.drain_deadline_ms, 7);
+        assert_eq!((cfg.rate_limit_per_sec, cfg.rate_limit_burst), (9, 1));
+        assert_eq!(cfg.poll_slice_ms, 1, "poll slice floor");
+    }
+}

@@ -1,0 +1,219 @@
+//! Typed endpoint handlers: each one turns a parsed request into a
+//! [`Response`] using the engine's own API types.
+//!
+//! The wire bodies of the data plane are the engine's snapshot-codec
+//! encodings — [`QueryRequest`] in / [`BatchResponse`](fairnn_engine::BatchResponse) out on
+//! `/v1/query`, [`WriteBatch`] in on `/v1/commit` — so the network
+//! format and the write-ahead-log format are one and the same (see
+//! `fairnn_engine::api_types`). The control plane (`/healthz`,
+//! `/metrics`, commit receipts) speaks human-readable JSON/Prometheus
+//! text instead, because its consumers are people and scrapers.
+
+use crate::admission::Control;
+use crate::config::ServerConfig;
+use crate::http::{Head, Response};
+use fairnn_core::predicate::Nearness;
+use fairnn_engine::{
+    DeadlineBudget, EngineError, EngineReader, EngineWriter, QueryRequest, WriteBatch,
+};
+use fairnn_lsh::{HasherBankCodec, LshHasher};
+use fairnn_obs::{LazyCounter, LazyHistogram, Timer};
+use fairnn_snapshot::{Codec, Decoder, Encoder};
+use std::sync::{Arc, Mutex};
+
+/// Requests answered, by the time the response was handed to the socket
+/// writer.
+pub(crate) static REQUESTS_TOTAL: LazyCounter = LazyCounter::new(
+    "server_requests_total",
+    "HTTP requests answered (any status)",
+);
+
+/// `/v1/query` batches rejected because their deadline budget expired.
+pub(crate) static DEADLINE_EXPIRED_TOTAL: LazyCounter = LazyCounter::new(
+    "server_deadline_expired_total",
+    "query batches rejected with 504 because the deadline budget expired",
+);
+
+/// End-to-end handler latency (parse excluded, serialization included).
+pub(crate) static REQUEST_NS: LazyHistogram = LazyHistogram::new(
+    "server_request_ns",
+    "handler wall time per request in nanoseconds",
+);
+
+/// Everything the handlers share: the engine's two halves plus the
+/// server's own run state.
+#[derive(Debug)]
+pub(crate) struct AppState<P, H, N> {
+    /// The read path: pin-per-request generational reads.
+    pub reader: EngineReader<P, H, N>,
+    /// The write path: commits are serialized through this lock — the
+    /// engine writer is single-owner by design, so the server makes the
+    /// serialization explicit rather than pretending to parallelize it.
+    pub writer: Mutex<EngineWriter<P, H, N>>,
+    /// The server configuration (deadline caps feed the query handler).
+    pub config: ServerConfig,
+    /// Drain flags and the admitted-connection count (feeds `/healthz`).
+    pub control: Arc<Control>,
+}
+
+/// `GET /healthz`: liveness plus the two degraded-state signals —
+/// generation staleness and admission saturation — as JSON.
+pub(crate) fn healthz<P, H, N>(state: &AppState<P, H, N>) -> Response {
+    let pin = state.reader.pin();
+    let status = if state.control.is_draining() {
+        "draining"
+    } else {
+        "ok"
+    };
+    let body = format!(
+        concat!(
+            "{{\"status\":\"{}\",\"generation\":{},\"generation_age_ms\":{},",
+            "\"active_connections\":{},\"max_connections\":{}}}"
+        ),
+        status,
+        pin.generation(),
+        pin.generation_age_ns() / 1_000_000,
+        state.control.active(),
+        state.config.max_connections,
+    );
+    Response::json(200, body)
+}
+
+/// `GET /metrics`: the process-global registry in Prometheus text
+/// format.
+pub(crate) fn metrics() -> Response {
+    Response::new(200)
+        .with_header(
+            "Content-Type",
+            "text/plain; version=0.0.4; charset=utf-8".to_string(),
+        )
+        .with_body(fairnn_obs::global().render_prometheus().into_bytes())
+}
+
+/// `POST /v1/query`: decode a [`QueryRequest`], run it against a fresh
+/// epoch pin under the request's deadline budget, encode the
+/// [`fairnn_engine::BatchResponse`].
+pub(crate) fn query<P, H, N>(state: &AppState<P, H, N>, head: &Head, body: &[u8]) -> Response
+where
+    P: Codec,
+    H: LshHasher<P>,
+    N: Nearness<P>,
+{
+    let budget = match deadline_budget(head, &state.config) {
+        Ok(budget) => budget,
+        Err(resp) => return resp,
+    };
+    let mut dec = Decoder::new(body);
+    let request: QueryRequest<P> = match QueryRequest::decode(&mut dec).and_then(|r| {
+        dec.finish()?;
+        Ok(r)
+    }) {
+        Ok(request) => request,
+        Err(err) => return Response::text(400, &format!("malformed query body: {err}")),
+    };
+
+    let pin = state.reader.pin();
+    match pin.run_batch_within(&request, &budget) {
+        Ok(response) => Response::binary(200, encode(&response)),
+        Err(EngineError::DeadlineExceeded { completed, total }) => {
+            DEADLINE_EXPIRED_TOTAL.inc();
+            Response::text(
+                504,
+                &format!("deadline budget expired after {completed} of {total} queries"),
+            )
+            .with_retry_after(1)
+        }
+        Err(err) => Response::text(500, &format!("query failed: {err}")),
+    }
+}
+
+/// `POST /v1/commit`: decode a [`WriteBatch`], commit it through the
+/// serialized writer, answer with a JSON receipt.
+pub(crate) fn commit<P, H, N>(state: &AppState<P, H, N>, body: &[u8]) -> Response
+where
+    P: Codec + Clone + Send + Sync,
+    H: HasherBankCodec + LshHasher<P> + Clone + Send + Sync,
+    N: Codec + Nearness<P> + Clone + Send + Sync,
+{
+    let mut dec = Decoder::new(body);
+    let batch: WriteBatch<P> = match WriteBatch::decode(&mut dec).and_then(|b| {
+        dec.finish()?;
+        Ok(b)
+    }) {
+        Ok(batch) => batch,
+        Err(err) => return Response::text(400, &format!("malformed commit body: {err}")),
+    };
+
+    // A poisoned lock means a previous commit panicked mid-protocol; the
+    // writer's state can no longer be trusted, so refuse further writes
+    // instead of guessing (reads keep serving the last good generation).
+    let mut writer = match state.writer.lock() {
+        Ok(guard) => guard,
+        Err(_) => {
+            return Response::text(503, "writer unavailable after an earlier failure")
+                .with_retry_after(30)
+        }
+    };
+    match writer.commit(batch) {
+        Ok(receipt) => {
+            let assigned: Vec<String> =
+                receipt.assigned.iter().map(|id| id.0.to_string()).collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"seq\":{},\"generation\":{},\"assigned\":[{}],\"wal_bytes\":{}}}",
+                    receipt.seq,
+                    receipt.generation,
+                    assigned.join(","),
+                    receipt.wal_bytes
+                ),
+            )
+        }
+        Err(EngineError::UnknownId(id)) => {
+            Response::text(409, &format!("delete references unknown point id {id}"))
+        }
+        Err(err) => Response::text(500, &format!("commit failed: {err}")),
+    }
+}
+
+/// `POST /admin/drain`: start a graceful drain (stop accepting, let
+/// in-flight finish). Answers `202` immediately; progress is observable
+/// through `/healthz` until this connection too is drained.
+pub(crate) fn drain<P, H, N>(state: &AppState<P, H, N>) -> Response {
+    state.control.begin_drain();
+    Response::text(202, "draining: accepting stopped, in-flight completing")
+}
+
+/// The deadline budget for one query request: `x-deadline-ms` capped by
+/// the operator's maximum, or the configured default when absent. A
+/// client-sent 0 is taken literally (an already-expired budget → `504`);
+/// a configured default of 0 means "no default budget".
+fn deadline_budget(head: &Head, config: &ServerConfig) -> Result<DeadlineBudget, Response> {
+    match head.header("x-deadline-ms") {
+        None => Ok(if config.default_deadline_ms == 0 {
+            DeadlineBudget::unlimited()
+        } else {
+            DeadlineBudget::from_now_ms(config.default_deadline_ms)
+        }),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Ok(DeadlineBudget::from_now_ms(ms.min(config.max_deadline_ms))),
+            Err(_) => Err(Response::text(400, "x-deadline-ms is not a number")),
+        },
+    }
+}
+
+/// Encodes any codec value to its wire bytes.
+pub(crate) fn encode<T: Codec>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Times one handler call into [`REQUEST_NS`] and counts it.
+pub(crate) fn instrumented(f: impl FnOnce() -> Response) -> Response {
+    let timer = Timer::start(&REQUEST_NS);
+    let response = f();
+    drop(timer);
+    REQUESTS_TOTAL.inc();
+    response
+}

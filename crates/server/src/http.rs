@@ -1,0 +1,459 @@
+//! A hand-rolled, bounded HTTP/1.1 subset: exactly what the engine's
+//! routes need and nothing more.
+//!
+//! The parser is a pure function over a byte buffer — no I/O, no
+//! allocation proportional to anything but the (capped) input — so the
+//! proptest suite can drive it with arbitrary bytes and pin the
+//! contract: *every* input yields a typed outcome (a request, "need more
+//! bytes", or a [`ParseError`] carrying its rejection status), never a
+//! panic. Timeout detection (`408`) lives in the connection loop, which
+//! owns the clock; size rejection (`431`/`413`) lives here, because the
+//! caps are properties of the byte stream alone.
+
+use std::io::{self, Read, Write};
+
+/// Why a request was rejected before reaching a route, with the HTTP
+/// status each rejection maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request head exceeded the configured cap → `431`.
+    HeadTooLarge,
+    /// `Content-Length` exceeded the configured body cap → `413`.
+    BodyTooLarge,
+    /// The bytes are not a well-formed HTTP/1.x request → `400`.
+    Malformed(&'static str),
+}
+
+impl ParseError {
+    /// The HTTP status code this rejection is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::Malformed(_) => 400,
+        }
+    }
+
+    /// Human-readable reason, used as the response body.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ParseError::HeadTooLarge => "request head exceeds the configured cap",
+            ParseError::BodyTooLarge => "request body exceeds the configured cap",
+            ParseError::Malformed(msg) => msg,
+        }
+    }
+}
+
+/// A parsed request head: the request line plus headers, with the byte
+/// length of the head (through the blank line) so the caller knows where
+/// the body starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// Request method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path plus optional query string), as sent.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Bytes consumed by the head, including the terminating blank line.
+    pub head_len: usize,
+}
+
+impl Head {
+    /// First value of the (lower-case) header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length: `Content-Length` parsed, 0 when absent.
+    /// Malformed values and chunked transfer coding are rejected — the
+    /// bounded reader refuses bodies whose size it cannot know upfront.
+    pub fn body_len(&self) -> Result<usize, ParseError> {
+        if self.header("transfer-encoding").is_some() {
+            return Err(ParseError::Malformed(
+                "transfer codings are not supported; send Content-Length",
+            ));
+        }
+        match self.header("content-length") {
+            None => Ok(0),
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed("Content-Length is not a number")),
+        }
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Attempts to parse one request head from the front of `buf`.
+///
+/// * `Ok(Some(head))` — a complete head; the body (if any) starts at
+///   `head.head_len`.
+/// * `Ok(None)` — no blank line yet and the buffer is still under
+///   `max_head_bytes`: read more.
+/// * `Err(_)` — the bytes can never become an acceptable request.
+pub fn parse_head(buf: &[u8], max_head_bytes: usize) -> Result<Option<Head>, ParseError> {
+    let window = &buf[..buf.len().min(max_head_bytes.saturating_add(4))];
+    let Some(head_end) = find_blank_line(window) else {
+        // No terminator in the capped window: either wait for more bytes
+        // or give up because the cap is already exhausted.
+        if buf.len() > max_head_bytes {
+            return Err(ParseError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end > max_head_bytes {
+        return Err(ParseError::HeadTooLarge);
+    }
+
+    let head = &window[..head_end];
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ParseError::Malformed("request head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(ParseError::Malformed("empty request head"))?;
+
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(ParseError::Malformed("request line has no method"))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or(ParseError::Malformed("request target must start with /"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("request line has no HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("request line has trailing fields"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the split's trailing empty piece before the blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header line has no colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed("header name is empty or has spaces"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    Ok(Some(Head {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        head_len: head_end + 4,
+    }))
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response: status, extra headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Length`/`Connection` (which the
+    /// writer owns), e.g. `Content-Type`, `Retry-After`.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-bodied response.
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response with `msg` plus a trailing newline.
+    pub fn text(status: u16, msg: &str) -> Self {
+        Self::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8".to_string())
+            .with_body(format!("{msg}\n").into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self::new(status)
+            .with_header("Content-Type", "application/json".to_string())
+            .with_body(body.into_bytes())
+    }
+
+    /// An `application/octet-stream` response (the snapshot-codec wire
+    /// bodies of `/v1/query`).
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Self::new(status)
+            .with_header("Content-Type", "application/octet-stream".to_string())
+            .with_body(body)
+    }
+
+    /// Appends a header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// Replaces the body (builder style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Adds a `Retry-After: <secs>` backoff hint (builder style).
+    pub fn with_retry_after(self, secs: u64) -> Self {
+        self.with_header("Retry-After", secs.to_string())
+    }
+
+    /// Serializes the response to `w`, adding `Content-Length` and a
+    /// `Connection: close`/`keep-alive` header.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status,
+                status_reason(self.status)
+            )
+            .as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(if close {
+            b"Connection: close\r\n"
+        } else {
+            b"Connection: keep-alive\r\n"
+        });
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+/// A parsed response, for the loopback clients in the tests and the
+/// bench load generator (the server itself never reads responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of the (lower-case) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one `Content-Length`-framed response from `r` (blocking; the
+/// caller sets socket timeouts). Errors on EOF before a full response.
+pub fn read_response(r: &mut impl Read) -> io::Result<ClientResponse> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = find_blank_line(&buf) {
+            break end;
+        }
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let text = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: usize = 1024;
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let head = parse_head(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", CAP)
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.path, "/healthz");
+        assert_eq!(head.header("host"), Some("x"));
+        assert_eq!(head.head_len, 34);
+        assert_eq!(head.body_len().unwrap(), 0);
+        assert!(!head.wants_close());
+    }
+
+    #[test]
+    fn incomplete_heads_ask_for_more_bytes() {
+        assert_eq!(parse_head(b"", CAP), Ok(None));
+        assert_eq!(parse_head(b"POST /v1/query HTT", CAP), Ok(None));
+        assert_eq!(parse_head(b"GET / HTTP/1.1\r\nHost: x\r\n", CAP), Ok(None));
+    }
+
+    #[test]
+    fn oversized_heads_are_431() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(CAP));
+        assert_eq!(
+            parse_head(long.as_bytes(), CAP),
+            Err(ParseError::HeadTooLarge)
+        );
+        // Cap-sized garbage with no terminator is also rejected, not
+        // "need more": the head can never fit anymore.
+        let garbage = vec![b'x'; CAP + 1];
+        assert_eq!(parse_head(&garbage, CAP), Err(ParseError::HeadTooLarge));
+        assert_eq!(ParseError::HeadTooLarge.status(), 431);
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for bad in [
+            &b"get / HTTP/1.1\r\n\r\n"[..],  // lower-case method
+            b"GET noslash HTTP/1.1\r\n\r\n", // bad target
+            b"GET / HTTP/2.0\r\n\r\n",       // unsupported version
+            b"GET / HTTP/1.1 extra\r\n\r\n", // trailing fields
+            b"GET /\r\n\r\n",                // no version at all
+            b"GET / HTTP/1.1\r\nno-colon-line\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            b"\xff\xfe / HTTP/1.1\r\n\r\n", // not UTF-8
+        ] {
+            let err = parse_head(bad, CAP).expect_err("must reject");
+            assert_eq!(err.status(), 400, "case {:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn body_length_rules() {
+        let head = parse_head(
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 42\r\n\r\n",
+            CAP,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(head.body_len().unwrap(), 42);
+
+        let head = parse_head(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", CAP)
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.body_len().unwrap_err().status(), 400);
+
+        let head = parse_head(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            CAP,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(head.body_len().unwrap_err().status(), 400);
+        assert_eq!(ParseError::BodyTooLarge.status(), 413);
+    }
+
+    #[test]
+    fn response_roundtrips_through_client_reader() {
+        let resp = Response::text(503, "shedding")
+            .with_retry_after(2)
+            .with_header("X-Extra", "1".to_string());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut &wire[..]).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert_eq!(parsed.header("retry-after"), Some("2"));
+        assert_eq!(parsed.header("connection"), Some("close"));
+        assert_eq!(parsed.body, b"shedding\n");
+    }
+}

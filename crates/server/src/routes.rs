@@ -1,0 +1,36 @@
+//! The route table: `(method, path) → handler`, with the two generic
+//! failure answers (`404`, `405`) in one place.
+
+use crate::handlers::{self, AppState};
+use crate::http::{Head, Response};
+use fairnn_core::predicate::Nearness;
+use fairnn_lsh::{HasherBankCodec, LshHasher};
+use fairnn_snapshot::Codec;
+
+/// Dispatches one parsed request to its handler.
+///
+/// Paths are matched exactly (no prefix routing; query strings are part
+/// of the target and therefore miss — the API takes its inputs in
+/// bodies and headers by design, so nothing meaningful is lost).
+pub(crate) fn dispatch<P, H, N>(state: &AppState<P, H, N>, head: &Head, body: &[u8]) -> Response
+where
+    P: Codec + Clone + Send + Sync,
+    H: HasherBankCodec + LshHasher<P> + Clone + Send + Sync,
+    N: Codec + Nearness<P> + Clone + Send + Sync,
+{
+    handlers::instrumented(|| match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => handlers::healthz(state),
+        ("GET", "/metrics") => handlers::metrics(),
+        ("POST", "/v1/query") => handlers::query(state, head, body),
+        ("POST", "/v1/commit") => handlers::commit(state, body),
+        ("POST", "/admin/drain") => handlers::drain(state),
+        // Debug builds only: a route that panics on purpose, so the
+        // fault-injection suite can prove panic isolation over the wire.
+        #[cfg(debug_assertions)]
+        ("POST", "/admin/panic") => panic!("test-injected handler panic"),
+        (_, "/healthz" | "/metrics" | "/v1/query" | "/v1/commit" | "/admin/drain") => {
+            Response::text(405, "method not allowed for this route")
+        }
+        _ => Response::text(404, "no such route"),
+    })
+}

@@ -1,0 +1,108 @@
+//! Property tests for the bounded HTTP parser: arbitrary bytes must
+//! never panic and always yield a typed outcome, and every rejection
+//! maps to its pinned status code.
+
+use fairnn_server::{parse_head, ParseError};
+use proptest::prelude::*;
+
+const CAP: usize = 512;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The whole contract in one property: any byte soup, any cap, the
+    /// parser returns a request, "need more", or a typed error — and a
+    /// returned head is internally consistent.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..1024), cap in 0usize..1024) {
+        match parse_head(&bytes, cap) {
+            Ok(Some(head)) => {
+                prop_assert!(head.head_len <= bytes.len());
+                prop_assert!(head.head_len <= cap + 4, "head within cap (+CRLFCRLF)");
+                prop_assert!(!head.method.is_empty());
+                prop_assert!(head.path.starts_with('/'));
+                // The typed accessors must not panic either.
+                let _ = head.body_len();
+                let _ = head.wants_close();
+                let _ = head.header("content-length");
+            }
+            Ok(None) => prop_assert!(bytes.len() <= cap, "may only wait while under the cap"),
+            Err(err) => {
+                prop_assert!(matches!(err.status(), 400 | 413 | 431));
+                prop_assert!(!err.reason().is_empty());
+            }
+        }
+    }
+
+    /// Structured garbage: a plausible prefix followed by noise still
+    /// never panics (catches parser states plain noise rarely reaches).
+    #[test]
+    fn mangled_requests_never_panic(
+        which in 0usize..3,
+        noise in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let prefixes: [&[u8]; 3] = [
+            b"GET /healthz HTTP/1.1\r\n",
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: 10\r\n",
+            b"POST /v1/commit HTTP/1.1\r\nTransfer-Encoding: chunked\r\n",
+        ];
+        let mut bytes = prefixes[which].to_vec();
+        bytes.extend_from_slice(&noise);
+        let _ = parse_head(&bytes, CAP);
+    }
+
+    /// Incremental feeding is monotone: once a prefix parses to a head,
+    /// every longer buffer parses to the same head (the connection loop
+    /// feeds the parser growing buffers).
+    #[test]
+    fn parse_is_prefix_stable(extra in proptest::collection::vec(0u8..=255, 0..64)) {
+        let request = b"POST /v1/query HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        let head = parse_head(request, CAP).unwrap().expect("complete head");
+        let mut longer = request.to_vec();
+        longer.extend_from_slice(&extra);
+        let again = parse_head(&longer, CAP).unwrap().expect("still complete");
+        prop_assert_eq!(head, again);
+    }
+}
+
+/// Pinned rejection fixtures: the exact byte streams the fault suite
+/// sends and the status each must map to. (The 408 timeout fixture is
+/// socket-level and lives in the integration fault suite — timeouts are
+/// a property of the connection loop's clock, not of the bytes.)
+#[test]
+fn rejection_status_fixtures() {
+    // 431: head bigger than the cap, with and without a terminator.
+    let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(2 * CAP));
+    assert_eq!(
+        parse_head(long_path.as_bytes(), CAP),
+        Err(ParseError::HeadTooLarge)
+    );
+    assert_eq!(ParseError::HeadTooLarge.status(), 431);
+
+    // 413 is decided from the declared length, before body bytes flow.
+    let head = parse_head(
+        b"POST /v1/query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+        CAP,
+    )
+    .unwrap()
+    .unwrap();
+    assert_eq!(head.body_len().unwrap(), 999_999);
+    assert_eq!(ParseError::BodyTooLarge.status(), 413);
+
+    // 400: garbage, a bad version, chunked transfer coding.
+    for fixture in [
+        &b"\x00\x01\x02\x03 garbage \r\n\r\n"[..],
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"FETCH!? / HTTP/1.1\r\n\r\n",
+    ] {
+        let err = parse_head(fixture, CAP).expect_err("fixture must be rejected");
+        assert_eq!(err.status(), 400, "fixture {fixture:?}");
+    }
+    let chunked = parse_head(
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        CAP,
+    )
+    .unwrap()
+    .unwrap();
+    assert_eq!(chunked.body_len().unwrap_err().status(), 400);
+}

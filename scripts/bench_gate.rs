@@ -21,6 +21,12 @@
 //!   and `publish_ms` gates as a rate (`1e3 / ms`, lower-is-better), both
 //!   only when the row is co-measured and neither side is marked
 //!   `hardware_limited` (readers + the writer need cores of their own);
+//! * the `server` row (written by `server_throughput`: end-to-end HTTP
+//!   serving over loopback): `qps` gates directly and each tail latency
+//!   (`p50_ns`/`p99_ns`/`p999_ns`) gates as a rate (`1e9 / ns`,
+//!   lower-is-better), with the same co-measured + `hardware_limited`
+//!   skip — clients, workers, and the accept thread each need a core
+//!   before the tails measure the server rather than the scheduler;
 //! * every `builds` row (build throughput in points/sec from
 //!   `build_scaling`) whose `(structure, scale, threads)` coordinate
 //!   appears in both files, with the same `hardware_limited` skip — the
@@ -410,6 +416,37 @@ fn churn_rates(report: &Json) -> BTreeMap<String, f64> {
     out
 }
 
+/// Extracts the gated figures from a report's `server` row (end-to-end
+/// HTTP throughput and tail latencies from `server_throughput`). The
+/// tails are lower-is-better nanoseconds, converted to rates (`1e9 / ns`)
+/// so the shared regression math applies. A row marked `hardware_limited`
+/// contributes nothing: with fewer cores than clients + workers + the
+/// accept thread, the tails measure scheduler queueing, not the server.
+fn server_rates(report: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Some(row) = report.get("server") {
+        let limited = row
+            .get("hardware_limited")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        if limited {
+            return out;
+        }
+        if let Some(qps) = row.get("qps").and_then(Json::as_f64) {
+            out.insert("qps".to_string(), qps);
+        }
+        for key in ["p50_ns", "p99_ns", "p999_ns"] {
+            if let Some(ns) = row.get(key).and_then(Json::as_f64) {
+                if ns > 0.0 {
+                    let tail = key.trim_end_matches("_ns");
+                    out.insert(format!("{tail}-rate"), 1e9 / ns);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Builds measured below this wall time do not gate: a sub-millisecond
 /// smoke build is dominated by scheduler noise on a shared runner, so its
 /// points/sec would trip the 35 % threshold without any code change. The
@@ -659,6 +696,20 @@ fn compare_reports(fresh: &Json, baseline: &Json) -> Vec<Comparison> {
         if let Some(&fresh_rate) = fresh_churn.get(&key) {
             comparisons.push(Comparison {
                 name: format!("churn/{key}"),
+                baseline_qps: base_rate,
+                fresh_qps: Some(fresh_rate),
+            });
+        }
+    }
+
+    // HTTP serving: same co-measurement policy as churn — a 1-core PR
+    // runner marks the row hardware_limited and skips, and a baseline
+    // predating the server contributes nothing.
+    let fresh_server = server_rates(fresh);
+    for (key, base_rate) in server_rates(baseline) {
+        if let Some(&fresh_rate) = fresh_server.get(&key) {
+            comparisons.push(Comparison {
+                name: format!("server/{key}"),
                 baseline_qps: base_rate,
                 fresh_qps: Some(fresh_rate),
             });
@@ -1140,6 +1191,46 @@ mod tests {
         assert!(compare_reports(&churn_report(1.0, 1.0, false), &no_row)
             .iter()
             .all(|c| !c.name.starts_with("churn/")));
+    }
+
+    fn server_report(qps: f64, p99_ns: f64, limited: bool) -> Json {
+        let text = format!(
+            r#"{{"server": {{"qps": {qps}, "p50_ns": 1000000, "p99_ns": {p99_ns},
+                 "p999_ns": 16000000, "requests": 2000, "errors": 0,
+                 "measured_s": 1.5, "hardware_limited": {limited}}}}}"#
+        );
+        Parser::parse(&text).expect("valid server report")
+    }
+
+    #[test]
+    fn server_gates_qps_and_tail_latencies_as_rates() {
+        let baseline = server_report(5_000.0, 4_000_000.0, false);
+        // -15% q/s, +25% p99: both within the 35% budget.
+        let ok = server_report(4_250.0, 5_000_000.0, false);
+        let comparisons = compare_reports(&ok, &baseline);
+        assert_eq!(comparisons.len(), 4, "qps + three tails");
+        assert!(gate(&comparisons, 0.35).is_empty());
+        // p99 doubled: a 50% rate regression fails on exactly that figure.
+        let slow = server_report(5_000.0, 8_000_000.0, false);
+        let slow_comparisons = compare_reports(&slow, &baseline);
+        let failures = gate(&slow_comparisons, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "server/p99-rate");
+    }
+
+    #[test]
+    fn hardware_limited_server_rows_do_not_gate() {
+        let baseline = server_report(5_000.0, 4_000_000.0, false);
+        // A 1-core PR runner marks the row limited; its numbers never gate.
+        let fresh = server_report(100.0, 500_000_000.0, true);
+        assert!(compare_reports(&fresh, &baseline)
+            .iter()
+            .all(|c| !c.name.starts_with("server/")));
+        // A baseline predating the server row is simply not compared.
+        let no_row = Parser::parse("{}").unwrap();
+        assert!(compare_reports(&server_report(1.0, 1.0, false), &no_row)
+            .iter()
+            .all(|c| !c.name.starts_with("server/")));
     }
 
     fn obs_report(overhead_pct: f64, measured_s: f64) -> Json {
